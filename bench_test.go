@@ -1,0 +1,201 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`). Each experiment
+// benchmark prints its table once — the same rows/series the paper reports —
+// and then times the generator. Micro-benchmarks of the functional kernels
+// and the simulated cluster follow.
+package repro_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro"
+	"repro/internal/attention"
+	"repro/internal/comm"
+	"repro/internal/experiments"
+	"repro/internal/model"
+	"repro/internal/ring"
+	"repro/internal/sharding"
+	"repro/internal/tensor"
+)
+
+var printOnce sync.Map
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	if _, done := printOnce.LoadOrStore(id, true); !done {
+		tab, err := experiments.Run(id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fmt.Println(tab)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Run(id); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure (§4 + appendices). ---
+
+func BenchmarkTable2CommCost(b *testing.B)             { benchExperiment(b, "table2") }
+func BenchmarkTable3Complexity(b *testing.B)           { benchExperiment(b, "table3") }
+func BenchmarkFig6aGTTPrefillScaling(b *testing.B)     { benchExperiment(b, "fig6a") }
+func BenchmarkFig6bGTIPrefillScaling(b *testing.B)     { benchExperiment(b, "fig6b") }
+func BenchmarkFig7ScalingRatio(b *testing.B)           { benchExperiment(b, "fig7") }
+func BenchmarkFig8MillionToken(b *testing.B)           { benchExperiment(b, "fig8") }
+func BenchmarkAppendixAMFU(b *testing.B)               { benchExperiment(b, "mfu") }
+func BenchmarkTable4PartialPrefill(b *testing.B)       { benchExperiment(b, "table4") }
+func BenchmarkFig9CrossoverRatio(b *testing.B)         { benchExperiment(b, "fig9") }
+func BenchmarkTable5TimeBreakdown(b *testing.B)        { benchExperiment(b, "table5") }
+func BenchmarkTable6DecodeContextScaling(b *testing.B) { benchExperiment(b, "table6") }
+func BenchmarkTable7ParallelismScaling(b *testing.B)   { benchExperiment(b, "table7") }
+func BenchmarkTable8DecodeBreakdown(b *testing.B)      { benchExperiment(b, "table8") }
+func BenchmarkFig10HeuristicFit(b *testing.B)          { benchExperiment(b, "fig10") }
+
+// --- Ablation benches for the design choices DESIGN.md calls out. ---
+
+func BenchmarkAblationSharding(b *testing.B)    { benchExperiment(b, "ablation-sharding") }
+func BenchmarkAblationHeuristics(b *testing.B)  { benchExperiment(b, "ablation-heuristics") }
+func BenchmarkAblationGB200(b *testing.B)       { benchExperiment(b, "ablation-gb200") }
+func BenchmarkAblationDecodeOwner(b *testing.B) { benchExperiment(b, "ablation-decode-owner") }
+
+// --- Functional-layer verification experiments. ---
+
+func BenchmarkLosslessVerification(b *testing.B) { benchExperiment(b, "lossless") }
+func BenchmarkCommBytesAccounting(b *testing.B)  { benchExperiment(b, "commbytes") }
+func BenchmarkEndToEndTransformer(b *testing.B)  { benchExperiment(b, "e2e") }
+func BenchmarkDeploymentPlanning(b *testing.B)   { benchExperiment(b, "plan") }
+func BenchmarkRingTimeline(b *testing.B)         { benchExperiment(b, "timeline") }
+func BenchmarkAblationJitter(b *testing.B)       { benchExperiment(b, "ablation-jitter") }
+func BenchmarkOverlapCrossCheck(b *testing.B)    { benchExperiment(b, "xcheck-overlap") }
+func BenchmarkKVQuantization(b *testing.B)       { benchExperiment(b, "quant") }
+
+// --- Micro-benchmarks of the kernels and the simulated cluster. ---
+
+func BenchmarkGQAReference(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	q := tensor.RandN(rng, 64, 8, 16)
+	k := tensor.RandN(rng, 64, 2, 16)
+	v := tensor.RandN(rng, 64, 2, 16)
+	m := attention.FullCausal(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := attention.GQA(q, k, v, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBlockedAttention(b *testing.B) {
+	rng := rand.New(rand.NewSource(2))
+	q := tensor.RandN(rng, 64, 8, 16)
+	k := tensor.RandN(rng, 64, 2, 16)
+	v := tensor.RandN(rng, 64, 2, 16)
+	m := attention.FullCausal(64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := attention.Blocked(q, k, v, m, 16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMergeAttention(b *testing.B) {
+	rng := rand.New(rand.NewSource(3))
+	q := tensor.RandN(rng, 32, 8, 16)
+	k := tensor.RandN(rng, 64, 2, 16)
+	v := tensor.RandN(rng, 64, 2, 16)
+	m := attention.PartialCausal(32, 32)
+	half1, _ := attention.GQA(q, k.SliceTokens(0, 32), v.SliceTokens(0, 32),
+		attention.Mask{QPos: m.QPos, QSeq: m.QSeq, KVPos: m.KVPos[:32], KVSeq: m.KVSeq[:32]})
+	half2, _ := attention.GQA(q, k.SliceTokens(32, 64), v.SliceTokens(32, 64),
+		attention.Mask{QPos: m.QPos, QSeq: m.QSeq, KVPos: m.KVPos[32:], KVSeq: m.KVSeq[32:]})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		attention.Merge(half1, half2)
+	}
+}
+
+func benchRingPrefill(b *testing.B, variant func(*ring.PrefillInput) (*attention.Output, error)) {
+	b.Helper()
+	const n = 4
+	rng := rand.New(rand.NewSource(4))
+	lens := []int{48}
+	plan, err := sharding.NewBatchShard(lens, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fq := tensor.RandN(rng, 48, 8, 16)
+	fk := tensor.RandN(rng, 48, 2, 16)
+	fv := tensor.RandN(rng, 48, 2, 16)
+	w := comm.NewWorld(n)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		err := w.Run(func(r *comm.Rank) error {
+			_, err := variant(&ring.PrefillInput{
+				Rank: r, Plan: plan, P: []int{0},
+				Q: plan.Shard(fq, r.ID), K: plan.Shard(fk, r.ID), V: plan.Shard(fv, r.ID),
+				Elem: 2,
+			})
+			return err
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRingPassKVPrefillCP4(b *testing.B) { benchRingPrefill(b, ring.PassKVPrefill) }
+func BenchmarkRingPassQPrefillCP4(b *testing.B)  { benchRingPrefill(b, ring.PassQPrefill) }
+func BenchmarkAllGatherPrefillCP4(b *testing.B)  { benchRingPrefill(b, ring.AllGatherPrefill) }
+
+func BenchmarkEnginePrefillDecode(b *testing.B) {
+	m := repro.TinyModel()
+	rng := rand.New(rand.NewSource(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e, err := repro.NewEngine(repro.EngineConfig{Model: m, Ranks: 2})
+		if err != nil {
+			b.Fatal(err)
+		}
+		req := &repro.PrefillRequest{
+			SeqIDs: []int{0}, Lens: []int{24},
+			Q: tensor.RandN(rng, 24, m.NumHeads, m.HeadDim),
+			K: tensor.RandN(rng, 24, m.NumKV, m.HeadDim),
+			V: tensor.RandN(rng, 24, m.NumKV, m.HeadDim),
+		}
+		if _, err := e.Prefill(req); err != nil {
+			b.Fatal(err)
+		}
+		dreq := &repro.DecodeRequest{
+			SeqIDs: []int{0},
+			Q:      tensor.RandN(rng, 1, m.NumHeads, m.HeadDim),
+			K:      tensor.RandN(rng, 1, m.NumKV, m.HeadDim),
+			V:      tensor.RandN(rng, 1, m.NumKV, m.HeadDim),
+		}
+		if _, err := e.Decode(dreq); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPerfModelPrefill(b *testing.B) {
+	s := repro.System{Model: model.Llama3405B(), Plat: repro.GTT(), CPNodes: 8, TPNodes: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Prefill(128000, 0, repro.PassKV)
+	}
+}
+
+func BenchmarkLoadBalancedSharding(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := sharding.NewBatchShard([]int{4096, 1024, 2048}, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

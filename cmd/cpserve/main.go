@@ -1,0 +1,65 @@
+// Command cpserve runs the context-parallel inference server: a tiny
+// Llama-architecture transformer distributed across simulated CP ranks
+// behind an HTTP/JSON API, scheduled per the paper's §4.3 guidance
+// (prefill/decode-aware queueing).
+//
+// Usage:
+//
+//	cpserve -addr :8080 -ranks 4 -policy prefill-first
+//	curl -s localhost:8080/v1/generate -d '{"session":1,"prompt":[4,19,22,7],"max_tokens":8}'
+//	curl -s localhost:8080/v1/stats
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"repro/internal/perf"
+	"repro/internal/server"
+	"repro/internal/transformer"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	ranks := flag.Int("ranks", 2, "CP ranks")
+	seed := flag.Int64("seed", 1, "weight seed")
+	policyName := flag.String("policy", "prefill-first", "scheduler policy: fifo, prefill-first")
+	variantName := flag.String("variant", "pass-kv", "prefill ring variant: pass-kv, pass-q")
+	flag.Parse()
+
+	var policy server.Policy
+	switch *policyName {
+	case "fifo":
+		policy = server.FIFO
+	case "prefill-first":
+		policy = server.PrefillFirst
+	default:
+		fmt.Fprintf(os.Stderr, "cpserve: unknown policy %q\n", *policyName)
+		os.Exit(1)
+	}
+	variant := perf.PassKV
+	if *variantName == "pass-q" {
+		variant = perf.PassQ
+	}
+
+	srv, err := server.New(server.Config{
+		Transformer: transformer.Tiny(*seed),
+		Ranks:       *ranks,
+		Policy:      policy,
+		Variant:     variant,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+
+	log.Printf("cpserve: %d CP ranks, %s scheduling, %v prefill, listening on %s",
+		*ranks, policy, variant, *addr)
+	log.Printf(`try: curl -s localhost%s/v1/generate -d '{"session":1,"prompt":[4,19,22,7],"max_tokens":8}'`, *addr)
+	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -1,0 +1,201 @@
+package repro
+
+import (
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/heuristic"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/tensor"
+	"repro/internal/transformer"
+	"repro/internal/workload"
+)
+
+// ---------------------------------------------------------------------------
+// Functional engine (the paper's algorithms, runnable).
+// ---------------------------------------------------------------------------
+
+// Engine is a running context-parallel group with persistent multi-turn
+// state. Construct with NewEngine; drive with Prefill and Decode.
+type Engine = core.Engine
+
+// EngineConfig sizes an Engine.
+type EngineConfig = core.Config
+
+// Policy selects the ring variant for each prefill.
+type Policy = core.Policy
+
+// PrefillRequest is a fused batch of new tokens.
+type PrefillRequest = core.PrefillRequest
+
+// PrefillResult is the fused exact attention output plus the variant used.
+type PrefillResult = core.PrefillResult
+
+// DecodeRequest is one batched decode step (one token per sequence).
+type DecodeRequest = core.DecodeRequest
+
+// DecodeResult carries per-sequence decode outputs.
+type DecodeResult = core.DecodeResult
+
+// NewEngine builds a context-parallel engine.
+func NewEngine(cfg EngineConfig) (*Engine, error) { return core.New(cfg) }
+
+// Force returns a policy pinned to one ring variant.
+func Force(v Variant) Policy { return core.Force(v) }
+
+// PolicyFunc adapts a selector function into a Policy.
+func PolicyFunc(name string, fn func(T, P int) Variant) Policy { return core.PolicyFunc(name, fn) }
+
+// Tensor is the dense [tokens, heads, headDim] float32 tensor the engine
+// consumes and produces.
+type Tensor = tensor.Tensor
+
+// NewTensor allocates a zero tensor.
+func NewTensor(tokens, heads, dim int) *Tensor { return tensor.New(tokens, heads, dim) }
+
+// ---------------------------------------------------------------------------
+// Model configurations (Table 9 and friends).
+// ---------------------------------------------------------------------------
+
+// ModelConfig describes a dense GQA transformer.
+type ModelConfig = model.Config
+
+// Llama3405B returns the paper's evaluation model (Table 9).
+func Llama3405B() ModelConfig { return model.Llama3405B() }
+
+// Llama370B returns the 70B configuration.
+func Llama370B() ModelConfig { return model.Llama370B() }
+
+// Llama38B returns the 8B configuration.
+func Llama38B() ModelConfig { return model.Llama38B() }
+
+// TinyModel returns a small GQA config for functional runs and tests.
+func TinyModel() ModelConfig { return model.Tiny() }
+
+// ---------------------------------------------------------------------------
+// Performance model (the paper's evaluation numbers).
+// ---------------------------------------------------------------------------
+
+// Variant selects between ring pass-KV and ring pass-Q.
+type Variant = perf.Variant
+
+// PassKV and PassQ are the two lossless ring attention variants.
+const (
+	PassKV = perf.PassKV
+	PassQ  = perf.PassQ
+)
+
+// System is a modeled deployment: CP ranks of TP hosts on a platform.
+type System = perf.System
+
+// PrefillBreakdown decomposes a TTFT prediction.
+type PrefillBreakdown = perf.PrefillBreakdown
+
+// DecodeBreakdown decomposes a TTIT prediction.
+type DecodeBreakdown = perf.DecodeBreakdown
+
+// Platform describes a hardware fabric.
+type Platform = hw.Platform
+
+// GTT returns the Grand Teton Training platform (H100 + 400 Gb/s RDMA).
+func GTT() Platform { return hw.GTT() }
+
+// GTI returns the Grand Teton Inference platform (H100 + 100 Gb/s TCP).
+func GTI() Platform { return hw.GTI() }
+
+// ---------------------------------------------------------------------------
+// Heuristics (§3.4, Appendices C-D).
+// ---------------------------------------------------------------------------
+
+// HeuristicInputs carries the model shape and per-rank rates the analytical
+// heuristics need.
+type HeuristicInputs = heuristic.Inputs
+
+// NewHeuristicInputs derives heuristic inputs from a platform.
+func NewHeuristicInputs(m ModelConfig, p Platform, n int) HeuristicInputs {
+	return heuristic.NewInputs(m, p, n)
+}
+
+// Algorithm1 is the paper's partial-prefill variant selector.
+func Algorithm1(in HeuristicInputs, T, P int) Variant { return heuristic.Algorithm1(in, T, P) }
+
+// Algorithm5 is the All2All-aware refinement (Appendix C).
+func Algorithm5(in HeuristicInputs, T, P int) Variant { return heuristic.Algorithm5(in, T, P) }
+
+// Empirical is the fitted log-linear selector of Appendix D.
+type Empirical = heuristic.Empirical
+
+// PaperEmpirical returns the constants the paper reports.
+func PaperEmpirical() Empirical { return heuristic.PaperEmpirical() }
+
+// FitEmpirical fits selector constants to labeled workloads.
+func FitEmpirical(points []heuristic.LabeledPoint) (Empirical, error) {
+	return heuristic.FitEmpirical(points)
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end transformer (token ids in, logits out).
+// ---------------------------------------------------------------------------
+
+// TransformerConfig describes a Llama-architecture model for end-to-end
+// runs: embeddings, RMSNorm, RoPE, GQA, SwiGLU, output head.
+type TransformerConfig = transformer.Config
+
+// TransformerWeights holds deterministic model parameters shared by the
+// reference forward pass and the distributed cluster.
+type TransformerWeights = transformer.Weights
+
+// TransformerCluster executes the transformer across CP ranks with ring
+// attention on every layer.
+type TransformerCluster = transformer.Cluster
+
+// TinyTransformer returns a laptop-scale Llama-architecture configuration.
+func TinyTransformer(seed int64) TransformerConfig { return transformer.Tiny(seed) }
+
+// NewTransformer initializes deterministic weights.
+func NewTransformer(cfg TransformerConfig) (*TransformerWeights, error) {
+	return transformer.NewWeights(cfg)
+}
+
+// NewTransformerCluster builds an N-rank context-parallel execution.
+func NewTransformerCluster(w *TransformerWeights, ranks int) (*TransformerCluster, error) {
+	return transformer.NewCluster(w, ranks)
+}
+
+// Argmax returns the greedy token for a logits vector.
+func Argmax(logits []float32) int { return transformer.Argmax(logits) }
+
+// ---------------------------------------------------------------------------
+// Deployment planning.
+// ---------------------------------------------------------------------------
+
+// PlanRequest states serving constraints for PlanDeployment.
+type PlanRequest = perf.PlanRequest
+
+// Plan is a deployment recommendation.
+type Plan = perf.Plan
+
+// PlanDeployment returns the smallest CP group meeting the capacity and
+// TTFT constraints, with TTIT diagnostics (§4.3's prefill/decode tension).
+func PlanDeployment(req PlanRequest) (Plan, error) { return perf.PlanDeployment(req) }
+
+// ---------------------------------------------------------------------------
+// Workloads and experiments.
+// ---------------------------------------------------------------------------
+
+// Conversation is a multi-turn synthetic workload.
+type Conversation = workload.Conversation
+
+// NewWorkloadGenerator returns a deterministic workload generator.
+func NewWorkloadGenerator(seed int64) *workload.Generator { return workload.NewGenerator(seed) }
+
+// ExperimentTable is one regenerated paper table or figure.
+type ExperimentTable = experiments.Table
+
+// Experiments returns the ids of every reproducible table and figure.
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one table or figure by id (e.g. "table4",
+// "fig6a", "mfu").
+func RunExperiment(id string) (*ExperimentTable, error) { return experiments.Run(id) }

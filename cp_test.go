@@ -1,0 +1,124 @@
+package repro_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro"
+	"repro/internal/tensor"
+)
+
+// The public facade must carry the full workflow of the README quickstart.
+func TestFacadeQuickstartFlow(t *testing.T) {
+	m := repro.TinyModel()
+	engine, err := repro.NewEngine(repro.EngineConfig{
+		Model: m, Ranks: 3, Policy: repro.Force(repro.PassKV), TrackHistory: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	req := &repro.PrefillRequest{
+		SeqIDs: []int{0}, Lens: []int{12},
+		Q: tensor.RandN(rng, 12, m.NumHeads, m.HeadDim),
+		K: tensor.RandN(rng, 12, m.NumKV, m.HeadDim),
+		V: tensor.RandN(rng, 12, m.NumKV, m.HeadDim),
+	}
+	res, err := engine.Prefill(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := engine.Reference(0, req.Q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(res.Output, ref); d > 1e-4 {
+		t.Fatalf("facade prefill deviates by %v", d)
+	}
+}
+
+func TestFacadeHeuristics(t *testing.T) {
+	in := repro.NewHeuristicInputs(repro.Llama3405B(), repro.GTT(), 4)
+	if repro.Algorithm1(in, 128000, 0) != repro.PassKV {
+		t.Fatal("Algorithm1 full prefill should be pass-KV")
+	}
+	if repro.Algorithm5(in, 1280, 126720) != repro.PassQ {
+		t.Fatal("Algorithm5 at 1% miss should be pass-Q")
+	}
+	if repro.PaperEmpirical().Beta <= 0 {
+		t.Fatal("paper empirical constants wrong")
+	}
+}
+
+func TestFacadePerfSystem(t *testing.T) {
+	s := repro.System{Model: repro.Llama3405B(), Plat: repro.GTT(), CPNodes: 16, TPNodes: 1}
+	ttft := s.Prefill(1_000_000, 0, repro.PassKV).Total
+	if ttft < 60 || ttft > 90 {
+		t.Fatalf("1M TTFT = %v, want near the paper's 77 s", ttft)
+	}
+	plan, err := repro.PlanDeployment(repro.PlanRequest{
+		Model: repro.Llama3405B(), Plat: repro.GTT(), Context: 128000, TTFTTarget: 12,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.System.CPNodes != 4 {
+		t.Fatalf("plan chose CP%d for a 12 s target", plan.System.CPNodes)
+	}
+}
+
+func TestFacadeExperimentsRegistry(t *testing.T) {
+	ids := repro.Experiments()
+	if len(ids) < 20 {
+		t.Fatalf("only %d experiments registered", len(ids))
+	}
+	tab, err := repro.RunExperiment("mfu")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) == 0 {
+		t.Fatal("mfu experiment empty")
+	}
+	if _, err := repro.RunExperiment("not-an-experiment"); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestFacadeTransformerGeneration(t *testing.T) {
+	w, err := repro.NewTransformer(repro.TinyTransformer(55))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := repro.NewTransformerCluster(w, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompt := []int{8, 2, 33, 17}
+	got, err := c.Generate(0, prompt, 4, repro.PassKV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := w.GenerateReference(prompt, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("facade generation %v != reference %v", got, want)
+		}
+	}
+	if repro.Argmax([]float32{0.1, 3, -2}) != 1 {
+		t.Fatal("Argmax wrong")
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	gen := repro.NewWorkloadGenerator(9)
+	conv := gen.Chat(2, 3, 10, 20, 1, 4, 2)
+	if err := conv.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if conv.NumSeqs != 2 || len(conv.Turns) != 3 {
+		t.Fatalf("conversation shape: %+v", conv)
+	}
+}

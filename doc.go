@@ -1,0 +1,26 @@
+// Package repro is a from-scratch Go reproduction of "Context Parallelism
+// for Scalable Million-Token Inference" (Yang et al., MLSys 2025,
+// arXiv:2411.01783).
+//
+// The paper scales long-context LLM inference by sharding the sequence
+// dimension across hosts (context parallelism, CP) and adapting ring
+// attention for inference: a lossless ring pass-KV variant for full
+// prefill, a pass-Q variant for high-cache-hit partial prefill and decode,
+// load-balanced causal sharding, a persistent sharded KV cache for
+// multi-turn chat, and heuristics that pick the variant from the KV-cache
+// miss rate.
+//
+// This package is the public facade over two coupled layers:
+//
+//   - A functional layer (Engine) that actually runs every algorithm on a
+//     simulated multi-rank cluster — goroutine ranks, channel collectives,
+//     exact float32 attention — and whose outputs are verified against
+//     single-device reference attention.
+//   - A performance layer (System) that reproduces the paper's evaluation
+//     numbers through a calibrated analytical model of H100 hosts on RDMA
+//     (GTT) and TCP (GTI) fabrics.
+//
+// The Experiments function regenerates every table and figure of the
+// paper's evaluation; the examples/ directory shows the API on realistic
+// scenarios; EXPERIMENTS.md records paper-versus-model residuals.
+package repro

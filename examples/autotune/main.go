@@ -1,0 +1,109 @@
+// Autotune: the Appendix D methodology end to end — label a grid of
+// (new tokens, cache miss rate) workloads with the performance-model oracle,
+// fit the log-linear empirical selector h(T,P) = α·ln T + β·ln(T/(T+P)) + γ,
+// and compare it against Algorithm 1, Algorithm 5 and the paper's published
+// constants. Prints the Figure 10 style decision boundary.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/heuristic"
+	"repro/internal/perf"
+)
+
+func main() {
+	sys := repro.System{Model: repro.Llama3405B(), Plat: repro.GTT(), CPNodes: 4, TPNodes: 1}
+	gen := repro.NewWorkloadGenerator(13)
+
+	// Label a log-spaced grid with the oracle (which variant the perf model
+	// predicts to be faster).
+	pts := gen.LogGrid(256, 262144, 0.002, 1.0, 16, 12)
+	grid := make([]heuristic.LabeledPoint, 0, len(pts))
+	for _, p := range pts {
+		best, _, _ := sys.PrefillBest(p.T, p.P)
+		grid = append(grid, heuristic.LabeledPoint{T: p.T, P: p.P, Best: best})
+	}
+	fit, err := repro.FitEmpirical(grid)
+	if err != nil {
+		log.Fatal(err)
+	}
+	paper := repro.PaperEmpirical()
+
+	fmt.Println("empirical selector fit (Appendix D)")
+	fmt.Printf("  fitted: alpha=%.3f beta=%.3f gamma=%.3f\n", fit.Alpha, fit.Beta, fit.Gamma)
+	fmt.Printf("  paper:  alpha=%.3f beta=%.3f gamma=%.3f\n", paper.Alpha, paper.Beta, paper.Gamma)
+	fmt.Println("  (beta > 0 in both: higher miss rate pushes toward pass-KV)")
+
+	in := repro.NewHeuristicInputs(repro.Llama3405B(), repro.GTT(), 4)
+	selectors := []struct {
+		name string
+		sel  heuristic.Selector
+	}{
+		{"Algorithm 1", func(T, P int) repro.Variant { return repro.Algorithm1(in, T, P) }},
+		{"Algorithm 5", func(T, P int) repro.Variant { return repro.Algorithm5(in, T, P) }},
+		{"fitted empirical", fit.Choose},
+		{"always pass-KV", func(int, int) repro.Variant { return repro.PassKV }},
+		{"always pass-Q", func(int, int) repro.Variant { return repro.PassQ }},
+	}
+	fmt.Println()
+	fmt.Println("selector          | accuracy | mean regret | worst regret")
+	fmt.Println("------------------+----------+-------------+-------------")
+	for _, s := range selectors {
+		ev := heuristic.Evaluate(sys, s.sel, grid)
+		fmt.Printf("%-17s | %7.1f%% | %10.2f%% | %11.2f%%\n",
+			s.name, ev.Accuracy()*100, ev.MeanRegret*100, ev.WorstRegret*100)
+	}
+
+	// Decision boundary: for each T, the miss rate where the fitted model
+	// flips from pass-Q to pass-KV (Figure 10's separating line).
+	fmt.Println()
+	fmt.Println("fitted decision boundary (miss-rate threshold per T):")
+	for _, T := range []int{512, 2048, 8192, 32768, 131072} {
+		thr := fit.MissRateThreshold(T)
+		verdictAbove, _, _ := sys.PrefillBest(T, int(float64(T)/clamp(thr*1.5))-T)
+		_ = verdictAbove
+		fmt.Printf("  T=%-7d -> switch to pass-KV above %.2f%% miss rate\n", T, clampPct(thr))
+	}
+
+	// Sanity: the three decision procedures agree on the extremes.
+	fmt.Println()
+	for _, c := range []struct {
+		name string
+		T, P int
+	}{
+		{"full 128K prefill", 128000, 0},
+		{"1% miss follow-up", 1280, 126720},
+	} {
+		fmt.Printf("%-18s alg1=%v alg5=%v fitted=%v oracle=%v\n", c.name,
+			repro.Algorithm1(in, c.T, c.P), repro.Algorithm5(in, c.T, c.P),
+			fit.Choose(c.T, c.P), oracle(sys, c.T, c.P))
+	}
+}
+
+func oracle(sys repro.System, T, P int) repro.Variant {
+	v, _, _ := sys.PrefillBest(T, P)
+	return v
+}
+
+func clamp(x float64) float64 {
+	if x < 1e-6 {
+		return 1e-6
+	}
+	return x
+}
+
+func clampPct(x float64) float64 {
+	x *= 100
+	if x > 100 {
+		return 100
+	}
+	if x < 0 {
+		return 0
+	}
+	return x
+}
+
+var _ = perf.PassKV // keep explicit dependency for documentation purposes

@@ -1,0 +1,67 @@
+// Milliontoken: reproduce the paper's headline result with the calibrated
+// performance model — a 1M-token Llama3 405B prefill across 128 H100 GPUs
+// (16 CP nodes) in ~77 s at ~93% parallelization efficiency — and show how
+// TTFT and KV capacity scale from 1 to 16 nodes.
+package main
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+func main() {
+	m := repro.Llama3405B()
+	plat := repro.GTT()
+
+	fmt.Println("Llama3 405B full prefill on Grand Teton Training (H100, RDMA 400 Gb/s)")
+	fmt.Println()
+	fmt.Println("nodes | GPUs | 128K TTFT (s) | 1M TTFT (s) | KV capacity (tokens) | fits 1M?")
+	fmt.Println("------+------+---------------+-------------+----------------------+---------")
+	for _, n := range []int{1, 2, 4, 8, 16} {
+		s := repro.System{Model: m, Plat: plat, CPNodes: n, TPNodes: 1}
+		cap := s.KVCapacityTokens()
+		oneM := "-"
+		fits := "no"
+		if cap >= 1_000_000 {
+			oneM = fmt.Sprintf("%.1f", s.Prefill(1_000_000, 0, repro.PassKV).Total)
+			fits = "yes"
+		}
+		fmt.Printf("%5d | %4d | %13.2f | %11s | %20.0f | %s\n",
+			n, 8*n, s.Prefill(128_000, 0, repro.PassKV).Total, oneM, cap, fits)
+	}
+
+	cp16 := repro.System{Model: m, Plat: plat, CPNodes: 16, TPNodes: 1}
+	perGPU, util := cp16.MFU(1_000_000, repro.PassKV)
+	fmt.Println()
+	fmt.Printf("CP16 at 1M context: %.1f s TTFT (paper: 77 s)\n",
+		cp16.Prefill(1_000_000, 0, repro.PassKV).Total)
+	fmt.Printf("achieved %.0f TF/s per H100 (paper: 502), %.0f%% of BF16 peak (paper: ~63%%)\n",
+		perGPU/1e12, util*100)
+	fmt.Printf("parallelization efficiency vs standalone attention kernel: %.0f%% (paper: 93%%)\n",
+		cp16.ParallelEfficiency(1_000_000, repro.PassKV)*100)
+
+	// The quadratic-attention regime: TTFT more than doubles per context
+	// doubling beyond 512K (Figure 8's note).
+	fmt.Println()
+	fmt.Println("context scaling on CP16 (Figure 8):")
+	prev := 0.0
+	for _, ctx := range []int{128_000, 256_000, 512_000, 1_000_000} {
+		ttft := cp16.Prefill(ctx, 0, repro.PassKV).Total
+		growth := ""
+		if prev > 0 {
+			growth = fmt.Sprintf("  (%.2fx over previous)", ttft/prev)
+		}
+		fmt.Printf("  %8d tokens: %6.2f s%s\n", ctx, ttft, growth)
+		prev = ttft
+	}
+
+	// TCP fabric: the paper's robustness claim — pass-KV still overlaps.
+	gti := repro.System{Model: m, Plat: repro.GTI(), CPNodes: 4, TPNodes: 1}
+	gtt := repro.System{Model: m, Plat: plat, CPNodes: 4, TPNodes: 1}
+	fmt.Println()
+	fmt.Printf("fabric robustness at 128K, CP4: GTT %.2f s vs GTI (TCP) %.2f s\n",
+		gtt.Prefill(128_000, 0, repro.PassKV).Total,
+		gti.Prefill(128_000, 0, repro.PassKV).Total)
+	fmt.Println("(the ~3 GB/s achieved TCP bandwidth still hides ring pass-KV under attention)")
+}

@@ -1,0 +1,74 @@
+// Quickstart: build a 4-rank context-parallel engine, run a full prefill
+// and a few decode steps, and verify the distributed outputs against
+// single-device reference attention — the paper's losslessness claim in
+// twenty lines of API.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro"
+	"repro/internal/tensor"
+)
+
+func main() {
+	m := repro.TinyModel() // NH=8, NKV=2 — a GQA shape like Llama's, scaled down
+	engine, err := repro.NewEngine(repro.EngineConfig{
+		Model:        m,
+		Ranks:        4,
+		Policy:       repro.Force(repro.PassKV),
+		TrackHistory: true, // keep the oracle so we can prove losslessness
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A 48-token prompt for one sequence: the caller supplies projected
+	// Q/K/V (the engine operates at the attention-layer level).
+	rng := rand.New(rand.NewSource(42))
+	const T = 48
+	req := &repro.PrefillRequest{
+		SeqIDs: []int{0},
+		Lens:   []int{T},
+		Q:      tensor.RandN(rng, T, m.NumHeads, m.HeadDim),
+		K:      tensor.RandN(rng, T, m.NumKV, m.HeadDim),
+		V:      tensor.RandN(rng, T, m.NumKV, m.HeadDim),
+	}
+	res, err := engine.Prefill(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ref, err := engine.Reference(0, req.Q, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("prefill: %d tokens with %v across %d ranks\n", T, res.Variant, engine.Ranks())
+	fmt.Printf("max |distributed - reference| = %.3g\n", tensor.MaxAbsDiff(res.Output, ref))
+
+	// Decode five tokens; each step rotates ownership so KV growth stays
+	// balanced across ranks.
+	for step := 0; step < 5; step++ {
+		dreq := &repro.DecodeRequest{
+			SeqIDs: []int{0},
+			Q:      tensor.RandN(rng, 1, m.NumHeads, m.HeadDim),
+			K:      tensor.RandN(rng, 1, m.NumKV, m.HeadDim),
+			V:      tensor.RandN(rng, 1, m.NumKV, m.HeadDim),
+		}
+		prev := engine.SeqLen(0)
+		dres, err := engine.Decode(dreq)
+		if err != nil {
+			log.Fatal(err)
+		}
+		dref, err := engine.Reference(0, dreq.Q, prev)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("decode step %d: ctx=%d, max |Δ| = %.3g\n",
+			step+1, engine.SeqLen(0), tensor.MaxAbsDiff(dres.Output, dref))
+	}
+	fmt.Printf("\nper-rank KV tokens after decode: %v (round-robin keeps growth balanced)\n",
+		engine.RankCacheTokens())
+	fmt.Printf("communication: %.0f bytes over the simulated fabric\n", engine.CommStats().TotalBytes())
+}

@@ -1,0 +1,87 @@
+// Textgen: end-to-end distributed inference — a complete Llama-architecture
+// transformer (embeddings, RMSNorm, RoPE, GQA, SwiGLU, output head) running
+// across context-parallel ranks with ring attention on every layer. The
+// cluster greedily generates tokens and the run asserts that the generated
+// stream is identical to the single-device reference, turn after turn —
+// the whole-system form of the paper's losslessness claim.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	cfg := repro.TinyTransformer(2024)
+	weights, err := repro.NewTransformer(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	prompt := []int{12, 47, 3, 61, 30, 8, 25}
+	const steps = 8
+
+	// Single-device oracle.
+	refTokens, err := weights.GenerateReference(prompt, steps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("model: %d layers, D=%d, NH=%d, NKV=%d, vocab=%d\n",
+		cfg.Model.Layers, cfg.Model.ModelDim, cfg.Model.NumHeads, cfg.Model.NumKV, cfg.Model.VocabSize)
+	fmt.Printf("prompt: %v\n", prompt)
+	fmt.Printf("reference generation: %v\n\n", refTokens)
+
+	for _, ranks := range []int{1, 2, 4} {
+		cluster, err := repro.NewTransformerCluster(weights, ranks)
+		if err != nil {
+			log.Fatal(err)
+		}
+		got, err := cluster.Generate(0, prompt, steps, repro.PassKV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		match := "identical"
+		for i := range refTokens {
+			if got[i] != refTokens[i] {
+				match = fmt.Sprintf("DIVERGED at step %d", i)
+				break
+			}
+		}
+		fmt.Printf("CP%-2d generation: %v  (%s; ring bytes %.0f; per-rank KV %v)\n",
+			ranks, got, match, cluster.CommStats().TotalBytes(), cluster.RankCacheTokens())
+	}
+
+	// Multi-turn: a follow-up prompt attends to everything generated so far
+	// through the persistent per-layer KV caches.
+	fmt.Println("\nmulti-turn follow-up on CP2:")
+	cluster, err := repro.NewTransformerCluster(weights, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := cluster.Generate(0, prompt, steps, repro.PassKV); err != nil {
+		log.Fatal(err)
+	}
+	followUp := []int{5, 19, 42}
+	logits, err := cluster.Prefill(0, followUp, repro.PassQ) // high hit rate -> pass-Q
+	if err != nil {
+		log.Fatal(err)
+	}
+	next := repro.Argmax(logits[len(logits)-1])
+
+	// Oracle: full history (prompt + generated-1... Generate appends steps
+	// tokens but the last one was never fed back; rebuild the exact fed
+	// history from the cluster's view).
+	history := append(append([]int{}, prompt...), refTokens[:steps-1]...)
+	history = append(history, followUp...)
+	refLogits, err := weights.Forward(history)
+	if err != nil {
+		log.Fatal(err)
+	}
+	refNext := repro.Argmax(refLogits[len(history)-1])
+	fmt.Printf("follow-up %v -> next token %d (reference %d)\n", followUp, next, refNext)
+	if next != refNext {
+		log.Fatal("multi-turn follow-up diverged from reference")
+	}
+	fmt.Println("multi-turn persistent KV verified end to end.")
+}

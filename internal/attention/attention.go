@@ -1,0 +1,346 @@
+// Package attention implements exact grouped-query attention (GQA) together
+// with the log-sum-exp bookkeeping that makes ring attention lossless.
+//
+// Three kernels are provided:
+//
+//   - GQA: a direct reference kernel over arbitrary position/sequence masks.
+//   - Blocked: a flash-style streaming kernel that visits KV in blocks while
+//     maintaining an online softmax (Milakov & Gimelshein), used both as a
+//     second witness for correctness and as the shape of the per-step
+//     computation inside the ring loop.
+//   - Merge: the merge-attention operator (Appendix B, Equation 4) that
+//     combines partial attention outputs computed against disjoint KV chunks
+//     into the exact attention over the full KV.
+//
+// All kernels carry per-(query, head) log-sum-exp (LSE) values so partial
+// results can be merged exactly. Masking is expressed through global token
+// positions and sequence ids, which is what the load-balanced sharding of
+// the paper produces: after sharding, a rank's queries and KV entries are
+// non-contiguous slices of the original sequences, so causality must be
+// evaluated on original positions rather than local indices.
+package attention
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// NegInf is the LSE value of a query row that attended to zero keys. Merge
+// treats such partials as exact zero weight.
+var NegInf = math.Inf(-1)
+
+// Mask describes which KV entries each query may attend to. A query i may
+// attend to KV j iff QSeq[i] == KVSeq[j] and KVPos[j] <= QPos[i] and
+// KVPos[j] >= 0. Negative KV positions mark padding rows that nothing may
+// attend to (the ring algorithms pad per-rank KV to equalize message sizes).
+type Mask struct {
+	QPos  []int // global position of each query token within its sequence
+	QSeq  []int // sequence id of each query token
+	KVPos []int // global position of each KV token; negative = padding
+	KVSeq []int // sequence id of each KV token
+}
+
+// FullCausal returns the mask of a standard single-sequence full prefill:
+// T queries at positions 0..T-1 attending causally to T keys.
+func FullCausal(T int) Mask {
+	return PartialCausal(T, 0)
+}
+
+// PartialCausal returns the mask of a single-sequence partial prefill: T new
+// queries at positions P..P+T-1 attending to P cached plus T new keys at
+// positions 0..P+T-1.
+func PartialCausal(T, P int) Mask {
+	m := Mask{
+		QPos:  make([]int, T),
+		QSeq:  make([]int, T),
+		KVPos: make([]int, P+T),
+		KVSeq: make([]int, P+T),
+	}
+	for i := 0; i < T; i++ {
+		m.QPos[i] = P + i
+	}
+	for j := 0; j < P+T; j++ {
+		m.KVPos[j] = j
+	}
+	return m
+}
+
+// Decode returns the mask of a single decode step: one query at position
+// ctxLen-1 attending to ctxLen keys (the cache including the new token).
+func Decode(ctxLen int) Mask {
+	return PartialCausal(1, ctxLen-1)
+}
+
+// Validate checks that the mask is consistent with the given tensor lengths.
+func (m Mask) Validate(qTokens, kvTokens int) error {
+	if len(m.QPos) != qTokens || len(m.QSeq) != qTokens {
+		return fmt.Errorf("attention: mask has %d/%d query entries, want %d", len(m.QPos), len(m.QSeq), qTokens)
+	}
+	if len(m.KVPos) != kvTokens || len(m.KVSeq) != kvTokens {
+		return fmt.Errorf("attention: mask has %d/%d kv entries, want %d", len(m.KVPos), len(m.KVSeq), kvTokens)
+	}
+	return nil
+}
+
+// Output is a partial or complete attention result: the output embeddings
+// plus the per-(query, head) log-sum-exp needed to merge partials exactly.
+type Output struct {
+	O   *tensor.Tensor // [T, NH, DH]
+	LSE []float64      // len T*NH, index t*NH+h; NegInf where nothing attended
+}
+
+// NewOutput allocates a zero output with NegInf LSEs (the identity element
+// of Merge).
+func NewOutput(tokens, heads, dim int) *Output {
+	lse := make([]float64, tokens*heads)
+	for i := range lse {
+		lse[i] = NegInf
+	}
+	return &Output{O: tensor.New(tokens, heads, dim), LSE: lse}
+}
+
+// LSEAt returns the log-sum-exp for query token t, head h.
+func (o *Output) LSEAt(t, h int) float64 { return o.LSE[t*o.O.Heads+h] }
+
+// Clone returns a deep copy of the output.
+func (o *Output) Clone() *Output {
+	lse := make([]float64, len(o.LSE))
+	copy(lse, o.LSE)
+	return &Output{O: o.O.Clone(), LSE: lse}
+}
+
+// GQA computes exact grouped-query attention of q against (k, v) under the
+// mask. q has NH heads; k and v have NKV heads with NH divisible by NKV.
+// Scores are scaled by 1/sqrt(DH). Accumulation is float64 so the reference
+// is a trustworthy oracle for the distributed implementations.
+func GQA(q, k, v *tensor.Tensor, m Mask) (*Output, error) {
+	if err := m.Validate(q.Tokens, k.Tokens); err != nil {
+		return nil, err
+	}
+	if k.Tokens != v.Tokens || k.Heads != v.Heads || k.Dim != v.Dim {
+		return nil, fmt.Errorf("attention: k %s and v %s differ", k.ShapeString(), v.ShapeString())
+	}
+	if q.Dim != k.Dim {
+		return nil, fmt.Errorf("attention: head dim mismatch q=%d kv=%d", q.Dim, k.Dim)
+	}
+	if k.Heads == 0 || q.Heads%k.Heads != 0 {
+		return nil, fmt.Errorf("attention: NH=%d not divisible by NKV=%d", q.Heads, k.Heads)
+	}
+	group := q.Heads / k.Heads
+	scale := 1 / math.Sqrt(float64(q.Dim))
+	out := NewOutput(q.Tokens, q.Heads, q.Dim)
+
+	scores := make([]float64, k.Tokens)
+	allowed := make([]int, 0, k.Tokens)
+	acc := make([]float64, q.Dim)
+	for t := 0; t < q.Tokens; t++ {
+		for h := 0; h < q.Heads; h++ {
+			kvh := h / group
+			qRow := q.Row(t, h)
+			allowed = allowed[:0]
+			maxScore := NegInf
+			for j := 0; j < k.Tokens; j++ {
+				if m.KVPos[j] < 0 || m.KVSeq[j] != m.QSeq[t] || m.KVPos[j] > m.QPos[t] {
+					continue
+				}
+				s := float64(tensor.Dot(qRow, k.Row(j, kvh))) * scale
+				scores[j] = s
+				allowed = append(allowed, j)
+				if s > maxScore {
+					maxScore = s
+				}
+			}
+			if len(allowed) == 0 {
+				continue // LSE stays NegInf, output row stays zero
+			}
+			var denom float64
+			for i := range acc {
+				acc[i] = 0
+			}
+			for _, j := range allowed {
+				w := math.Exp(scores[j] - maxScore)
+				denom += w
+				vRow := v.Row(j, kvh)
+				for d := 0; d < q.Dim; d++ {
+					acc[d] += w * float64(vRow[d])
+				}
+			}
+			oRow := out.O.Row(t, h)
+			for d := 0; d < q.Dim; d++ {
+				oRow[d] = float32(acc[d] / denom)
+			}
+			out.LSE[t*q.Heads+h] = maxScore + math.Log(denom)
+		}
+	}
+	return out, nil
+}
+
+// Blocked computes the same result as GQA by streaming KV in blocks of
+// blockSize tokens with an online softmax, the computation pattern of
+// FlashAttention and of each ring iteration. blockSize must be positive.
+func Blocked(q, k, v *tensor.Tensor, m Mask, blockSize int) (*Output, error) {
+	if blockSize <= 0 {
+		return nil, fmt.Errorf("attention: blockSize %d must be positive", blockSize)
+	}
+	if err := m.Validate(q.Tokens, k.Tokens); err != nil {
+		return nil, err
+	}
+	out := NewOutput(q.Tokens, q.Heads, q.Dim)
+	for lo := 0; lo < k.Tokens; lo += blockSize {
+		hi := lo + blockSize
+		if hi > k.Tokens {
+			hi = k.Tokens
+		}
+		sub := Mask{
+			QPos:  m.QPos,
+			QSeq:  m.QSeq,
+			KVPos: m.KVPos[lo:hi],
+			KVSeq: m.KVSeq[lo:hi],
+		}
+		partial, err := GQA(q, k.SliceTokens(lo, hi), v.SliceTokens(lo, hi), sub)
+		if err != nil {
+			return nil, err
+		}
+		AccumulateInto(out, partial)
+	}
+	if k.Tokens == 0 {
+		// No blocks were visited; out is already the zero/NegInf identity.
+		return out, nil
+	}
+	return out, nil
+}
+
+// Merge combines partial attention outputs computed against disjoint KV
+// chunks for the same queries, per Equation 4:
+//
+//	O = Σ_s O_s · exp(LSE_s − LSE_max) / Σ_s exp(LSE_s − LSE_max)
+//
+// and the merged LSE is LSE_max + log Σ_s exp(LSE_s − LSE_max), making the
+// operation associative: merging merges is merging everything.
+func Merge(partials ...*Output) *Output {
+	if len(partials) == 0 {
+		panic("attention: Merge of zero partials")
+	}
+	first := partials[0]
+	tokens, heads, dim := first.O.Tokens, first.O.Heads, first.O.Dim
+	for _, p := range partials[1:] {
+		if p.O.Tokens != tokens || p.O.Heads != heads || p.O.Dim != dim {
+			panic(fmt.Sprintf("attention: merge shape mismatch %s vs %s",
+				p.O.ShapeString(), first.O.ShapeString()))
+		}
+	}
+	out := NewOutput(tokens, heads, dim)
+	acc := make([]float64, dim)
+	for t := 0; t < tokens; t++ {
+		for h := 0; h < heads; h++ {
+			idx := t*heads + h
+			maxLSE := NegInf
+			for _, p := range partials {
+				if p.LSE[idx] > maxLSE {
+					maxLSE = p.LSE[idx]
+				}
+			}
+			if math.IsInf(maxLSE, -1) {
+				continue // nothing attended anywhere; identity row
+			}
+			var denom float64
+			for i := range acc {
+				acc[i] = 0
+			}
+			for _, p := range partials {
+				if math.IsInf(p.LSE[idx], -1) {
+					continue
+				}
+				w := math.Exp(p.LSE[idx] - maxLSE)
+				denom += w
+				row := p.O.Row(t, h)
+				for d := 0; d < dim; d++ {
+					acc[d] += w * float64(row[d])
+				}
+			}
+			row := out.O.Row(t, h)
+			for d := 0; d < dim; d++ {
+				row[d] = float32(acc[d] / denom)
+			}
+			out.LSE[idx] = maxLSE + math.Log(denom)
+		}
+	}
+	return out
+}
+
+// AccumulateInto merges partial into dst in place. It is the streaming form
+// of Merge used by the ring loop, where partial results arrive one KV chunk
+// at a time and keeping all N partials alive would waste memory.
+func AccumulateInto(dst, partial *Output) {
+	if dst.O.Tokens != partial.O.Tokens || dst.O.Heads != partial.O.Heads || dst.O.Dim != partial.O.Dim {
+		panic(fmt.Sprintf("attention: accumulate shape mismatch %s vs %s",
+			dst.O.ShapeString(), partial.O.ShapeString()))
+	}
+	heads, dim := dst.O.Heads, dst.O.Dim
+	for t := 0; t < dst.O.Tokens; t++ {
+		for h := 0; h < heads; h++ {
+			idx := t*heads + h
+			a, b := dst.LSE[idx], partial.LSE[idx]
+			if math.IsInf(b, -1) {
+				continue
+			}
+			if math.IsInf(a, -1) {
+				copy(dst.O.Row(t, h), partial.O.Row(t, h))
+				dst.LSE[idx] = b
+				continue
+			}
+			m := a
+			if b > m {
+				m = b
+			}
+			wa := math.Exp(a - m)
+			wb := math.Exp(b - m)
+			denom := wa + wb
+			dRow := dst.O.Row(t, h)
+			pRow := partial.O.Row(t, h)
+			for d := 0; d < dim; d++ {
+				dRow[d] = float32((wa*float64(dRow[d]) + wb*float64(pRow[d])) / denom)
+			}
+			dst.LSE[idx] = m + math.Log(denom)
+		}
+	}
+}
+
+// GatherTokens reorders (or selects) query rows of an output. It is used by
+// the pass-Q algorithms to permute partial outputs back into source-rank
+// order before the All2All.
+func (o *Output) GatherTokens(rows []int) *Output {
+	heads := o.O.Heads
+	out := &Output{O: o.O.Gather(rows), LSE: make([]float64, len(rows)*heads)}
+	for i, r := range rows {
+		copy(out.LSE[i*heads:(i+1)*heads], o.LSE[r*heads:(r+1)*heads])
+	}
+	return out
+}
+
+// ConcatOutputs concatenates outputs along the token dimension.
+func ConcatOutputs(parts ...*Output) *Output {
+	tensors := make([]*tensor.Tensor, 0, len(parts))
+	total := 0
+	heads := 0
+	for _, p := range parts {
+		if p == nil || p.O.Tokens == 0 {
+			continue
+		}
+		tensors = append(tensors, p.O)
+		total += p.O.Tokens
+		heads = p.O.Heads
+	}
+	out := &Output{O: tensor.Concat(tensors...), LSE: make([]float64, total*heads)}
+	off := 0
+	for _, p := range parts {
+		if p == nil || p.O.Tokens == 0 {
+			continue
+		}
+		copy(out.LSE[off:], p.LSE)
+		off += len(p.LSE)
+	}
+	return out
+}

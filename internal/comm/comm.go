@@ -1,0 +1,379 @@
+// Package comm provides the simulated collective-communication substrate the
+// ring-attention algorithms run on. A World is a group of N CP ranks, each
+// executed as its own goroutine, connected by per-(src,dst) FIFO mailboxes.
+// The primitives mirror the NCCL surface the paper uses — point-to-point
+// SendRecv for the ring loop, All2All for restoring pass-Q partial outputs,
+// AllGather for the all-gather pass-KV baseline, and AllReduce for the
+// tensor-parallel comparison — while recording per-collective message and
+// byte counts so tests can check the paper's communication-cost claims
+// (Table 2) against actually-transferred bytes.
+//
+// The transport is in-memory and reliable by default. Links can be failed
+// explicitly to exercise error paths, and all receives carry a timeout so a
+// bug that would deadlock a real cluster fails the test quickly instead.
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Kind labels a collective family for accounting.
+type Kind string
+
+const (
+	KindSendRecv  Kind = "sendrecv"
+	KindAll2All   Kind = "all2all"
+	KindAllGather Kind = "allgather"
+	KindAllReduce Kind = "allreduce"
+	KindBroadcast Kind = "broadcast"
+)
+
+// DefaultRecvTimeout bounds how long a rank waits for a message before
+// reporting a communication error. Functional tests are fast; a second of
+// silence means a peer died or the algorithm deadlocked.
+const DefaultRecvTimeout = 10 * time.Second
+
+type envelope struct {
+	src     int
+	payload any
+}
+
+// Stats aggregates traffic counters for one rank.
+type Stats struct {
+	Messages map[Kind]int64
+	Bytes    map[Kind]float64
+}
+
+func newStats() *Stats {
+	return &Stats{Messages: make(map[Kind]int64), Bytes: make(map[Kind]float64)}
+}
+
+// TotalBytes sums bytes across all collective kinds.
+func (s Stats) TotalBytes() float64 {
+	var t float64
+	for _, b := range s.Bytes {
+		t += b
+	}
+	return t
+}
+
+// TotalMessages sums message counts across all collective kinds.
+func (s Stats) TotalMessages() int64 {
+	var t int64
+	for _, m := range s.Messages {
+		t += m
+	}
+	return t
+}
+
+// World is a simulated process group of N ranks.
+type World struct {
+	N           int
+	RecvTimeout time.Duration
+
+	mu     sync.Mutex
+	boxes  [][]chan envelope // boxes[dst][src]
+	stats  []*Stats          // per sending rank
+	failed map[[2]int]bool   // directed failed links
+}
+
+// NewWorld creates a process group with n ranks.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("comm: non-positive world size %d", n))
+	}
+	w := &World{N: n, RecvTimeout: DefaultRecvTimeout, failed: make(map[[2]int]bool)}
+	w.boxes = make([][]chan envelope, n)
+	w.stats = make([]*Stats, n)
+	for d := 0; d < n; d++ {
+		w.boxes[d] = make([]chan envelope, n)
+		for s := 0; s < n; s++ {
+			// Capacity n+1 lets every rank complete an All2All send phase
+			// before any rank starts receiving, avoiding deadlock without
+			// extra goroutines.
+			w.boxes[d][s] = make(chan envelope, n+1)
+		}
+		w.stats[d] = newStats()
+	}
+	return w
+}
+
+// FailLink marks the directed link src->dst as failed; subsequent sends on
+// it return an error.
+func (w *World) FailLink(src, dst int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.failed[[2]int{src, dst}] = true
+}
+
+// HealLink restores a previously failed link.
+func (w *World) HealLink(src, dst int) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	delete(w.failed, [2]int{src, dst})
+}
+
+func (w *World) linkFailed(src, dst int) bool {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.failed[[2]int{src, dst}]
+}
+
+func (w *World) account(src int, kind Kind, bytes float64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.stats[src].Messages[kind]++
+	w.stats[src].Bytes[kind] += bytes
+}
+
+// RankStats returns a snapshot of rank r's send-side traffic counters.
+func (w *World) RankStats(r int) Stats {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	out := Stats{Messages: make(map[Kind]int64), Bytes: make(map[Kind]float64)}
+	for k, v := range w.stats[r].Messages {
+		out.Messages[k] = v
+	}
+	for k, v := range w.stats[r].Bytes {
+		out.Bytes[k] = v
+	}
+	return out
+}
+
+// TotalStats returns traffic summed over all ranks.
+func (w *World) TotalStats() Stats {
+	out := Stats{Messages: make(map[Kind]int64), Bytes: make(map[Kind]float64)}
+	for r := 0; r < w.N; r++ {
+		s := w.RankStats(r)
+		for k, v := range s.Messages {
+			out.Messages[k] += v
+		}
+		for k, v := range s.Bytes {
+			out.Bytes[k] += v
+		}
+	}
+	return out
+}
+
+// ResetStats zeroes all traffic counters.
+func (w *World) ResetStats() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for r := range w.stats {
+		w.stats[r] = newStats()
+	}
+}
+
+// Rank is one participant's handle into the world. Methods on Rank are
+// called from that rank's goroutine only.
+type Rank struct {
+	w  *World
+	ID int
+}
+
+// Rank returns the handle for rank id.
+func (w *World) Rank(id int) *Rank {
+	if id < 0 || id >= w.N {
+		panic(fmt.Sprintf("comm: rank %d out of range [0,%d)", id, w.N))
+	}
+	return &Rank{w: w, ID: id}
+}
+
+// N returns the world size.
+func (r *Rank) N() int { return r.w.N }
+
+func (r *Rank) send(dst int, kind Kind, msg any, bytes float64) error {
+	if dst < 0 || dst >= r.w.N {
+		return fmt.Errorf("comm: rank %d sending to invalid rank %d", r.ID, dst)
+	}
+	if r.w.linkFailed(r.ID, dst) {
+		return fmt.Errorf("comm: link %d->%d failed", r.ID, dst)
+	}
+	r.w.account(r.ID, kind, bytes)
+	select {
+	case r.w.boxes[dst][r.ID] <- envelope{src: r.ID, payload: msg}:
+		return nil
+	case <-time.After(r.w.RecvTimeout):
+		return fmt.Errorf("comm: send %d->%d timed out (mailbox full)", r.ID, dst)
+	}
+}
+
+func (r *Rank) recv(src int) (any, error) {
+	if src < 0 || src >= r.w.N {
+		return nil, fmt.Errorf("comm: rank %d receiving from invalid rank %d", r.ID, src)
+	}
+	select {
+	case env := <-r.w.boxes[r.ID][src]:
+		return env.payload, nil
+	case <-time.After(r.w.RecvTimeout):
+		return nil, fmt.Errorf("comm: recv on rank %d from %d timed out", r.ID, src)
+	}
+}
+
+// Send delivers msg to dst, accounting bytes under SendRecv.
+func (r *Rank) Send(dst int, msg any, bytes float64) error {
+	return r.send(dst, KindSendRecv, msg, bytes)
+}
+
+// Recv blocks for the next message from src.
+func (r *Rank) Recv(src int) (any, error) { return r.recv(src) }
+
+// SendRecv performs the ring step: send msg to dst and receive the
+// in-flight message from src. It is safe for all ranks to call this
+// concurrently in a ring because mailboxes are buffered.
+func (r *Rank) SendRecv(dst, src int, msg any, bytes float64) (any, error) {
+	if err := r.send(dst, KindSendRecv, msg, bytes); err != nil {
+		return nil, err
+	}
+	return r.recv(src)
+}
+
+// All2All sends msgs[i] to rank i (msgs[self] is returned locally without
+// touching the network) and returns the slice of messages received from each
+// rank, indexed by source. bytes[i] is the accounted payload of msgs[i].
+func (r *Rank) All2All(msgs []any, bytes []float64) ([]any, error) {
+	n := r.w.N
+	if len(msgs) != n || len(bytes) != n {
+		return nil, fmt.Errorf("comm: all2all on rank %d got %d msgs and %d sizes, want %d",
+			r.ID, len(msgs), len(bytes), n)
+	}
+	for dst := 0; dst < n; dst++ {
+		if dst == r.ID {
+			continue
+		}
+		if err := r.send(dst, KindAll2All, msgs[dst], bytes[dst]); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]any, n)
+	out[r.ID] = msgs[r.ID]
+	for src := 0; src < n; src++ {
+		if src == r.ID {
+			continue
+		}
+		m, err := r.recv(src)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = m
+	}
+	return out, nil
+}
+
+// AllGather broadcasts msg to every peer and returns all ranks'
+// contributions indexed by source (including the local one).
+func (r *Rank) AllGather(msg any, bytes float64) ([]any, error) {
+	n := r.w.N
+	for dst := 0; dst < n; dst++ {
+		if dst == r.ID {
+			continue
+		}
+		if err := r.send(dst, KindAllGather, msg, bytes); err != nil {
+			return nil, err
+		}
+	}
+	out := make([]any, n)
+	out[r.ID] = msg
+	for src := 0; src < n; src++ {
+		if src == r.ID {
+			continue
+		}
+		m, err := r.recv(src)
+		if err != nil {
+			return nil, err
+		}
+		out[src] = m
+	}
+	return out, nil
+}
+
+// AllReduceSum sums float64 vectors element-wise across ranks. It is used by
+// the tensor-parallel functional comparison; bytes accounts one send of the
+// local vector per peer (ring-allreduce traffic is modeled analytically in
+// the perf package, not here).
+func (r *Rank) AllReduceSum(vec []float64, bytes float64) ([]float64, error) {
+	gathered, err := r.AllGather(vec, bytes)
+	if err != nil {
+		return nil, err
+	}
+	// Undo the AllGather accounting and book it as AllReduce instead.
+	r.w.mu.Lock()
+	st := r.w.stats[r.ID]
+	st.Messages[KindAllGather] -= int64(r.w.N - 1)
+	st.Bytes[KindAllGather] -= bytes * float64(r.w.N-1)
+	st.Messages[KindAllReduce] += int64(r.w.N - 1)
+	st.Bytes[KindAllReduce] += bytes * float64(r.w.N-1)
+	r.w.mu.Unlock()
+	out := make([]float64, len(vec))
+	for _, g := range gathered {
+		gv, ok := g.([]float64)
+		if !ok || len(gv) != len(vec) {
+			return nil, fmt.Errorf("comm: allreduce type/shape mismatch on rank %d", r.ID)
+		}
+		for i, x := range gv {
+			out[i] += x
+		}
+	}
+	return out, nil
+}
+
+// Barrier blocks until every rank has entered it. Implemented as an
+// AllGather of empty payloads with zero accounted bytes.
+func (r *Rank) Barrier() error {
+	_, err := r.AllGather(nil, 0)
+	if err != nil {
+		return fmt.Errorf("comm: barrier failed on rank %d: %w", r.ID, err)
+	}
+	// Remove the barrier's bookkeeping noise from the gather counters.
+	r.w.mu.Lock()
+	st := r.w.stats[r.ID]
+	st.Messages[KindAllGather] -= int64(r.w.N - 1)
+	r.w.mu.Unlock()
+	return nil
+}
+
+// Run executes fn concurrently on every rank and waits for all to finish.
+// The first non-nil error (lowest rank wins ties) is returned.
+func (w *World) Run(fn func(r *Rank) error) error {
+	errs := make([]error, w.N)
+	var wg sync.WaitGroup
+	for i := 0; i < w.N; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					errs[id] = fmt.Errorf("comm: rank %d panicked: %v", id, p)
+				}
+			}()
+			errs[id] = fn(w.Rank(id))
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunCollect executes fn on every rank and returns each rank's result,
+// indexed by rank id, failing on the first error.
+func RunCollect[T any](w *World, fn func(r *Rank) (T, error)) ([]T, error) {
+	out := make([]T, w.N)
+	err := w.Run(func(r *Rank) error {
+		v, err := fn(r)
+		if err != nil {
+			return err
+		}
+		out[r.ID] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

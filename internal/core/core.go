@@ -1,0 +1,369 @@
+// Package core implements the context-parallel inference engine — the
+// paper's primary contribution assembled from the substrates: load-balanced
+// sharding (§3.5.1), ring pass-KV and pass-Q prefill (§3.5.2-3.5.3), batched
+// ring pass-Q decode (§3.6), per-rank persistent KV caches, and the adaptive
+// variant-selection heuristics (§3.4, Appendices C-D).
+//
+// The engine runs a simulated CP group: one goroutine per rank connected by
+// the comm package. Callers drive it at the attention-layer level — they
+// provide projected Q/K/V for new tokens and receive exact attention
+// outputs — which is the layer the paper's algorithms live at. Everything
+// the engine returns is lossless: with Config.TrackHistory set it can
+// produce single-device reference outputs for any sequence to prove it.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/attention"
+	"repro/internal/comm"
+	"repro/internal/kvcache"
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/ring"
+	"repro/internal/sharding"
+	"repro/internal/tensor"
+	"repro/internal/trace"
+)
+
+// Policy decides the ring variant of a partial prefill given the new-token
+// count T and cached length P. Decode always rides pass-Q (Equation 1's
+// T = 1 limit).
+type Policy interface {
+	ChoosePrefill(T, P int) perf.Variant
+	Name() string
+}
+
+// forced always picks one variant.
+type forced struct{ v perf.Variant }
+
+func (f forced) ChoosePrefill(int, int) perf.Variant { return f.v }
+func (f forced) Name() string                        { return "forced-" + f.v.String() }
+
+// Force returns a policy pinned to one variant.
+func Force(v perf.Variant) Policy { return forced{v} }
+
+// policyFunc adapts a function to a Policy.
+type policyFunc struct {
+	name string
+	fn   func(T, P int) perf.Variant
+}
+
+func (p policyFunc) ChoosePrefill(T, P int) perf.Variant { return p.fn(T, P) }
+func (p policyFunc) Name() string                        { return p.name }
+
+// PolicyFunc wraps a selector function as a Policy.
+func PolicyFunc(name string, fn func(T, P int) perf.Variant) Policy {
+	return policyFunc{name: name, fn: fn}
+}
+
+// Config sizes an engine.
+type Config struct {
+	Model         model.Config // head shapes; Layers is informational here
+	Ranks         int          // CP ranks
+	Policy        Policy       // nil = always pass-KV
+	CacheCapacity int          // per-rank cached-token limit, 0 = unlimited
+	PageSize      int          // KV cache page size, 0 = default
+	TrackHistory  bool         // keep a full per-sequence KV oracle for Reference
+}
+
+// Engine is a running CP group with persistent conversation state.
+type Engine struct {
+	cfg    Config
+	world  *comm.World
+	caches []*kvcache.Cache
+	rec    *trace.Recorder
+
+	seqLens    map[int]int // sequence id -> total tokens so far
+	decodeStep int
+
+	histK, histV map[int]*tensor.Tensor // oracle history when TrackHistory
+}
+
+// New builds an engine.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.Model.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("core: non-positive rank count %d", cfg.Ranks)
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = Force(perf.PassKV)
+	}
+	e := &Engine{
+		cfg:     cfg,
+		world:   comm.NewWorld(cfg.Ranks),
+		rec:     trace.New(),
+		seqLens: make(map[int]int),
+	}
+	for r := 0; r < cfg.Ranks; r++ {
+		c, err := kvcache.New(kvcache.Config{
+			KVHeads:  cfg.Model.NumKV,
+			HeadDim:  cfg.Model.HeadDim,
+			PageSize: cfg.PageSize,
+			Capacity: cfg.CacheCapacity,
+		})
+		if err != nil {
+			return nil, err
+		}
+		e.caches = append(e.caches, c)
+	}
+	if cfg.TrackHistory {
+		e.histK = make(map[int]*tensor.Tensor)
+		e.histV = make(map[int]*tensor.Tensor)
+	}
+	return e, nil
+}
+
+// Ranks returns the CP group size.
+func (e *Engine) Ranks() int { return e.cfg.Ranks }
+
+// SeqLen returns the total cached length of a sequence (0 if unknown).
+func (e *Engine) SeqLen(seq int) int { return e.seqLens[seq] }
+
+// Sequences returns the number of live sequences.
+func (e *Engine) Sequences() int { return len(e.seqLens) }
+
+// Trace exposes the engine's span recorder.
+func (e *Engine) Trace() *trace.Recorder { return e.rec }
+
+// CommStats returns cumulative traffic across ranks.
+func (e *Engine) CommStats() comm.Stats { return e.world.TotalStats() }
+
+// ResetCommStats zeroes the traffic counters, e.g. to measure one turn.
+func (e *Engine) ResetCommStats() { e.world.ResetStats() }
+
+// RankCacheTokens returns each rank's cached token count — the balance the
+// paper's sharding and round-robin decode maintain.
+func (e *Engine) RankCacheTokens() []int {
+	out := make([]int, e.cfg.Ranks)
+	for r, c := range e.caches {
+		out[r] = c.TotalTokens()
+	}
+	return out
+}
+
+// PrefillRequest is a fused batch of new tokens for known or new sequences.
+type PrefillRequest struct {
+	SeqIDs []int // sequence ids, one per batch entry
+	Lens   []int // new-token count per sequence
+	// Q [total, NH, DH]; K, V [total, NKV, DH]: fused projections of the
+	// new tokens in batch order.
+	Q, K, V *tensor.Tensor
+}
+
+// PrefillResult carries the fused attention output and what ran.
+type PrefillResult struct {
+	Output  *tensor.Tensor // [total, NH, DH], batch order
+	Variant perf.Variant
+	T, P    int // batch totals driving the policy decision
+}
+
+func (e *Engine) validatePrefill(req *PrefillRequest) error {
+	if len(req.SeqIDs) == 0 || len(req.SeqIDs) != len(req.Lens) {
+		return fmt.Errorf("core: %d seq ids with %d lens", len(req.SeqIDs), len(req.Lens))
+	}
+	seen := map[int]bool{}
+	total := 0
+	for i, id := range req.SeqIDs {
+		if seen[id] {
+			return fmt.Errorf("core: duplicate sequence %d in batch", id)
+		}
+		seen[id] = true
+		if req.Lens[i] <= 0 {
+			return fmt.Errorf("core: sequence %d has non-positive length %d", id, req.Lens[i])
+		}
+		total += req.Lens[i]
+	}
+	if req.Q == nil || req.K == nil || req.V == nil {
+		return fmt.Errorf("core: nil Q/K/V")
+	}
+	if req.Q.Tokens != total || req.K.Tokens != total || req.V.Tokens != total {
+		return fmt.Errorf("core: fused tensors have %d/%d/%d tokens, want %d",
+			req.Q.Tokens, req.K.Tokens, req.V.Tokens, total)
+	}
+	if req.Q.Heads != e.cfg.Model.NumHeads || req.K.Heads != e.cfg.Model.NumKV ||
+		req.Q.Dim != e.cfg.Model.HeadDim || req.K.Dim != e.cfg.Model.HeadDim {
+		return fmt.Errorf("core: head shape mismatch with model %s", e.cfg.Model.Name)
+	}
+	return nil
+}
+
+// Prefill runs one full or partial prefill turn: the policy picks pass-KV or
+// pass-Q from the batch's new-token count and cache state, the ring executes
+// it, and the new KV is persisted on every rank's shard.
+func (e *Engine) Prefill(req *PrefillRequest) (*PrefillResult, error) {
+	if err := e.validatePrefill(req); err != nil {
+		return nil, err
+	}
+	defer e.rec.Time("engine.prefill")()
+
+	plan, err := sharding.NewBatchShard(req.Lens, e.cfg.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	p := make([]int, len(req.SeqIDs))
+	totalT, totalP := 0, 0
+	for i, id := range req.SeqIDs {
+		p[i] = e.seqLens[id]
+		totalT += req.Lens[i]
+		totalP += p[i]
+	}
+	variant := e.cfg.Policy.ChoosePrefill(totalT, totalP)
+	run := ring.PassKVPrefill
+	if variant == perf.PassQ {
+		run = ring.PassQPrefill
+	}
+	e.rec.Add("prefill."+variant.String(), 1)
+
+	outs, err := comm.RunCollect(e.world, func(r *comm.Rank) (*attention.Output, error) {
+		in := &ring.PrefillInput{
+			Rank: r, Plan: plan, P: p, SeqIDs: req.SeqIDs,
+			Q: plan.Shard(req.Q, r.ID), K: plan.Shard(req.K, r.ID), V: plan.Shard(req.V, r.ID),
+			Cache: e.caches[r.ID], Elem: e.cfg.Model.ElemBytes,
+		}
+		out, err := run(in)
+		if err != nil {
+			return nil, err
+		}
+		// Persist this rank's new KV shard for later turns and decode.
+		if err := ring.AppendLocalKV(e.caches[r.ID], plan, r.ID, p, req.SeqIDs,
+			plan.Shard(req.K, r.ID), plan.Shard(req.V, r.ID)); err != nil {
+			return nil, err
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	locals := make([]*tensor.Tensor, e.cfg.Ranks)
+	for r, o := range outs {
+		locals[r] = o.O
+	}
+	fused := plan.Unshard(locals)
+
+	for i, id := range req.SeqIDs {
+		e.seqLens[id] += req.Lens[i]
+		if e.cfg.TrackHistory {
+			lo := plan.SeqOffset(i)
+			hi := lo + req.Lens[i]
+			e.histK[id] = tensor.Concat(e.histK[id], req.K.SliceTokens(lo, hi))
+			e.histV[id] = tensor.Concat(e.histV[id], req.V.SliceTokens(lo, hi))
+		}
+	}
+	return &PrefillResult{Output: fused, Variant: variant, T: totalT, P: totalP}, nil
+}
+
+// DecodeRequest is one batched decode step: one new token per sequence.
+type DecodeRequest struct {
+	SeqIDs []int // sequences decoding this step (must exist)
+	// Q [B, NH, DH]; K, V [B, NKV, DH]: projections of each new token, rows
+	// aligned with SeqIDs.
+	Q, K, V *tensor.Tensor
+}
+
+// DecodeResult carries per-sequence outputs in request order.
+type DecodeResult struct {
+	Output *tensor.Tensor // [B, NH, DH]
+	Step   int            // round-robin step used for owner assignment
+}
+
+// Decode runs one batched ring pass-Q decode step. The decode token of batch
+// entry i is owned by rank (i + step) mod N; the step counter advances every
+// call so cache growth rotates across ranks (§3.6).
+func (e *Engine) Decode(req *DecodeRequest) (*DecodeResult, error) {
+	b := len(req.SeqIDs)
+	if b == 0 {
+		return nil, fmt.Errorf("core: empty decode batch")
+	}
+	if req.Q == nil || req.Q.Tokens != b || req.K == nil || req.K.Tokens != b || req.V == nil || req.V.Tokens != b {
+		return nil, fmt.Errorf("core: decode tensors must have %d rows", b)
+	}
+	seen := map[int]bool{}
+	for _, id := range req.SeqIDs {
+		if _, ok := e.seqLens[id]; !ok {
+			return nil, fmt.Errorf("core: decode for unknown sequence %d", id)
+		}
+		if seen[id] {
+			return nil, fmt.Errorf("core: duplicate sequence %d in decode batch", id)
+		}
+		seen[id] = true
+	}
+	defer e.rec.Time("engine.decode")()
+	step := e.decodeStep
+	e.decodeStep++
+	e.rec.Add("decode.steps", 1)
+
+	owned := make([][]ring.DecodeToken, e.cfg.Ranks)
+	ownedRows := make([][]int, e.cfg.Ranks)
+	for i, id := range req.SeqIDs {
+		r := sharding.DecodeOwner(i, step, e.cfg.Ranks)
+		owned[r] = append(owned[r], ring.DecodeToken{Seq: id, Pos: e.seqLens[id]})
+		ownedRows[r] = append(ownedRows[r], i)
+	}
+	outs, err := comm.RunCollect(e.world, func(r *comm.Rank) (*attention.Output, error) {
+		rows := ownedRows[r.ID]
+		q := req.Q.Gather(rows)
+		k := req.K.Gather(rows)
+		v := req.V.Gather(rows)
+		return ring.PassQDecode(&ring.DecodeInput{
+			Rank: r, NumSeqs: b, Owned: owned[r.ID], Q: q, K: k, V: v,
+			Cache: e.caches[r.ID], Elem: e.cfg.Model.ElemBytes,
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	fused := tensor.New(b, e.cfg.Model.NumHeads, e.cfg.Model.HeadDim)
+	for r := range outs {
+		for j, row := range ownedRows[r] {
+			copy(fused.Row2D(row), outs[r].O.Row2D(j))
+		}
+	}
+	for i, id := range req.SeqIDs {
+		e.seqLens[id]++
+		if e.cfg.TrackHistory {
+			e.histK[id] = tensor.Concat(e.histK[id], req.K.SliceTokens(i, i+1))
+			e.histV[id] = tensor.Concat(e.histV[id], req.V.SliceTokens(i, i+1))
+		}
+	}
+	return &DecodeResult{Output: fused, Step: step}, nil
+}
+
+// Drop evicts a sequence from every rank's cache, freeing its capacity.
+func (e *Engine) Drop(seq int) {
+	for _, c := range e.caches {
+		c.Drop(seq)
+	}
+	delete(e.seqLens, seq)
+	if e.cfg.TrackHistory {
+		delete(e.histK, seq)
+		delete(e.histV, seq)
+	}
+}
+
+// Reference computes the single-device oracle attention for new queries of a
+// tracked sequence against its full history. It requires TrackHistory and is
+// how the examples and tests demonstrate losslessness. qPos is the global
+// position of the first query row; the caller passes the pre-turn length.
+func (e *Engine) Reference(seq int, q *tensor.Tensor, qPos int) (*tensor.Tensor, error) {
+	if !e.cfg.TrackHistory {
+		return nil, fmt.Errorf("core: Reference requires TrackHistory")
+	}
+	k, v := e.histK[seq], e.histV[seq]
+	if k == nil {
+		return nil, fmt.Errorf("core: unknown sequence %d", seq)
+	}
+	if qPos+q.Tokens > k.Tokens {
+		return nil, fmt.Errorf("core: queries [%d,%d) exceed history %d", qPos, qPos+q.Tokens, k.Tokens)
+	}
+	// Queries at positions qPos.. attend to history up to their position.
+	kv := k.SliceTokens(0, qPos+q.Tokens)
+	vv := v.SliceTokens(0, qPos+q.Tokens)
+	out, err := attention.GQA(q, kv, vv, attention.PartialCausal(q.Tokens, qPos))
+	if err != nil {
+		return nil, err
+	}
+	return out.O, nil
+}

@@ -1,0 +1,401 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/heuristic"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/tensor"
+)
+
+const tol = 1e-4
+
+func tinyEngine(t *testing.T, ranks int, policy Policy) *Engine {
+	t.Helper()
+	e, err := New(Config{Model: model.Tiny(), Ranks: ranks, Policy: policy, TrackHistory: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// randBatch builds a fused prefill request for the given lengths.
+func randBatch(rng *rand.Rand, m model.Config, seqIDs, lens []int) *PrefillRequest {
+	total := 0
+	for _, l := range lens {
+		total += l
+	}
+	return &PrefillRequest{
+		SeqIDs: seqIDs, Lens: lens,
+		Q: tensor.RandN(rng, total, m.NumHeads, m.HeadDim),
+		K: tensor.RandN(rng, total, m.NumKV, m.HeadDim),
+		V: tensor.RandN(rng, total, m.NumKV, m.HeadDim),
+	}
+}
+
+func randDecode(rng *rand.Rand, m model.Config, seqIDs []int) *DecodeRequest {
+	b := len(seqIDs)
+	return &DecodeRequest{
+		SeqIDs: seqIDs,
+		Q:      tensor.RandN(rng, b, m.NumHeads, m.HeadDim),
+		K:      tensor.RandN(rng, b, m.NumKV, m.HeadDim),
+		V:      tensor.RandN(rng, b, m.NumKV, m.HeadDim),
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{Model: model.Tiny(), Ranks: 0}); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	bad := model.Tiny()
+	bad.ModelDim = 7
+	if _, err := New(Config{Model: bad, Ranks: 2}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}
+
+func TestPrefillLosslessAgainstReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := model.Tiny()
+	for _, policy := range []Policy{Force(perf.PassKV), Force(perf.PassQ)} {
+		e := tinyEngine(t, 3, policy)
+		req := randBatch(rng, m, []int{10, 20}, []int{9, 6})
+		res, err := e.Prefill(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Output.Tokens != 15 {
+			t.Fatalf("output tokens = %d", res.Output.Tokens)
+		}
+		// Per-sequence reference check.
+		off := 0
+		for i, id := range req.SeqIDs {
+			q := req.Q.SliceTokens(off, off+req.Lens[i])
+			ref, err := e.Reference(id, q, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := res.Output.SliceTokens(off, off+req.Lens[i])
+			if d := tensor.MaxAbsDiff(ref, got); d > tol {
+				t.Fatalf("%s: sequence %d deviates by %v", policy.Name(), id, d)
+			}
+			off += req.Lens[i]
+		}
+	}
+}
+
+func TestMultiTurnConversation(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := model.Tiny()
+	e := tinyEngine(t, 2, Force(perf.PassKV))
+
+	// Turn 1: two sequences.
+	req1 := randBatch(rng, m, []int{0, 1}, []int{8, 5})
+	if _, err := e.Prefill(req1); err != nil {
+		t.Fatal(err)
+	}
+	if e.SeqLen(0) != 8 || e.SeqLen(1) != 5 {
+		t.Fatalf("lens after turn1: %d %d", e.SeqLen(0), e.SeqLen(1))
+	}
+
+	// Turn 2: only sequence 1 plus a new sequence 2 — different batch
+	// composition against persistent caches.
+	req2 := randBatch(rng, m, []int{1, 2}, []int{4, 6})
+	res2, err := e.Prefill(req2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q1 := req2.Q.SliceTokens(0, 4)
+	ref, err := e.Reference(1, q1, 5) // sequence 1 had 5 tokens before
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(ref, res2.Output.SliceTokens(0, 4)); d > tol {
+		t.Fatalf("partial prefill with shuffled batch deviates by %v", d)
+	}
+	if e.SeqLen(1) != 9 || e.SeqLen(2) != 6 {
+		t.Fatalf("lens after turn2: %d %d", e.SeqLen(1), e.SeqLen(2))
+	}
+}
+
+func TestDecodeLossless(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	m := model.Tiny()
+	e := tinyEngine(t, 3, Force(perf.PassKV))
+	if _, err := e.Prefill(randBatch(rng, m, []int{0, 1}, []int{7, 9})); err != nil {
+		t.Fatal(err)
+	}
+	for step := 0; step < 6; step++ {
+		req := randDecode(rng, m, []int{0, 1})
+		lens := []int{e.SeqLen(0), e.SeqLen(1)}
+		res, err := e.Decode(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, id := range req.SeqIDs {
+			ref, err := e.Reference(id, req.Q.SliceTokens(i, i+1), lens[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			if d := tensor.MaxAbsDiff(ref, res.Output.SliceTokens(i, i+1)); d > tol {
+				t.Fatalf("step %d seq %d deviates by %v", step, id, d)
+			}
+		}
+	}
+	if e.SeqLen(0) != 13 {
+		t.Fatalf("SeqLen after decode = %d, want 13", e.SeqLen(0))
+	}
+}
+
+func TestDecodeRotatesCacheGrowth(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	m := model.Tiny()
+	e := tinyEngine(t, 4, Force(perf.PassKV))
+	if _, err := e.Prefill(randBatch(rng, m, []int{0}, []int{8})); err != nil {
+		t.Fatal(err)
+	}
+	base := e.RankCacheTokens()
+	for step := 0; step < 8; step++ {
+		if _, err := e.Decode(randDecode(rng, m, []int{0})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	growth := make([]int, len(base))
+	min, max := 1<<30, 0
+	for r, tok := range e.RankCacheTokens() {
+		growth[r] = tok - base[r]
+		if growth[r] < min {
+			min = growth[r]
+		}
+		if growth[r] > max {
+			max = growth[r]
+		}
+	}
+	if max-min > 1 {
+		t.Fatalf("decode growth imbalance: %v", growth)
+	}
+}
+
+func TestHeuristicPolicySwitchesVariants(t *testing.T) {
+	// Wire the paper's Algorithm 1 with Llama3-405B/GTT rates into a tiny
+	// functional engine: long first turn => pass-KV; tiny follow-up against
+	// a big cache => pass-Q. The policy sees engine T/P values scaled up.
+	in := heuristic.NewInputs(model.Llama3405B(), hw.GTT(), 2)
+	scale := 1000 // engine tokens are tiny; scale to realistic magnitudes
+	policy := PolicyFunc("alg1-scaled", func(T, P int) perf.Variant {
+		return heuristic.Algorithm1(in, T*scale, P*scale)
+	})
+	rng := rand.New(rand.NewSource(5))
+	m := model.Tiny()
+	e := tinyEngine(t, 2, policy)
+
+	res1, err := e.Prefill(randBatch(rng, m, []int{0}, []int{16}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1.Variant != perf.PassKV {
+		t.Fatalf("turn 1 used %v, want pass-KV (full prefill)", res1.Variant)
+	}
+	res2, err := e.Prefill(randBatch(rng, m, []int{0}, []int{1}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Variant != perf.PassQ {
+		t.Fatalf("turn 2 used %v, want pass-Q (1/17 miss rate)", res2.Variant)
+	}
+	// Both turns lossless regardless of variant mixing.
+	if e.Trace().Counter("prefill.pass-KV") != 1 || e.Trace().Counter("prefill.pass-Q") != 1 {
+		t.Fatalf("variant counters wrong: %s", e.Trace())
+	}
+}
+
+func TestPrefillValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	m := model.Tiny()
+	e := tinyEngine(t, 2, nil)
+	cases := []struct {
+		name string
+		req  *PrefillRequest
+	}{
+		{"empty", &PrefillRequest{}},
+		{"len mismatch", &PrefillRequest{SeqIDs: []int{0}, Lens: []int{1, 2}}},
+		{"dup seq", func() *PrefillRequest {
+			r := randBatch(rng, m, []int{3, 3}, []int{2, 2})
+			return r
+		}()},
+		{"zero len", func() *PrefillRequest {
+			r := randBatch(rng, m, []int{0}, []int{1})
+			r.Lens = []int{0}
+			return r
+		}()},
+		{"nil tensors", &PrefillRequest{SeqIDs: []int{0}, Lens: []int{2}}},
+		{"bad shape", func() *PrefillRequest {
+			r := randBatch(rng, m, []int{0}, []int{2})
+			r.Q = tensor.RandN(rng, 2, m.NumHeads+1, m.HeadDim)
+			return r
+		}()},
+	}
+	for _, tc := range cases {
+		if _, err := e.Prefill(tc.req); err == nil {
+			t.Errorf("%s: accepted", tc.name)
+		}
+	}
+}
+
+func TestDecodeValidation(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := model.Tiny()
+	e := tinyEngine(t, 2, nil)
+	if _, err := e.Decode(&DecodeRequest{}); err == nil {
+		t.Fatal("empty decode accepted")
+	}
+	if _, err := e.Decode(randDecode(rng, m, []int{99})); err == nil {
+		t.Fatal("unknown sequence accepted")
+	}
+	if _, err := e.Prefill(randBatch(rng, m, []int{0}, []int{4})); err != nil {
+		t.Fatal(err)
+	}
+	bad := randDecode(rng, m, []int{0, 0})
+	if _, err := e.Decode(bad); err == nil {
+		t.Fatal("duplicate decode sequence accepted")
+	}
+	wrongRows := randDecode(rng, m, []int{0})
+	wrongRows.Q = tensor.RandN(rng, 2, m.NumHeads, m.HeadDim)
+	if _, err := e.Decode(wrongRows); err == nil {
+		t.Fatal("row mismatch accepted")
+	}
+}
+
+func TestDropFreesState(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	m := model.Tiny()
+	e := tinyEngine(t, 2, nil)
+	if _, err := e.Prefill(randBatch(rng, m, []int{0}, []int{6})); err != nil {
+		t.Fatal(err)
+	}
+	before := 0
+	for _, n := range e.RankCacheTokens() {
+		before += n
+	}
+	if before != 6 {
+		t.Fatalf("cached tokens = %d, want 6", before)
+	}
+	e.Drop(0)
+	after := 0
+	for _, n := range e.RankCacheTokens() {
+		after += n
+	}
+	if after != 0 || e.SeqLen(0) != 0 || e.Sequences() != 0 {
+		t.Fatalf("Drop left residue: tokens=%d len=%d seqs=%d", after, e.SeqLen(0), e.Sequences())
+	}
+	if _, err := e.Reference(0, tensor.New(1, m.NumHeads, m.HeadDim), 0); err == nil {
+		t.Fatal("Reference on dropped sequence should fail")
+	}
+}
+
+func TestCapacityExceededSurfacesError(t *testing.T) {
+	m := model.Tiny()
+	e, err := New(Config{Model: m, Ranks: 2, CacheCapacity: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	// 20 tokens over 2 ranks = 10 per rank > 4 capacity.
+	_, err = e.Prefill(randBatch(rng, m, []int{0}, []int{20}))
+	if err == nil || !strings.Contains(err.Error(), "capacity") {
+		t.Fatalf("capacity overflow not surfaced: %v", err)
+	}
+}
+
+func TestReferenceRequiresTracking(t *testing.T) {
+	m := model.Tiny()
+	e, err := New(Config{Model: m, Ranks: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Reference(0, tensor.New(1, m.NumHeads, m.HeadDim), 0); err == nil {
+		t.Fatal("Reference without tracking should fail")
+	}
+}
+
+func TestCommStatsAccumulate(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	m := model.Tiny()
+	e := tinyEngine(t, 4, Force(perf.PassQ))
+	if _, err := e.Prefill(randBatch(rng, m, []int{0}, []int{16})); err != nil {
+		t.Fatal(err)
+	}
+	st := e.CommStats()
+	if st.TotalBytes() <= 0 {
+		t.Fatal("no communication accounted")
+	}
+	if st.Bytes["all2all"] <= 0 {
+		t.Fatal("pass-Q prefill must use All2All")
+	}
+}
+
+// Property: arbitrary interleavings of prefill and decode across random
+// batch compositions stay lossless.
+func TestPropertyEngineLossless(t *testing.T) {
+	m := model.Tiny()
+	f := func(seed int64, rawRanks, rawOps uint8) bool {
+		ranks := int(rawRanks%3) + 1
+		rng := rand.New(rand.NewSource(seed))
+		e, err := New(Config{Model: m, Ranks: ranks, TrackHistory: true,
+			Policy: Force(perf.Variant(int(rawOps) % 2))})
+		if err != nil {
+			return false
+		}
+		numSeqs := rng.Intn(2) + 1
+		ids := make([]int, numSeqs)
+		lens := make([]int, numSeqs)
+		for i := range ids {
+			ids[i] = i
+			lens[i] = rng.Intn(8) + 1
+		}
+		req := randBatch(rng, m, ids, lens)
+		res, err := e.Prefill(req)
+		if err != nil {
+			return false
+		}
+		off := 0
+		for i, id := range ids {
+			ref, err := e.Reference(id, req.Q.SliceTokens(off, off+lens[i]), 0)
+			if err != nil || tensor.MaxAbsDiff(ref, res.Output.SliceTokens(off, off+lens[i])) > tol {
+				return false
+			}
+			off += lens[i]
+		}
+		// A couple of decode steps.
+		for s := 0; s < 2; s++ {
+			dreq := randDecode(rng, m, ids)
+			prev := make([]int, numSeqs)
+			for i, id := range ids {
+				prev[i] = e.SeqLen(id)
+			}
+			dres, err := e.Decode(dreq)
+			if err != nil {
+				return false
+			}
+			for i, id := range ids {
+				ref, err := e.Reference(id, dreq.Q.SliceTokens(i, i+1), prev[i])
+				if err != nil || tensor.MaxAbsDiff(ref, dres.Output.SliceTokens(i, i+1)) > tol {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	cfg := &quick.Config{MaxCount: 15}
+	if testing.Short() {
+		cfg.MaxCount = 5
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}

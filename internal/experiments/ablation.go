@@ -1,0 +1,187 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/heuristic"
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/perf"
+	"repro/internal/sharding"
+	"repro/internal/workload"
+)
+
+func init() {
+	register("ablation-sharding", "Load-balanced 2N-chunk sharding vs striped vs naive contiguous", ablationSharding)
+	register("ablation-heuristics", "Heuristic regret: Algorithm 1 vs Algorithm 5 vs fitted empirical vs oracle", ablationHeuristics)
+	register("ablation-gb200", "Multi-node TP on GTT (RDMA) vs a GB200-like NVLink fabric", ablationGB200)
+	register("ablation-decode-owner", "Decode KV growth: round-robin rotation vs static owner", ablationDecodeOwner)
+	register("plan", "Deployment planning: smallest CP group per TTFT target and context", planTable)
+}
+
+// planTable exercises the §2.3 capacity/latency trade-off: for each context
+// and TTFT target, the minimal CP group that serves it.
+func planTable() (*Table, error) {
+	t := &Table{
+		ID:     "plan",
+		Title:  Title("plan"),
+		Header: []string{"context", "TTFT target (s)", "plan", "GPUs", "TTFT (s)", "TTIT (ms)", "capacity ok"},
+	}
+	cases := []struct {
+		ctx    int
+		target float64
+	}{
+		{128000, 45}, {128000, 25}, {128000, 12}, {128000, 6},
+		{1000000, 150}, {1000000, 80},
+	}
+	for _, cs := range cases {
+		p, err := perf.PlanDeployment(perf.PlanRequest{
+			Model: model.Llama3405B(), Plat: hw.GTT(),
+			Context: cs.ctx, TTFTTarget: cs.target, MaxCPNodes: 32,
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.AddRow(fmt.Sprintf("%d", cs.ctx), fmt.Sprintf("%.0f", cs.target),
+			p.System.Name(), fmt.Sprintf("%d", p.System.TotalGPUs()),
+			sec(p.TTFT), fmt.Sprintf("%.1f", p.TTIT*1000), fmt.Sprintf("%v", p.CapacityOK))
+	}
+	t.Notes = append(t.Notes,
+		"the paper's framing (§2.3): CP trades hardware capacity for latency; tighter TTFT targets buy more nodes and a decode (TTIT) penalty (§4.3)")
+	return t, nil
+}
+
+// ablationSharding quantifies the §3.5.1 design choice: per-rank causal
+// compute imbalance under both sharding schemes.
+func ablationSharding() (*Table, error) {
+	t := &Table{
+		ID:    "ablation-sharding",
+		Title: Title("ablation-sharding"),
+		Header: []string{"ranks", "T", "balanced max/min pairs", "striped max/min pairs",
+			"contiguous max/min pairs", "runs: balanced/striped"},
+	}
+	for _, n := range []int{2, 4, 8} {
+		for _, T := range []int{4096, 131072} {
+			span := func(pos func(int) []int) float64 {
+				min, max := int64(1)<<62, int64(0)
+				for r := 0; r < n; r++ {
+					c := sharding.CausalPairs(pos(r))
+					if c < min {
+						min = c
+					}
+					if c > max {
+						max = c
+					}
+				}
+				return float64(max) / float64(min)
+			}
+			bal := span(func(r int) []int { return sharding.LoadBalancedPositions(T, n, r) })
+			str := span(func(r int) []int { return sharding.StripedPositions(T, n, r) })
+			ct := span(func(r int) []int { return sharding.ContiguousPositions(T, n, r) })
+			t.AddRow(fmt.Sprintf("%d", n), fmt.Sprintf("%d", T),
+				fmt.Sprintf("%.3f", bal), fmt.Sprintf("%.3f", str), fmt.Sprintf("%.3f", ct),
+				fmt.Sprintf("%d/%d",
+					sharding.Runs(sharding.LoadBalancedPositions(T, n, 0)),
+					sharding.Runs(sharding.StripedPositions(T, n, 0))))
+		}
+	}
+	t.Notes = append(t.Notes,
+		"balanced sharding holds per-rank causal FLOPs equal (ratio 1.0); contiguous sharding leaves the last rank far heavier (§3.5.1)",
+		"striped sharding (Brandon et al.) also balances compute but fragments each rank's KV into T/N single-token runs; the mirrored-chunk scheme keeps 2 contiguous runs")
+	return t, nil
+}
+
+func ablationHeuristics() (*Table, error) {
+	s := gttSystem(4, 1)
+	in := heuristic.NewInputs(model.Llama3405B(), hw.GTT(), 4)
+	gen := workload.NewGenerator(11)
+	pts := gen.LogGrid(256, 262144, 0.002, 1.0, 12, 10)
+	grid := make([]heuristic.LabeledPoint, 0, len(pts))
+	for _, p := range pts {
+		best, _, _ := s.PrefillBest(p.T, p.P)
+		grid = append(grid, heuristic.LabeledPoint{T: p.T, P: p.P, Best: best})
+	}
+	fit, err := heuristic.FitEmpirical(grid)
+	if err != nil {
+		return nil, err
+	}
+	selectors := []struct {
+		name string
+		sel  heuristic.Selector
+	}{
+		{"always pass-KV", func(int, int) perf.Variant { return perf.PassKV }},
+		{"always pass-Q", func(int, int) perf.Variant { return perf.PassQ }},
+		{"Algorithm 1", func(T, P int) perf.Variant { return heuristic.Algorithm1(in, T, P) }},
+		{"Algorithm 5", func(T, P int) perf.Variant { return heuristic.Algorithm5(in, T, P) }},
+		{"fitted empirical", fit.Choose},
+	}
+	t := &Table{
+		ID:     "ablation-heuristics",
+		Title:  Title("ablation-heuristics"),
+		Header: []string{"selector", "accuracy", "mean regret", "worst regret"},
+	}
+	for _, sl := range selectors {
+		ev := heuristic.Evaluate(s, sl.sel, grid)
+		t.AddRow(sl.name, pct(ev.Accuracy()), pct(ev.MeanRegret), pct(ev.WorstRegret))
+	}
+	t.Notes = append(t.Notes,
+		"the paper's adaptive selection exists because neither fixed variant is safe: each fixed policy pays real regret somewhere on the grid")
+	return t, nil
+}
+
+func ablationGB200() (*Table, error) {
+	t := &Table{
+		ID:     "ablation-gb200",
+		Title:  Title("ablation-gb200"),
+		Header: []string{"config", "GTT TTFT (s)", "GB200-like TTFT (s)"},
+	}
+	const T = 128000
+	m := model.Llama3405B()
+	for _, tp := range []int{1, 2, 4} {
+		gtt := perf.System{Model: m, Plat: hw.GTT(), CPNodes: 1, TPNodes: tp}
+		gb := perf.System{Model: m, Plat: hw.GB200Like(), CPNodes: 1, TPNodes: tp}
+		t.AddRow(gtt.Name(),
+			sec(gtt.Prefill(T, 0, perf.PassKV).Total),
+			sec(gb.Prefill(T, 0, perf.PassKV).Total))
+	}
+	t.Notes = append(t.Notes,
+		"§4.2.2 remark: with NVLink-class cross-host bandwidth (GB200 NVL72), multi-node TP regains reasonable scalability")
+	return t, nil
+}
+
+func ablationDecodeOwner() (*Table, error) {
+	t := &Table{
+		ID:     "ablation-decode-owner",
+		Title:  Title("ablation-decode-owner"),
+		Header: []string{"steps", "ranks", "batch", "rotation max-min", "static max-min"},
+	}
+	for _, cfg := range []struct{ steps, ranks, batch int }{
+		{100, 4, 1}, {100, 8, 1}, {64, 4, 3},
+	} {
+		rot := make([]int, cfg.ranks)
+		static := make([]int, cfg.ranks)
+		for s := 0; s < cfg.steps; s++ {
+			for q := 0; q < cfg.batch; q++ {
+				rot[sharding.DecodeOwner(q, s, cfg.ranks)]++
+				static[sharding.StaticOwner(q, cfg.ranks)]++
+			}
+		}
+		span := func(xs []int) int {
+			min, max := xs[0], xs[0]
+			for _, x := range xs {
+				if x < min {
+					min = x
+				}
+				if x > max {
+					max = x
+				}
+			}
+			return max - min
+		}
+		t.AddRow(fmt.Sprintf("%d", cfg.steps), fmt.Sprintf("%d", cfg.ranks), fmt.Sprintf("%d", cfg.batch),
+			fmt.Sprintf("%d", span(rot)), fmt.Sprintf("%d", span(static)))
+	}
+	t.Notes = append(t.Notes,
+		"§3.6: without rotation a batch-1 decode pins all KV growth on one rank, which OOMs before the others fill — rotation keeps growth within 1 token")
+	return t, nil
+}

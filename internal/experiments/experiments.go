@@ -1,0 +1,138 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (§4 plus Appendices A and D) from this repository's
+// implementations: the calibrated performance model for latency numbers and
+// the functional simulated cluster for losslessness and communication
+// accounting. Each experiment returns a structured Table that the cpbench
+// CLI and the root benchmark suite render; paper-reported values are
+// embedded alongside the model's predictions so the output doubles as the
+// paper-vs-measured record in EXPERIMENTS.md.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/hw"
+	"repro/internal/model"
+	"repro/internal/perf"
+)
+
+// Table is one regenerated table or figure.
+type Table struct {
+	ID     string
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table as aligned text.
+func (t *Table) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Header)
+	sep := make([]string, len(t.Header))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Generator produces one experiment.
+type Generator func() (*Table, error)
+
+var registry = map[string]Generator{}
+var titles = map[string]string{}
+
+func register(id, title string, g Generator) {
+	registry[id] = g
+	titles[id] = title
+}
+
+// IDs returns all experiment ids in sorted order.
+func IDs() []string {
+	out := make([]string, 0, len(registry))
+	for id := range registry {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Title returns the registered title for an id.
+func Title(id string) string { return titles[id] }
+
+// Run executes one experiment by id.
+func Run(id string) (*Table, error) {
+	g, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return g()
+}
+
+// RunAll executes every experiment in id order.
+func RunAll() ([]*Table, error) {
+	var out []*Table
+	for _, id := range IDs() {
+		t, err := Run(id)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", id, err)
+		}
+		out = append(out, t)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Shared configuration helpers.
+// ---------------------------------------------------------------------------
+
+func gttSystem(cp, tp int) perf.System {
+	return perf.System{Model: model.Llama3405B(), Plat: hw.GTT(), CPNodes: cp, TPNodes: tp}
+}
+
+func gtiSystem(cp int) perf.System {
+	return perf.System{Model: model.Llama3405B(), Plat: hw.GTI(), CPNodes: cp, TPNodes: 1}
+}
+
+func ms(sec float64) string { return fmt.Sprintf("%.2f", sec*1000) }
+
+func sec(sec float64) string { return fmt.Sprintf("%.2f", sec) }
+
+func us(sec float64) string { return fmt.Sprintf("%.0f", sec*1e6) }
+
+func pct(x float64) string { return fmt.Sprintf("%.2f%%", x*100) }

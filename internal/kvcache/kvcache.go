@@ -1,0 +1,221 @@
+// Package kvcache implements the per-rank persistent key/value cache that
+// context-parallel inference shards across CP ranks. Each rank of a CP group
+// holds a disjoint subset of every sequence's KV entries, tagged with their
+// global positions so ring attention can evaluate causality after the
+// load-balanced (non-contiguous) sharding. The cache persists across turns
+// of a conversation: full prefill seeds it, partial prefill and decode append
+// to it (§3.3).
+//
+// Storage is paged, PagedAttention-style: tokens are appended into fixed-size
+// pages so that growth does not copy existing entries and so capacity
+// accounting (the OOM behaviour that motivates the paper's balanced KV
+// sharding and round-robin decode) is explicit and testable.
+package kvcache
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/tensor"
+)
+
+// DefaultPageSize is the number of tokens per page when none is specified.
+const DefaultPageSize = 16
+
+// Config sizes a cache.
+type Config struct {
+	KVHeads  int // NKV
+	HeadDim  int // DH
+	PageSize int // tokens per page; DefaultPageSize if zero
+	Capacity int // max cached tokens per rank across all sequences; 0 = unlimited
+}
+
+// Cache is one CP rank's KV store. It is not safe for concurrent use; each
+// rank goroutine owns its cache exclusively, mirroring GPU-local HBM.
+type Cache struct {
+	cfg   Config
+	seqs  map[int]*seqCache
+	total int
+}
+
+type page struct {
+	k, v *tensor.Tensor
+	pos  []int
+	fill int
+}
+
+type seqCache struct {
+	pages []*page
+}
+
+// ErrCapacity is returned when an append would exceed the configured
+// capacity — the simulated equivalent of a rank running out of HBM.
+type ErrCapacity struct {
+	Need, Have, Capacity int
+}
+
+func (e *ErrCapacity) Error() string {
+	return fmt.Sprintf("kvcache: appending %d tokens exceeds capacity %d (have %d)",
+		e.Need, e.Capacity, e.Have)
+}
+
+// New creates an empty cache.
+func New(cfg Config) (*Cache, error) {
+	if cfg.KVHeads <= 0 || cfg.HeadDim <= 0 {
+		return nil, fmt.Errorf("kvcache: non-positive shape NKV=%d DH=%d", cfg.KVHeads, cfg.HeadDim)
+	}
+	if cfg.PageSize == 0 {
+		cfg.PageSize = DefaultPageSize
+	}
+	if cfg.PageSize < 0 || cfg.Capacity < 0 {
+		return nil, fmt.Errorf("kvcache: negative page size or capacity")
+	}
+	return &Cache{cfg: cfg, seqs: make(map[int]*seqCache)}, nil
+}
+
+// Append stores k/v rows with their global positions for a sequence. The
+// tensors must be [n, NKV, DH] with n == len(pos). Rows with position
+// sharding.Pad (negative) are skipped: the ring algorithms generate padded
+// shards but padding must never enter the persistent cache.
+func (c *Cache) Append(seq int, k, v *tensor.Tensor, pos []int) error {
+	if k.Tokens != v.Tokens || k.Tokens != len(pos) {
+		return fmt.Errorf("kvcache: k=%d v=%d pos=%d rows disagree", k.Tokens, v.Tokens, len(pos))
+	}
+	if k.Heads != c.cfg.KVHeads || k.Dim != c.cfg.HeadDim || v.Heads != c.cfg.KVHeads || v.Dim != c.cfg.HeadDim {
+		return fmt.Errorf("kvcache: shape %s does not match cache [%d %d]", k.ShapeString(), c.cfg.KVHeads, c.cfg.HeadDim)
+	}
+	real := 0
+	for _, p := range pos {
+		if p >= 0 {
+			real++
+		}
+	}
+	if c.cfg.Capacity > 0 && c.total+real > c.cfg.Capacity {
+		return &ErrCapacity{Need: real, Have: c.total, Capacity: c.cfg.Capacity}
+	}
+	sc := c.seqs[seq]
+	if sc == nil {
+		sc = &seqCache{}
+		c.seqs[seq] = sc
+	}
+	for i, p := range pos {
+		if p < 0 {
+			continue
+		}
+		sc.appendRow(c.cfg, k.Row2D(i), v.Row2D(i), p)
+		c.total++
+	}
+	return nil
+}
+
+func (s *seqCache) appendRow(cfg Config, kRow, vRow []float32, pos int) {
+	var pg *page
+	if n := len(s.pages); n > 0 && s.pages[n-1].fill < cfg.PageSize {
+		pg = s.pages[n-1]
+	} else {
+		pg = &page{
+			k:   tensor.New(cfg.PageSize, cfg.KVHeads, cfg.HeadDim),
+			v:   tensor.New(cfg.PageSize, cfg.KVHeads, cfg.HeadDim),
+			pos: make([]int, 0, cfg.PageSize),
+		}
+		s.pages = append(s.pages, pg)
+	}
+	copy(pg.k.Row2D(pg.fill), kRow)
+	copy(pg.v.Row2D(pg.fill), vRow)
+	pg.pos = append(pg.pos, pos)
+	pg.fill++
+}
+
+// Get materializes the cached K, V and positions of a sequence as contiguous
+// tensors, in append order. Returns empty tensors for unknown sequences.
+func (c *Cache) Get(seq int) (k, v *tensor.Tensor, pos []int) {
+	sc := c.seqs[seq]
+	n := c.SeqLen(seq)
+	k = tensor.New(n, c.cfg.KVHeads, c.cfg.HeadDim)
+	v = tensor.New(n, c.cfg.KVHeads, c.cfg.HeadDim)
+	pos = make([]int, 0, n)
+	if sc == nil {
+		return k, v, pos
+	}
+	row := 0
+	for _, pg := range sc.pages {
+		for i := 0; i < pg.fill; i++ {
+			copy(k.Row2D(row), pg.k.Row2D(i))
+			copy(v.Row2D(row), pg.v.Row2D(i))
+			pos = append(pos, pg.pos[i])
+			row++
+		}
+	}
+	return k, v, pos
+}
+
+// SeqLen returns the number of cached tokens for a sequence.
+func (c *Cache) SeqLen(seq int) int {
+	sc := c.seqs[seq]
+	if sc == nil {
+		return 0
+	}
+	n := 0
+	for _, pg := range sc.pages {
+		n += pg.fill
+	}
+	return n
+}
+
+// MaxPos returns the largest cached global position for a sequence, or -1 if
+// the sequence is empty. The engine uses it to validate monotonic growth.
+func (c *Cache) MaxPos(seq int) int {
+	sc := c.seqs[seq]
+	m := -1
+	if sc == nil {
+		return m
+	}
+	for _, pg := range sc.pages {
+		for i := 0; i < pg.fill; i++ {
+			if pg.pos[i] > m {
+				m = pg.pos[i]
+			}
+		}
+	}
+	return m
+}
+
+// TotalTokens returns the rank-wide cached token count across sequences.
+func (c *Cache) TotalTokens() int { return c.total }
+
+// NumPages returns the allocated page count for a sequence.
+func (c *Cache) NumPages(seq int) int {
+	sc := c.seqs[seq]
+	if sc == nil {
+		return 0
+	}
+	return len(sc.pages)
+}
+
+// Capacity returns the configured token capacity (0 = unlimited).
+func (c *Cache) Capacity() int { return c.cfg.Capacity }
+
+// Drop evicts a sequence, freeing its capacity. Dropping an unknown sequence
+// is a no-op.
+func (c *Cache) Drop(seq int) {
+	if sc := c.seqs[seq]; sc != nil {
+		c.total -= c.SeqLen(seq)
+		delete(c.seqs, seq)
+	}
+}
+
+// Sequences returns the cached sequence ids in ascending order.
+func (c *Cache) Sequences() []int {
+	out := make([]int, 0, len(c.seqs))
+	for s := range c.seqs {
+		out = append(out, s)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// BytesUsed returns the cache footprint in bytes at the given element width
+// and layer count, using the paper's 2*NKV*DH*e per token per layer.
+func (c *Cache) BytesUsed(elemBytes float64, layers int) float64 {
+	return float64(c.total) * 2 * float64(c.cfg.KVHeads) * float64(c.cfg.HeadDim) * elemBytes * float64(layers)
+}

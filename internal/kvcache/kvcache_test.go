@@ -1,0 +1,281 @@
+package kvcache
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func mustNew(t *testing.T, cfg Config) *Cache {
+	t.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{KVHeads: 0, HeadDim: 4}); err == nil {
+		t.Fatal("zero KV heads accepted")
+	}
+	if _, err := New(Config{KVHeads: 2, HeadDim: 4, Capacity: -1}); err == nil {
+		t.Fatal("negative capacity accepted")
+	}
+}
+
+func TestAppendGetRoundTrip(t *testing.T) {
+	c := mustNew(t, Config{KVHeads: 2, HeadDim: 3, PageSize: 4})
+	rng := rand.New(rand.NewSource(1))
+	k := tensor.RandN(rng, 5, 2, 3)
+	v := tensor.RandN(rng, 5, 2, 3)
+	pos := []int{0, 1, 6, 7, 9}
+	if err := c.Append(7, k, v, pos); err != nil {
+		t.Fatal(err)
+	}
+	gk, gv, gpos := c.Get(7)
+	if tensor.MaxAbsDiff(gk, k) != 0 || tensor.MaxAbsDiff(gv, v) != 0 {
+		t.Fatal("Get returned different tensors than appended")
+	}
+	for i, p := range pos {
+		if gpos[i] != p {
+			t.Fatalf("positions = %v, want %v", gpos, pos)
+		}
+	}
+}
+
+func TestAppendSkipsPaddingRows(t *testing.T) {
+	c := mustNew(t, Config{KVHeads: 1, HeadDim: 2})
+	k := tensor.New(4, 1, 2)
+	v := tensor.New(4, 1, 2)
+	k.Set(2, 0, 0, 5)
+	if err := c.Append(0, k, v, []int{0, -1, 3, -1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SeqLen(0); got != 2 {
+		t.Fatalf("SeqLen = %d, want 2 (padding skipped)", got)
+	}
+	gk, _, gpos := c.Get(0)
+	if gpos[0] != 0 || gpos[1] != 3 {
+		t.Fatalf("positions = %v, want [0 3]", gpos)
+	}
+	if gk.At(1, 0, 0) != 5 {
+		t.Fatal("kept wrong rows")
+	}
+}
+
+func TestAppendShapeValidation(t *testing.T) {
+	c := mustNew(t, Config{KVHeads: 2, HeadDim: 3})
+	k := tensor.New(2, 2, 3)
+	vBad := tensor.New(3, 2, 3)
+	if err := c.Append(0, k, vBad, []int{0, 1}); err == nil {
+		t.Fatal("row-count mismatch accepted")
+	}
+	vWrong := tensor.New(2, 1, 3)
+	if err := c.Append(0, k, vWrong, []int{0, 1}); err == nil {
+		t.Fatal("head mismatch accepted")
+	}
+	if err := c.Append(0, k, tensor.New(2, 2, 3), []int{0}); err == nil {
+		t.Fatal("pos length mismatch accepted")
+	}
+}
+
+func TestCapacityEnforced(t *testing.T) {
+	c := mustNew(t, Config{KVHeads: 1, HeadDim: 1, Capacity: 3})
+	mk := func(n int) (*tensor.Tensor, *tensor.Tensor, []int) {
+		pos := make([]int, n)
+		for i := range pos {
+			pos[i] = i
+		}
+		return tensor.New(n, 1, 1), tensor.New(n, 1, 1), pos
+	}
+	k, v, pos := mk(2)
+	if err := c.Append(0, k, v, pos); err != nil {
+		t.Fatal(err)
+	}
+	k, v, pos = mk(2)
+	err := c.Append(1, k, v, pos)
+	var ce *ErrCapacity
+	if !errors.As(err, &ce) {
+		t.Fatalf("expected ErrCapacity, got %v", err)
+	}
+	if ce.Need != 2 || ce.Have != 2 || ce.Capacity != 3 {
+		t.Fatalf("ErrCapacity fields = %+v", ce)
+	}
+	// Padding rows don't count against capacity.
+	k1 := tensor.New(2, 1, 1)
+	if err := c.Append(1, k1, tensor.New(2, 1, 1), []int{5, -1}); err != nil {
+		t.Fatalf("padding counted against capacity: %v", err)
+	}
+	if c.TotalTokens() != 3 {
+		t.Fatalf("TotalTokens = %d, want 3", c.TotalTokens())
+	}
+}
+
+func TestPaging(t *testing.T) {
+	c := mustNew(t, Config{KVHeads: 1, HeadDim: 1, PageSize: 3})
+	for i := 0; i < 7; i++ {
+		k := tensor.New(1, 1, 1)
+		k.Set(0, 0, 0, float32(i))
+		if err := c.Append(0, k, tensor.New(1, 1, 1), []int{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.NumPages(0); got != 3 { // ceil(7/3)
+		t.Fatalf("NumPages = %d, want 3", got)
+	}
+	gk, _, gpos := c.Get(0)
+	for i := 0; i < 7; i++ {
+		if gk.At(i, 0, 0) != float32(i) || gpos[i] != i {
+			t.Fatalf("paged contents wrong at %d: %v %v", i, gk.At(i, 0, 0), gpos[i])
+		}
+	}
+}
+
+func TestMaxPos(t *testing.T) {
+	c := mustNew(t, Config{KVHeads: 1, HeadDim: 1})
+	if c.MaxPos(0) != -1 {
+		t.Fatal("empty MaxPos should be -1")
+	}
+	k := tensor.New(3, 1, 1)
+	if err := c.Append(0, k, tensor.New(3, 1, 1), []int{4, 9, 2}); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.MaxPos(0); got != 9 {
+		t.Fatalf("MaxPos = %d, want 9", got)
+	}
+}
+
+func TestDropFreesCapacity(t *testing.T) {
+	c := mustNew(t, Config{KVHeads: 1, HeadDim: 1, Capacity: 2})
+	k := tensor.New(2, 1, 1)
+	if err := c.Append(3, k, tensor.New(2, 1, 1), []int{0, 1}); err != nil {
+		t.Fatal(err)
+	}
+	c.Drop(3)
+	c.Drop(99) // no-op
+	if c.TotalTokens() != 0 {
+		t.Fatalf("TotalTokens after drop = %d", c.TotalTokens())
+	}
+	if err := c.Append(4, k, tensor.New(2, 1, 1), []int{0, 1}); err != nil {
+		t.Fatalf("capacity not freed by Drop: %v", err)
+	}
+}
+
+func TestSequencesSorted(t *testing.T) {
+	c := mustNew(t, Config{KVHeads: 1, HeadDim: 1})
+	for _, s := range []int{5, 1, 3} {
+		k := tensor.New(1, 1, 1)
+		if err := c.Append(s, k, tensor.New(1, 1, 1), []int{0}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := c.Sequences()
+	want := []int{1, 3, 5}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Sequences = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBytesUsed(t *testing.T) {
+	c := mustNew(t, Config{KVHeads: 8, HeadDim: 128})
+	k := tensor.New(10, 8, 128)
+	if err := c.Append(0, k, tensor.New(10, 8, 128), seqPos(10)); err != nil {
+		t.Fatal(err)
+	}
+	// 10 tokens * 2 * 8 * 128 * 2 bytes * 126 layers = 5160960.
+	if got := c.BytesUsed(2, 126); got != 5160960 {
+		t.Fatalf("BytesUsed = %v, want 5160960", got)
+	}
+}
+
+func TestGetUnknownSequenceEmpty(t *testing.T) {
+	c := mustNew(t, Config{KVHeads: 2, HeadDim: 2})
+	k, v, pos := c.Get(42)
+	if k.Tokens != 0 || v.Tokens != 0 || len(pos) != 0 {
+		t.Fatal("unknown sequence should be empty")
+	}
+}
+
+// Property: appending in multiple slices equals appending all at once —
+// cache contents depend only on the concatenation.
+func TestPropertyAppendSliceInvariance(t *testing.T) {
+	f := func(seed int64, rawN, rawCut uint8) bool {
+		n := int(rawN%12) + 1
+		cut := int(rawCut) % (n + 1)
+		rng := rand.New(rand.NewSource(seed))
+		k := tensor.RandN(rng, n, 2, 2)
+		v := tensor.RandN(rng, n, 2, 2)
+		pos := rng.Perm(n * 2)[:n]
+
+		one, _ := New(Config{KVHeads: 2, HeadDim: 2, PageSize: 3})
+		if err := one.Append(0, k, v, pos); err != nil {
+			return false
+		}
+		two, _ := New(Config{KVHeads: 2, HeadDim: 2, PageSize: 3})
+		if err := two.Append(0, k.SliceTokens(0, cut), v.SliceTokens(0, cut), pos[:cut]); err != nil {
+			return false
+		}
+		if err := two.Append(0, k.SliceTokens(cut, n), v.SliceTokens(cut, n), pos[cut:]); err != nil {
+			return false
+		}
+		k1, v1, p1 := one.Get(0)
+		k2, v2, p2 := two.Get(0)
+		if tensor.MaxAbsDiff(k1, k2) != 0 || tensor.MaxAbsDiff(v1, v2) != 0 {
+			return false
+		}
+		for i := range p1 {
+			if p1[i] != p2[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: TotalTokens equals the sum of SeqLens for any append pattern.
+func TestPropertyTotalMatchesSum(t *testing.T) {
+	f := func(seed int64, rawOps uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c, _ := New(Config{KVHeads: 1, HeadDim: 1, PageSize: 2})
+		ops := int(rawOps%10) + 1
+		for i := 0; i < ops; i++ {
+			seq := rng.Intn(3)
+			n := rng.Intn(4) + 1
+			pos := make([]int, n)
+			for j := range pos {
+				pos[j] = rng.Intn(100)
+			}
+			if err := c.Append(seq, tensor.New(n, 1, 1), tensor.New(n, 1, 1), pos); err != nil {
+				return false
+			}
+			if rng.Intn(4) == 0 {
+				c.Drop(rng.Intn(3))
+			}
+		}
+		sum := 0
+		for _, s := range c.Sequences() {
+			sum += c.SeqLen(s)
+		}
+		return sum == c.TotalTokens()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func seqPos(n int) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}

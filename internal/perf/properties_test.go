@@ -1,0 +1,93 @@
+package perf
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TTFT is monotone in new tokens T at any cached length.
+func TestPropertyPrefillMonotoneInT(t *testing.T) {
+	s := gtt(4, 1)
+	f := func(rawT uint16, rawP uint32, which bool) bool {
+		T := int(rawT)%200000 + 1
+		P := int(rawP) % 500000
+		v := PassKV
+		if which {
+			v = PassQ
+		}
+		return s.Prefill(T+1000, P, v).Total > s.Prefill(T, P, v).Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// At large contexts, adding CP nodes strictly reduces TTFT (the overlap
+// regime of Fig. 6a) while never increasing the KV capacity pressure.
+func TestPropertyPrefillMonotoneInNodes(t *testing.T) {
+	f := func(rawT uint8) bool {
+		T := 64000 + int(rawT)*2000 // 64K..574K
+		prev := gtt(1, 1).Prefill(T, 0, PassKV).Total
+		for _, n := range []int{2, 4, 8, 16} {
+			cur := gtt(n, 1).Prefill(T, 0, PassKV).Total
+			if cur >= prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Decode TTIT is monotone in context length (KV reads grow) and never
+// improves with more CP nodes (§4.3's decode regression).
+func TestPropertyDecodeMonotone(t *testing.T) {
+	f := func(rawCtx uint16, rawB uint8) bool {
+		ctx := int(rawCtx)%500000 + 1000
+		b := int(rawB)%4 + 1
+		s1 := gtt(1, 1)
+		if s1.Decode(ctx+10000, b).Total < s1.Decode(ctx, b).Total {
+			return false
+		}
+		// CP scaling hurts decode.
+		return gtt(4, 1).Decode(ctx, b).Total > s1.Decode(ctx, b).Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The GTI fabric can never beat GTT at equal configuration.
+func TestPropertyGTINeverFaster(t *testing.T) {
+	f := func(rawT uint16, rawN uint8) bool {
+		T := int(rawT)%200000 + 1000
+		n := 1 << (rawN % 3) // 1, 2, 4
+		gttSys := gtt(n, 1)
+		gtiSys := gti(n)
+		return gtiSys.Prefill(T, 0, PassKV).Total >= gttSys.Prefill(T, 0, PassKV).Total-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The oracle never loses to either fixed variant (PrefillBest is a min).
+func TestPropertyOracleIsMin(t *testing.T) {
+	s := gtt(4, 1)
+	f := func(rawT uint16, rawP uint32) bool {
+		T := int(rawT)%128000 + 1
+		P := int(rawP) % 128000
+		best, kv, q := s.PrefillBest(T, P)
+		bestLat := kv.Total
+		if best == PassQ {
+			bestLat = q.Total
+		}
+		return bestLat <= kv.Total && bestLat <= q.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,253 @@
+// Package quantize implements KV-cache quantization, the memory-side
+// optimization the paper positions alongside context parallelism (§2.2):
+// lower-precision KV formats bend the linear growth of the cache, extending
+// how much context a fixed CP group can hold. Symmetric per-(token, head)
+// scaling is used — the row-wise scheme of the paper's FP8 deployment —
+// with INT8 and a simulated E4M3 FP8 codec.
+//
+// Quantization makes attention approximate rather than exact, so unlike the
+// ring algorithms it is not lossless; the tests and the quant experiment
+// quantify the output error against exact attention, and KVBytesPerToken
+// quantifies the capacity gain.
+package quantize
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// Format is a storage precision for cached K/V.
+type Format int
+
+const (
+	// BF16 is the baseline two-byte format (no quantization error here; the
+	// functional layer stores float32 and BF16 rounding is not modeled).
+	BF16 Format = iota
+	// INT8 stores one signed byte per element with a per-(token, head) scale.
+	INT8
+	// FP8 simulates E4M3: 4 exponent bits, 3 mantissa bits, per-row scale.
+	FP8
+)
+
+func (f Format) String() string {
+	switch f {
+	case BF16:
+		return "bf16"
+	case INT8:
+		return "int8"
+	case FP8:
+		return "fp8-e4m3"
+	default:
+		return fmt.Sprintf("format(%d)", int(f))
+	}
+}
+
+// Bytes returns the per-element storage of the format (scales amortize to
+// one float per head-row and are ignored, as in deployed cache layouts).
+func (f Format) Bytes() float64 {
+	switch f {
+	case BF16:
+		return 2
+	case INT8, FP8:
+		return 1
+	default:
+		return 2
+	}
+}
+
+// Quantized is a quantized [tokens, heads, dim] tensor.
+type Quantized struct {
+	Format      Format
+	Tokens, Dim int
+	Heads       int
+	data        []int8    // INT8 codes or FP8 bit patterns (as int8)
+	scales      []float32 // per (token, head)
+	passthrough *tensor.Tensor
+}
+
+// Quantize encodes a tensor in the given format.
+func Quantize(t *tensor.Tensor, f Format) (*Quantized, error) {
+	q := &Quantized{Format: f, Tokens: t.Tokens, Heads: t.Heads, Dim: t.Dim}
+	switch f {
+	case BF16:
+		q.passthrough = t.Clone()
+		return q, nil
+	case INT8:
+		q.data = make([]int8, t.NumElements())
+		q.scales = make([]float32, t.Tokens*t.Heads)
+		for tok := 0; tok < t.Tokens; tok++ {
+			for h := 0; h < t.Heads; h++ {
+				row := t.Row(tok, h)
+				var amax float64
+				for _, v := range row {
+					if a := math.Abs(float64(v)); a > amax {
+						amax = a
+					}
+				}
+				scale := float32(amax / 127)
+				q.scales[tok*t.Heads+h] = scale
+				base := (tok*t.Heads + h) * t.Dim
+				if scale == 0 {
+					continue
+				}
+				for d, v := range row {
+					code := math.Round(float64(v) / float64(scale))
+					if code > 127 {
+						code = 127
+					}
+					if code < -127 {
+						code = -127
+					}
+					q.data[base+d] = int8(code)
+				}
+			}
+		}
+		return q, nil
+	case FP8:
+		q.data = make([]int8, t.NumElements())
+		q.scales = make([]float32, t.Tokens*t.Heads)
+		for tok := 0; tok < t.Tokens; tok++ {
+			for h := 0; h < t.Heads; h++ {
+				row := t.Row(tok, h)
+				var amax float64
+				for _, v := range row {
+					if a := math.Abs(float64(v)); a > amax {
+						amax = a
+					}
+				}
+				// Scale the row so its max lands at E4M3's max normal (448).
+				scale := float32(amax / 448)
+				q.scales[tok*t.Heads+h] = scale
+				base := (tok*t.Heads + h) * t.Dim
+				if scale == 0 {
+					continue
+				}
+				for d, v := range row {
+					q.data[base+d] = encodeE4M3(float64(v) / float64(scale))
+				}
+			}
+		}
+		return q, nil
+	default:
+		return nil, fmt.Errorf("quantize: unknown format %v", f)
+	}
+}
+
+// Dequantize reconstructs a float32 tensor.
+func (q *Quantized) Dequantize() *tensor.Tensor {
+	if q.Format == BF16 {
+		return q.passthrough.Clone()
+	}
+	out := tensor.New(q.Tokens, q.Heads, q.Dim)
+	for tok := 0; tok < q.Tokens; tok++ {
+		for h := 0; h < q.Heads; h++ {
+			scale := q.scales[tok*q.Heads+h]
+			base := (tok*q.Heads + h) * q.Dim
+			row := out.Row(tok, h)
+			for d := range row {
+				switch q.Format {
+				case INT8:
+					row[d] = float32(q.data[base+d]) * scale
+				case FP8:
+					row[d] = float32(decodeE4M3(q.data[base+d])) * scale
+				}
+			}
+		}
+	}
+	return out
+}
+
+// encodeE4M3 rounds x to the nearest E4M3 representable value and returns
+// its bit pattern (sign, 4-bit exponent with bias 7, 3-bit mantissa).
+func encodeE4M3(x float64) int8 {
+	if x == 0 || math.IsNaN(x) {
+		return 0
+	}
+	sign := int8(0)
+	if x < 0 {
+		sign = -0x80 // sign bit
+		x = -x
+	}
+	if x > 448 {
+		x = 448
+	}
+	exp := math.Floor(math.Log2(x))
+	if exp < -6 {
+		// Subnormal: mantissa steps of 2^-9.
+		m := math.Round(x / math.Pow(2, -9))
+		if m > 7 {
+			m = 7
+		}
+		return sign | int8(m)
+	}
+	if exp > 8 {
+		exp = 8
+	}
+	mant := math.Round(x/math.Pow(2, exp)*8) - 8 // fractional part in [0,8)
+	if mant >= 8 {
+		exp++
+		mant = 0
+		if exp > 8 {
+			exp = 8
+			mant = 7
+		}
+	}
+	if mant < 0 {
+		mant = 0
+	}
+	e := int8(exp+7) << 3
+	return sign | e | int8(mant)
+}
+
+// decodeE4M3 inverts encodeE4M3.
+func decodeE4M3(b int8) float64 {
+	neg := b&-0x80 != 0
+	u := uint8(b) & 0x7F
+	exp := int(u >> 3)
+	mant := float64(u & 7)
+	var x float64
+	if exp == 0 {
+		x = mant * math.Pow(2, -9)
+	} else {
+		x = (1 + mant/8) * math.Pow(2, float64(exp-7))
+	}
+	if neg {
+		x = -x
+	}
+	return x
+}
+
+// MaxRelError returns the maximum per-row relative reconstruction error
+// (|x̂−x|∞ per row divided by that row's |x|∞), the quantity the format's
+// error bound constrains.
+func MaxRelError(orig, recon *tensor.Tensor) float64 {
+	worst := 0.0
+	for tok := 0; tok < orig.Tokens; tok++ {
+		for h := 0; h < orig.Heads; h++ {
+			a := orig.Row(tok, h)
+			b := recon.Row(tok, h)
+			var amax, diff float64
+			for d := range a {
+				if v := math.Abs(float64(a[d])); v > amax {
+					amax = v
+				}
+				if v := math.Abs(float64(a[d]) - float64(b[d])); v > diff {
+					diff = v
+				}
+			}
+			if amax == 0 {
+				continue
+			}
+			if r := diff / amax; r > worst {
+				worst = r
+			}
+		}
+	}
+	return worst
+}
+
+// CapacityGain returns how much more context a KV cache holds at the format
+// versus BF16.
+func CapacityGain(f Format) float64 { return BF16.Bytes() / f.Bytes() }

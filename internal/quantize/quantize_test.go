@@ -1,0 +1,171 @@
+package quantize
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/attention"
+	"repro/internal/tensor"
+)
+
+func TestFormatBytes(t *testing.T) {
+	if BF16.Bytes() != 2 || INT8.Bytes() != 1 || FP8.Bytes() != 1 {
+		t.Fatal("format byte widths wrong")
+	}
+	if CapacityGain(INT8) != 2 || CapacityGain(BF16) != 1 {
+		t.Fatal("capacity gains wrong")
+	}
+	if INT8.String() != "int8" || FP8.String() != "fp8-e4m3" {
+		t.Fatal("format names wrong")
+	}
+}
+
+func TestBF16Passthrough(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.RandN(rng, 4, 2, 8)
+	q, err := Quantize(x, BF16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := tensor.MaxAbsDiff(x, q.Dequantize()); d != 0 {
+		t.Fatalf("bf16 passthrough changed values by %v", d)
+	}
+}
+
+func TestINT8ErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	x := tensor.RandN(rng, 16, 4, 16)
+	q, err := Quantize(x, INT8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := MaxRelError(x, q.Dequantize())
+	// Symmetric int8: error <= scale/2 = amax/254 per row.
+	if rel > 1.0/254+1e-6 {
+		t.Fatalf("int8 relative error %v exceeds bound %v", rel, 1.0/254)
+	}
+	if rel == 0 {
+		t.Fatal("int8 quantization reported zero error on random data")
+	}
+}
+
+func TestFP8ErrorBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	x := tensor.RandN(rng, 16, 4, 16)
+	q, err := Quantize(x, FP8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := MaxRelError(x, q.Dequantize())
+	// E4M3 relative precision is 2^-4 per value at worst near the bottom of
+	// a binade; per-row normalization keeps values in range.
+	if rel > 0.07 {
+		t.Fatalf("fp8 relative error %v too large", rel)
+	}
+}
+
+func TestZeroRowsSurvive(t *testing.T) {
+	x := tensor.New(3, 2, 4)
+	for _, f := range []Format{INT8, FP8} {
+		q, err := Quantize(x, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if d := tensor.MaxAbsDiff(x, q.Dequantize()); d != 0 {
+			t.Fatalf("%v: zero tensor reconstructed with diff %v", f, d)
+		}
+	}
+}
+
+func TestE4M3RoundTripValues(t *testing.T) {
+	// Exactly representable values must round-trip bit-exactly.
+	for _, v := range []float64{0, 1, -1, 2, 448, -448, 0.5, 1.5, -3.5, 0.015625} {
+		got := decodeE4M3(encodeE4M3(v))
+		if got != v {
+			t.Fatalf("E4M3 round trip of %v gave %v", v, got)
+		}
+	}
+	// Values above max normal clamp to 448.
+	if got := decodeE4M3(encodeE4M3(10000)); got != 448 {
+		t.Fatalf("clamp gave %v", got)
+	}
+}
+
+func TestPropertyE4M3Monotoneish(t *testing.T) {
+	// Quantization error is bounded by an eighth of the binade step.
+	f := func(raw uint16) bool {
+		x := float64(raw)/100 + 0.001 // (0, 655]
+		got := decodeE4M3(encodeE4M3(x))
+		step := math.Pow(2, math.Floor(math.Log2(x))) / 8
+		return math.Abs(got-x) <= step/2+1e-12 || x > 448
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The downstream question: how much does quantized KV perturb attention
+// output? INT8 must stay within ~1% on random workloads.
+func TestAttentionErrorUnderQuantizedKV(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	T := 12
+	q := tensor.RandN(rng, T, 8, 8)
+	k := tensor.RandN(rng, T, 2, 8)
+	v := tensor.RandN(rng, T, 2, 8)
+	m := attention.FullCausal(T)
+	exact, err := attention.GQA(q, k, v, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range []Format{INT8, FP8} {
+		kq, err := Quantize(k, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vq, err := Quantize(v, f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		approx, err := attention.GQA(q, kq.Dequantize(), vq.Dequantize(), m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := tensor.MaxAbsDiff(exact.O, approx.O)
+		if d == 0 {
+			t.Fatalf("%v: suspiciously exact", f)
+		}
+		if d > 0.15 {
+			t.Fatalf("%v: attention output error %v too large", f, d)
+		}
+	}
+}
+
+func TestPropertyINT8RowScaleInvariance(t *testing.T) {
+	// Scaling a row by a positive constant scales the reconstruction by the
+	// same constant (symmetric per-row quantization is scale-equivariant).
+	f := func(seed int64, rawScale uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		scale := float32(rawScale%50) + 1
+		x := tensor.RandN(rng, 2, 1, 8)
+		y := x.Clone()
+		y.Scale(scale)
+		qx, err1 := Quantize(x, INT8)
+		qy, err2 := Quantize(y, INT8)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		rx := qx.Dequantize()
+		ry := qy.Dequantize()
+		for i := range rx.Data {
+			if math.Abs(float64(rx.Data[i]*scale-ry.Data[i])) > 1e-3*float64(scale) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}

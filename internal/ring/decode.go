@@ -1,0 +1,159 @@
+package ring
+
+import (
+	"fmt"
+
+	"repro/internal/attention"
+	"repro/internal/comm"
+	"repro/internal/kvcache"
+	"repro/internal/tensor"
+)
+
+// DecodeToken is one sequence's decode token assigned to a rank for the
+// current step.
+type DecodeToken struct {
+	Seq int // batch sequence id
+	Pos int // global position of the new token (== context length so far)
+}
+
+// DecodeInput is one rank's view of a batched decode step (Algorithm 4).
+type DecodeInput struct {
+	Rank    *comm.Rank
+	NumSeqs int           // batch size B
+	Owned   []DecodeToken // tokens assigned to this rank this step
+	// Q, K, V rows align with Owned: Q is [len(Owned), NH, DH], K and V are
+	// [len(Owned), NKV, DH] — the projections of each owned decode token.
+	Q, K, V *tensor.Tensor
+	Cache   *kvcache.Cache // this rank's shard of every sequence's KV
+	Elem    float64
+}
+
+func (in *DecodeInput) validate() error {
+	if in.Rank == nil || in.Cache == nil {
+		return fmt.Errorf("ring: decode needs rank and cache")
+	}
+	if in.NumSeqs <= 0 {
+		return fmt.Errorf("ring: decode batch size %d", in.NumSeqs)
+	}
+	if in.Q.Tokens != len(in.Owned) || in.K.Tokens != len(in.Owned) || in.V.Tokens != len(in.Owned) {
+		return fmt.Errorf("ring: decode rows %d/%d/%d, want %d owned",
+			in.Q.Tokens, in.K.Tokens, in.V.Tokens, len(in.Owned))
+	}
+	if in.Elem <= 0 {
+		return fmt.Errorf("ring: non-positive element size %v", in.Elem)
+	}
+	for _, tok := range in.Owned {
+		if tok.Seq < 0 {
+			return fmt.Errorf("ring: negative sequence id %d", tok.Seq)
+		}
+	}
+	return nil
+}
+
+// blockLen returns the padded per-rank decode block size: the paper pads the
+// number of queries to be divisible by the number of ranks, which for B=1
+// means every rank processes one (possibly padding) query (§4.3).
+func decodeBlockLen(numSeqs, n int) int { return (numSeqs + n - 1) / n }
+
+// PassQDecode runs Algorithm 4 on one rank: the rank first appends its owned
+// decode tokens' K/V to its cache shard, then circulates the padded query
+// block (with batch ids) around the ring, computing each visiting query
+// against the local KV shard of that query's sequence. Partial outputs are
+// restored to owner ranks via All2All and merged. The returned output rows
+// align with in.Owned.
+func PassQDecode(in *DecodeInput) (*attention.Output, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	n := in.Rank.N()
+	// Persist the new tokens' KV on the owner rank before attention so each
+	// query can attend to itself through the normal cache path.
+	for i, tok := range in.Owned {
+		if err := in.Cache.Append(tok.Seq, in.K.SliceTokens(i, i+1), in.V.SliceTokens(i, i+1), []int{tok.Pos}); err != nil {
+			return nil, err
+		}
+	}
+	bl := decodeBlockLen(in.NumSeqs, n)
+	q := tensor.New(bl, in.Q.Heads, in.Q.Dim)
+	bids := make([]int, bl)
+	pos := make([]int, bl)
+	for i := range bids {
+		bids[i] = -1
+		pos[i] = -1
+	}
+	for i, tok := range in.Owned {
+		if i >= bl {
+			return nil, fmt.Errorf("ring: rank %d owns %d tokens > block %d", in.Rank.ID, len(in.Owned), bl)
+		}
+		copy(q.Row2D(i), in.Q.Row2D(i))
+		bids[i] = tok.Seq
+		pos[i] = tok.Pos
+	}
+	cur := &qBlock{q: q, pos: pos, seq: bids}
+	next := (in.Rank.ID + 1) % n
+	prev := (in.Rank.ID - 1 + n) % n
+	partials := make([]*attention.Output, n)
+	src := in.Rank.ID
+	for j := 0; j < n; j++ {
+		var recvErr error
+		var received any
+		if j < n-1 {
+			received, recvErr = in.Rank.SendRecv(next, prev, cur, cur.bytes(in.Elem))
+		}
+		partial, err := decodeBlockAttention(in.Cache, cur)
+		if err != nil {
+			return nil, err
+		}
+		partials[src] = partial
+		if j < n-1 {
+			if recvErr != nil {
+				return nil, recvErr
+			}
+			blk, ok := received.(*qBlock)
+			if !ok {
+				return nil, fmt.Errorf("ring: rank %d received non-Q payload in decode", in.Rank.ID)
+			}
+			cur = blk
+			src = (src - 1 + n) % n
+		}
+	}
+	merged, err := all2allMerge(in.Rank, partials, in.Elem)
+	if err != nil {
+		return nil, err
+	}
+	// Drop padding rows; owned tokens sit at the front of the block.
+	rows := make([]int, len(in.Owned))
+	for i := range rows {
+		rows[i] = i
+	}
+	return merged.GatherTokens(rows), nil
+}
+
+// decodeBlockAttention computes the visiting query block against this rank's
+// KV shard: row r attends to the local cache of sequence seq[r] under the
+// causal position bound pos[r]. Padding rows produce identity outputs.
+func decodeBlockAttention(cache *kvcache.Cache, blk *qBlock) (*attention.Output, error) {
+	out := attention.NewOutput(blk.q.Tokens, blk.q.Heads, blk.q.Dim)
+	for r := 0; r < blk.q.Tokens; r++ {
+		if blk.seq[r] < 0 {
+			continue
+		}
+		k, v, kpos := cache.Get(blk.seq[r])
+		if k.Tokens == 0 {
+			continue
+		}
+		kseq := make([]int, len(kpos))
+		for i := range kseq {
+			kseq[i] = blk.seq[r]
+		}
+		row, err := attention.GQA(blk.q.SliceTokens(r, r+1), k, v, attention.Mask{
+			QPos: []int{blk.pos[r]}, QSeq: []int{blk.seq[r]}, KVPos: kpos, KVSeq: kseq,
+		})
+		if err != nil {
+			return nil, err
+		}
+		copy(out.O.Row2D(r), row.O.Row2D(0))
+		copy(out.LSE[r*out.O.Heads:(r+1)*out.O.Heads], row.LSE)
+	}
+	return out, nil
+}

@@ -1,0 +1,433 @@
+// Package ring implements the paper's ring-attention variants for
+// context-parallel inference:
+//
+//   - PassKVPrefill — fused variable-sequence-length ring pass-KV partial
+//     prefill (Algorithm 2). Key/value shards circulate around the CP ranks
+//     while queries stay put; per-chunk partial outputs are merged locally
+//     with the merge-attention operator.
+//   - PassQPrefill — ring pass-Q partial prefill (Algorithm 3). Query shards
+//     circulate while KV stays put; partial outputs end up scattered across
+//     ranks and are restored to their source ranks with an All2All before
+//     merging.
+//   - PassQDecode — batched ring pass-Q decode (Algorithm 4) with
+//     round-robin, per-step-offset assignment of decode tokens to ranks so
+//     KV-cache growth stays balanced (§3.6).
+//   - AllGatherPrefill — the all-gather pass-KV baseline used in Llama3
+//     training, implemented for the ablation comparison (§3.5.2).
+//
+// All variants are lossless: their outputs are verified against a
+// single-device reference attention in the package tests. Each rank runs in
+// its own goroutine and communicates only through the comm package, so the
+// implementations read like the SPMD pseudo-code in the paper.
+package ring
+
+import (
+	"fmt"
+
+	"repro/internal/attention"
+	"repro/internal/comm"
+	"repro/internal/kvcache"
+	"repro/internal/sharding"
+	"repro/internal/tensor"
+)
+
+// metaBytes is the accounted overhead for per-token metadata (position and
+// sequence/batch ids) attached to a circulating message.
+const metaBytesPerToken = 8
+
+// PrefillInput is one rank's view of a fused varseq (partial) prefill.
+type PrefillInput struct {
+	Rank *comm.Rank           // this rank's communicator
+	Plan *sharding.BatchShard // load-balanced plan over the new tokens
+	P    []int                // per-sequence previously-cached global length P^i
+	// Q, K, V hold the rank's new-token shard in plan order: Q is
+	// [LocalLen, NH, DH]; K and V are [LocalLen, NKV, DH]. Padding slots
+	// must be zero rows (sharding.BatchShard.Shard produces them).
+	Q, K, V *tensor.Tensor
+	Cache   *kvcache.Cache // persistent KV from earlier turns; may be nil
+	Elem    float64        // accounted bytes per element (e in the paper)
+	// SeqIDs maps each batch-plan sequence index to its persistent cache
+	// key, so an engine can prefill different batch compositions against
+	// long-lived conversations. Nil means the identity mapping.
+	SeqIDs []int
+}
+
+// seqKey returns the cache key of batch-plan sequence i.
+func (in *PrefillInput) seqKey(i int) int {
+	if in.SeqIDs == nil {
+		return i
+	}
+	return in.SeqIDs[i]
+}
+
+func (in *PrefillInput) validate() error {
+	if in.Rank == nil || in.Plan == nil {
+		return fmt.Errorf("ring: nil rank or plan")
+	}
+	if len(in.P) != len(in.Plan.SeqLens) {
+		return fmt.Errorf("ring: P has %d entries for %d sequences", len(in.P), len(in.Plan.SeqLens))
+	}
+	want := in.Plan.LocalLen(in.Rank.ID)
+	if in.Q.Tokens != want || in.K.Tokens != want || in.V.Tokens != want {
+		return fmt.Errorf("ring: local shard length %d/%d/%d, want %d",
+			in.Q.Tokens, in.K.Tokens, in.V.Tokens, want)
+	}
+	if in.Elem <= 0 {
+		return fmt.Errorf("ring: non-positive element size %v", in.Elem)
+	}
+	if in.SeqIDs != nil && len(in.SeqIDs) != len(in.Plan.SeqLens) {
+		return fmt.Errorf("ring: %d seq ids for %d sequences", len(in.SeqIDs), len(in.Plan.SeqLens))
+	}
+	return nil
+}
+
+// qMask builds the query-side mask of a rank's local shard: global position
+// P^i + p for slot of sequence i at new-token position p, Pad slots masked.
+func (in *PrefillInput) qMask() (pos, seq []int) {
+	lp := in.Plan.LocalPositions(in.Rank.ID)
+	ls := in.Plan.LocalSeqs(in.Rank.ID)
+	pos = make([]int, len(lp))
+	seq = append([]int(nil), ls...)
+	for i, p := range lp {
+		if p == sharding.Pad {
+			pos[i] = -1
+		} else {
+			pos[i] = in.P[ls[i]] + p
+		}
+	}
+	return pos, seq
+}
+
+// kvBlock is the circulating payload of pass-KV: key/value rows plus their
+// global positions and sequence ids (padding rows carry pos -1).
+type kvBlock struct {
+	k, v *tensor.Tensor
+	pos  []int
+	seq  []int
+}
+
+func (b *kvBlock) bytes(elem float64) float64 {
+	return b.k.Bytes(elem) + b.v.Bytes(elem) + float64(len(b.pos))*metaBytesPerToken
+}
+
+// qBlock is the circulating payload of pass-Q: query rows plus mask data.
+type qBlock struct {
+	q   *tensor.Tensor
+	pos []int
+	seq []int
+}
+
+func (b *qBlock) bytes(elem float64) float64 {
+	return b.q.Bytes(elem) + float64(len(b.pos))*metaBytesPerToken
+}
+
+// oBlock is a partial attention output transported by the pass-Q All2All:
+// output embeddings plus per-(token, head) LSE.
+type oBlock struct {
+	out *attention.Output
+}
+
+func (b *oBlock) bytes(elem float64) float64 {
+	// Output payload plus one LSE scalar per (token, head), as in the
+	// paper's All2All cost (N-1)(D+1)Te (Appendix C).
+	return b.out.O.Bytes(elem) + float64(len(b.out.LSE))*elem
+}
+
+// localKV assembles this rank's stationary/initial KV block: for every
+// sequence, the cached rows followed by the rank's new non-padding rows,
+// padded to the agreed per-sequence length L_i (Algorithm 2's
+// concat_i(pad(P_k^i + T_k^i, L_i))). padTo[i] < 0 means "no padding".
+func (in *PrefillInput) localKV(padTo []int) (*kvBlock, error) {
+	nkv, dh := in.K.Heads, in.K.Dim
+	blocks := make([]*tensor.Tensor, 0, 2*len(in.Plan.SeqLens))
+	vblocks := make([]*tensor.Tensor, 0, 2*len(in.Plan.SeqLens))
+	var pos, seq []int
+	lp := in.Plan.LocalPositions(in.Rank.ID)
+	ls := in.Plan.LocalSeqs(in.Rank.ID)
+	for i := range in.Plan.SeqLens {
+		segTokens := 0
+		if in.Cache != nil {
+			ck, cv, cpos := in.Cache.Get(in.seqKey(i))
+			if ck.Tokens > 0 {
+				blocks = append(blocks, ck)
+				vblocks = append(vblocks, cv)
+				pos = append(pos, cpos...)
+				for range cpos {
+					seq = append(seq, i)
+				}
+				segTokens += ck.Tokens
+			}
+		}
+		// New rows of sequence i on this rank, skipping padding slots.
+		rows := make([]int, 0)
+		for slot, s := range ls {
+			if s == i && lp[slot] != sharding.Pad {
+				rows = append(rows, slot)
+			}
+		}
+		if len(rows) > 0 {
+			blocks = append(blocks, in.K.Gather(rows))
+			vblocks = append(vblocks, in.V.Gather(rows))
+			for _, slot := range rows {
+				pos = append(pos, in.P[i]+lp[slot])
+				seq = append(seq, i)
+			}
+			segTokens += len(rows)
+		}
+		if padTo != nil && padTo[i] >= 0 {
+			if segTokens > padTo[i] {
+				return nil, fmt.Errorf("ring: rank %d sequence %d has %d KV rows > pad target %d",
+					in.Rank.ID, i, segTokens, padTo[i])
+			}
+			if n := padTo[i] - segTokens; n > 0 {
+				blocks = append(blocks, tensor.New(n, nkv, dh))
+				vblocks = append(vblocks, tensor.New(n, nkv, dh))
+				for j := 0; j < n; j++ {
+					pos = append(pos, -1)
+					seq = append(seq, i)
+				}
+			}
+		}
+	}
+	k := tensor.Concat(blocks...)
+	v := tensor.Concat(vblocks...)
+	if k.Tokens == 0 {
+		k = tensor.New(0, nkv, dh)
+		v = tensor.New(0, nkv, dh)
+	}
+	return &kvBlock{k: k, v: v, pos: pos, seq: seq}, nil
+}
+
+// agreeSegmentLengths computes L_i = max_j(P_j^i + T_j^i) for every sequence
+// by exchanging per-rank segment lengths (a tiny metadata AllGather, 8 bytes
+// per sequence).
+func agreeSegmentLengths(in *PrefillInput) ([]int, error) {
+	mine := make([]int, len(in.Plan.SeqLens))
+	lp := in.Plan.LocalPositions(in.Rank.ID)
+	ls := in.Plan.LocalSeqs(in.Rank.ID)
+	for i := range mine {
+		n := 0
+		if in.Cache != nil {
+			n = in.Cache.SeqLen(in.seqKey(i))
+		}
+		for slot, s := range ls {
+			if s == i && lp[slot] != sharding.Pad {
+				n++
+			}
+		}
+		mine[i] = n
+	}
+	all, err := in.Rank.AllGather(mine, float64(len(mine))*metaBytesPerToken)
+	if err != nil {
+		return nil, err
+	}
+	max := make([]int, len(mine))
+	for _, a := range all {
+		lens, ok := a.([]int)
+		if !ok || len(lens) != len(mine) {
+			return nil, fmt.Errorf("ring: malformed segment-length gather")
+		}
+		for i, l := range lens {
+			if l > max[i] {
+				max[i] = l
+			}
+		}
+	}
+	return max, nil
+}
+
+// PassKVPrefill runs Algorithm 2 on one rank: the rank's KV block circulates
+// around the ring while the local queries attend to every arriving block;
+// partials merge locally. Returns the local attention output in plan order
+// (padding slots are zero rows).
+func PassKVPrefill(in *PrefillInput) (*attention.Output, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	n := in.Rank.N()
+	segLens, err := agreeSegmentLengths(in)
+	if err != nil {
+		return nil, err
+	}
+	cur, err := in.localKV(segLens)
+	if err != nil {
+		return nil, err
+	}
+	qPos, qSeq := in.qMask()
+	out := attention.NewOutput(in.Q.Tokens, in.Q.Heads, in.Q.Dim)
+	next := (in.Rank.ID + 1) % n
+	prev := (in.Rank.ID - 1 + n) % n
+	for j := 0; j < n; j++ {
+		// Kick off the transfer of the current block, then compute on it —
+		// the overlap the paper relies on. In this simulated transport the
+		// send is buffered, so issuing it first models the same pipeline.
+		var recvErr error
+		var received any
+		if j < n-1 {
+			received, recvErr = in.Rank.SendRecv(next, prev, cur, cur.bytes(in.Elem))
+		}
+		partial, err := attention.GQA(in.Q, cur.k, cur.v, attention.Mask{
+			QPos: qPos, QSeq: qSeq, KVPos: cur.pos, KVSeq: cur.seq,
+		})
+		if err != nil {
+			return nil, err
+		}
+		attention.AccumulateInto(out, partial)
+		if j < n-1 {
+			if recvErr != nil {
+				return nil, recvErr
+			}
+			blk, ok := received.(*kvBlock)
+			if !ok {
+				return nil, fmt.Errorf("ring: rank %d received non-KV payload", in.Rank.ID)
+			}
+			cur = blk
+		}
+	}
+	return out, nil
+}
+
+// PassQPrefill runs Algorithm 3 on one rank: the local KV block stays put
+// while query blocks circulate; after N partial computations the scattered
+// partial outputs are permuted back to their source ranks with an All2All
+// and merged there. Returns the local output in plan order.
+func PassQPrefill(in *PrefillInput) (*attention.Output, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	n := in.Rank.N()
+	kv, err := in.localKV(nil) // stationary KV needs no cross-rank padding
+	if err != nil {
+		return nil, err
+	}
+	qPos, qSeq := in.qMask()
+	cur := &qBlock{q: in.Q, pos: qPos, seq: qSeq}
+	next := (in.Rank.ID + 1) % n
+	prev := (in.Rank.ID - 1 + n) % n
+	partials := make([]*attention.Output, n) // partials[s] = O_s^k for source s
+	src := in.Rank.ID
+	for j := 0; j < n; j++ {
+		var recvErr error
+		var received any
+		if j < n-1 {
+			received, recvErr = in.Rank.SendRecv(next, prev, cur, cur.bytes(in.Elem))
+		}
+		partial, err := attention.GQA(cur.q, kv.k, kv.v, attention.Mask{
+			QPos: cur.pos, QSeq: cur.seq, KVPos: kv.pos, KVSeq: kv.seq,
+		})
+		if err != nil {
+			return nil, err
+		}
+		partials[src] = partial
+		if j < n-1 {
+			if recvErr != nil {
+				return nil, recvErr
+			}
+			blk, ok := received.(*qBlock)
+			if !ok {
+				return nil, fmt.Errorf("ring: rank %d received non-Q payload", in.Rank.ID)
+			}
+			cur = blk
+			src = (src - 1 + n) % n
+		}
+	}
+	return all2allMerge(in.Rank, partials, in.Elem)
+}
+
+// all2allMerge sends partials[s] back to source rank s, receives this rank's
+// partials from every peer, and merges them (the permute + All2All + merge
+// tail of Algorithms 3 and 4).
+func all2allMerge(rank *comm.Rank, partials []*attention.Output, elem float64) (*attention.Output, error) {
+	n := rank.N()
+	msgs := make([]any, n)
+	sizes := make([]float64, n)
+	for s := 0; s < n; s++ {
+		blk := &oBlock{out: partials[s]}
+		msgs[s] = blk
+		sizes[s] = blk.bytes(elem)
+	}
+	got, err := rank.All2All(msgs, sizes)
+	if err != nil {
+		return nil, err
+	}
+	mine := make([]*attention.Output, 0, n)
+	for src := 0; src < n; src++ {
+		blk, ok := got[src].(*oBlock)
+		if !ok {
+			return nil, fmt.Errorf("ring: rank %d received non-output payload in All2All", rank.ID)
+		}
+		mine = append(mine, blk.out)
+	}
+	return attention.Merge(mine...), nil
+}
+
+// AllGatherPrefill is the ablation baseline (§3.5.2): every rank gathers all
+// KV up front, then computes local attention in one shot. Same result as the
+// ring variants, but the gather sits on the critical path.
+func AllGatherPrefill(in *PrefillInput) (*attention.Output, error) {
+	if err := in.validate(); err != nil {
+		return nil, err
+	}
+	local, err := in.localKV(nil)
+	if err != nil {
+		return nil, err
+	}
+	gathered, err := in.Rank.AllGather(local, local.bytes(in.Elem))
+	if err != nil {
+		return nil, err
+	}
+	ks := make([]*tensor.Tensor, 0, len(gathered))
+	vs := make([]*tensor.Tensor, 0, len(gathered))
+	var pos, seq []int
+	for _, g := range gathered {
+		blk, ok := g.(*kvBlock)
+		if !ok {
+			return nil, fmt.Errorf("ring: rank %d gathered non-KV payload", in.Rank.ID)
+		}
+		if blk.k.Tokens == 0 {
+			continue
+		}
+		ks = append(ks, blk.k)
+		vs = append(vs, blk.v)
+		pos = append(pos, blk.pos...)
+		seq = append(seq, blk.seq...)
+	}
+	qPos, qSeq := in.qMask()
+	k := tensor.Concat(ks...)
+	v := tensor.Concat(vs...)
+	if k.Tokens == 0 {
+		k = tensor.New(0, in.K.Heads, in.K.Dim)
+		v = tensor.New(0, in.K.Heads, in.K.Dim)
+	}
+	return attention.GQA(in.Q, k, v, attention.Mask{QPos: qPos, QSeq: qSeq, KVPos: pos, KVSeq: seq})
+}
+
+// AppendLocalKV persists a rank's new-token KV shard into its cache with
+// global positions, skipping padding slots. Call after a prefill so later
+// turns and decode see the tokens. seqIDs maps batch-plan indices to cache
+// keys (nil = identity).
+func AppendLocalKV(cache *kvcache.Cache, plan *sharding.BatchShard, rankID int, p, seqIDs []int, k, v *tensor.Tensor) error {
+	lp := plan.LocalPositions(rankID)
+	ls := plan.LocalSeqs(rankID)
+	for i := range plan.SeqLens {
+		rows := make([]int, 0)
+		pos := make([]int, 0)
+		for slot, s := range ls {
+			if s == i && lp[slot] != sharding.Pad {
+				rows = append(rows, slot)
+				pos = append(pos, p[i]+lp[slot])
+			}
+		}
+		if len(rows) == 0 {
+			continue
+		}
+		key := i
+		if seqIDs != nil {
+			key = seqIDs[i]
+		}
+		if err := cache.Append(key, k.Gather(rows), v.Gather(rows), pos); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+// Package server exposes the context-parallel transformer cluster behind an
+// HTTP/JSON inference API with a prefill/decode-aware request scheduler.
+//
+// The paper's deployment guidance (§4.3) is that context parallelism is
+// best leveraged by a serving system that decouples prefill from decode:
+// CP sharply improves prefill latency at a decode penalty. The scheduler
+// here implements the single-host form of that advice — separate queues for
+// prefill and decode work with a configurable policy — and reports queueing
+// delay per class so the trade-off is observable.
+package server
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Policy selects how the worker drains the two queues.
+type Policy int
+
+const (
+	// FIFO interleaves prefill and decode in arrival order.
+	FIFO Policy = iota
+	// PrefillFirst always prefers waiting prefill work, minimizing TTFT at
+	// the cost of decode tail latency — the CP-friendly schedule.
+	PrefillFirst
+)
+
+func (p Policy) String() string {
+	switch p {
+	case FIFO:
+		return "fifo"
+	case PrefillFirst:
+		return "prefill-first"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// Class labels a request for scheduling and accounting.
+type Class string
+
+const (
+	ClassPrefill Class = "prefill"
+	ClassDecode  Class = "decode"
+)
+
+type task struct {
+	class    Class
+	seq      uint64
+	enqueued time.Time
+	run      func()
+	done     chan struct{}
+}
+
+// QueueStats aggregates per-class scheduling metrics.
+type QueueStats struct {
+	Executed  int64
+	TotalWait time.Duration
+	MaxWait   time.Duration
+}
+
+// MeanWait returns the average queueing delay.
+func (q QueueStats) MeanWait() time.Duration {
+	if q.Executed == 0 {
+		return 0
+	}
+	return q.TotalWait / time.Duration(q.Executed)
+}
+
+// Scheduler serializes cluster work (the simulated cluster is single-user)
+// while letting the policy reorder across classes.
+type Scheduler struct {
+	policy Policy
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	prefills []*task
+	decodes  []*task
+	seq      uint64
+	closed   bool
+	stats    map[Class]*QueueStats
+}
+
+// NewScheduler starts the worker goroutine.
+func NewScheduler(policy Policy) *Scheduler {
+	s := &Scheduler{policy: policy, stats: map[Class]*QueueStats{
+		ClassPrefill: {}, ClassDecode: {},
+	}}
+	s.cond = sync.NewCond(&s.mu)
+	go s.worker()
+	return s
+}
+
+// Submit enqueues fn under the given class and blocks until it has run.
+// Returns an error if the scheduler is closed.
+func (s *Scheduler) Submit(class Class, fn func()) error {
+	t := &task{class: class, enqueued: time.Now(), run: fn, done: make(chan struct{})}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("server: scheduler closed")
+	}
+	s.seq++
+	t.seq = s.seq
+	switch class {
+	case ClassPrefill:
+		s.prefills = append(s.prefills, t)
+	case ClassDecode:
+		s.decodes = append(s.decodes, t)
+	default:
+		s.mu.Unlock()
+		return fmt.Errorf("server: unknown class %q", class)
+	}
+	s.cond.Signal()
+	s.mu.Unlock()
+	<-t.done
+	return nil
+}
+
+// next pops the task the policy prefers; caller holds s.mu.
+func (s *Scheduler) next() *task {
+	switch {
+	case len(s.prefills) == 0 && len(s.decodes) == 0:
+		return nil
+	case len(s.prefills) == 0:
+		t := s.decodes[0]
+		s.decodes = s.decodes[1:]
+		return t
+	case len(s.decodes) == 0:
+		t := s.prefills[0]
+		s.prefills = s.prefills[1:]
+		return t
+	}
+	if s.policy == PrefillFirst || s.prefills[0].seq < s.decodes[0].seq {
+		t := s.prefills[0]
+		s.prefills = s.prefills[1:]
+		return t
+	}
+	t := s.decodes[0]
+	s.decodes = s.decodes[1:]
+	return t
+}
+
+func (s *Scheduler) worker() {
+	for {
+		s.mu.Lock()
+		for !s.closed && len(s.prefills) == 0 && len(s.decodes) == 0 {
+			s.cond.Wait()
+		}
+		if s.closed && len(s.prefills) == 0 && len(s.decodes) == 0 {
+			s.mu.Unlock()
+			return
+		}
+		t := s.next()
+		wait := time.Since(t.enqueued)
+		st := s.stats[t.class]
+		st.Executed++
+		st.TotalWait += wait
+		if wait > st.MaxWait {
+			st.MaxWait = wait
+		}
+		s.mu.Unlock()
+
+		t.run()
+		close(t.done)
+	}
+}
+
+// Stats snapshots per-class queue metrics.
+func (s *Scheduler) Stats() map[Class]QueueStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[Class]QueueStats, len(s.stats))
+	for c, st := range s.stats {
+		out[c] = *st
+	}
+	return out
+}
+
+// Close drains queued work and stops the worker; subsequent Submits fail.
+func (s *Scheduler) Close() {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}

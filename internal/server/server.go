@@ -1,0 +1,316 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/perf"
+	"repro/internal/transformer"
+)
+
+// Config sizes the inference server.
+type Config struct {
+	Transformer transformer.Config
+	Ranks       int
+	Policy      Policy
+	// Variant selects the prefill ring algorithm; decode always rides
+	// pass-Q. Defaults to pass-KV.
+	Variant perf.Variant
+}
+
+// Server is an HTTP inference frontend over one context-parallel cluster.
+//
+//	POST   /v1/generate  {"session":1,"prompt":[..],"max_tokens":8}
+//	POST   /v1/prefill   {"session":1,"tokens":[..]}
+//	POST   /v1/decode    {"session":1,"token":5}
+//	GET    /v1/stats
+//	DELETE /v1/session/{id}
+type Server struct {
+	cfg     Config
+	cluster *transformer.Cluster
+	sched   *Scheduler
+
+	mu       sync.Mutex
+	sessions map[int]bool
+	started  time.Time
+}
+
+// New builds the server and its cluster.
+func New(cfg Config) (*Server, error) {
+	if cfg.Ranks <= 0 {
+		return nil, fmt.Errorf("server: non-positive rank count %d", cfg.Ranks)
+	}
+	w, err := transformer.NewWeights(cfg.Transformer)
+	if err != nil {
+		return nil, err
+	}
+	cluster, err := transformer.NewCluster(w, cfg.Ranks)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:      cfg,
+		cluster:  cluster,
+		sched:    NewScheduler(cfg.Policy),
+		sessions: make(map[int]bool),
+		started:  time.Now(),
+	}, nil
+}
+
+// Close stops the scheduler.
+func (s *Server) Close() { s.sched.Close() }
+
+// Handler returns the HTTP routing for the API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/generate", s.handleGenerate)
+	mux.HandleFunc("/v1/prefill", s.handlePrefill)
+	mux.HandleFunc("/v1/decode", s.handleDecode)
+	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/session/", s.handleSession)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+type generateRequest struct {
+	Session   int   `json:"session"`
+	Prompt    []int `json:"prompt"`
+	MaxTokens int   `json:"max_tokens"`
+}
+
+type generateResponse struct {
+	Tokens []int     `json:"tokens"`
+	TTFTMs float64   `json:"ttft_ms"`
+	TTITMs []float64 `json:"ttit_ms"`
+}
+
+func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req generateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad json: %v", err)
+		return
+	}
+	if len(req.Prompt) == 0 || req.MaxTokens <= 0 {
+		writeErr(w, http.StatusBadRequest, "prompt and max_tokens required")
+		return
+	}
+	resp := generateResponse{}
+	var next int
+	var prefErr error
+	start := time.Now()
+	if err := s.sched.Submit(ClassPrefill, func() {
+		logits, err := s.cluster.Prefill(req.Session, req.Prompt, s.cfg.Variant)
+		if err != nil {
+			prefErr = err
+			return
+		}
+		next = transformer.Argmax(logits[len(logits)-1])
+	}); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if prefErr != nil {
+		writeErr(w, http.StatusBadRequest, "prefill: %v", prefErr)
+		return
+	}
+	s.trackSession(req.Session)
+	resp.TTFTMs = float64(time.Since(start).Microseconds()) / 1000
+
+	for i := 0; i < req.MaxTokens; i++ {
+		resp.Tokens = append(resp.Tokens, next)
+		if i == req.MaxTokens-1 {
+			break
+		}
+		var decErr error
+		var stepNext int
+		stepStart := time.Now()
+		if err := s.sched.Submit(ClassDecode, func() {
+			logits, err := s.cluster.Decode(req.Session, next)
+			if err != nil {
+				decErr = err
+				return
+			}
+			stepNext = transformer.Argmax(logits)
+		}); err != nil {
+			writeErr(w, http.StatusServiceUnavailable, "%v", err)
+			return
+		}
+		if decErr != nil {
+			writeErr(w, http.StatusInternalServerError, "decode: %v", decErr)
+			return
+		}
+		resp.TTITMs = append(resp.TTITMs, float64(time.Since(stepStart).Microseconds())/1000)
+		next = stepNext
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+type prefillRequest struct {
+	Session int   `json:"session"`
+	Tokens  []int `json:"tokens"`
+}
+
+type prefillResponse struct {
+	NextToken  int `json:"next_token"`
+	SessionLen int `json:"session_len"`
+}
+
+func (s *Server) handlePrefill(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req prefillRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad json: %v", err)
+		return
+	}
+	if len(req.Tokens) == 0 {
+		writeErr(w, http.StatusBadRequest, "tokens required")
+		return
+	}
+	var next int
+	var opErr error
+	if err := s.sched.Submit(ClassPrefill, func() {
+		logits, err := s.cluster.Prefill(req.Session, req.Tokens, s.cfg.Variant)
+		if err != nil {
+			opErr = err
+			return
+		}
+		next = transformer.Argmax(logits[len(logits)-1])
+	}); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if opErr != nil {
+		writeErr(w, http.StatusBadRequest, "prefill: %v", opErr)
+		return
+	}
+	s.trackSession(req.Session)
+	writeJSON(w, http.StatusOK, prefillResponse{NextToken: next, SessionLen: s.cluster.SeqLen(req.Session)})
+}
+
+type decodeRequest struct {
+	Session int `json:"session"`
+	Token   int `json:"token"`
+}
+
+func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeErr(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req decodeRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "bad json: %v", err)
+		return
+	}
+	if !s.hasSession(req.Session) {
+		writeErr(w, http.StatusNotFound, "unknown session %d", req.Session)
+		return
+	}
+	var next int
+	var opErr error
+	if err := s.sched.Submit(ClassDecode, func() {
+		logits, err := s.cluster.Decode(req.Session, req.Token)
+		if err != nil {
+			opErr = err
+			return
+		}
+		next = transformer.Argmax(logits)
+	}); err != nil {
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	}
+	if opErr != nil {
+		writeErr(w, http.StatusBadRequest, "decode: %v", opErr)
+		return
+	}
+	writeJSON(w, http.StatusOK, prefillResponse{NextToken: next, SessionLen: s.cluster.SeqLen(req.Session)})
+}
+
+type statsResponse struct {
+	Ranks       int                  `json:"ranks"`
+	Policy      string               `json:"policy"`
+	Sessions    int                  `json:"sessions"`
+	RankKV      []int                `json:"rank_kv_tokens"`
+	CommBytes   float64              `json:"comm_bytes"`
+	UptimeSec   float64              `json:"uptime_sec"`
+	QueueStats  map[Class]QueueStats `json:"queues"`
+	SessionLens map[string]int       `json:"session_lens"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	s.mu.Lock()
+	lens := make(map[string]int, len(s.sessions))
+	count := len(s.sessions)
+	for id := range s.sessions {
+		lens[strconv.Itoa(id)] = s.cluster.SeqLen(id)
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statsResponse{
+		Ranks:       s.cluster.Ranks(),
+		Policy:      s.cfg.Policy.String(),
+		Sessions:    count,
+		RankKV:      s.cluster.RankCacheTokens(),
+		CommBytes:   s.cluster.CommStats().TotalBytes(),
+		UptimeSec:   time.Since(s.started).Seconds(),
+		QueueStats:  s.sched.Stats(),
+		SessionLens: lens,
+	})
+}
+
+func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodDelete {
+		writeErr(w, http.StatusMethodNotAllowed, "DELETE required")
+		return
+	}
+	idStr := strings.TrimPrefix(r.URL.Path, "/v1/session/")
+	id, err := strconv.Atoi(idStr)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad session id %q", idStr)
+		return
+	}
+	if !s.hasSession(id) {
+		writeErr(w, http.StatusNotFound, "unknown session %d", id)
+		return
+	}
+	s.mu.Lock()
+	delete(s.sessions, id)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
+}
+
+func (s *Server) trackSession(id int) {
+	s.mu.Lock()
+	s.sessions[id] = true
+	s.mu.Unlock()
+}
+
+func (s *Server) hasSession(id int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[id]
+}

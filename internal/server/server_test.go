@@ -1,0 +1,339 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/perf"
+	"repro/internal/transformer"
+)
+
+func newTestServer(t *testing.T, policy Policy) (*Server, *httptest.Server) {
+	t.Helper()
+	s, err := New(Config{
+		Transformer: transformer.Tiny(321),
+		Ranks:       2,
+		Policy:      policy,
+		Variant:     perf.PassKV,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func post(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode response: %v", err)
+		}
+	}
+	return resp
+}
+
+func TestGenerateMatchesReference(t *testing.T) {
+	_, ts := newTestServer(t, FIFO)
+	prompt := []int{4, 19, 22, 7, 31}
+	var got generateResponse
+	resp := post(t, ts.URL+"/v1/generate",
+		generateRequest{Session: 1, Prompt: prompt, MaxTokens: 5}, &got)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if len(got.Tokens) != 5 {
+		t.Fatalf("tokens = %v", got.Tokens)
+	}
+	// Oracle: the same weights generate the same stream.
+	w, err := transformer.NewWeights(transformer.Tiny(321))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := w.GenerateReference(prompt, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got.Tokens[i] != want[i] {
+			t.Fatalf("served tokens %v != reference %v", got.Tokens, want)
+		}
+	}
+	if got.TTFTMs <= 0 || len(got.TTITMs) != 4 {
+		t.Fatalf("latency fields: ttft=%v ttit=%v", got.TTFTMs, got.TTITMs)
+	}
+}
+
+func TestPrefillDecodeSessionFlow(t *testing.T) {
+	_, ts := newTestServer(t, FIFO)
+	var pre prefillResponse
+	resp := post(t, ts.URL+"/v1/prefill", prefillRequest{Session: 7, Tokens: []int{1, 2, 3}}, &pre)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("prefill status %d", resp.StatusCode)
+	}
+	if pre.SessionLen != 3 {
+		t.Fatalf("session len = %d", pre.SessionLen)
+	}
+	var dec prefillResponse
+	resp = post(t, ts.URL+"/v1/decode", decodeRequest{Session: 7, Token: pre.NextToken}, &dec)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("decode status %d", resp.StatusCode)
+	}
+	if dec.SessionLen != 4 {
+		t.Fatalf("session len after decode = %d", dec.SessionLen)
+	}
+	// Multi-turn follow-up against the persistent cache.
+	resp = post(t, ts.URL+"/v1/prefill", prefillRequest{Session: 7, Tokens: []int{9, 9}}, &pre)
+	if resp.StatusCode != http.StatusOK || pre.SessionLen != 6 {
+		t.Fatalf("follow-up: status %d len %d", resp.StatusCode, pre.SessionLen)
+	}
+}
+
+func TestDecodeUnknownSession(t *testing.T) {
+	_, ts := newTestServer(t, FIFO)
+	resp := post(t, ts.URL+"/v1/decode", decodeRequest{Session: 99, Token: 1}, nil)
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("status %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, FIFO)
+	// Empty prompt.
+	resp := post(t, ts.URL+"/v1/generate", generateRequest{Session: 1, MaxTokens: 2}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty prompt: status %d", resp.StatusCode)
+	}
+	// Out-of-vocab token.
+	resp = post(t, ts.URL+"/v1/prefill", prefillRequest{Session: 1, Tokens: []int{99999}}, nil)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad token: status %d", resp.StatusCode)
+	}
+	// Bad JSON.
+	r, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad json: status %d", r.StatusCode)
+	}
+	// Wrong method.
+	g, err := http.Get(ts.URL + "/v1/generate")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.Body.Close()
+	if g.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET generate: status %d", g.StatusCode)
+	}
+}
+
+func TestStatsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, PrefillFirst)
+	post(t, ts.URL+"/v1/prefill", prefillRequest{Session: 3, Tokens: []int{5, 6, 7, 8}}, nil)
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Ranks != 2 || st.Policy != "prefill-first" || st.Sessions != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	total := 0
+	for _, n := range st.RankKV {
+		total += n
+	}
+	// 4 tokens x 2 layers spread over ranks.
+	if total != 8 {
+		t.Fatalf("rank KV total = %d, want 8", total)
+	}
+	if st.QueueStats[ClassPrefill].Executed != 1 {
+		t.Fatalf("queue stats = %+v", st.QueueStats)
+	}
+	if st.SessionLens["3"] != 4 {
+		t.Fatalf("session lens = %v", st.SessionLens)
+	}
+}
+
+func TestSessionDelete(t *testing.T) {
+	_, ts := newTestServer(t, FIFO)
+	post(t, ts.URL+"/v1/prefill", prefillRequest{Session: 2, Tokens: []int{1}}, nil)
+	req, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/session/2", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("delete status %d", resp.StatusCode)
+	}
+	// Second delete is a 404.
+	resp2, _ := http.DefaultClient.Do(req)
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Fatalf("re-delete status %d", resp2.StatusCode)
+	}
+	// Bad id.
+	req3, _ := http.NewRequest(http.MethodDelete, ts.URL+"/v1/session/abc", nil)
+	resp3, _ := http.DefaultClient.Do(req3)
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad id status %d", resp3.StatusCode)
+	}
+}
+
+func TestConcurrentSessions(t *testing.T) {
+	_, ts := newTestServer(t, FIFO)
+	var wg sync.WaitGroup
+	errs := make([]error, 4)
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			var out generateResponse
+			resp := post(t, ts.URL+"/v1/generate",
+				generateRequest{Session: id, Prompt: []int{id + 1, id + 2, id + 3}, MaxTokens: 3}, &out)
+			if resp.StatusCode != http.StatusOK {
+				errs[id] = fmt.Errorf("session %d: status %d", id, resp.StatusCode)
+				return
+			}
+			if len(out.Tokens) != 3 {
+				errs[id] = fmt.Errorf("session %d: tokens %v", id, out.Tokens)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// Scheduler unit behaviour: prefill-first jumps the decode queue.
+func TestSchedulerPrefillPriority(t *testing.T) {
+	s := NewScheduler(PrefillFirst)
+	defer s.Close()
+	var mu sync.Mutex
+	var order []Class
+	gate := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // occupy the worker so queues build up
+		defer wg.Done()
+		_ = s.Submit(ClassDecode, func() { <-gate })
+	}()
+	time.Sleep(20 * time.Millisecond) // let the blocker start executing
+	for i := 0; i < 2; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = s.Submit(ClassDecode, func() {
+				mu.Lock()
+				order = append(order, ClassDecode)
+				mu.Unlock()
+			})
+		}()
+	}
+	time.Sleep(20 * time.Millisecond) // decodes enqueued first
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = s.Submit(ClassPrefill, func() {
+			mu.Lock()
+			order = append(order, ClassPrefill)
+			mu.Unlock()
+		})
+	}()
+	time.Sleep(20 * time.Millisecond)
+	close(gate)
+	wg.Wait()
+	if len(order) != 3 || order[0] != ClassPrefill {
+		t.Fatalf("execution order %v, want prefill first", order)
+	}
+	st := s.Stats()
+	if st[ClassPrefill].Executed != 1 || st[ClassDecode].Executed != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestSchedulerFIFOKeepsOrder(t *testing.T) {
+	s := NewScheduler(FIFO)
+	defer s.Close()
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var order []Class
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = s.Submit(ClassDecode, func() { <-gate })
+	}()
+	time.Sleep(20 * time.Millisecond)
+	submit := func(c Class) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			_ = s.Submit(c, func() {
+				mu.Lock()
+				order = append(order, c)
+				mu.Unlock()
+			})
+		}()
+		time.Sleep(20 * time.Millisecond)
+	}
+	submit(ClassDecode)
+	submit(ClassPrefill)
+	submit(ClassDecode)
+	close(gate)
+	wg.Wait()
+	want := []Class{ClassDecode, ClassPrefill, ClassDecode}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("fifo order %v, want %v", order, want)
+		}
+	}
+}
+
+func TestSchedulerClosedRejects(t *testing.T) {
+	s := NewScheduler(FIFO)
+	s.Close()
+	if err := s.Submit(ClassPrefill, func() {}); err == nil {
+		t.Fatal("closed scheduler accepted work")
+	}
+}
+
+func TestNewServerValidation(t *testing.T) {
+	if _, err := New(Config{Transformer: transformer.Tiny(1), Ranks: 0}); err == nil {
+		t.Fatal("zero ranks accepted")
+	}
+	bad := transformer.Tiny(1)
+	bad.Model.VocabSize = 0
+	if _, err := New(Config{Transformer: bad, Ranks: 1}); err == nil {
+		t.Fatal("invalid model accepted")
+	}
+}

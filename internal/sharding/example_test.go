@@ -1,0 +1,34 @@
+package sharding_test
+
+import (
+	"fmt"
+
+	"repro/internal/sharding"
+)
+
+// The Figure 1 layout: a sequence split into 2N chunks with rank i taking
+// the mirrored pair (i, 2N-1-i), so early-cheap and late-expensive causal
+// chunks balance.
+func ExampleLoadBalancedPositions() {
+	const T, n = 8, 2
+	for r := 0; r < n; r++ {
+		fmt.Printf("rank %d holds positions %v (causal pairs: %d)\n",
+			r, sharding.LoadBalancedPositions(T, n, r),
+			sharding.CausalPairs(sharding.LoadBalancedPositions(T, n, r)))
+	}
+	// Output:
+	// rank 0 holds positions [0 1 6 7] (causal pairs: 18)
+	// rank 1 holds positions [2 3 4 5] (causal pairs: 18)
+}
+
+// Decode ownership rotates every step so KV growth stays balanced (§3.6).
+func ExampleDecodeOwner() {
+	for step := 0; step < 4; step++ {
+		fmt.Printf("step %d -> rank %d\n", step, sharding.DecodeOwner(0, step, 4))
+	}
+	// Output:
+	// step 0 -> rank 0
+	// step 1 -> rank 1
+	// step 2 -> rank 2
+	// step 3 -> rank 3
+}

@@ -1,0 +1,104 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is a dense row-major [Rows x Cols] float32 matrix used by the
+// transformer substrate's linear layers (weight matrices act on per-token
+// embedding vectors).
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix returns a zero matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: negative matrix shape [%d %d]", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// RandMatrix fills a matrix with pseudo-normal values scaled by
+// 1/sqrt(cols), the usual fan-in initialization.
+func RandMatrix(rng *rand.Rand, rows, cols int) *Matrix {
+	m := NewMatrix(rows, cols)
+	scale := 1 / math.Sqrt(float64(cols))
+	for i := range m.Data {
+		m.Data[i] = float32(rng.NormFloat64() * scale)
+	}
+	return m
+}
+
+// Row returns row r as a subslice of the underlying storage.
+func (m *Matrix) Row(r int) []float32 {
+	return m.Data[r*m.Cols : (r+1)*m.Cols]
+}
+
+// MulVec computes dst = M · src. len(src) must equal Cols and len(dst) must
+// equal Rows; dst is overwritten.
+func (m *Matrix) MulVec(dst, src []float32) {
+	if len(src) != m.Cols || len(dst) != m.Rows {
+		panic(fmt.Sprintf("tensor: mulvec shapes dst=%d src=%d for [%d %d]",
+			len(dst), len(src), m.Rows, m.Cols))
+	}
+	for r := 0; r < m.Rows; r++ {
+		dst[r] = Dot(m.Row(r), src)
+	}
+}
+
+// ApplyRows applies the matrix independently to every token row of a
+// flattened activation tensor: in is [tokens, Cols] flat, the result is
+// [tokens, Rows] flat.
+func (m *Matrix) ApplyRows(in []float32, tokens int) []float32 {
+	if len(in) != tokens*m.Cols {
+		panic(fmt.Sprintf("tensor: applyrows input %d for %d tokens x %d cols", len(in), tokens, m.Cols))
+	}
+	out := make([]float32, tokens*m.Rows)
+	for t := 0; t < tokens; t++ {
+		m.MulVec(out[t*m.Rows:(t+1)*m.Rows], in[t*m.Cols:(t+1)*m.Cols])
+	}
+	return out
+}
+
+// RMSNorm normalizes x in place by its root-mean-square and multiplies by
+// the per-channel gain, returning a new slice: out_i = x_i / rms(x) * g_i.
+func RMSNorm(x, gain []float32, eps float64) []float32 {
+	if len(x) != len(gain) {
+		panic(fmt.Sprintf("tensor: rmsnorm gain %d for input %d", len(gain), len(x)))
+	}
+	var ss float64
+	for _, v := range x {
+		ss += float64(v) * float64(v)
+	}
+	inv := 1 / math.Sqrt(ss/float64(len(x))+eps)
+	out := make([]float32, len(x))
+	for i, v := range x {
+		out[i] = float32(float64(v)*inv) * gain[i]
+	}
+	return out
+}
+
+// SiLU is the sigmoid-weighted linear unit x*sigmoid(x) used by SwiGLU FFNs.
+func SiLU(x float32) float32 {
+	return float32(float64(x) / (1 + math.Exp(-float64(x))))
+}
+
+// RoPE applies rotary position embeddings in place to one head vector at
+// the given absolute position: consecutive pairs (2i, 2i+1) rotate by
+// pos/base^(2i/d). The paper's load-balanced sharding makes per-token
+// positions non-contiguous on each rank, so rotation must always use the
+// token's global position — which is exactly what this function takes.
+func RoPE(vec []float32, pos int, base float64) {
+	d := len(vec)
+	for i := 0; i+1 < d; i += 2 {
+		theta := float64(pos) / math.Pow(base, float64(i)/float64(d))
+		sin, cos := math.Sin(theta), math.Cos(theta)
+		a, b := float64(vec[i]), float64(vec[i+1])
+		vec[i] = float32(a*cos - b*sin)
+		vec[i+1] = float32(a*sin + b*cos)
+	}
+}

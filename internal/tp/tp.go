@@ -1,0 +1,108 @@
+// Package tp implements the tensor-parallel attention baseline the paper
+// compares context parallelism against (§3.2, §4.2.2). Query heads are
+// sharded across ranks; each rank holds the KV heads its query slice reads
+// (replicating KV heads when the group is wider than NKV, exactly as the
+// paper describes for TP16/TP32: "we replicate each KV head over NTP/NKV
+// GPUs"). Partial head outputs are assembled with a gather standing in for
+// the row-parallel output projection's AllReduce, and the traffic is
+// accounted so tests can verify Table 2's communication comparison on the
+// simulated transport.
+package tp
+
+import (
+	"fmt"
+
+	"repro/internal/attention"
+	"repro/internal/comm"
+	"repro/internal/tensor"
+)
+
+// HeadRange returns the query-head interval [lo, hi) owned by a rank. NH
+// must be divisible by n.
+func HeadRange(nh, n, rank int) (lo, hi int, err error) {
+	if n <= 0 || nh%n != 0 {
+		return 0, 0, fmt.Errorf("tp: %d heads not divisible by %d ranks", nh, n)
+	}
+	if rank < 0 || rank >= n {
+		return 0, 0, fmt.Errorf("tp: rank %d out of range", rank)
+	}
+	per := nh / n
+	return rank * per, (rank + 1) * per, nil
+}
+
+// KVRange returns the KV-head interval a query-head slice [qlo, qhi) reads
+// under GQA grouping.
+func KVRange(qlo, qhi, group int) (lo, hi int) {
+	return qlo / group, (qhi-1)/group + 1
+}
+
+// Attention computes exact GQA under tensor parallelism on one rank: the
+// rank computes its query-head slice against its (possibly replicated) KV
+// heads, then all ranks exchange head outputs so every rank holds the full
+// result — the data movement of the attention block's row-parallel output
+// projection. Inputs q [T, NH, DH] and k/v [ctx, NKV, DH] are the full
+// tensors (replicated activations, as TP maintains between AllReduces).
+func Attention(r *comm.Rank, q, k, v *tensor.Tensor, m attention.Mask, elem float64) (*attention.Output, error) {
+	n := r.N()
+	qlo, qhi, err := HeadRange(q.Heads, n, r.ID)
+	if err != nil {
+		return nil, err
+	}
+	if k.Heads == 0 || q.Heads%k.Heads != 0 {
+		return nil, fmt.Errorf("tp: NH=%d not divisible by NKV=%d", q.Heads, k.Heads)
+	}
+	group := q.Heads / k.Heads
+	kvlo, kvhi := KVRange(qlo, qhi, group)
+
+	localQ := q.SliceHeads(qlo, qhi)
+	localK := k.SliceHeads(kvlo, kvhi)
+	localV := v.SliceHeads(kvlo, kvhi)
+	partial, err := attention.GQA(localQ, localK, localV, m)
+	if err != nil {
+		return nil, err
+	}
+	// Exchange head slices; the accounted payload per peer is this rank's
+	// output slice (T * NH/n * DH * e), the per-rank share of the
+	// post-attention AllReduce in Table 2.
+	gathered, err := r.AllGather(partial, partial.O.Bytes(elem))
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]*tensor.Tensor, n)
+	lses := make([][]float64, n)
+	for src := 0; src < n; src++ {
+		p, ok := gathered[src].(*attention.Output)
+		if !ok {
+			return nil, fmt.Errorf("tp: rank %d gathered unexpected payload", r.ID)
+		}
+		outs[src] = p.O
+		lses[src] = p.LSE
+	}
+	full := &attention.Output{O: tensor.ConcatHeads(outs...), LSE: concatLSE(lses, q.Tokens)}
+	return full, nil
+}
+
+// concatLSE reassembles per-(token, head) LSEs from per-rank head slices.
+func concatLSE(parts [][]float64, tokens int) []float64 {
+	headsPer := 0
+	if tokens > 0 && len(parts) > 0 {
+		headsPer = len(parts[0]) / tokens
+	}
+	total := headsPer * len(parts)
+	out := make([]float64, tokens*total)
+	for src, lse := range parts {
+		for t := 0; t < tokens; t++ {
+			copy(out[t*total+src*headsPer:t*total+(src+1)*headsPer],
+				lse[t*headsPer:(t+1)*headsPer])
+		}
+	}
+	return out
+}
+
+// LinearAllReduceBytes returns the per-rank accounted traffic of the two
+// activation AllReduces a transformer block performs under TP (Table 2's
+// 2·T·NH·DH·e), so callers can book linear-layer communication without
+// simulating the GEMMs.
+func LinearAllReduceBytes(tokens, modelDim int, elem float64) float64 {
+	return 2 * float64(tokens) * float64(modelDim) * elem
+}

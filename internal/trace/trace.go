@@ -1,0 +1,114 @@
+// Package trace collects named timing spans and counters from the inference
+// engine. It backs the per-phase breakdowns the paper reports (SendRecv /
+// ATTN / All2All in Tables 5 and 8) for the functional layer, where wall
+// times come from actually running the simulated cluster.
+//
+// Recorders are safe for concurrent use: every CP rank goroutine records
+// into the same recorder during a distributed call.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Stat aggregates one span name.
+type Stat struct {
+	Count int
+	Total time.Duration
+	Max   time.Duration
+}
+
+// Mean returns the average span duration.
+func (s Stat) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Total / time.Duration(s.Count)
+}
+
+// Recorder accumulates spans and counters.
+type Recorder struct {
+	mu       sync.Mutex
+	spans    map[string]Stat
+	counters map[string]int64
+}
+
+// New returns an empty recorder.
+func New() *Recorder {
+	return &Recorder{spans: make(map[string]Stat), counters: make(map[string]int64)}
+}
+
+// Record adds one span observation.
+func (r *Recorder) Record(name string, d time.Duration) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.spans[name]
+	s.Count++
+	s.Total += d
+	if d > s.Max {
+		s.Max = d
+	}
+	r.spans[name] = s
+}
+
+// Time starts a span and returns a stop function; idiomatic use is
+// defer r.Time("attn")().
+func (r *Recorder) Time(name string) func() {
+	start := time.Now()
+	return func() { r.Record(name, time.Since(start)) }
+}
+
+// Add increments a named counter.
+func (r *Recorder) Add(name string, delta int64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.counters[name] += delta
+}
+
+// Counter returns a counter's value.
+func (r *Recorder) Counter(name string) int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.counters[name]
+}
+
+// Span returns the aggregate for one span name.
+func (r *Recorder) Span(name string) Stat {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.spans[name]
+}
+
+// Names returns all span names in sorted order.
+func (r *Recorder) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]string, 0, len(r.spans))
+	for n := range r.spans {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset clears all spans and counters.
+func (r *Recorder) Reset() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.spans = make(map[string]Stat)
+	r.counters = make(map[string]int64)
+}
+
+// String renders a one-line-per-span summary, useful in examples and CLIs.
+func (r *Recorder) String() string {
+	var b strings.Builder
+	for _, n := range r.Names() {
+		s := r.Span(n)
+		fmt.Fprintf(&b, "%-24s count=%-6d total=%-12s mean=%s\n", n, s.Count, s.Total, s.Mean())
+	}
+	return b.String()
+}

@@ -1,0 +1,259 @@
+package transformer
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/kvcache"
+	"repro/internal/perf"
+	"repro/internal/ring"
+	"repro/internal/sharding"
+	"repro/internal/tensor"
+)
+
+// Cluster executes the transformer across N context-parallel ranks: tokens
+// are load-balance sharded, all non-attention computation runs locally on
+// each rank's shard (CP keeps linear layers communication-free by sharding
+// the token dimension), and every layer's attention runs the ring
+// algorithms against per-layer per-rank persistent KV caches. Weights are
+// replicated on every rank, as in the paper.
+type Cluster struct {
+	W     *Weights
+	world *comm.World
+
+	caches  [][]*kvcache.Cache // [rank][layer]
+	seqLens map[int]int
+	step    int
+}
+
+// NewCluster builds an N-rank execution of the given weights.
+func NewCluster(w *Weights, ranks int) (*Cluster, error) {
+	if ranks <= 0 {
+		return nil, fmt.Errorf("transformer: non-positive rank count %d", ranks)
+	}
+	m := w.Cfg.Model
+	c := &Cluster{W: w, world: comm.NewWorld(ranks), seqLens: make(map[int]int)}
+	for r := 0; r < ranks; r++ {
+		var perLayer []*kvcache.Cache
+		for l := 0; l < m.Layers; l++ {
+			kc, err := kvcache.New(kvcache.Config{KVHeads: m.NumKV, HeadDim: m.HeadDim})
+			if err != nil {
+				return nil, err
+			}
+			perLayer = append(perLayer, kc)
+		}
+		c.caches = append(c.caches, perLayer)
+	}
+	return c, nil
+}
+
+// Ranks returns the CP group size.
+func (c *Cluster) Ranks() int { return c.world.N }
+
+// SeqLen returns the cached length of a sequence.
+func (c *Cluster) SeqLen(seq int) int { return c.seqLens[seq] }
+
+// CommStats returns cumulative traffic.
+func (c *Cluster) CommStats() comm.Stats { return c.world.TotalStats() }
+
+// RankCacheTokens returns per-rank cached tokens summed over layers.
+func (c *Cluster) RankCacheTokens() []int {
+	out := make([]int, c.world.N)
+	for r, layers := range c.caches {
+		for _, kc := range layers {
+			out[r] += kc.TotalTokens()
+		}
+	}
+	return out
+}
+
+// Prefill runs a full or partial prefill of new tokens for a sequence and
+// returns the logits of every new position, in order.
+func (c *Cluster) Prefill(seq int, tokens []int, variant perf.Variant) ([][]float32, error) {
+	out, err := c.PrefillBatch([]int{seq}, [][]int{tokens}, variant)
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// PrefillBatch runs a fused variable-sequence-length prefill (Figure 1's
+// scenario at the whole-model level): every sequence is load-balance sharded
+// independently, the batch's Q/K/V fuse into one ring pass per layer, and
+// per-sequence logits come back in order. Sequences may be new or have
+// persistent KV from earlier turns.
+func (c *Cluster) PrefillBatch(seqIDs []int, tokens [][]int, variant perf.Variant) ([][][]float32, error) {
+	if len(seqIDs) == 0 || len(seqIDs) != len(tokens) {
+		return nil, fmt.Errorf("transformer: %d seq ids with %d token lists", len(seqIDs), len(tokens))
+	}
+	m := c.W.Cfg.Model
+	lens := make([]int, len(seqIDs))
+	seen := map[int]bool{}
+	for i, toks := range tokens {
+		if len(toks) == 0 {
+			return nil, fmt.Errorf("transformer: empty prefill for sequence %d", seqIDs[i])
+		}
+		if seen[seqIDs[i]] {
+			return nil, fmt.Errorf("transformer: duplicate sequence %d in batch", seqIDs[i])
+		}
+		seen[seqIDs[i]] = true
+		lens[i] = len(toks)
+		// Validate up front: an error surfacing on one rank mid-ring would
+		// leave its peers waiting for the receive timeout.
+		for pos, id := range toks {
+			if id < 0 || id >= m.VocabSize {
+				return nil, fmt.Errorf("transformer: token %d at position %d of sequence %d outside vocab %d",
+					id, pos, seqIDs[i], m.VocabSize)
+			}
+		}
+	}
+	plan, err := sharding.NewBatchShard(lens, c.world.N)
+	if err != nil {
+		return nil, err
+	}
+	p := make([]int, len(seqIDs))
+	for i, id := range seqIDs {
+		p[i] = c.seqLens[id]
+	}
+	run := ring.PassKVPrefill
+	if variant == perf.PassQ {
+		run = ring.PassQPrefill
+	}
+
+	locals, err := comm.RunCollect(c.world, func(r *comm.Rank) (*tensor.Tensor, error) {
+		lp := plan.LocalPositions(r.ID)
+		ls := plan.LocalSeqs(r.ID)
+		localLen := plan.LocalLen(r.ID)
+		ids := make([]int, localLen)
+		gpos := make([]int, localLen)
+		for slot, pos := range lp {
+			if pos == sharding.Pad {
+				ids[slot] = -1
+				gpos[slot] = -1
+			} else {
+				ids[slot] = tokens[ls[slot]][pos]
+				gpos[slot] = p[ls[slot]] + pos
+			}
+		}
+		hidden, err := c.W.embedTokens(ids)
+		if err != nil {
+			return nil, err
+		}
+		for l := 0; l < m.Layers; l++ {
+			q, k, v := c.W.projectQKV(l, hidden, localLen, gpos)
+			out, err := run(&ring.PrefillInput{
+				Rank: r, Plan: plan, P: p, SeqIDs: seqIDs,
+				Q: q, K: k, V: v,
+				Cache: c.caches[r.ID][l], Elem: m.ElemBytes,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("layer %d: %w", l, err)
+			}
+			if err := ring.AppendLocalKV(c.caches[r.ID][l], plan, r.ID, p, seqIDs, k, v); err != nil {
+				return nil, err
+			}
+			c.W.attnResidual(l, hidden, out.O)
+			c.W.ffnResidual(l, hidden, localLen)
+		}
+		flat := c.W.logits(hidden, localLen)
+		return tensor.FromData(localLen, 1, m.VocabSize, flat)
+	})
+	if err != nil {
+		return nil, err
+	}
+	fused := plan.Unshard(locals)
+	out := make([][][]float32, len(seqIDs))
+	for i, id := range seqIDs {
+		off := plan.SeqOffset(i)
+		rows := make([][]float32, lens[i])
+		for t := 0; t < lens[i]; t++ {
+			rows[t] = fused.Row2D(off + t)
+		}
+		out[i] = rows
+		c.seqLens[id] += lens[i]
+	}
+	return out, nil
+}
+
+// Decode generates the logits for one new token of a sequence using batched
+// ring pass-Q decode on every layer. Token ownership rotates across ranks
+// per step (§3.6), so the non-owner ranks participate in attention while
+// only the owner runs the rest of the layer stack.
+func (c *Cluster) Decode(seq, token int) ([]float32, error) {
+	if _, ok := c.seqLens[seq]; !ok {
+		return nil, fmt.Errorf("transformer: decode for unknown sequence %d", seq)
+	}
+	m := c.W.Cfg.Model
+	if token < 0 || token >= m.VocabSize {
+		return nil, fmt.Errorf("transformer: decode token %d outside vocab %d", token, m.VocabSize)
+	}
+	pos := c.seqLens[seq]
+	owner := sharding.DecodeOwner(0, c.step, c.world.N)
+	c.step++
+
+	results, err := comm.RunCollect(c.world, func(r *comm.Rank) ([]float32, error) {
+		isOwner := r.ID == owner
+		var hidden []float32
+		if isOwner {
+			var err error
+			hidden, err = c.W.embedTokens([]int{token})
+			if err != nil {
+				return nil, err
+			}
+		}
+		for l := 0; l < m.Layers; l++ {
+			in := &ring.DecodeInput{
+				Rank: r, NumSeqs: 1,
+				Q:     tensor.New(0, m.NumHeads, m.HeadDim),
+				K:     tensor.New(0, m.NumKV, m.HeadDim),
+				V:     tensor.New(0, m.NumKV, m.HeadDim),
+				Cache: c.caches[r.ID][l], Elem: m.ElemBytes,
+			}
+			if isOwner {
+				q, k, v := c.W.projectQKV(l, hidden, 1, []int{pos})
+				in.Owned = []ring.DecodeToken{{Seq: seq, Pos: pos}}
+				in.Q, in.K, in.V = q, k, v
+			}
+			out, err := ring.PassQDecode(in)
+			if err != nil {
+				return nil, fmt.Errorf("layer %d: %w", l, err)
+			}
+			if isOwner {
+				c.W.attnResidual(l, hidden, out.O)
+				c.W.ffnResidual(l, hidden, 1)
+			}
+		}
+		if !isOwner {
+			return nil, nil
+		}
+		return c.W.logits(hidden, 1), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.seqLens[seq]++
+	return results[owner], nil
+}
+
+// Generate greedily extends a prompt: one distributed prefill, then
+// `steps` distributed decode steps. Returns the generated token ids.
+func (c *Cluster) Generate(seq int, prompt []int, steps int, variant perf.Variant) ([]int, error) {
+	logits, err := c.Prefill(seq, prompt, variant)
+	if err != nil {
+		return nil, err
+	}
+	next := Argmax(logits[len(logits)-1])
+	out := make([]int, 0, steps)
+	for i := 0; i < steps; i++ {
+		out = append(out, next)
+		if i == steps-1 {
+			break
+		}
+		l, err := c.Decode(seq, next)
+		if err != nil {
+			return nil, err
+		}
+		next = Argmax(l)
+	}
+	return out, nil
+}
