@@ -1,11 +1,12 @@
 // Command cpserve runs the context-parallel inference server: a tiny
 // Llama-architecture transformer distributed across simulated CP ranks
-// behind an HTTP/JSON API, scheduled per the paper's §4.3 guidance
-// (prefill/decode-aware queueing).
+// behind an HTTP/JSON API, driven by an iteration-level continuous-batching
+// scheduler (chunked prefill plus cross-session fused ring decode, per the
+// paper's §3.6 batched decode and §4.3 deployment guidance).
 //
 // Usage:
 //
-//	cpserve -addr :8080 -ranks 4 -policy prefill-first
+//	cpserve -addr :8080 -ranks 4 -policy prefill-first -token-budget 32 -max-batch 64
 //	curl -s localhost:8080/v1/generate -d '{"session":1,"prompt":[4,19,22,7],"max_tokens":8}'
 //	curl -s localhost:8080/v1/stats
 package main
@@ -28,6 +29,11 @@ func main() {
 	seed := flag.Int64("seed", 1, "weight seed")
 	policyName := flag.String("policy", "prefill-first", "scheduler policy: fifo, prefill-first")
 	variantName := flag.String("variant", "pass-kv", "prefill ring variant: pass-kv, pass-q")
+	tokenBudget := flag.Int("token-budget", 32, "max prompt tokens prefilled per scheduler iteration")
+	maxBatch := flag.Int("max-batch", 64, "max sessions fused into one decode ring pass")
+	maxSessions := flag.Int("max-sessions", 256, "admission cap on resident sessions")
+	maxTokens := flag.Int("max-tokens", 4096, "cap on a single generate's max_tokens")
+	recvTimeout := flag.Duration("recv-timeout", 0, "cluster comm receive deadline (0 = default)")
 	flag.Parse()
 
 	var policy server.Policy
@@ -50,14 +56,19 @@ func main() {
 		Ranks:       *ranks,
 		Policy:      policy,
 		Variant:     variant,
+		TokenBudget: *tokenBudget,
+		MaxBatch:    *maxBatch,
+		MaxSessions: *maxSessions,
+		MaxTokens:   *maxTokens,
+		RecvTimeout: *recvTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
 
-	log.Printf("cpserve: %d CP ranks, %s scheduling, %v prefill, listening on %s",
-		*ranks, policy, variant, *addr)
+	log.Printf("cpserve: %d CP ranks, %s scheduling, %v prefill, budget %d tok/iter, batch<=%d, sessions<=%d, listening on %s",
+		*ranks, policy, variant, *tokenBudget, *maxBatch, *maxSessions, *addr)
 	log.Printf(`try: curl -s localhost%s/v1/generate -d '{"session":1,"prompt":[4,19,22,7],"max_tokens":8}'`, *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)

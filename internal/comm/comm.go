@@ -35,6 +35,21 @@ const (
 // silence means a peer died or the algorithm deadlocked.
 const DefaultRecvTimeout = 10 * time.Second
 
+// Option configures a World at construction time.
+type Option func(*World)
+
+// WithRecvTimeout overrides DefaultRecvTimeout for every send/receive on the
+// World. Long batched-decode soak tests and slow CI machines set this higher
+// than the default; fault-injection tests set it lower so failures surface
+// quickly. Non-positive values are ignored.
+func WithRecvTimeout(d time.Duration) Option {
+	return func(w *World) {
+		if d > 0 {
+			w.RecvTimeout = d
+		}
+	}
+}
+
 type envelope struct {
 	src     int
 	payload any
@@ -80,11 +95,14 @@ type World struct {
 }
 
 // NewWorld creates a process group with n ranks.
-func NewWorld(n int) *World {
+func NewWorld(n int, opts ...Option) *World {
 	if n <= 0 {
 		panic(fmt.Sprintf("comm: non-positive world size %d", n))
 	}
 	w := &World{N: n, RecvTimeout: DefaultRecvTimeout, failed: make(map[[2]int]bool)}
+	for _, opt := range opts {
+		opt(w)
+	}
 	w.boxes = make([][]chan envelope, n)
 	w.stats = make([]*Stats, n)
 	for d := 0; d < n; d++ {

@@ -326,3 +326,23 @@ func TestMessageOrderingFIFO(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestWithRecvTimeoutOption(t *testing.T) {
+	w := NewWorld(2, WithRecvTimeout(30*time.Millisecond))
+	if w.RecvTimeout != 30*time.Millisecond {
+		t.Fatalf("RecvTimeout = %v", w.RecvTimeout)
+	}
+	// The configured deadline governs receives: an empty mailbox times out
+	// promptly instead of after DefaultRecvTimeout.
+	start := time.Now()
+	if _, err := w.Rank(0).Recv(1); err == nil {
+		t.Fatal("recv on empty mailbox succeeded")
+	}
+	if waited := time.Since(start); waited > time.Second {
+		t.Fatalf("recv waited %v despite 30ms configured timeout", waited)
+	}
+	// Non-positive overrides are ignored.
+	if got := NewWorld(2, WithRecvTimeout(0)).RecvTimeout; got != DefaultRecvTimeout {
+		t.Fatalf("zero timeout applied: %v", got)
+	}
+}

@@ -21,6 +21,12 @@ type DecodeInput struct {
 	Rank    *comm.Rank
 	NumSeqs int           // batch size B
 	Owned   []DecodeToken // tokens assigned to this rank this step
+	// BlockLen is the circulating query-block size every rank agreed on. It
+	// must be >= len(Owned) on every rank. Zero means the default padding of
+	// ceil(NumSeqs/N), which is only valid when the owner assignment spreads
+	// the batch evenly; engines whose owner rotation can collide (e.g.
+	// per-sequence round-robin) pass the true max over ranks.
+	BlockLen int
 	// Q, K, V rows align with Owned: Q is [len(Owned), NH, DH], K and V are
 	// [len(Owned), NKV, DH] — the projections of each owned decode token.
 	Q, K, V *tensor.Tensor
@@ -41,6 +47,16 @@ func (in *DecodeInput) validate() error {
 	}
 	if in.Elem <= 0 {
 		return fmt.Errorf("ring: non-positive element size %v", in.Elem)
+	}
+	if in.BlockLen < 0 {
+		return fmt.Errorf("ring: negative block length %d", in.BlockLen)
+	}
+	if in.BlockLen > 0 && in.BlockLen < len(in.Owned) {
+		// Reject before any KV is appended or any peer enters the ring: a
+		// failure past that point stalls peers until the receive timeout
+		// and leaves the cache double-append-prone on retry.
+		return fmt.Errorf("ring: rank %d owns %d tokens > block %d",
+			in.Rank.ID, len(in.Owned), in.BlockLen)
 	}
 	for _, tok := range in.Owned {
 		if tok.Seq < 0 {
@@ -73,7 +89,10 @@ func PassQDecode(in *DecodeInput) (*attention.Output, error) {
 			return nil, err
 		}
 	}
-	bl := decodeBlockLen(in.NumSeqs, n)
+	bl := in.BlockLen
+	if bl == 0 {
+		bl = decodeBlockLen(in.NumSeqs, n)
+	}
 	q := tensor.New(bl, in.Q.Heads, in.Q.Dim)
 	bids := make([]int, bl)
 	pos := make([]int, bl)

@@ -1,28 +1,65 @@
 // Package server exposes the context-parallel transformer cluster behind an
-// HTTP/JSON inference API with a prefill/decode-aware request scheduler.
+// HTTP/JSON inference API with an iteration-level continuous-batching
+// scheduler.
 //
-// The paper's deployment guidance (§4.3) is that context parallelism is
-// best leveraged by a serving system that decouples prefill from decode:
-// CP sharply improves prefill latency at a decode penalty. The scheduler
-// here implements the single-host form of that advice — separate queues for
-// prefill and decode work with a configurable policy — and reports queueing
-// delay per class so the trade-off is observable.
+// The paper's batched ring pass-Q decode (§3.6) and its deployment guidance
+// (§4.3) pay off when a serving system fuses many sessions into each ring
+// pass. The scheduler here implements the single-host form of that advice:
+// a step loop that, every iteration, assembles a mixed batch — one chunk of
+// the oldest waiting prefill (chunked to a token budget so long prompts
+// never starve decodes) plus the decode step of every active session, fused
+// into a single DecodeBatch ring sweep. Admission control caps concurrently
+// resident sessions so KV memory and queueing stay bounded, and per-class
+// queue statistics plus per-iteration batch occupancy make the
+// prefill/decode trade-off observable.
 package server
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 	"time"
+
+	"repro/internal/perf"
+	"repro/internal/transformer"
 )
 
-// Policy selects how the worker drains the two queues.
+// ErrClosed reports work submitted after Close; the HTTP layer maps it to
+// 503 Service Unavailable.
+var ErrClosed = errors.New("server: scheduler closed")
+
+// ErrReleased reports a request that failed because its session was
+// released (or quarantined after an execution fault) mid-flight; the HTTP
+// layer maps it to 409 Conflict.
+var ErrReleased = errors.New("session released")
+
+// ErrUnknownSession reports a decode for a session with no resident KV;
+// the HTTP layer maps it to 404 Not Found.
+var ErrUnknownSession = errors.New("unknown session")
+
+func releasedErr(session int) error {
+	return fmt.Errorf("server: session %d: %w", session, ErrReleased)
+}
+
+// ExecError wraps an internal cluster execution failure — infrastructure,
+// not a malformed request; the HTTP layer maps it to 500.
+type ExecError struct{ Err error }
+
+func (e *ExecError) Error() string { return e.Err.Error() }
+func (e *ExecError) Unwrap() error { return e.Err }
+
+// Policy selects how an iteration orders its prefill chunk against its
+// decode batch.
 type Policy int
 
 const (
-	// FIFO interleaves prefill and decode in arrival order.
+	// FIFO runs whichever side of the mixed batch contains the oldest
+	// waiting request first.
 	FIFO Policy = iota
-	// PrefillFirst always prefers waiting prefill work, minimizing TTFT at
-	// the cost of decode tail latency — the CP-friendly schedule.
+	// PrefillFirst always runs the prefill chunk before the decode batch,
+	// minimizing TTFT at the cost of decode tail latency — the CP-friendly
+	// schedule.
 	PrefillFirst
 )
 
@@ -45,15 +82,9 @@ const (
 	ClassDecode  Class = "decode"
 )
 
-type task struct {
-	class    Class
-	seq      uint64
-	enqueued time.Time
-	run      func()
-	done     chan struct{}
-}
-
-// QueueStats aggregates per-class scheduling metrics.
+// QueueStats aggregates per-class scheduling metrics. For prefill, one
+// execution is one chunk; for decode, one execution is one fused step of one
+// session. Waits measure runnable-to-execution delay per execution.
 type QueueStats struct {
 	Executed  int64
 	TotalWait time.Duration
@@ -68,120 +99,869 @@ func (q QueueStats) MeanWait() time.Duration {
 	return q.TotalWait / time.Duration(q.Executed)
 }
 
-// Scheduler serializes cluster work (the simulated cluster is single-user)
-// while letting the policy reorder across classes.
-type Scheduler struct {
-	policy Policy
-
-	mu       sync.Mutex
-	cond     *sync.Cond
-	prefills []*task
-	decodes  []*task
-	seq      uint64
-	closed   bool
-	stats    map[Class]*QueueStats
+// BatchStats aggregates iteration-level batching metrics.
+type BatchStats struct {
+	Iterations      int64   `json:"iterations"`       // step-loop iterations that executed work
+	PrefillChunks   int64   `json:"prefill_chunks"`   // prefill chunks executed
+	PrefillTokens   int64   `json:"prefill_tokens"`   // prompt tokens prefilled
+	DecodeTokens    int64   `json:"decode_tokens"`    // decode steps executed (one token each)
+	MixedIterations int64   `json:"mixed_iterations"` // iterations with both a chunk and >=1 decode
+	MaxOccupancy    int     `json:"max_occupancy"`    // max sessions served by one iteration
+	OccupancySum    int64   `json:"occupancy_sum"`    // for MeanOccupancy
+	MaxDecodeBatch  int     `json:"max_decode_batch"` // largest fused DecodeBatch
+	LastIterMs      float64 `json:"last_iter_ms"`     // duration of the most recent iteration
+	TotalIterMs     float64 `json:"total_iter_ms"`    // for MeanIterMs
 }
 
-// NewScheduler starts the worker goroutine.
-func NewScheduler(policy Policy) *Scheduler {
-	s := &Scheduler{policy: policy, stats: map[Class]*QueueStats{
-		ClassPrefill: {}, ClassDecode: {},
-	}}
+// MeanOccupancy returns the average sessions served per iteration.
+func (b BatchStats) MeanOccupancy() float64 {
+	if b.Iterations == 0 {
+		return 0
+	}
+	return float64(b.OccupancySum) / float64(b.Iterations)
+}
+
+// MeanIterMs returns the average iteration latency in milliseconds.
+func (b BatchStats) MeanIterMs() float64 {
+	if b.Iterations == 0 {
+		return 0
+	}
+	return b.TotalIterMs / float64(b.Iterations)
+}
+
+// IterReport describes what one scheduler iteration executed.
+type IterReport struct {
+	PrefillSession int   // session whose chunk ran, -1 if none
+	PrefillTokens  int   // chunk size in tokens
+	PrefillDone    bool  // the chunk completed its request's prompt
+	DecodeSessions []int // sessions fused into the DecodeBatch ring pass
+	DurMs          float64
+}
+
+// Occupancy returns the number of sessions the iteration served.
+func (r IterReport) Occupancy() int {
+	n := len(r.DecodeSessions)
+	if r.PrefillSession >= 0 {
+		n++
+	}
+	return n
+}
+
+// SchedulerConfig sizes the continuous-batching step loop.
+type SchedulerConfig struct {
+	Policy      Policy
+	Variant     perf.Variant // prefill ring variant; decode rides pass-Q
+	TokenBudget int          // max prompt tokens prefilled per iteration (default 32)
+	MaxBatch    int          // max sessions fused into one DecodeBatch (default 64)
+	MaxSessions int          // admission cap on resident sessions (default 256)
+	MaxTokens   int          // cap on a single generate's max_tokens (default 4096)
+	// Manual disables the background step loop; callers drive iterations
+	// with Step. Tests use this to pin down exactly what one iteration
+	// batches.
+	Manual bool
+}
+
+func (c *SchedulerConfig) applyDefaults() {
+	if c.TokenBudget <= 0 {
+		c.TokenBudget = 32
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 256
+	}
+	if c.MaxTokens <= 0 {
+		c.MaxTokens = 4096
+	}
+}
+
+// request is one client call moving through the scheduler: an optional
+// prefill phase (prompt consumed in token-budget chunks) followed by zero or
+// more decode steps that join the per-iteration fused batch.
+type request struct {
+	id      uint64
+	session int
+
+	prompt   []int // tokens to prefill; nil for decode-only requests
+	consumed int   // chunk progress
+
+	pending int   // decode steps remaining
+	token   int   // token feeding the next decode step
+	collect bool  // generate-style: accumulate tokens and per-step latency
+	tokens  []int // generated tokens (collect)
+
+	start    time.Time // arrival
+	queuedAt time.Time // when the current phase last became runnable
+	lastStep time.Time // previous step completion, for TTIT
+	ttftMs   float64
+	ttitMs   []float64
+
+	next int // next-token result for prefill-/decode-only requests
+	err  error
+	done chan struct{}
+	// canceled is set (under the scheduler mutex) when the client's
+	// context fires while the iteration has already claimed this request;
+	// the step loop aborts it at the next chunk/step boundary.
+	canceled    bool
+	cancelCause error
+}
+
+// Scheduler is the continuous-batching engine. All cluster execution happens
+// on the step loop (or the Step caller in manual mode), so the cluster needs
+// no internal locking; WithCluster serializes outside reads against it.
+type Scheduler struct {
+	cfg     SchedulerConfig
+	cluster *transformer.Cluster
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	admit     []*request // new sessions waiting for an admission slot
+	prefills  []*request // prefill-phase queue, FIFO; head progresses chunk-wise
+	decodes   []*request // decode-phase pool, fused each iteration
+	sessions  map[int]bool
+	prefilled map[int]bool // sessions with at least one chunk of KV resident
+	// pendingDrops are sessions whose KV must be evicted. Drops execute at
+	// the start of the next Step — on the same thread as all other cluster
+	// mutations — so an eviction can never race an in-flight chunk or
+	// fused batch, nor land after a re-admitted same-id session's fresh
+	// prefill.
+	pendingDrops []int
+	// executing is the prefill head whose chunk the current iteration is
+	// running; cancellation must not remove it mid-chunk, but may between
+	// iterations.
+	executing *request
+	closed    bool
+	idSeq     uint64
+
+	queueStats map[Class]*QueueStats
+	batch      BatchStats
+	lastIter   IterReport
+
+	execMu   sync.Mutex // serializes cluster access (step loop vs. WithCluster)
+	loopDone chan struct{}
+}
+
+// NewScheduler wraps a cluster in a continuous-batching step loop. Unless
+// cfg.Manual is set, a background goroutine drives iterations until Close.
+func NewScheduler(cluster *transformer.Cluster, cfg SchedulerConfig) *Scheduler {
+	cfg.applyDefaults()
+	s := &Scheduler{
+		cfg:       cfg,
+		cluster:   cluster,
+		sessions:  make(map[int]bool),
+		prefilled: make(map[int]bool),
+		queueStats: map[Class]*QueueStats{
+			ClassPrefill: {}, ClassDecode: {},
+		},
+		lastIter: IterReport{PrefillSession: -1},
+		loopDone: make(chan struct{}),
+	}
 	s.cond = sync.NewCond(&s.mu)
-	go s.worker()
+	if cfg.Manual {
+		close(s.loopDone)
+	} else {
+		go s.loop()
+	}
 	return s
 }
 
-// Submit enqueues fn under the given class and blocks until it has run.
-// Returns an error if the scheduler is closed.
-func (s *Scheduler) Submit(class Class, fn func()) error {
-	t := &task{class: class, enqueued: time.Now(), run: fn, done: make(chan struct{})}
+// GenerateResult is a completed generate request.
+type GenerateResult struct {
+	Tokens []int
+	TTFTMs float64
+	TTITMs []float64
+}
+
+// Generate admits a prompt, prefills it chunk by chunk, then keeps the
+// session in the fused decode batch until maxTokens greedy tokens exist.
+// Blocks until completion or ctx cancellation (cancellation takes effect
+// while the request is queued; claimed work runs to its next boundary).
+func (s *Scheduler) Generate(ctx context.Context, session int, prompt []int, maxTokens int) (*GenerateResult, error) {
+	if len(prompt) == 0 || maxTokens <= 0 {
+		return nil, fmt.Errorf("server: generate needs a prompt and positive max_tokens")
+	}
+	if maxTokens > s.cfg.MaxTokens {
+		// One stream must not pin a decode lane (and grow per-rank KV)
+		// effectively forever.
+		return nil, fmt.Errorf("server: max_tokens %d exceeds cap %d", maxTokens, s.cfg.MaxTokens)
+	}
+	r := &request{
+		session: session,
+		prompt:  prompt,
+		pending: maxTokens - 1,
+		collect: true,
+		done:    make(chan struct{}),
+	}
+	if err := s.submit(ctx, r); err != nil {
+		return nil, err
+	}
+	if r.err != nil {
+		return nil, r.err
+	}
+	return &GenerateResult{Tokens: r.tokens, TTFTMs: r.ttftMs, TTITMs: r.ttitMs}, nil
+}
+
+// Prefill admits the tokens as chunked prefill work for the session and
+// returns the greedy next token once the whole prompt is resident.
+func (s *Scheduler) Prefill(ctx context.Context, session int, tokens []int) (int, error) {
+	if len(tokens) == 0 {
+		return 0, fmt.Errorf("server: prefill needs tokens")
+	}
+	r := &request{session: session, prompt: tokens, done: make(chan struct{})}
+	if err := s.submit(ctx, r); err != nil {
+		return 0, err
+	}
+	return r.next, r.err
+}
+
+// Decode joins the next iteration's fused decode batch with one token for an
+// already-prefilled session and returns the greedy next token.
+func (s *Scheduler) Decode(ctx context.Context, session, token int) (int, error) {
+	r := &request{session: session, pending: 1, token: token, done: make(chan struct{})}
+	if err := s.submit(ctx, r); err != nil {
+		return 0, err
+	}
+	return r.next, r.err
+}
+
+// submit enqueues the request and blocks until it completes, fails, or —
+// while still queued — its context is canceled. A disconnected client must
+// not leak a goroutine parked in the admission queue forever.
+func (s *Scheduler) submit(ctx context.Context, r *request) error {
+	// Validate before the request can occupy — or block on — an admission
+	// slot: a doomed request must fail fast even under backpressure, not
+	// wait for capacity it will never use (nor reach the ring, where a
+	// mid-pass failure stalls every peer rank).
+	if r.session < 0 {
+		return fmt.Errorf("server: negative session id %d", r.session)
+	}
+	vocab := s.cluster.W.Cfg.Model.VocabSize
+	for _, tok := range r.prompt {
+		if tok < 0 || tok >= vocab {
+			return fmt.Errorf("server: token %d outside vocab %d", tok, vocab)
+		}
+	}
+	if len(r.prompt) == 0 && (r.token < 0 || r.token >= vocab) {
+		return fmt.Errorf("server: token %d outside vocab %d", r.token, vocab)
+	}
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return fmt.Errorf("server: scheduler closed")
+		return ErrClosed
 	}
-	s.seq++
-	t.seq = s.seq
-	switch class {
-	case ClassPrefill:
-		s.prefills = append(s.prefills, t)
-	case ClassDecode:
-		s.decodes = append(s.decodes, t)
-	default:
-		s.mu.Unlock()
-		return fmt.Errorf("server: unknown class %q", class)
+	s.idSeq++
+	r.id = s.idSeq
+	now := time.Now()
+	r.start, r.queuedAt, r.lastStep = now, now, now
+	if len(r.prompt) > 0 {
+		if s.sessions[r.session] {
+			// Follow-up turn of a resident session: no new admission slot.
+			s.prefills = append(s.prefills, r)
+		} else {
+			s.admit = append(s.admit, r)
+			s.admitLocked()
+		}
+	} else {
+		if !s.prefilled[r.session] {
+			s.mu.Unlock()
+			return fmt.Errorf("server: session %d: %w", r.session, ErrUnknownSession)
+		}
+		s.decodes = append(s.decodes, r)
 	}
 	s.cond.Signal()
 	s.mu.Unlock()
-	<-t.done
-	return nil
-}
-
-// next pops the task the policy prefers; caller holds s.mu.
-func (s *Scheduler) next() *task {
-	switch {
-	case len(s.prefills) == 0 && len(s.decodes) == 0:
+	select {
+	case <-r.done:
 		return nil
-	case len(s.prefills) == 0:
-		t := s.decodes[0]
-		s.decodes = s.decodes[1:]
-		return t
-	case len(s.decodes) == 0:
-		t := s.prefills[0]
-		s.prefills = s.prefills[1:]
-		return t
+	case <-ctx.Done():
+		if s.cancelQueued(r, ctx.Err()) {
+			return nil // r.err carries the cancellation
+		}
+		// Claimed by an iteration (or completing); the canceled mark makes
+		// the step loop abort it at the next chunk/step boundary.
+		<-r.done
+		return nil
 	}
-	if s.policy == PrefillFirst || s.prefills[0].seq < s.decodes[0].seq {
-		t := s.prefills[0]
-		s.prefills = s.prefills[1:]
-		return t
-	}
-	t := s.decodes[0]
-	s.decodes = s.decodes[1:]
-	return t
 }
 
-func (s *Scheduler) worker() {
+// cancelQueued removes a still-queued request, failing it with the given
+// cause. The prefill head is only protected while the step loop is
+// actually running its chunk (it identifies the head by queue position);
+// between iterations a multi-chunk prompt cancels cleanly at the boundary,
+// with any partial KV covered by the scheduled drop.
+func (s *Scheduler) cancelQueued(r *request, cause error) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	remove := func(q []*request, protectExecuting bool) ([]*request, bool) {
+		for i, x := range q {
+			if x == r {
+				if protectExecuting && i == 0 && s.executing == r {
+					return q, false
+				}
+				return append(q[:i], q[i+1:]...), true
+			}
+		}
+		return q, false
+	}
+	var ok bool
+	inPrefills, inDecodes := false, false
+	if s.admit, ok = remove(s.admit, false); !ok {
+		if s.prefills, ok = remove(s.prefills, true); !ok {
+			s.decodes, ok = remove(s.decodes, false)
+			inDecodes = ok
+		} else {
+			inPrefills = true
+		}
+	}
+	if ok {
+		r.cancelCause = cause
+		// Evict only what THIS request contributed: partial prompt KV is
+		// unusable, and a decode-phase generate stream's session will
+		// never see its DELETE. A request canceled in the admission queue
+		// (or before its first chunk) contributed nothing — its session id
+		// may be concurrently in use by a sibling request's live KV.
+		s.abortCanceledLocked(r, (inPrefills && r.consumed > 0) || (inDecodes && r.collect))
+	} else {
+		// The current iteration holds this request (executing prefill head
+		// or popped into the decode batch); flag it for a boundary abort.
+		r.canceled = true
+		r.cancelCause = cause
+	}
+	return ok
+}
+
+// abortCanceledLocked completes a claimed-then-canceled request at a
+// boundary; caller holds s.mu. With evict set (partial prompt KV, or a
+// generate stream whose client will never issue the DELETE), the session
+// is quarantined exactly like a failed chunk. A session left with no KV
+// and no queued work — including one that never prefilled at all — gives
+// its admission slot back to the pool. (An executing prefill head is still
+// in the queue, so sessionQueuedLocked protects in-flight same-session
+// work.)
+func (s *Scheduler) abortCanceledLocked(r *request, evict bool) {
+	r.err = fmt.Errorf("server: request canceled: %w", r.cancelCause)
+	close(r.done)
+	if evict {
+		s.quarantineLocked(r.session)
+	}
+	s.maybeFreeSlotLocked(r.session)
+	s.cond.Broadcast()
+}
+
+// admitLocked moves waiting new sessions into the prefill queue while
+// admission slots remain; caller holds s.mu.
+func (s *Scheduler) admitLocked() {
+	for len(s.admit) > 0 {
+		r := s.admit[0]
+		if !s.sessions[r.session] && len(s.sessions) >= s.cfg.MaxSessions {
+			return // backpressure: the queue waits for a Release
+		}
+		s.sessions[r.session] = true
+		s.admit = s.admit[1:]
+		// Queue waits measure runnable-to-execution delay; time parked
+		// behind the admission cap is a different (observable) metric.
+		r.queuedAt = time.Now()
+		s.prefills = append(s.prefills, r)
+	}
+}
+
+// quarantineLocked evicts a session's KV (scheduling the drop) and marks it
+// un-decodable; caller holds s.mu and should broadcast after.
+func (s *Scheduler) quarantineLocked(session int) {
+	delete(s.prefilled, session)
+	s.pendingDrops = append(s.pendingDrops, session)
+}
+
+// maybeFreeSlotLocked returns a session's admission slot to the pool when
+// it holds no KV and no queued work references it; caller holds s.mu and
+// should broadcast after.
+func (s *Scheduler) maybeFreeSlotLocked(session int) {
+	if !s.prefilled[session] && !s.sessionQueuedLocked(session) {
+		delete(s.sessions, session)
+		s.admitLocked()
+	}
+}
+
+func (s *Scheduler) hasWorkLocked() bool {
+	return len(s.admit) > 0 || len(s.prefills) > 0 || len(s.decodes) > 0 ||
+		len(s.pendingDrops) > 0
+}
+
+func (s *Scheduler) loop() {
+	defer close(s.loopDone)
 	for {
 		s.mu.Lock()
-		for !s.closed && len(s.prefills) == 0 && len(s.decodes) == 0 {
+		for !s.closed && !s.hasWorkLocked() {
 			s.cond.Wait()
 		}
-		if s.closed && len(s.prefills) == 0 && len(s.decodes) == 0 {
+		if !s.hasWorkLocked() { // closed and drained
 			s.mu.Unlock()
 			return
 		}
-		t := s.next()
-		wait := time.Since(t.enqueued)
-		st := s.stats[t.class]
-		st.Executed++
-		st.TotalWait += wait
-		if wait > st.MaxWait {
-			st.MaxWait = wait
-		}
 		s.mu.Unlock()
-
-		t.run()
-		close(t.done)
+		if _, ok := s.step(); !ok {
+			// Work exists but cannot run (all of it blocked on admission).
+			// A Release will signal; avoid a hot spin by waiting for it.
+			s.mu.Lock()
+			if !s.closed && s.onlyAdmitBlockedLocked() {
+				s.cond.Wait()
+			}
+			s.mu.Unlock()
+		}
 	}
+}
+
+func (s *Scheduler) onlyAdmitBlockedLocked() bool {
+	return len(s.admit) > 0 && len(s.prefills) == 0 && len(s.decodes) == 0
+}
+
+// Step executes one scheduler iteration in manual mode: at most one
+// token-budget chunk of the oldest waiting prefill plus one fused
+// DecodeBatch ring pass over every decode-ready session (capped at
+// MaxBatch, at most one step per session). Returns false if no work was
+// runnable — or always, as a no-op, when a background loop owns the
+// scheduler: a second driver would race the loop and double-execute the
+// claimed prefill chunk.
+func (s *Scheduler) Step() (IterReport, bool) {
+	if !s.cfg.Manual {
+		return IterReport{PrefillSession: -1}, false
+	}
+	return s.step()
+}
+
+// step runs one iteration; callers are the background loop or Step.
+func (s *Scheduler) step() (IterReport, bool) {
+	s.applyDrops() // evictions are loop-ordered: never racing chunk or batch
+	s.mu.Lock()
+	s.admitLocked()
+	var pj *request
+	var chunk []int
+	if len(s.prefills) > 0 {
+		pj = s.prefills[0]
+		// A Release may have queued this session's eviction after this
+		// iteration's applyDrops ran (re-admitted same-id session). Its
+		// chunk must wait one iteration so the drop lands first — never
+		// after fresh KV.
+		for _, id := range s.pendingDrops {
+			if id == pj.session {
+				pj = nil
+				break
+			}
+		}
+	}
+	if pj != nil {
+		rem := len(pj.prompt) - pj.consumed
+		n := s.cfg.TokenBudget
+		if n > rem {
+			n = rem
+		}
+		chunk = pj.prompt[pj.consumed : pj.consumed+n]
+	}
+	s.executing = pj
+	var dbatch []*request
+	var held []*request
+	used := map[int]bool{}
+	if pj != nil {
+		// A session never prefills and decodes in the same iteration: the
+		// two cluster calls would disagree about its sequence positions.
+		used[pj.session] = true
+	}
+	var deadSessions []int
+	for _, r := range s.decodes {
+		switch {
+		case !s.prefilled[r.session]:
+			// The session was released (or lost its KV) after this request
+			// queued; it must not reach the fused batch.
+			r.err = releasedErr(r.session)
+			close(r.done)
+			deadSessions = append(deadSessions, r.session)
+		case len(dbatch) < s.cfg.MaxBatch && !used[r.session]:
+			used[r.session] = true
+			dbatch = append(dbatch, r)
+		default:
+			held = append(held, r)
+		}
+	}
+	s.decodes = held
+	// Failing those requests may have been the last thing keeping their
+	// quarantined sessions' admission slots occupied.
+	for _, id := range deadSessions {
+		s.maybeFreeSlotLocked(id)
+	}
+	if pj == nil && len(dbatch) == 0 {
+		s.mu.Unlock()
+		return IterReport{PrefillSession: -1}, false
+	}
+	now := time.Now()
+	if pj != nil {
+		s.recordWaitLocked(ClassPrefill, now.Sub(pj.queuedAt))
+	}
+	for _, r := range dbatch {
+		s.recordWaitLocked(ClassDecode, now.Sub(r.queuedAt))
+	}
+	prefillLeads := s.cfg.Policy == PrefillFirst ||
+		(pj != nil && (len(dbatch) == 0 || pj.id < dbatch[0].id))
+	s.mu.Unlock()
+
+	report := IterReport{PrefillSession: -1}
+	start := time.Now()
+	if pj != nil {
+		report.PrefillSession = pj.session
+		report.PrefillTokens = len(chunk)
+	}
+	if prefillLeads {
+		report.PrefillDone = s.runPrefillChunk(pj, chunk)
+		s.runDecodeBatch(dbatch, &report)
+	} else {
+		s.runDecodeBatch(dbatch, &report)
+		report.PrefillDone = s.runPrefillChunk(pj, chunk)
+	}
+	report.DurMs = float64(time.Since(start).Microseconds()) / 1000
+
+	s.mu.Lock()
+	b := &s.batch
+	b.Iterations++
+	b.OccupancySum += int64(report.Occupancy())
+	if report.Occupancy() > b.MaxOccupancy {
+		b.MaxOccupancy = report.Occupancy()
+	}
+	if len(report.DecodeSessions) > b.MaxDecodeBatch {
+		b.MaxDecodeBatch = len(report.DecodeSessions)
+	}
+	if pj != nil {
+		b.PrefillChunks++
+		b.PrefillTokens += int64(len(chunk))
+	}
+	b.DecodeTokens += int64(len(report.DecodeSessions))
+	if pj != nil && len(report.DecodeSessions) > 0 {
+		b.MixedIterations++
+	}
+	b.LastIterMs = report.DurMs
+	b.TotalIterMs += report.DurMs
+	s.lastIter = report
+	s.mu.Unlock()
+	return report, true
+}
+
+// runPrefillChunk executes one chunk on the cluster and advances or
+// completes its request. Returns true when the request's prompt finished.
+func (s *Scheduler) runPrefillChunk(pj *request, chunk []int) bool {
+	if pj == nil {
+		return false
+	}
+	s.execMu.Lock()
+	logits, err := s.cluster.Prefill(pj.session, chunk, s.cfg.Variant)
+	s.execMu.Unlock()
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.executing = nil
+	if len(s.prefills) == 0 || s.prefills[0] != pj {
+		// A concurrent Release purged this request (and completed it with
+		// a released error) while its chunk was executing. The chunk's KV
+		// is covered by the Release's pending drop, which the next Step
+		// applies before any re-admitted same-id session can prefill.
+		return false
+	}
+	if pj.canceled {
+		// The client vanished while this chunk ran; stop burning ring
+		// passes on its prompt. The chunk's KV is quarantined.
+		s.prefills = s.prefills[1:]
+		s.abortCanceledLocked(pj, true)
+		return false
+	}
+	if err != nil {
+		s.prefills = s.prefills[1:]
+		pj.err = &ExecError{fmt.Errorf("prefill: %w", err)}
+		close(pj.done)
+		// A failed chunk leaves indeterminate partial KV: quarantine the
+		// session so nothing decodes against it, and — if no other queued
+		// work references it — free its admission slot rather than holding
+		// it hostage.
+		s.quarantineLocked(pj.session)
+		s.maybeFreeSlotLocked(pj.session)
+		s.cond.Broadcast()
+		return false
+	}
+	s.prefilled[pj.session] = true
+	pj.consumed += len(chunk)
+	if pj.consumed < len(pj.prompt) {
+		pj.queuedAt = now // next chunk becomes runnable now
+		return false
+	}
+	s.prefills = s.prefills[1:]
+	next := transformer.Argmax(logits[len(logits)-1])
+	pj.ttftMs = float64(now.Sub(pj.start).Microseconds()) / 1000
+	pj.next = next
+	pj.lastStep = now
+	if pj.collect {
+		pj.tokens = append(pj.tokens, next)
+	}
+	if pj.pending > 0 {
+		pj.token = next
+		pj.queuedAt = now
+		s.decodes = append(s.decodes, pj)
+		s.cond.Signal()
+		return true
+	}
+	close(pj.done)
+	return true
+}
+
+// runDecodeBatch advances every request in the batch by one fused ring pass
+// and requeues the ones with steps remaining.
+func (s *Scheduler) runDecodeBatch(dbatch []*request, report *IterReport) {
+	if len(dbatch) == 0 {
+		return
+	}
+	ids := make([]int, len(dbatch))
+	toks := make([]int, len(dbatch))
+	for i, r := range dbatch {
+		ids[i] = r.session
+		toks[i] = r.token
+	}
+	s.execMu.Lock()
+	out, err := s.cluster.DecodeBatch(ids, toks)
+	s.execMu.Unlock()
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err != nil {
+		// Dead sessions are filtered out at batch assembly and evictions
+		// are loop-ordered, so a failure here is infrastructure (comm
+		// fault, mid-ring timeout) that may have left partial per-rank KV.
+		// A retry — internal or a client's — could double-append, so fail
+		// the batch honestly and quarantine every member: KV evicted,
+		// session no longer decodable until re-prefilled.
+		for _, r := range dbatch {
+			r.err = &ExecError{fmt.Errorf("decode: %w", err)}
+			close(r.done)
+			s.quarantineLocked(r.session)
+		}
+		// As with a failed prefill chunk: a quarantined session holds no
+		// KV, so unless queued work still references it, its admission
+		// slot must go back to the pool rather than wedge new sessions.
+		for _, r := range dbatch {
+			s.maybeFreeSlotLocked(r.session)
+		}
+		s.cond.Broadcast()
+		return
+	}
+	for i, r := range dbatch {
+		report.DecodeSessions = append(report.DecodeSessions, r.session)
+		next := transformer.Argmax(out[i])
+		r.pending--
+		if r.collect {
+			r.tokens = append(r.tokens, next)
+			r.ttitMs = append(r.ttitMs, float64(now.Sub(r.lastStep).Microseconds())/1000)
+		}
+		r.lastStep = now
+		r.next = next
+		switch {
+		case r.pending > 0 && r.canceled:
+			// Client vanished mid-stream. A generate stream's session
+			// will never see its DELETE, so evict it; a decode-only
+			// client's multi-turn conversation stays resident.
+			s.abortCanceledLocked(r, r.collect)
+		case r.pending > 0 && s.closed:
+			// Shutdown boundary: the stream ends here, not after its
+			// remaining (possibly millions of) steps.
+			r.err = ErrClosed
+			close(r.done)
+		case r.pending > 0 && !s.prefilled[r.session]:
+			// Released while this step was in flight; don't requeue a
+			// decode against soon-to-be-evicted KV.
+			r.err = releasedErr(r.session)
+			close(r.done)
+		case r.pending > 0:
+			r.token = next
+			r.queuedAt = now
+			s.decodes = append(s.decodes, r)
+		default:
+			close(r.done)
+			if r.canceled && r.collect {
+				// The stream finished, but its client vanished and will
+				// never DELETE the session; reclaim it.
+				s.quarantineLocked(r.session)
+				s.maybeFreeSlotLocked(r.session)
+				s.cond.Broadcast()
+			}
+		}
+	}
+	if len(s.decodes) > 0 {
+		s.cond.Signal()
+	}
+}
+
+func (s *Scheduler) recordWaitLocked(c Class, wait time.Duration) {
+	st := s.queueStats[c]
+	st.Executed++
+	st.TotalWait += wait
+	if wait > st.MaxWait {
+		st.MaxWait = wait
+	}
+}
+
+// Active reports whether the session has resident KV.
+func (s *Scheduler) Active(session int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.prefilled[session]
+}
+
+// Known reports whether the session holds an admission slot or has queued
+// work — including a request still parked behind admission backpressure,
+// which DELETE must be able to shed.
+func (s *Scheduler) Known(session int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.sessions[session] || s.sessionQueuedLocked(session)
+}
+
+// Sessions returns the resident session ids' count.
+func (s *Scheduler) Sessions() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.sessions)
+}
+
+// SessionIDs snapshots the admitted session ids.
+func (s *Scheduler) SessionIDs() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, 0, len(s.sessions))
+	for id := range s.sessions {
+		out = append(out, id)
+	}
+	return out
+}
+
+// sessionQueuedLocked reports whether any queued request references the
+// session; caller holds s.mu.
+func (s *Scheduler) sessionQueuedLocked(session int) bool {
+	for _, q := range [][]*request{s.admit, s.prefills, s.decodes} {
+		for _, r := range q {
+			if r.session == session {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// Release frees a session's admission slot, fails its queued requests (so
+// a fused batch never sees a dead sequence), schedules its KV for eviction
+// on the step loop, and admits waiting work.
+func (s *Scheduler) Release(session int) {
+	s.mu.Lock()
+	relErr := releasedErr(session)
+	purge := func(q []*request) []*request {
+		kept := q[:0]
+		for _, r := range q {
+			if r.session == session {
+				r.err = relErr
+				close(r.done)
+				continue
+			}
+			kept = append(kept, r)
+		}
+		return kept
+	}
+	s.admit = purge(s.admit)
+	s.prefills = purge(s.prefills)
+	s.decodes = purge(s.decodes)
+	delete(s.sessions, session)
+	delete(s.prefilled, session)
+	s.pendingDrops = append(s.pendingDrops, session)
+	s.admitLocked()
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	if s.cfg.Manual {
+		// No background loop will run the drop; apply it here. Manual mode
+		// has a single driving thread, so this cannot race a Step.
+		s.applyDrops()
+	}
+}
+
+// applyDrops evicts every pending session's KV under the execution lock.
+func (s *Scheduler) applyDrops() {
+	s.mu.Lock()
+	drops := s.pendingDrops
+	s.pendingDrops = nil
+	s.mu.Unlock()
+	if len(drops) == 0 {
+		return
+	}
+	s.execMu.Lock()
+	for _, id := range drops {
+		s.cluster.Drop(id)
+	}
+	s.execMu.Unlock()
+}
+
+// WithCluster runs fn with exclusive access to the cluster, serialized
+// against the step loop. Stats handlers use it for consistent snapshots.
+func (s *Scheduler) WithCluster(fn func(c *transformer.Cluster)) {
+	s.execMu.Lock()
+	defer s.execMu.Unlock()
+	fn(s.cluster)
+}
+
+// QueueDepths snapshots the scheduler's queues: sessions waiting for
+// admission, prefill-phase requests, and decode-ready requests.
+func (s *Scheduler) QueueDepths() (admit, prefill, decode int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.admit), len(s.prefills), len(s.decodes)
 }
 
 // Stats snapshots per-class queue metrics.
 func (s *Scheduler) Stats() map[Class]QueueStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	out := make(map[Class]QueueStats, len(s.stats))
-	for c, st := range s.stats {
+	out := make(map[Class]QueueStats, len(s.queueStats))
+	for c, st := range s.queueStats {
 		out[c] = *st
 	}
 	return out
 }
 
-// Close drains queued work and stops the worker; subsequent Submits fail.
+// BatchStats snapshots iteration-level batching metrics.
+func (s *Scheduler) BatchStats() BatchStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.batch
+}
+
+// LastIter returns the most recent iteration's report.
+func (s *Scheduler) LastIter() IterReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := s.lastIter
+	out.DecodeSessions = append([]int(nil), s.lastIter.DecodeSessions...)
+	return out
+}
+
+// Close stops admission, fails requests still waiting for an admission
+// slot, lets the loop drain queued work, and waits for it to exit.
+// Subsequent submissions fail.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
 	s.closed = true
+	// Fail everything queued rather than draining: a generate stream can
+	// have millions of steps left, and shutdown must be bounded by one
+	// iteration, not by the longest client request. In-flight work is cut
+	// at its next chunk/step boundary by the closed checks in the step
+	// loop.
+	for _, q := range [][]*request{s.admit, s.prefills, s.decodes} {
+		for _, r := range q {
+			r.err = ErrClosed
+			close(r.done)
+		}
+	}
+	s.admit, s.prefills, s.decodes = nil, nil, nil
 	s.cond.Broadcast()
 	s.mu.Unlock()
+	<-s.loopDone
 }

@@ -2,11 +2,11 @@ package server
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
 
 	"repro/internal/perf"
@@ -21,9 +21,23 @@ type Config struct {
 	// Variant selects the prefill ring algorithm; decode always rides
 	// pass-Q. Defaults to pass-KV.
 	Variant perf.Variant
+	// TokenBudget caps prompt tokens prefilled per scheduler iteration
+	// (chunked prefill). 0 = default.
+	TokenBudget int
+	// MaxBatch caps the sessions fused into one DecodeBatch. 0 = default.
+	MaxBatch int
+	// MaxSessions caps concurrently resident sessions (admission control).
+	// 0 = default.
+	MaxSessions int
+	// MaxTokens caps a single generate request's max_tokens. 0 = default.
+	MaxTokens int
+	// RecvTimeout overrides the cluster's communication receive deadline.
+	// 0 = comm.DefaultRecvTimeout.
+	RecvTimeout time.Duration
 }
 
-// Server is an HTTP inference frontend over one context-parallel cluster.
+// Server is an HTTP inference frontend over one context-parallel cluster
+// driven by the continuous-batching scheduler.
 //
 //	POST   /v1/generate  {"session":1,"prompt":[..],"max_tokens":8}
 //	POST   /v1/prefill   {"session":1,"tokens":[..]}
@@ -32,15 +46,11 @@ type Config struct {
 //	DELETE /v1/session/{id}
 type Server struct {
 	cfg     Config
-	cluster *transformer.Cluster
 	sched   *Scheduler
-
-	mu       sync.Mutex
-	sessions map[int]bool
-	started  time.Time
+	started time.Time
 }
 
-// New builds the server and its cluster.
+// New builds the server, its cluster, and the scheduler step loop.
 func New(cfg Config) (*Server, error) {
 	if cfg.Ranks <= 0 {
 		return nil, fmt.Errorf("server: non-positive rank count %d", cfg.Ranks)
@@ -49,18 +59,31 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	cluster, err := transformer.NewCluster(w, cfg.Ranks)
+	var copts []transformer.ClusterOption
+	if cfg.RecvTimeout > 0 {
+		copts = append(copts, transformer.WithRecvTimeout(cfg.RecvTimeout))
+	}
+	cluster, err := transformer.NewCluster(w, cfg.Ranks, copts...)
 	if err != nil {
 		return nil, err
 	}
 	return &Server{
-		cfg:      cfg,
-		cluster:  cluster,
-		sched:    NewScheduler(cfg.Policy),
-		sessions: make(map[int]bool),
-		started:  time.Now(),
+		cfg: cfg,
+		sched: NewScheduler(cluster, SchedulerConfig{
+			Policy:      cfg.Policy,
+			Variant:     cfg.Variant,
+			TokenBudget: cfg.TokenBudget,
+			MaxBatch:    cfg.MaxBatch,
+			MaxSessions: cfg.MaxSessions,
+			MaxTokens:   cfg.MaxTokens,
+		}),
+		started: time.Now(),
 	}, nil
 }
+
+// Scheduler exposes the continuous-batching engine, e.g. for load drivers
+// that want occupancy reports.
+func (s *Server) Scheduler() *Scheduler { return s.sched }
 
 // Close stops the scheduler.
 func (s *Server) Close() { s.sched.Close() }
@@ -112,55 +135,12 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "prompt and max_tokens required")
 		return
 	}
-	resp := generateResponse{}
-	var next int
-	var prefErr error
-	start := time.Now()
-	if err := s.sched.Submit(ClassPrefill, func() {
-		logits, err := s.cluster.Prefill(req.Session, req.Prompt, s.cfg.Variant)
-		if err != nil {
-			prefErr = err
-			return
-		}
-		next = transformer.Argmax(logits[len(logits)-1])
-	}); err != nil {
-		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+	res, err := s.sched.Generate(r.Context(), req.Session, req.Prompt, req.MaxTokens)
+	if err != nil {
+		writeErr(w, statusFor(err), "%v", err)
 		return
 	}
-	if prefErr != nil {
-		writeErr(w, http.StatusBadRequest, "prefill: %v", prefErr)
-		return
-	}
-	s.trackSession(req.Session)
-	resp.TTFTMs = float64(time.Since(start).Microseconds()) / 1000
-
-	for i := 0; i < req.MaxTokens; i++ {
-		resp.Tokens = append(resp.Tokens, next)
-		if i == req.MaxTokens-1 {
-			break
-		}
-		var decErr error
-		var stepNext int
-		stepStart := time.Now()
-		if err := s.sched.Submit(ClassDecode, func() {
-			logits, err := s.cluster.Decode(req.Session, next)
-			if err != nil {
-				decErr = err
-				return
-			}
-			stepNext = transformer.Argmax(logits)
-		}); err != nil {
-			writeErr(w, http.StatusServiceUnavailable, "%v", err)
-			return
-		}
-		if decErr != nil {
-			writeErr(w, http.StatusInternalServerError, "decode: %v", decErr)
-			return
-		}
-		resp.TTITMs = append(resp.TTITMs, float64(time.Since(stepStart).Microseconds())/1000)
-		next = stepNext
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, generateResponse{Tokens: res.Tokens, TTFTMs: res.TTFTMs, TTITMs: res.TTITMs})
 }
 
 type prefillRequest struct {
@@ -187,25 +167,12 @@ func (s *Server) handlePrefill(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "tokens required")
 		return
 	}
-	var next int
-	var opErr error
-	if err := s.sched.Submit(ClassPrefill, func() {
-		logits, err := s.cluster.Prefill(req.Session, req.Tokens, s.cfg.Variant)
-		if err != nil {
-			opErr = err
-			return
-		}
-		next = transformer.Argmax(logits[len(logits)-1])
-	}); err != nil {
-		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+	next, err := s.sched.Prefill(r.Context(), req.Session, req.Tokens)
+	if err != nil {
+		writeErr(w, statusFor(err), "%v", err)
 		return
 	}
-	if opErr != nil {
-		writeErr(w, http.StatusBadRequest, "prefill: %v", opErr)
-		return
-	}
-	s.trackSession(req.Session)
-	writeJSON(w, http.StatusOK, prefillResponse{NextToken: next, SessionLen: s.cluster.SeqLen(req.Session)})
+	writeJSON(w, http.StatusOK, prefillResponse{NextToken: next, SessionLen: s.sessionLen(req.Session)})
 }
 
 type decodeRequest struct {
@@ -223,28 +190,33 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad json: %v", err)
 		return
 	}
-	if !s.hasSession(req.Session) {
-		writeErr(w, http.StatusNotFound, "unknown session %d", req.Session)
+	next, err := s.sched.Decode(r.Context(), req.Session, req.Token)
+	if err != nil {
+		writeErr(w, statusFor(err), "%v", err)
 		return
 	}
-	var next int
-	var opErr error
-	if err := s.sched.Submit(ClassDecode, func() {
-		logits, err := s.cluster.Decode(req.Session, req.Token)
-		if err != nil {
-			opErr = err
-			return
-		}
-		next = transformer.Argmax(logits)
-	}); err != nil {
-		writeErr(w, http.StatusServiceUnavailable, "%v", err)
-		return
+	writeJSON(w, http.StatusOK, prefillResponse{NextToken: next, SessionLen: s.sessionLen(req.Session)})
+}
+
+// statusFor maps scheduler errors to HTTP statuses: a closed scheduler
+// means the service is going away (503), a session released mid-request is
+// a conflict with a concurrent DELETE (409), an ExecError is an internal
+// cluster failure (500), everything else is a request-level failure (400).
+func statusFor(err error) int {
+	if errors.Is(err, ErrClosed) {
+		return http.StatusServiceUnavailable
 	}
-	if opErr != nil {
-		writeErr(w, http.StatusBadRequest, "decode: %v", opErr)
-		return
+	if errors.Is(err, ErrReleased) {
+		return http.StatusConflict
 	}
-	writeJSON(w, http.StatusOK, prefillResponse{NextToken: next, SessionLen: s.cluster.SeqLen(req.Session)})
+	if errors.Is(err, ErrUnknownSession) {
+		return http.StatusNotFound
+	}
+	var execErr *ExecError
+	if errors.As(err, &execErr) {
+		return http.StatusInternalServerError
+	}
+	return http.StatusBadRequest
 }
 
 type statsResponse struct {
@@ -256,6 +228,17 @@ type statsResponse struct {
 	UptimeSec   float64              `json:"uptime_sec"`
 	QueueStats  map[Class]QueueStats `json:"queues"`
 	SessionLens map[string]int       `json:"session_lens"`
+	// Continuous-batching telemetry.
+	Batch           BatchStats `json:"batch"`
+	MeanOccupancy   float64    `json:"mean_occupancy"`
+	MeanIterMs      float64    `json:"mean_iter_ms"`
+	TokenBudget     int        `json:"token_budget"`
+	MaxBatch        int        `json:"max_batch"`
+	MaxSessions     int        `json:"max_sessions"`
+	QueuedAdmit     int        `json:"queued_admit"`
+	QueuedPrefill   int        `json:"queued_prefill"`
+	QueuedDecode    int        `json:"queued_decode"`
+	LastDecodeBatch int        `json:"last_decode_batch"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -263,22 +246,40 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
-	s.mu.Lock()
-	lens := make(map[string]int, len(s.sessions))
-	count := len(s.sessions)
-	for id := range s.sessions {
-		lens[strconv.Itoa(id)] = s.cluster.SeqLen(id)
-	}
-	s.mu.Unlock()
+	ids := s.sched.SessionIDs()
+	var ranks int
+	var rankKV []int
+	var commBytes float64
+	lens := make(map[string]int, len(ids))
+	s.sched.WithCluster(func(c *transformer.Cluster) {
+		ranks = c.Ranks()
+		rankKV = c.RankCacheTokens()
+		commBytes = c.CommStats().TotalBytes()
+		for _, id := range ids {
+			lens[strconv.Itoa(id)] = c.SeqLen(id)
+		}
+	})
+	batch := s.sched.BatchStats()
+	admitQ, prefillQ, decodeQ := s.sched.QueueDepths()
 	writeJSON(w, http.StatusOK, statsResponse{
-		Ranks:       s.cluster.Ranks(),
-		Policy:      s.cfg.Policy.String(),
-		Sessions:    count,
-		RankKV:      s.cluster.RankCacheTokens(),
-		CommBytes:   s.cluster.CommStats().TotalBytes(),
-		UptimeSec:   time.Since(s.started).Seconds(),
-		QueueStats:  s.sched.Stats(),
-		SessionLens: lens,
+		Ranks:           ranks,
+		Policy:          s.cfg.Policy.String(),
+		Sessions:        len(ids),
+		RankKV:          rankKV,
+		CommBytes:       commBytes,
+		UptimeSec:       time.Since(s.started).Seconds(),
+		QueueStats:      s.sched.Stats(),
+		SessionLens:     lens,
+		Batch:           batch,
+		MeanOccupancy:   batch.MeanOccupancy(),
+		MeanIterMs:      batch.MeanIterMs(),
+		TokenBudget:     s.sched.cfg.TokenBudget,
+		MaxBatch:        s.sched.cfg.MaxBatch,
+		MaxSessions:     s.sched.cfg.MaxSessions,
+		QueuedAdmit:     admitQ,
+		QueuedPrefill:   prefillQ,
+		QueuedDecode:    decodeQ,
+		LastDecodeBatch: len(s.sched.LastIter().DecodeSessions),
 	})
 }
 
@@ -293,24 +294,16 @@ func (s *Server) handleSession(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad session id %q", idStr)
 		return
 	}
-	if !s.hasSession(id) {
+	if !s.sched.Known(id) {
 		writeErr(w, http.StatusNotFound, "unknown session %d", id)
 		return
 	}
-	s.mu.Lock()
-	delete(s.sessions, id)
-	s.mu.Unlock()
+	s.sched.Release(id)
 	writeJSON(w, http.StatusOK, map[string]string{"status": "deleted"})
 }
 
-func (s *Server) trackSession(id int) {
-	s.mu.Lock()
-	s.sessions[id] = true
-	s.mu.Unlock()
-}
-
-func (s *Server) hasSession(id int) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.sessions[id]
+func (s *Server) sessionLen(id int) int {
+	var n int
+	s.sched.WithCluster(func(c *transformer.Cluster) { n = c.SeqLen(id) })
+	return n
 }

@@ -2,6 +2,7 @@ package transformer
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/kvcache"
@@ -23,16 +24,45 @@ type Cluster struct {
 
 	caches  [][]*kvcache.Cache // [rank][layer]
 	seqLens map[int]int
-	step    int
+	// decodeSteps counts completed decode steps per sequence. Owner rotation
+	// is per-sequence rather than per-cluster so that a sequence's KV lands
+	// on the same ranks whether it decodes alone or fused into a batch —
+	// the property that makes batched serving bit-identical to the serial
+	// single-session path.
+	decodeSteps map[int]int
+}
+
+// ClusterOption configures a Cluster at construction time.
+type ClusterOption func(*clusterOpts)
+
+type clusterOpts struct {
+	commOpts []comm.Option
+}
+
+// WithRecvTimeout sets the receive deadline of the cluster's comm.World, for
+// soak tests and slow CI machines that outlast comm.DefaultRecvTimeout.
+func WithRecvTimeout(d time.Duration) ClusterOption {
+	return func(o *clusterOpts) {
+		o.commOpts = append(o.commOpts, comm.WithRecvTimeout(d))
+	}
 }
 
 // NewCluster builds an N-rank execution of the given weights.
-func NewCluster(w *Weights, ranks int) (*Cluster, error) {
+func NewCluster(w *Weights, ranks int, opts ...ClusterOption) (*Cluster, error) {
 	if ranks <= 0 {
 		return nil, fmt.Errorf("transformer: non-positive rank count %d", ranks)
 	}
+	var co clusterOpts
+	for _, opt := range opts {
+		opt(&co)
+	}
 	m := w.Cfg.Model
-	c := &Cluster{W: w, world: comm.NewWorld(ranks), seqLens: make(map[int]int)}
+	c := &Cluster{
+		W:           w,
+		world:       comm.NewWorld(ranks, co.commOpts...),
+		seqLens:     make(map[int]int),
+		decodeSteps: make(map[int]int),
+	}
 	for r := 0; r < ranks; r++ {
 		var perLayer []*kvcache.Cache
 		for l := 0; l < m.Layers; l++ {
@@ -92,6 +122,12 @@ func (c *Cluster) PrefillBatch(seqIDs []int, tokens [][]int, variant perf.Varian
 	for i, toks := range tokens {
 		if len(toks) == 0 {
 			return nil, fmt.Errorf("transformer: empty prefill for sequence %d", seqIDs[i])
+		}
+		if seqIDs[i] < 0 {
+			// Reject up front: the ring layer treats negative ids as
+			// padding markers, and an error surfacing on one rank mid-ring
+			// would leave its peers waiting for the receive timeout.
+			return nil, fmt.Errorf("transformer: negative sequence id %d", seqIDs[i])
 		}
 		if seen[seqIDs[i]] {
 			return nil, fmt.Errorf("transformer: duplicate sequence %d in batch", seqIDs[i])
@@ -176,63 +212,152 @@ func (c *Cluster) PrefillBatch(seqIDs []int, tokens [][]int, variant perf.Varian
 }
 
 // Decode generates the logits for one new token of a sequence using batched
-// ring pass-Q decode on every layer. Token ownership rotates across ranks
-// per step (§3.6), so the non-owner ranks participate in attention while
-// only the owner runs the rest of the layer stack.
+// ring pass-Q decode on every layer. It is the batch-of-one special case of
+// DecodeBatch.
 func (c *Cluster) Decode(seq, token int) ([]float32, error) {
-	if _, ok := c.seqLens[seq]; !ok {
-		return nil, fmt.Errorf("transformer: decode for unknown sequence %d", seq)
+	out, err := c.DecodeBatch([]int{seq}, []int{token})
+	if err != nil {
+		return nil, err
+	}
+	return out[0], nil
+}
+
+// DecodeBatch advances every listed sequence by one token in a single ring
+// pass-Q sweep per layer (§3.6 batched decode at the whole-model level).
+// Entry i feeds tokens[i] to seqs[i]; per-sequence logits come back in batch
+// order. Token ownership rotates per sequence — sequence s's step-t token is
+// owned by rank t mod N regardless of what else shares the batch — so the
+// KV placement, and therefore the floating-point merge order, of every
+// sequence is identical to a serial single-session execution. Non-owner
+// ranks participate in every layer's ring attention while only owner ranks
+// run embeddings, projections, FFN, and the output head for their tokens.
+func (c *Cluster) DecodeBatch(seqs []int, tokens []int) ([][]float32, error) {
+	b := len(seqs)
+	if b == 0 || b != len(tokens) {
+		return nil, fmt.Errorf("transformer: %d sequences with %d decode tokens", b, len(tokens))
 	}
 	m := c.W.Cfg.Model
-	if token < 0 || token >= m.VocabSize {
-		return nil, fmt.Errorf("transformer: decode token %d outside vocab %d", token, m.VocabSize)
+	n := c.world.N
+	seen := make(map[int]bool, b)
+	for i, seq := range seqs {
+		if seq < 0 {
+			return nil, fmt.Errorf("transformer: negative sequence id %d", seq)
+		}
+		if _, ok := c.seqLens[seq]; !ok {
+			return nil, fmt.Errorf("transformer: decode for unknown sequence %d", seq)
+		}
+		if seen[seq] {
+			return nil, fmt.Errorf("transformer: duplicate sequence %d in decode batch", seq)
+		}
+		seen[seq] = true
+		if tokens[i] < 0 || tokens[i] >= m.VocabSize {
+			return nil, fmt.Errorf("transformer: decode token %d outside vocab %d", tokens[i], m.VocabSize)
+		}
 	}
-	pos := c.seqLens[seq]
-	owner := sharding.DecodeOwner(0, c.step, c.world.N)
-	c.step++
+
+	// Assign each batch entry to its owner rank and agree on a uniform
+	// circulating block length (per-sequence rotation can collide owners).
+	owned := make([][]ring.DecodeToken, n)
+	ownedRows := make([][]int, n)
+	for i, seq := range seqs {
+		// Owner depends only on (seq, per-seq step) — never on batch
+		// composition — so fused and serial execution place KV
+		// identically, while distinct sequences at equal step counts
+		// still spread across ranks instead of piling onto one.
+		r := sharding.DecodeOwner(seqOwnerOffset(seq), c.decodeSteps[seq], n)
+		owned[r] = append(owned[r], ring.DecodeToken{Seq: seq, Pos: c.seqLens[seq]})
+		ownedRows[r] = append(ownedRows[r], i)
+	}
+	blockLen := 1
+	for r := 0; r < n; r++ {
+		if len(owned[r]) > blockLen {
+			blockLen = len(owned[r])
+		}
+	}
 
 	results, err := comm.RunCollect(c.world, func(r *comm.Rank) ([]float32, error) {
-		isOwner := r.ID == owner
+		mine := ownedRows[r.ID]
 		var hidden []float32
-		if isOwner {
+		pos := make([]int, len(mine))
+		if len(mine) > 0 {
+			ids := make([]int, len(mine))
+			for j, row := range mine {
+				ids[j] = tokens[row]
+				pos[j] = owned[r.ID][j].Pos
+			}
 			var err error
-			hidden, err = c.W.embedTokens([]int{token})
+			hidden, err = c.W.embedTokens(ids)
 			if err != nil {
 				return nil, err
 			}
 		}
 		for l := 0; l < m.Layers; l++ {
 			in := &ring.DecodeInput{
-				Rank: r, NumSeqs: 1,
+				Rank: r, NumSeqs: b, BlockLen: blockLen,
+				Owned: owned[r.ID],
 				Q:     tensor.New(0, m.NumHeads, m.HeadDim),
 				K:     tensor.New(0, m.NumKV, m.HeadDim),
 				V:     tensor.New(0, m.NumKV, m.HeadDim),
 				Cache: c.caches[r.ID][l], Elem: m.ElemBytes,
 			}
-			if isOwner {
-				q, k, v := c.W.projectQKV(l, hidden, 1, []int{pos})
-				in.Owned = []ring.DecodeToken{{Seq: seq, Pos: pos}}
-				in.Q, in.K, in.V = q, k, v
+			if len(mine) > 0 {
+				in.Q, in.K, in.V = c.W.projectQKV(l, hidden, len(mine), pos)
 			}
 			out, err := ring.PassQDecode(in)
 			if err != nil {
 				return nil, fmt.Errorf("layer %d: %w", l, err)
 			}
-			if isOwner {
+			if len(mine) > 0 {
 				c.W.attnResidual(l, hidden, out.O)
-				c.W.ffnResidual(l, hidden, 1)
+				c.W.ffnResidual(l, hidden, len(mine))
 			}
 		}
-		if !isOwner {
+		if len(mine) == 0 {
 			return nil, nil
 		}
-		return c.W.logits(hidden, 1), nil
+		return c.W.logits(hidden, len(mine)), nil
 	})
 	if err != nil {
 		return nil, err
 	}
-	c.seqLens[seq]++
-	return results[owner], nil
+	out := make([][]float32, b)
+	for r := 0; r < n; r++ {
+		for j, row := range ownedRows[r] {
+			out[row] = results[r][j*m.VocabSize : (j+1)*m.VocabSize]
+		}
+	}
+	for _, seq := range seqs {
+		c.seqLens[seq]++
+		c.decodeSteps[seq]++
+	}
+	return out, nil
+}
+
+// seqOwnerOffset decorrelates owner rotation across sequence ids with a
+// fixed integer hash (splitmix64 finalizer). Client-chosen session ids are
+// often congruent mod N (100, 104, 108 on 4 ranks would otherwise share one
+// owner forever); hashing breaks persistent collisions while keeping the
+// offset a pure function of the id, which the bit-identity guarantee needs.
+func seqOwnerOffset(seq int) int {
+	x := uint64(seq)
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return int(x & 0x7fffffff)
+}
+
+// Drop evicts a sequence from every rank's per-layer cache and forgets its
+// decode rotation state, freeing the admission slot it occupied.
+func (c *Cluster) Drop(seq int) {
+	for _, layers := range c.caches {
+		for _, kc := range layers {
+			kc.Drop(seq)
+		}
+	}
+	delete(c.seqLens, seq)
+	delete(c.decodeSteps, seq)
 }
 
 // Generate greedily extends a prompt: one distributed prefill, then

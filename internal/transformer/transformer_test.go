@@ -3,6 +3,7 @@ package transformer
 import (
 	"math"
 	"testing"
+	"time"
 
 	"repro/internal/perf"
 )
@@ -363,5 +364,201 @@ func TestCommBytesNonZeroOnlyForMultiRank(t *testing.T) {
 	}
 	if got := c2.CommStats().Bytes["sendrecv"]; got <= 0 {
 		t.Fatal("two ranks sent no ring bytes")
+	}
+}
+
+func TestDecodeBatchBitIdenticalToSerial(t *testing.T) {
+	// The continuous-batching contract: fusing sequences into one ring
+	// pass-Q sweep must not change ANY bit of any sequence's logits versus
+	// decoding it alone on a fresh cluster. Per-sequence owner rotation
+	// pins each token's KV to the same rank either way, so the
+	// floating-point merge order is identical.
+	w, _ := NewWeights(Tiny(21))
+	batch, err := NewCluster(w, 2) // 3 sequences on 2 ranks forces owner collisions
+	if err != nil {
+		t.Fatal(err)
+	}
+	prompts := [][]int{
+		{5, 9, 13, 21, 34},
+		{2, 47, 19},
+		{7, 3, 60, 12, 9, 33},
+	}
+	serial := make([]*Cluster, len(prompts))
+	feed := make([]int, len(prompts))
+	for i, p := range prompts {
+		if _, err := batch.Prefill(i, p, perf.PassKV); err != nil {
+			t.Fatal(err)
+		}
+		serial[i], _ = NewCluster(w, 2)
+		if _, err := serial[i].Prefill(i, p, perf.PassKV); err != nil {
+			t.Fatal(err)
+		}
+		feed[i] = (i*11 + 3) % w.Cfg.Model.VocabSize
+	}
+	seqs := []int{0, 1, 2}
+	for step := 0; step < 5; step++ {
+		got, err := batch.DecodeBatch(seqs, feed)
+		if err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		for i := range seqs {
+			want, err := serial[i].Decode(i, feed[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				if got[i][j] != want[j] {
+					t.Fatalf("step %d sequence %d logit %d: batched %v != serial %v (not bit-identical)",
+						step, i, j, got[i][j], want[j])
+				}
+			}
+			feed[i] = Argmax(want)
+		}
+	}
+}
+
+func TestDecodeBatchSubsetAndRejoin(t *testing.T) {
+	// Sequences may drop out of the batch (finished/stalled sessions) and
+	// rejoin later; per-sequence rotation keeps each one bit-identical to
+	// its own serial schedule throughout.
+	w, _ := NewWeights(Tiny(22))
+	batch, _ := NewCluster(w, 3)
+	ref0, _ := NewCluster(w, 3)
+	ref1, _ := NewCluster(w, 3)
+	for _, c := range []*Cluster{batch, ref0, ref1} {
+		if _, err := c.Prefill(0, []int{1, 2, 3, 4}, perf.PassKV); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := batch.Prefill(1, []int{9, 8, 7}, perf.PassKV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ref1.Prefill(1, []int{9, 8, 7}, perf.PassKV); err != nil {
+		t.Fatal(err)
+	}
+	// Step both together, then only seq 1, then both again.
+	schedules := [][]int{{0, 1}, {1}, {0, 1}}
+	steps := map[int]int{}
+	for _, seqs := range schedules {
+		toks := make([]int, len(seqs))
+		for i, s := range seqs {
+			toks[i] = (s*7 + steps[s]*13 + 2) % w.Cfg.Model.VocabSize
+		}
+		got, err := batch.DecodeBatch(seqs, toks)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, s := range seqs {
+			ref := ref0
+			if s == 1 {
+				ref = ref1
+			}
+			want, err := ref.Decode(s, toks[i])
+			if err != nil {
+				t.Fatal(err)
+			}
+			for j := range want {
+				if got[i][j] != want[j] {
+					t.Fatalf("seq %d step %d not bit-identical to serial", s, steps[s])
+				}
+			}
+			steps[s]++
+		}
+	}
+}
+
+func TestDecodeBatchValidation(t *testing.T) {
+	w, _ := NewWeights(Tiny(23))
+	c, _ := NewCluster(w, 2)
+	if _, err := c.DecodeBatch(nil, nil); err == nil {
+		t.Fatal("empty batch accepted")
+	}
+	if _, err := c.DecodeBatch([]int{0}, []int{1, 2}); err == nil {
+		t.Fatal("mismatched lengths accepted")
+	}
+	if _, err := c.DecodeBatch([]int{0}, []int{1}); err == nil {
+		t.Fatal("unknown sequence accepted")
+	}
+	if _, err := c.Prefill(0, []int{1, 2}, perf.PassKV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DecodeBatch([]int{0, 0}, []int{1, 1}); err == nil {
+		t.Fatal("duplicate sequence accepted")
+	}
+	if _, err := c.DecodeBatch([]int{0}, []int{9999}); err == nil {
+		t.Fatal("out-of-vocab token accepted")
+	}
+}
+
+func TestClusterDrop(t *testing.T) {
+	w, _ := NewWeights(Tiny(24))
+	c, _ := NewCluster(w, 2)
+	if _, err := c.Prefill(5, []int{1, 2, 3}, perf.PassKV); err != nil {
+		t.Fatal(err)
+	}
+	if c.SeqLen(5) != 3 {
+		t.Fatalf("len = %d", c.SeqLen(5))
+	}
+	c.Drop(5)
+	if c.SeqLen(5) != 0 {
+		t.Fatal("drop kept sequence length")
+	}
+	for _, n := range c.RankCacheTokens() {
+		if n != 0 {
+			t.Fatalf("drop left %d cached tokens", n)
+		}
+	}
+	if _, err := c.Decode(5, 1); err == nil {
+		t.Fatal("decode of dropped sequence accepted")
+	}
+}
+
+func TestNegativeSequenceIDsRejectedUpfront(t *testing.T) {
+	// The ring layer uses negative ids as padding markers; a negative id
+	// must be rejected before any rank enters the ring, where a mid-pass
+	// error would stall peers until the receive timeout.
+	w, _ := NewWeights(Tiny(25))
+	c, _ := NewCluster(w, 2)
+	start := time.Now()
+	if _, err := c.Prefill(-1, []int{1, 2}, perf.PassKV); err == nil {
+		t.Fatal("negative prefill sequence id accepted")
+	}
+	if _, err := c.Prefill(0, []int{1, 2}, perf.PassKV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.DecodeBatch([]int{-1}, []int{1}); err == nil {
+		t.Fatal("negative decode sequence id accepted")
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("rejection took %v — error surfaced mid-ring, not upfront", waited)
+	}
+}
+
+func TestCongruentIDsSpreadOwners(t *testing.T) {
+	// Session ids congruent mod N must not share one decode owner forever;
+	// the hashed rotation offset spreads KV growth across ranks.
+	w, _ := NewWeights(Tiny(30))
+	c, _ := NewCluster(w, 4)
+	ids := []int{100, 104, 108, 112}
+	toks := make([]int, len(ids))
+	for _, id := range ids {
+		if _, err := c.Prefill(id, []int{1, 2, 3}, perf.PassKV); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := c.RankCacheTokens()
+	for step := 0; step < 8; step++ {
+		if _, err := c.DecodeBatch(ids, toks); err != nil {
+			t.Fatal(err)
+		}
+	}
+	grown := 0
+	for r, n := range c.RankCacheTokens() {
+		if n > base[r] {
+			grown++
+		}
+	}
+	if grown < 2 {
+		t.Fatalf("congruent ids still pile onto %d rank(s)", grown)
 	}
 }
