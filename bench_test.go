@@ -265,3 +265,71 @@ func BenchmarkDecodeSerial4(b *testing.B)   { benchClusterDecode(b, 4, false) }
 func BenchmarkDecodeBatched4(b *testing.B)  { benchClusterDecode(b, 4, true) }
 func BenchmarkDecodeSerial16(b *testing.B)  { benchClusterDecode(b, 16, false) }
 func BenchmarkDecodeBatched16(b *testing.B) { benchClusterDecode(b, 16, true) }
+
+// --- Prefix KV reuse: cold vs warm prefill TTFT and variant crossover. ---
+
+// benchPrefixPrefill measures prefill latency for a 320-token prompt when
+// hitPct percent of it is served from a detached prefix (block = 32 tokens).
+// The warm path adopts the donor's pinned pages and ring-prefills only the
+// miss suffix; the acceptance bar is >= 2x TTFT at a 90% hit rate.
+func benchPrefixPrefill(b *testing.B, hitPct int, variant perf.Variant) {
+	b.Helper()
+	const block = 32
+	const promptLen = 320
+	w, err := transformer.NewWeights(transformer.Tiny(31))
+	if err != nil {
+		b.Fatal(err)
+	}
+	c, err := transformer.NewCluster(w, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prompt := make([]int, promptLen)
+	for i := range prompt {
+		prompt[i] = (i*13 + 7) % w.Cfg.Model.VocabSize
+	}
+	hit := promptLen * hitPct / 100 / block * block
+	var pre *transformer.PrefixKV
+	if hit > 0 {
+		// Donor: canonical block-aligned prefill, detached once.
+		for at := 0; at < promptLen; at += block {
+			if _, err := c.Prefill(0, prompt[at:at+block], variant); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if pre, err = c.DetachPrefix(0, hit); err != nil {
+			b.Fatal(err)
+		}
+		c.Drop(0)
+	}
+	seq := 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if pre != nil {
+			if err := c.AdoptPrefix(seq, pre); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for at := hit; at < promptLen; at += block {
+			if _, err := c.Prefill(seq, prompt[at:at+block], variant); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		c.Drop(seq)
+		seq++
+		b.StartTimer()
+	}
+	b.ReportMetric(float64(promptLen-hit), "miss-tok")
+}
+
+func BenchmarkPrefillHit0(b *testing.B)  { benchPrefixPrefill(b, 0, perf.PassKV) }
+func BenchmarkPrefillHit50(b *testing.B) { benchPrefixPrefill(b, 50, perf.PassKV) }
+func BenchmarkPrefillHit90(b *testing.B) { benchPrefixPrefill(b, 90, perf.PassKV) }
+
+// Variant crossover on the warm path: at a high hit rate the miss chunks are
+// small against a long cached context, which is pass-Q territory (Eq. 1);
+// auto should track the better static variant at each hit rate.
+func BenchmarkWarmVariantPassKV(b *testing.B) { benchPrefixPrefill(b, 90, perf.PassKV) }
+func BenchmarkWarmVariantPassQ(b *testing.B)  { benchPrefixPrefill(b, 90, perf.PassQ) }
+func BenchmarkWarmVariantAuto(b *testing.B)   { benchPrefixPrefill(b, 90, perf.Auto) }

@@ -5,10 +5,14 @@
 //	cpbench -list
 //	cpbench -exp table4
 //	cpbench -exp all
+//	cpbench -prefix-json BENCH_prefix.json
 //
 // Each experiment prints the same rows/series the paper reports, with the
 // paper's measured values alongside the model's predictions where the paper
-// publishes numbers.
+// publishes numbers. -prefix-json instead measures cold-vs-warm prefill
+// TTFT on the simulated cluster (prefix KV reuse at 0/50/90% hit rates plus
+// the pass-KV/pass-Q/auto comparison) and writes the results as JSON, so
+// the perf trajectory stays machine-readable across PRs.
 package main
 
 import (
@@ -22,8 +26,16 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list available experiment ids")
 	exp := flag.String("exp", "all", "experiment id to run, or 'all'")
+	prefixJSON := flag.String("prefix-json", "", "measure prefix KV-reuse prefill TTFT and write the JSON report to this path")
 	flag.Parse()
 
+	if *prefixJSON != "" {
+		if err := runPrefixBench(*prefixJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "cpbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *list {
 		for _, id := range experiments.IDs() {
 			fmt.Printf("%-24s %s\n", id, experiments.Title(id))

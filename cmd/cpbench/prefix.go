@@ -1,0 +1,140 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/perf"
+	"repro/internal/transformer"
+)
+
+// prefixBenchPoint is one measured prefill configuration.
+type prefixBenchPoint struct {
+	HitPct     int     `json:"hit_pct"`
+	MissTokens int     `json:"miss_tokens"`
+	Variant    string  `json:"variant"`
+	TTFTMs     float64 `json:"ttft_ms"`
+	Speedup    float64 `json:"speedup_vs_cold"`
+}
+
+// prefixBenchReport is the machine-readable perf trajectory emitted as
+// BENCH_prefix.json, so the prefix-reuse win is trackable across PRs.
+type prefixBenchReport struct {
+	GeneratedUnix int64              `json:"generated_unix"`
+	Ranks         int                `json:"ranks"`
+	PromptTokens  int                `json:"prompt_tokens"`
+	BlockTokens   int                `json:"block_tokens"`
+	Reps          int                `json:"reps"`
+	HitRates      []prefixBenchPoint `json:"hit_rates"` // pass-KV at 0/50/90% hit
+	Variants      []prefixBenchPoint `json:"variants"`  // pass-KV/pass-Q/auto at 90% hit
+}
+
+// runPrefixBench measures cold-vs-warm prefill TTFT on the simulated cluster
+// and writes the report to path.
+func runPrefixBench(path string) error {
+	const (
+		ranks     = 2
+		block     = 32
+		promptLen = 320
+		reps      = 5
+	)
+	w, err := transformer.NewWeights(transformer.Tiny(31))
+	if err != nil {
+		return err
+	}
+	prompt := make([]int, promptLen)
+	for i := range prompt {
+		prompt[i] = (i*13 + 7) % w.Cfg.Model.VocabSize
+	}
+
+	measure := func(hitPct int, variant perf.Variant) (prefixBenchPoint, error) {
+		c, err := transformer.NewCluster(w, ranks)
+		if err != nil {
+			return prefixBenchPoint{}, err
+		}
+		hit := promptLen * hitPct / 100 / block * block
+		var pre *transformer.PrefixKV
+		if hit > 0 {
+			for at := 0; at < promptLen; at += block {
+				if _, err := c.Prefill(0, prompt[at:at+block], variant); err != nil {
+					return prefixBenchPoint{}, err
+				}
+			}
+			if pre, err = c.DetachPrefix(0, hit); err != nil {
+				return prefixBenchPoint{}, err
+			}
+			c.Drop(0)
+		}
+		var total time.Duration
+		for rep := 0; rep < reps; rep++ {
+			seq := rep + 1
+			if pre != nil {
+				if err := c.AdoptPrefix(seq, pre); err != nil {
+					return prefixBenchPoint{}, err
+				}
+			}
+			start := time.Now()
+			for at := hit; at < promptLen; at += block {
+				if _, err := c.Prefill(seq, prompt[at:at+block], variant); err != nil {
+					return prefixBenchPoint{}, err
+				}
+			}
+			total += time.Since(start)
+			c.Drop(seq)
+		}
+		return prefixBenchPoint{
+			HitPct:     hitPct,
+			MissTokens: promptLen - hit,
+			Variant:    variant.String(),
+			TTFTMs:     float64(total.Microseconds()) / 1000 / reps,
+		}, nil
+	}
+
+	report := prefixBenchReport{
+		GeneratedUnix: time.Now().Unix(),
+		Ranks:         ranks,
+		PromptTokens:  promptLen,
+		BlockTokens:   block,
+		Reps:          reps,
+	}
+	var coldMs float64
+	for _, hitPct := range []int{0, 50, 90} {
+		pt, err := measure(hitPct, perf.PassKV)
+		if err != nil {
+			return err
+		}
+		if hitPct == 0 {
+			coldMs = pt.TTFTMs
+		}
+		if pt.TTFTMs > 0 {
+			pt.Speedup = coldMs / pt.TTFTMs
+		}
+		report.HitRates = append(report.HitRates, pt)
+	}
+	for _, v := range []perf.Variant{perf.PassKV, perf.PassQ, perf.Auto} {
+		pt, err := measure(90, v)
+		if err != nil {
+			return err
+		}
+		if pt.TTFTMs > 0 {
+			pt.Speedup = coldMs / pt.TTFTMs
+		}
+		report.Variants = append(report.Variants, pt)
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("prefix-reuse bench: cold %.2f ms", coldMs)
+	for _, pt := range report.HitRates[1:] {
+		fmt.Printf(", %d%% hit %.2f ms (%.1fx)", pt.HitPct, pt.TTFTMs, pt.Speedup)
+	}
+	fmt.Printf("\nwrote %s\n", path)
+	return nil
+}

@@ -28,11 +28,14 @@ func main() {
 	ranks := flag.Int("ranks", 2, "CP ranks")
 	seed := flag.Int64("seed", 1, "weight seed")
 	policyName := flag.String("policy", "prefill-first", "scheduler policy: fifo, prefill-first")
-	variantName := flag.String("variant", "pass-kv", "prefill ring variant: pass-kv, pass-q")
+	variantName := flag.String("variant", "pass-kv", "prefill ring variant: pass-kv, pass-q, auto (Eq. 1 per-chunk miss-rate selection)")
 	tokenBudget := flag.Int("token-budget", 32, "max prompt tokens prefilled per scheduler iteration")
 	maxBatch := flag.Int("max-batch", 64, "max sessions fused into one decode ring pass")
 	maxSessions := flag.Int("max-sessions", 256, "admission cap on resident sessions")
 	maxTokens := flag.Int("max-tokens", 4096, "cap on a single generate's max_tokens")
+	prefixCache := flag.Int("prefix-cache", server.DefaultPrefixCacheTokens,
+		"token budget of the prefix KV-reuse tree (released sessions detach into it); <= 0 disables")
+	kvCapacity := flag.Int("kv-capacity", 0, "per-rank per-layer KV cache capacity in tokens (0 = unlimited)")
 	recvTimeout := flag.Duration("recv-timeout", 0, "cluster comm receive deadline (0 = default)")
 	flag.Parse()
 
@@ -46,29 +49,47 @@ func main() {
 		fmt.Fprintf(os.Stderr, "cpserve: unknown policy %q\n", *policyName)
 		os.Exit(1)
 	}
-	variant := perf.PassKV
-	if *variantName == "pass-q" {
+	var variant perf.Variant
+	switch *variantName {
+	case "pass-kv":
+		variant = perf.PassKV
+	case "pass-q":
 		variant = perf.PassQ
+	case "auto":
+		variant = perf.Auto
+	default:
+		fmt.Fprintf(os.Stderr, "cpserve: unknown variant %q\n", *variantName)
+		os.Exit(1)
+	}
+	prefixTokens := *prefixCache
+	if prefixTokens <= 0 {
+		prefixTokens = -1 // disabled
 	}
 
 	srv, err := server.New(server.Config{
-		Transformer: transformer.Tiny(*seed),
-		Ranks:       *ranks,
-		Policy:      policy,
-		Variant:     variant,
-		TokenBudget: *tokenBudget,
-		MaxBatch:    *maxBatch,
-		MaxSessions: *maxSessions,
-		MaxTokens:   *maxTokens,
-		RecvTimeout: *recvTimeout,
+		Transformer:       transformer.Tiny(*seed),
+		Ranks:             *ranks,
+		Policy:            policy,
+		Variant:           variant,
+		TokenBudget:       *tokenBudget,
+		MaxBatch:          *maxBatch,
+		MaxSessions:       *maxSessions,
+		MaxTokens:         *maxTokens,
+		PrefixCacheTokens: prefixTokens,
+		KVCapacity:        *kvCapacity,
+		RecvTimeout:       *recvTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
 
-	log.Printf("cpserve: %d CP ranks, %s scheduling, %v prefill, budget %d tok/iter, batch<=%d, sessions<=%d, listening on %s",
-		*ranks, policy, variant, *tokenBudget, *maxBatch, *maxSessions, *addr)
+	prefixDesc := "off"
+	if prefixTokens > 0 {
+		prefixDesc = fmt.Sprintf("%d tok", prefixTokens)
+	}
+	log.Printf("cpserve: %d CP ranks, %s scheduling, %v prefill, budget %d tok/iter, batch<=%d, sessions<=%d, prefix cache %s, listening on %s",
+		*ranks, policy, variant, *tokenBudget, *maxBatch, *maxSessions, prefixDesc, *addr)
 	log.Printf(`try: curl -s localhost%s/v1/generate -d '{"session":1,"prompt":[4,19,22,7],"max_tokens":8}'`, *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)

@@ -10,6 +10,13 @@
 // pages so that growth does not copy existing entries and so capacity
 // accounting (the OOM behaviour that motivates the paper's balanced KV
 // sharding and round-robin decode) is explicit and testable.
+//
+// Pages are refcounted so a token prefix can be shared between sequences and
+// a prefix cache without copying: a Span pins a prefix of a sequence's pages,
+// AdoptSpan seeds a new sequence from one, and appends to a shared (or
+// partially visible) tail page copy-on-write so writers never disturb other
+// holders. Physical capacity counts every live page exactly once regardless
+// of how many sequences or spans reference it.
 package kvcache
 
 import (
@@ -35,21 +42,34 @@ type Config struct {
 type Cache struct {
 	cfg   Config
 	seqs  map[int]*seqCache
-	total int
+	total int // physical rows across unique live pages
 }
 
+// page is a refcounted block of KV rows. refs counts the sequences and spans
+// holding it; a page is freed (its rows returned to capacity) when refs
+// reaches zero.
 type page struct {
 	k, v *tensor.Tensor
 	pos  []int
 	fill int
+	refs int
+}
+
+// pageRef is one holder's view of a page: the first n of its fill rows.
+// n < fill happens when a span or an adopting sequence pinned a prefix that
+// ends mid-page.
+type pageRef struct {
+	pg *page
+	n  int
 }
 
 type seqCache struct {
-	pages []*page
+	refs []pageRef
 }
 
 // ErrCapacity is returned when an append would exceed the configured
-// capacity — the simulated equivalent of a rank running out of HBM.
+// capacity — the simulated equivalent of a rank running out of HBM. Need
+// includes any copy-on-write rows the append would have to clone.
 type ErrCapacity struct {
 	Need, Have, Capacity int
 }
@@ -73,6 +93,27 @@ func New(cfg Config) (*Cache, error) {
 	return &Cache{cfg: cfg, seqs: make(map[int]*seqCache)}, nil
 }
 
+// tailNeedsCOW reports whether appending through ref requires cloning its
+// visible prefix first: the page still has room but is either shared with
+// another holder or only partially visible to this sequence.
+func (c *Cache) tailNeedsCOW(ref pageRef) bool {
+	return ref.n < c.cfg.PageSize && (ref.pg.refs > 1 || ref.n < ref.pg.fill)
+}
+
+// AppendOverhead returns the extra physical rows the next Append for seq
+// would clone for copy-on-write (0 when the tail page is exclusively owned
+// or full). Capacity prechecks add it to the row count they reserve.
+func (c *Cache) AppendOverhead(seq int) int {
+	sc := c.seqs[seq]
+	if sc == nil || len(sc.refs) == 0 {
+		return 0
+	}
+	if ref := sc.refs[len(sc.refs)-1]; c.tailNeedsCOW(ref) {
+		return ref.n
+	}
+	return 0
+}
+
 // Append stores k/v rows with their global positions for a sequence. The
 // tensors must be [n, NKV, DH] with n == len(pos). Rows with position
 // sharding.Pad (negative) are skipped: the ring algorithms generate padded
@@ -90,8 +131,12 @@ func (c *Cache) Append(seq int, k, v *tensor.Tensor, pos []int) error {
 			real++
 		}
 	}
-	if c.cfg.Capacity > 0 && c.total+real > c.cfg.Capacity {
-		return &ErrCapacity{Need: real, Have: c.total, Capacity: c.cfg.Capacity}
+	if real == 0 {
+		return nil
+	}
+	need := real + c.AppendOverhead(seq)
+	if c.cfg.Capacity > 0 && c.total+need > c.cfg.Capacity {
+		return &ErrCapacity{Need: need, Have: c.total, Capacity: c.cfg.Capacity}
 	}
 	sc := c.seqs[seq]
 	if sc == nil {
@@ -102,28 +147,66 @@ func (c *Cache) Append(seq int, k, v *tensor.Tensor, pos []int) error {
 		if p < 0 {
 			continue
 		}
-		sc.appendRow(c.cfg, k.Row2D(i), v.Row2D(i), p)
-		c.total++
+		c.appendRow(sc, k.Row2D(i), v.Row2D(i), p)
 	}
 	return nil
 }
 
-func (s *seqCache) appendRow(cfg Config, kRow, vRow []float32, pos int) {
-	var pg *page
-	if n := len(s.pages); n > 0 && s.pages[n-1].fill < cfg.PageSize {
-		pg = s.pages[n-1]
-	} else {
-		pg = &page{
-			k:   tensor.New(cfg.PageSize, cfg.KVHeads, cfg.HeadDim),
-			v:   tensor.New(cfg.PageSize, cfg.KVHeads, cfg.HeadDim),
-			pos: make([]int, 0, cfg.PageSize),
+func (c *Cache) appendRow(sc *seqCache, kRow, vRow []float32, pos int) {
+	if n := len(sc.refs); n > 0 && sc.refs[n-1].n < c.cfg.PageSize {
+		ref := &sc.refs[n-1]
+		if c.tailNeedsCOW(*ref) {
+			c.cowTail(ref)
 		}
-		s.pages = append(s.pages, pg)
+		pg := ref.pg
+		copy(pg.k.Row2D(pg.fill), kRow)
+		copy(pg.v.Row2D(pg.fill), vRow)
+		pg.pos = append(pg.pos, pos)
+		pg.fill++
+		ref.n++
+		c.total++
+		return
 	}
-	copy(pg.k.Row2D(pg.fill), kRow)
-	copy(pg.v.Row2D(pg.fill), vRow)
+	pg := c.newPage()
+	copy(pg.k.Row2D(0), kRow)
+	copy(pg.v.Row2D(0), vRow)
 	pg.pos = append(pg.pos, pos)
-	pg.fill++
+	pg.fill = 1
+	sc.refs = append(sc.refs, pageRef{pg: pg, n: 1})
+	c.total++
+}
+
+func (c *Cache) newPage() *page {
+	return &page{
+		k:    tensor.New(c.cfg.PageSize, c.cfg.KVHeads, c.cfg.HeadDim),
+		v:    tensor.New(c.cfg.PageSize, c.cfg.KVHeads, c.cfg.HeadDim),
+		pos:  make([]int, 0, c.cfg.PageSize),
+		refs: 1,
+	}
+}
+
+// cowTail replaces a shared or truncated tail pageRef with a private clone of
+// its visible prefix, so the sequence can keep appending without disturbing
+// other holders of the original page.
+func (c *Cache) cowTail(ref *pageRef) {
+	clone := c.newPage()
+	for i := 0; i < ref.n; i++ {
+		copy(clone.k.Row2D(i), ref.pg.k.Row2D(i))
+		copy(clone.v.Row2D(i), ref.pg.v.Row2D(i))
+		clone.pos = append(clone.pos, ref.pg.pos[i])
+	}
+	clone.fill = ref.n
+	c.total += ref.n
+	c.releaseRef(*ref)
+	ref.pg = clone
+}
+
+// releaseRef drops one holder of a page, freeing its rows at zero refs.
+func (c *Cache) releaseRef(ref pageRef) {
+	ref.pg.refs--
+	if ref.pg.refs == 0 {
+		c.total -= ref.pg.fill
+	}
 }
 
 // Get materializes the cached K, V and positions of a sequence as contiguous
@@ -138,11 +221,11 @@ func (c *Cache) Get(seq int) (k, v *tensor.Tensor, pos []int) {
 		return k, v, pos
 	}
 	row := 0
-	for _, pg := range sc.pages {
-		for i := 0; i < pg.fill; i++ {
-			copy(k.Row2D(row), pg.k.Row2D(i))
-			copy(v.Row2D(row), pg.v.Row2D(i))
-			pos = append(pos, pg.pos[i])
+	for _, ref := range sc.refs {
+		for i := 0; i < ref.n; i++ {
+			copy(k.Row2D(row), ref.pg.k.Row2D(i))
+			copy(v.Row2D(row), ref.pg.v.Row2D(i))
+			pos = append(pos, ref.pg.pos[i])
 			row++
 		}
 	}
@@ -156,8 +239,8 @@ func (c *Cache) SeqLen(seq int) int {
 		return 0
 	}
 	n := 0
-	for _, pg := range sc.pages {
-		n += pg.fill
+	for _, ref := range sc.refs {
+		n += ref.n
 	}
 	return n
 }
@@ -170,38 +253,43 @@ func (c *Cache) MaxPos(seq int) int {
 	if sc == nil {
 		return m
 	}
-	for _, pg := range sc.pages {
-		for i := 0; i < pg.fill; i++ {
-			if pg.pos[i] > m {
-				m = pg.pos[i]
+	for _, ref := range sc.refs {
+		for i := 0; i < ref.n; i++ {
+			if ref.pg.pos[i] > m {
+				m = ref.pg.pos[i]
 			}
 		}
 	}
 	return m
 }
 
-// TotalTokens returns the rank-wide cached token count across sequences.
+// TotalTokens returns the rank-wide physical cached token count: every live
+// page's rows counted once, however many sequences and spans share it.
 func (c *Cache) TotalTokens() int { return c.total }
 
-// NumPages returns the allocated page count for a sequence.
+// NumPages returns the referenced page count for a sequence.
 func (c *Cache) NumPages(seq int) int {
 	sc := c.seqs[seq]
 	if sc == nil {
 		return 0
 	}
-	return len(sc.pages)
+	return len(sc.refs)
 }
 
 // Capacity returns the configured token capacity (0 = unlimited).
 func (c *Cache) Capacity() int { return c.cfg.Capacity }
 
-// Drop evicts a sequence, freeing its capacity. Dropping an unknown sequence
-// is a no-op.
+// Drop evicts a sequence, freeing the capacity of pages no other holder
+// still references. Dropping an unknown sequence is a no-op.
 func (c *Cache) Drop(seq int) {
-	if sc := c.seqs[seq]; sc != nil {
-		c.total -= c.SeqLen(seq)
-		delete(c.seqs, seq)
+	sc := c.seqs[seq]
+	if sc == nil {
+		return
 	}
+	for _, ref := range sc.refs {
+		c.releaseRef(ref)
+	}
+	delete(c.seqs, seq)
 }
 
 // Sequences returns the cached sequence ids in ascending order.
@@ -218,4 +306,94 @@ func (c *Cache) Sequences() []int {
 // and layer count, using the paper's 2*NKV*DH*e per token per layer.
 func (c *Cache) BytesUsed(elemBytes float64, layers int) float64 {
 	return float64(c.total) * 2 * float64(c.cfg.KVHeads) * float64(c.cfg.HeadDim) * elemBytes * float64(layers)
+}
+
+// ---------------------------------------------------------------------------
+// Spans: refcounted prefix handles for cross-sequence KV reuse.
+// ---------------------------------------------------------------------------
+
+// Span pins the pages holding a prefix of a sequence's rows so they survive
+// the sequence's eviction and can seed other sequences via AdoptSpan. A Span
+// belongs to the cache that created it and must be released exactly once.
+type Span struct {
+	c        *Cache
+	refs     []pageRef
+	tokens   int
+	released bool
+}
+
+// Tokens returns the number of rows the span pins on this rank.
+func (sp *Span) Tokens() int { return sp.tokens }
+
+// Release drops the span's page references, freeing pages no sequence or
+// other span still holds. Releasing twice is a no-op.
+func (sp *Span) Release() {
+	if sp == nil || sp.released {
+		return
+	}
+	sp.released = true
+	for _, ref := range sp.refs {
+		sp.c.releaseRef(ref)
+	}
+	sp.refs = nil
+}
+
+// AcquireSpan pins the rows of seq whose global position is below upTo. Those
+// rows must form a prefix of the sequence's append order (true whenever upTo
+// is a boundary the engine prefilled across in order); interleaved later rows
+// below upTo are rejected, since adopting them would reorder KV relative to a
+// cold prefill. Acquiring consumes no capacity — the pages are shared.
+func (c *Cache) AcquireSpan(seq, upTo int) (*Span, error) {
+	if upTo <= 0 {
+		return nil, fmt.Errorf("kvcache: non-positive span bound %d", upTo)
+	}
+	sc := c.seqs[seq]
+	if sc == nil {
+		// A rank may legitimately hold no rows of a short prefix.
+		return &Span{c: c}, nil
+	}
+	sp := &Span{c: c}
+	past := false // saw a row at or beyond upTo
+	for _, ref := range sc.refs {
+		take := 0
+		for i := 0; i < ref.n; i++ {
+			if ref.pg.pos[i] < upTo {
+				if past {
+					return nil, fmt.Errorf("kvcache: sequence %d rows below %d are not an append-order prefix", seq, upTo)
+				}
+				take++
+			} else {
+				past = true
+			}
+		}
+		if take > 0 {
+			ref.pg.refs++
+			sp.refs = append(sp.refs, pageRef{pg: ref.pg, n: take})
+			sp.tokens += take
+		}
+	}
+	return sp, nil
+}
+
+// AdoptSpan seeds an empty sequence with a span's rows by sharing its pages.
+// The sequence sees exactly the span's prefix; its first append past a
+// shared or mid-page tail triggers copy-on-write. Adoption consumes no
+// capacity beyond the pages already resident.
+func (c *Cache) AdoptSpan(seq int, sp *Span) error {
+	if sp == nil || sp.released {
+		return fmt.Errorf("kvcache: adopting a released span")
+	}
+	if sp.c != c {
+		return fmt.Errorf("kvcache: span belongs to a different cache")
+	}
+	if sc := c.seqs[seq]; sc != nil && len(sc.refs) > 0 {
+		return fmt.Errorf("kvcache: sequence %d is not empty", seq)
+	}
+	sc := &seqCache{refs: make([]pageRef, len(sp.refs))}
+	copy(sc.refs, sp.refs)
+	for _, ref := range sc.refs {
+		ref.pg.refs++
+	}
+	c.seqs[seq] = sc
+	return nil
 }

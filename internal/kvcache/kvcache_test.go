@@ -279,3 +279,200 @@ func seqPos(n int) []int {
 	}
 	return out
 }
+
+// --- Span sharing, copy-on-write, and pinned-page eviction ordering. ---
+
+func fill(t *testing.T, c *Cache, seq, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		k := tensor.New(1, 1, 1)
+		k.Set(0, 0, 0, float32(seq*100+i))
+		if err := c.Append(seq, k, tensor.New(1, 1, 1), []int{i}); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSpanSurvivesDonorDrop(t *testing.T) {
+	c := mustNew(t, Config{KVHeads: 1, HeadDim: 1, PageSize: 2})
+	fill(t, c, 0, 6)
+	sp, err := c.AcquireSpan(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.Tokens() != 4 {
+		t.Fatalf("span tokens = %d, want 4", sp.Tokens())
+	}
+	// Dropping the donor must not free the pinned pages: the span holds
+	// pages [0,4); only the donor-exclusive tail page [4,6) is freed.
+	c.Drop(0)
+	if got := c.TotalTokens(); got != 4 {
+		t.Fatalf("TotalTokens after donor drop = %d, want 4 (span pins pages)", got)
+	}
+	if err := c.AdoptSpan(7, sp); err != nil {
+		t.Fatal(err)
+	}
+	gk, _, gpos := c.Get(7)
+	if gk.Tokens != 4 {
+		t.Fatalf("adopted rows = %d, want 4", gk.Tokens)
+	}
+	for i := 0; i < 4; i++ {
+		if gk.At(i, 0, 0) != float32(i) || gpos[i] != i {
+			t.Fatalf("adopted row %d = (%v,%d)", i, gk.At(i, 0, 0), gpos[i])
+		}
+	}
+	// Adoption shares pages: no physical growth.
+	if got := c.TotalTokens(); got != 4 {
+		t.Fatalf("TotalTokens after adopt = %d, want 4", got)
+	}
+	// Release ordering: span release alone keeps pages (sequence 7 holds
+	// them); dropping 7 afterwards frees everything.
+	sp.Release()
+	sp.Release() // double release is a no-op
+	if got := c.TotalTokens(); got != 4 {
+		t.Fatalf("TotalTokens after span release = %d, want 4 (seq 7 holds pages)", got)
+	}
+	c.Drop(7)
+	if got := c.TotalTokens(); got != 0 {
+		t.Fatalf("TotalTokens after last holder drop = %d, want 0", got)
+	}
+}
+
+func TestAdoptCopyOnWrite(t *testing.T) {
+	c := mustNew(t, Config{KVHeads: 1, HeadDim: 1, PageSize: 4})
+	fill(t, c, 0, 4)               // one full page
+	sp, err := c.AcquireSpan(0, 3) // mid-page boundary
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AdoptSpan(1, sp); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.SeqLen(1); got != 3 {
+		t.Fatalf("adopted SeqLen = %d, want 3", got)
+	}
+	// Appending through the shared, truncated tail page must copy-on-write:
+	// the donor's fourth row stays intact.
+	k := tensor.New(1, 1, 1)
+	k.Set(0, 0, 0, 999)
+	if err := c.Append(1, k, tensor.New(1, 1, 1), []int{3}); err != nil {
+		t.Fatal(err)
+	}
+	dk, _, _ := c.Get(0)
+	if dk.At(3, 0, 0) != 3 {
+		t.Fatalf("donor row clobbered: %v", dk.At(3, 0, 0))
+	}
+	ak, _, apos := c.Get(1)
+	if ak.At(3, 0, 0) != 999 || apos[3] != 3 {
+		t.Fatalf("adopter row = (%v,%d), want (999,3)", ak.At(3, 0, 0), apos[3])
+	}
+	// Physical accounting: donor page (4) + COW clone page (4 rows: 3
+	// cloned + 1 appended).
+	if got := c.TotalTokens(); got != 8 {
+		t.Fatalf("TotalTokens after COW = %d, want 8", got)
+	}
+}
+
+func TestAcquireSpanRejectsInterleavedRows(t *testing.T) {
+	c := mustNew(t, Config{KVHeads: 1, HeadDim: 1})
+	// Append order 0,1,5 then 2: rows below 3 are not an append-order
+	// prefix, so a span at 3 would reorder KV relative to a cold prefill.
+	k := tensor.New(3, 1, 1)
+	if err := c.Append(0, k, tensor.New(3, 1, 1), []int{0, 1, 5}); err != nil {
+		t.Fatal(err)
+	}
+	k1 := tensor.New(1, 1, 1)
+	if err := c.Append(0, k1, tensor.New(1, 1, 1), []int{2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.AcquireSpan(0, 3); err == nil {
+		t.Fatal("interleaved rows accepted as a span prefix")
+	}
+	// A boundary past every row is fine.
+	if sp, err := c.AcquireSpan(0, 6); err != nil || sp.Tokens() != 4 {
+		t.Fatalf("full span: %v tokens=%d", err, sp.Tokens())
+	}
+}
+
+func TestAdoptSpanValidation(t *testing.T) {
+	c := mustNew(t, Config{KVHeads: 1, HeadDim: 1})
+	c2 := mustNew(t, Config{KVHeads: 1, HeadDim: 1})
+	fill(t, c, 0, 2)
+	sp, err := c.AcquireSpan(0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c2.AdoptSpan(1, sp); err == nil {
+		t.Fatal("cross-cache adoption accepted")
+	}
+	if err := c.AdoptSpan(0, sp); err == nil {
+		t.Fatal("adoption onto a non-empty sequence accepted")
+	}
+	sp.Release()
+	if err := c.AdoptSpan(1, sp); err == nil {
+		t.Fatal("released span adopted")
+	}
+	if _, err := c.AcquireSpan(0, 0); err == nil {
+		t.Fatal("zero-bound span accepted")
+	}
+	// A rank legitimately holding no rows of a short prefix yields an
+	// empty span.
+	if sp, err := c.AcquireSpan(99, 4); err != nil || sp.Tokens() != 0 {
+		t.Fatalf("empty-rank span: %v tokens=%d", err, sp.Tokens())
+	}
+}
+
+func TestCapacityCountsSharedPagesOnce(t *testing.T) {
+	c := mustNew(t, Config{KVHeads: 1, HeadDim: 1, PageSize: 2, Capacity: 6})
+	fill(t, c, 0, 4)
+	sp, err := c.AcquireSpan(0, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Three adopters share the same 4 physical tokens.
+	for _, seq := range []int{1, 2, 3} {
+		if err := c.AdoptSpan(seq, sp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := c.TotalTokens(); got != 4 {
+		t.Fatalf("TotalTokens with 4 holders = %d, want 4", got)
+	}
+	// Appends still fit: page-aligned tails append in place (no COW).
+	k := tensor.New(1, 1, 1)
+	if err := c.Append(0, k, tensor.New(1, 1, 1), []int{4}); err == nil {
+		// seq 0's tail page is shared with the span and adopters... but
+		// page [2,4) is full, so a fresh page is opened: 4+1 <= 6 fits.
+		if c.TotalTokens() != 5 {
+			t.Fatalf("TotalTokens = %d, want 5", c.TotalTokens())
+		}
+	} else {
+		t.Fatal(err)
+	}
+	// The next append opens another page for seq 1 and hits the cap.
+	var ce *ErrCapacity
+	if err := c.Append(1, k, tensor.New(1, 1, 1), []int{4}); err != nil {
+		t.Fatalf("append within capacity failed: %v", err)
+	}
+	if err := c.Append(2, k, tensor.New(1, 1, 1), []int{4}); !errors.As(err, &ce) {
+		t.Fatalf("expected ErrCapacity, got %v", err)
+	}
+}
+
+func TestAppendOverheadReportsCOW(t *testing.T) {
+	c := mustNew(t, Config{KVHeads: 1, HeadDim: 1, PageSize: 4})
+	fill(t, c, 0, 3)
+	if got := c.AppendOverhead(0); got != 0 {
+		t.Fatalf("owned tail overhead = %d, want 0", got)
+	}
+	sp, err := c.AcquireSpan(0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sp.Release()
+	// The tail page is now shared with the span: the next append clones 3
+	// rows first.
+	if got := c.AppendOverhead(0); got != 3 {
+		t.Fatalf("shared tail overhead = %d, want 3", got)
+	}
+}

@@ -352,3 +352,47 @@ func TestVariantString(t *testing.T) {
 		t.Fatal("unknown variant should still render")
 	}
 }
+
+// TestChooseVariantCrossoverPinned pins the auto-variant rule to Equation 1:
+// pass-KV exactly when model.MissRate(T, P) is at or above 2·NKV/NH, pass-Q
+// strictly below, over a grid of partial-prefill workloads and at the exact
+// crossover point.
+func TestChooseVariantCrossoverPinned(t *testing.T) {
+	c := model.Llama3405B()
+	threshold := 2 * c.KVRatio() // 2*8/128 = 0.125
+	if threshold != 0.125 {
+		t.Fatalf("Llama3 405B Eq. 1 threshold = %v, want 0.125", threshold)
+	}
+	for _, T := range []int{1, 100, 1280, 16000, 128000} {
+		for _, P := range []int{0, 100, 1280, 126720, 1000000} {
+			got := ChooseVariant(c, T, P)
+			want := PassQ
+			if model.MissRate(T, P) >= threshold {
+				want = PassKV
+			}
+			if got != want {
+				t.Fatalf("ChooseVariant(T=%d, P=%d) = %v, want %v at miss rate %v",
+					T, P, got, want, model.MissRate(T, P))
+			}
+		}
+	}
+	// Exact crossover: miss rate 1/8 == threshold selects pass-KV; one more
+	// cached token drops below it and flips to pass-Q.
+	if got := ChooseVariant(c, 1, 7); got != PassKV {
+		t.Fatalf("at-threshold miss rate chose %v, want pass-KV", got)
+	}
+	if got := ChooseVariant(c, 1, 8); got != PassQ {
+		t.Fatalf("below-threshold miss rate chose %v, want pass-Q", got)
+	}
+	// System.Prefill resolves Auto to the same rule before modeling.
+	sys := System{Model: c, Plat: hw.GTT(), CPNodes: 4, TPNodes: 1}
+	for _, pt := range []struct{ T, P int }{{1280, 126720}, {128000, 0}, {16000, 112000}} {
+		b := sys.Prefill(pt.T, pt.P, Auto)
+		if b.Variant != ChooseVariant(c, pt.T, pt.P) {
+			t.Fatalf("Auto resolved to %v at T=%d P=%d, want %v", b.Variant, pt.T, pt.P, ChooseVariant(c, pt.T, pt.P))
+		}
+	}
+	if Auto.String() != "auto" {
+		t.Fatalf("Auto.String() = %q", Auto.String())
+	}
+}

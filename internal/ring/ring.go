@@ -149,6 +149,16 @@ func (in *PrefillInput) localKV(padTo []int) (*kvBlock, error) {
 		if in.Cache != nil {
 			ck, cv, cpos := in.Cache.Get(in.seqKey(i))
 			if ck.Tokens > 0 {
+				for _, cp := range cpos {
+					// Partial prefill places new tokens at P^i and up; a
+					// cached row at or past P^i (a stale or adopted span
+					// that overlaps the new range) would duplicate
+					// positions and silently corrupt causality.
+					if cp >= in.P[i] {
+						return nil, fmt.Errorf("ring: rank %d sequence %d has cached position %d >= prefill base %d",
+							in.Rank.ID, i, cp, in.P[i])
+					}
+				}
 				blocks = append(blocks, ck)
 				vblocks = append(vblocks, cv)
 				pos = append(pos, cpos...)

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/perf"
+	"repro/internal/prefixcache"
 	"repro/internal/transformer"
 )
 
@@ -147,14 +148,26 @@ func (r IterReport) Occupancy() int {
 	return n
 }
 
+// DefaultPrefixCacheTokens is the prefix tree's token budget when the config
+// leaves it zero.
+const DefaultPrefixCacheTokens = 1 << 16
+
 // SchedulerConfig sizes the continuous-batching step loop.
 type SchedulerConfig struct {
-	Policy      Policy
-	Variant     perf.Variant // prefill ring variant; decode rides pass-Q
-	TokenBudget int          // max prompt tokens prefilled per iteration (default 32)
-	MaxBatch    int          // max sessions fused into one DecodeBatch (default 64)
-	MaxSessions int          // admission cap on resident sessions (default 256)
-	MaxTokens   int          // cap on a single generate's max_tokens (default 4096)
+	Policy Policy
+	// Variant selects the prefill ring algorithm; decode rides pass-Q.
+	// perf.Auto selects per chunk from the measured KV-cache miss rate
+	// (Equation 1): pass-KV at or above the 2·NKV/NH threshold, pass-Q
+	// below it — so prefix-cache hits steer warm prefills onto pass-Q.
+	Variant     perf.Variant
+	TokenBudget int // max prompt tokens prefilled per iteration (default 32)
+	MaxBatch    int // max sessions fused into one DecodeBatch (default 64)
+	MaxSessions int // admission cap on resident sessions (default 256)
+	MaxTokens   int // cap on a single generate's max_tokens (default 4096)
+	// PrefixCacheTokens bounds the prefix-reuse tree that released sessions
+	// detach their KV into (block size = TokenBudget). 0 = the default
+	// budget; negative disables prefix reuse entirely.
+	PrefixCacheTokens int
 	// Manual disables the background step loop; callers drive iterations
 	// with Step. Tests use this to pin down exactly what one iteration
 	// batches.
@@ -174,6 +187,35 @@ func (c *SchedulerConfig) applyDefaults() {
 	if c.MaxTokens <= 0 {
 		c.MaxTokens = 4096
 	}
+	if c.PrefixCacheTokens == 0 {
+		c.PrefixCacheTokens = DefaultPrefixCacheTokens
+	}
+}
+
+// ReuseStats aggregates prefix-reuse and variant-selection telemetry. Token
+// counts cover prompt prefill only: cached tokens were served from the
+// prefix tree, computed tokens went through a ring pass.
+type ReuseStats struct {
+	Lookups        int64 `json:"lookups"`         // first-chunk prefix-tree consultations
+	Hits           int64 `json:"hits"`            // lookups that adopted a cached prefix
+	CachedTokens   int64 `json:"cached_tokens"`   // prompt tokens adopted from the tree
+	ComputedTokens int64 `json:"computed_tokens"` // prompt tokens prefilled on the ring
+	Detached       int64 `json:"detached"`        // released sessions that donated KV
+	DetachedTokens int64 `json:"detached_tokens"` // tokens those donations added
+	PassKVChunks   int64 `json:"pass_kv_chunks"`  // chunks run as ring pass-KV
+	PassQChunks    int64 `json:"pass_q_chunks"`   // chunks run as ring pass-Q
+	// CapacityQuarantines counts sessions shed because their KV append
+	// would not fit a rank's cache even after evicting prefix-tree LRU.
+	CapacityQuarantines int64 `json:"capacity_quarantines"`
+}
+
+// HitRate returns cached prompt tokens over all prompt tokens.
+func (r ReuseStats) HitRate() float64 {
+	total := r.CachedTokens + r.ComputedTokens
+	if total == 0 {
+		return 0
+	}
+	return float64(r.CachedTokens) / float64(total)
 }
 
 // request is one client call moving through the scheduler: an optional
@@ -196,6 +238,10 @@ type request struct {
 	lastStep time.Time // previous step completion, for TTIT
 	ttftMs   float64
 	ttitMs   []float64
+
+	// noCache opts this request out of prefix reuse: no tree lookup for its
+	// prompt, and its session never donates KV on release.
+	noCache bool
 
 	next int // next-token result for prefill-/decode-only requests
 	err  error
@@ -221,12 +267,22 @@ type Scheduler struct {
 	decodes   []*request // decode-phase pool, fused each iteration
 	sessions  map[int]bool
 	prefilled map[int]bool // sessions with at least one chunk of KV resident
-	// pendingDrops are sessions whose KV must be evicted. Drops execute at
+	// pendingDrops are sessions whose KV must be evicted (releases detach
+	// their canonical prefix into the prefix tree first). Drops execute at
 	// the start of the next Step — on the same thread as all other cluster
 	// mutations — so an eviction can never race an in-flight chunk or
 	// fused batch, nor land after a re-admitted same-id session's fresh
 	// prefill.
-	pendingDrops []int
+	pendingDrops []sessionDrop
+	// canonical tracks, per session, the aligned token prefix whose per-rank
+	// KV placement matches a cold prefill's: it grows only while prefill
+	// chunks land exactly on TokenBudget boundaries with full-budget length,
+	// and freezes forever at the first tail chunk or decode step. Only this
+	// prefix is ever detached into the prefix tree — the alignment that
+	// makes adopted KV bit-identical to recomputation.
+	canonical map[int]int
+	history   map[int][]int // the canonical prefix's tokens, len == canonical
+	noDetach  map[int]bool  // sessions opted out of donating KV (no_cache)
 	// executing is the prefill head whose chunk the current iteration is
 	// running; cancellation must not remove it mid-chunk, but may between
 	// iterations.
@@ -237,9 +293,23 @@ type Scheduler struct {
 	queueStats map[Class]*QueueStats
 	batch      BatchStats
 	lastIter   IterReport
+	reuse      ReuseStats
+
+	// tree is the prefix-reuse radix tree, nil when disabled. All tree
+	// operations that touch rank KV caches (lookup-adopt, detach-insert,
+	// eviction) run on the step-loop thread under execMu.
+	tree *prefixcache.Tree
 
 	execMu   sync.Mutex // serializes cluster access (step loop vs. WithCluster)
 	loopDone chan struct{}
+}
+
+// sessionDrop is a scheduled KV eviction; detach donates the session's
+// canonical prefix to the tree first (false after faults — indeterminate KV
+// must never seed other sessions).
+type sessionDrop struct {
+	session int
+	detach  bool
 }
 
 // NewScheduler wraps a cluster in a continuous-batching step loop. Unless
@@ -251,11 +321,23 @@ func NewScheduler(cluster *transformer.Cluster, cfg SchedulerConfig) *Scheduler 
 		cluster:   cluster,
 		sessions:  make(map[int]bool),
 		prefilled: make(map[int]bool),
+		canonical: make(map[int]int),
+		history:   make(map[int][]int),
+		noDetach:  make(map[int]bool),
 		queueStats: map[Class]*QueueStats{
 			ClassPrefill: {}, ClassDecode: {},
 		},
 		lastIter: IterReport{PrefillSession: -1},
 		loopDone: make(chan struct{}),
+	}
+	if cfg.PrefixCacheTokens > 0 {
+		// Block size must equal the chunk budget: hits are only bit-exact at
+		// canonical chunk boundaries. Config was validated by applyDefaults,
+		// so construction cannot fail.
+		s.tree, _ = prefixcache.New(prefixcache.Config{
+			BlockSize: cfg.TokenBudget,
+			Capacity:  cfg.PrefixCacheTokens,
+		})
 	}
 	s.cond = sync.NewCond(&s.mu)
 	if cfg.Manual {
@@ -273,11 +355,25 @@ type GenerateResult struct {
 	TTITMs []float64
 }
 
+// RequestOptions tunes one request's scheduling.
+type RequestOptions struct {
+	// NoPrefixCache opts the request out of prefix reuse: its prompt is
+	// never served from the tree and its session never donates KV on
+	// release — the per-request opt-out for prompts that must not be
+	// shared across sessions.
+	NoPrefixCache bool
+}
+
 // Generate admits a prompt, prefills it chunk by chunk, then keeps the
 // session in the fused decode batch until maxTokens greedy tokens exist.
 // Blocks until completion or ctx cancellation (cancellation takes effect
 // while the request is queued; claimed work runs to its next boundary).
 func (s *Scheduler) Generate(ctx context.Context, session int, prompt []int, maxTokens int) (*GenerateResult, error) {
+	return s.GenerateWith(ctx, session, prompt, maxTokens, RequestOptions{})
+}
+
+// GenerateWith is Generate with per-request options.
+func (s *Scheduler) GenerateWith(ctx context.Context, session int, prompt []int, maxTokens int, opts RequestOptions) (*GenerateResult, error) {
 	if len(prompt) == 0 || maxTokens <= 0 {
 		return nil, fmt.Errorf("server: generate needs a prompt and positive max_tokens")
 	}
@@ -291,6 +387,7 @@ func (s *Scheduler) Generate(ctx context.Context, session int, prompt []int, max
 		prompt:  prompt,
 		pending: maxTokens - 1,
 		collect: true,
+		noCache: opts.NoPrefixCache,
 		done:    make(chan struct{}),
 	}
 	if err := s.submit(ctx, r); err != nil {
@@ -305,10 +402,15 @@ func (s *Scheduler) Generate(ctx context.Context, session int, prompt []int, max
 // Prefill admits the tokens as chunked prefill work for the session and
 // returns the greedy next token once the whole prompt is resident.
 func (s *Scheduler) Prefill(ctx context.Context, session int, tokens []int) (int, error) {
+	return s.PrefillWith(ctx, session, tokens, RequestOptions{})
+}
+
+// PrefillWith is Prefill with per-request options.
+func (s *Scheduler) PrefillWith(ctx context.Context, session int, tokens []int, opts RequestOptions) (int, error) {
 	if len(tokens) == 0 {
 		return 0, fmt.Errorf("server: prefill needs tokens")
 	}
-	r := &request{session: session, prompt: tokens, done: make(chan struct{})}
+	r := &request{session: session, prompt: tokens, noCache: opts.NoPrefixCache, done: make(chan struct{})}
 	if err := s.submit(ctx, r); err != nil {
 		return 0, err
 	}
@@ -352,6 +454,9 @@ func (s *Scheduler) submit(ctx context.Context, r *request) error {
 	}
 	s.idSeq++
 	r.id = s.idSeq
+	if r.noCache {
+		s.noDetach[r.session] = true
+	}
 	now := time.Now()
 	r.start, r.queuedAt, r.lastStep = now, now, now
 	if len(r.prompt) > 0 {
@@ -467,10 +572,12 @@ func (s *Scheduler) admitLocked() {
 }
 
 // quarantineLocked evicts a session's KV (scheduling the drop) and marks it
-// un-decodable; caller holds s.mu and should broadcast after.
+// un-decodable; caller holds s.mu and should broadcast after. Quarantined KV
+// is indeterminate (a fault or cancellation mid-flight) and must never
+// donate to the prefix tree.
 func (s *Scheduler) quarantineLocked(session int) {
 	delete(s.prefilled, session)
-	s.pendingDrops = append(s.pendingDrops, session)
+	s.pendingDrops = append(s.pendingDrops, sessionDrop{session: session})
 }
 
 // maybeFreeSlotLocked returns a session's admission slot to the pool when
@@ -536,27 +643,18 @@ func (s *Scheduler) step() (IterReport, bool) {
 	s.mu.Lock()
 	s.admitLocked()
 	var pj *request
-	var chunk []int
 	if len(s.prefills) > 0 {
 		pj = s.prefills[0]
 		// A Release may have queued this session's eviction after this
 		// iteration's applyDrops ran (re-admitted same-id session). Its
 		// chunk must wait one iteration so the drop lands first — never
 		// after fresh KV.
-		for _, id := range s.pendingDrops {
-			if id == pj.session {
+		for _, d := range s.pendingDrops {
+			if d.session == pj.session {
 				pj = nil
 				break
 			}
 		}
-	}
-	if pj != nil {
-		rem := len(pj.prompt) - pj.consumed
-		n := s.cfg.TokenBudget
-		if n > rem {
-			n = rem
-		}
-		chunk = pj.prompt[pj.consumed : pj.consumed+n]
 	}
 	s.executing = pj
 	var dbatch []*request
@@ -608,14 +706,13 @@ func (s *Scheduler) step() (IterReport, bool) {
 	start := time.Now()
 	if pj != nil {
 		report.PrefillSession = pj.session
-		report.PrefillTokens = len(chunk)
 	}
 	if prefillLeads {
-		report.PrefillDone = s.runPrefillChunk(pj, chunk)
+		report.PrefillDone = s.runPrefillChunk(pj, &report)
 		s.runDecodeBatch(dbatch, &report)
 	} else {
 		s.runDecodeBatch(dbatch, &report)
-		report.PrefillDone = s.runPrefillChunk(pj, chunk)
+		report.PrefillDone = s.runPrefillChunk(pj, &report)
 	}
 	report.DurMs = float64(time.Since(start).Microseconds()) / 1000
 
@@ -631,7 +728,7 @@ func (s *Scheduler) step() (IterReport, bool) {
 	}
 	if pj != nil {
 		b.PrefillChunks++
-		b.PrefillTokens += int64(len(chunk))
+		b.PrefillTokens += int64(report.PrefillTokens)
 	}
 	b.DecodeTokens += int64(len(report.DecodeSessions))
 	if pj != nil && len(report.DecodeSessions) > 0 {
@@ -645,18 +742,69 @@ func (s *Scheduler) step() (IterReport, bool) {
 }
 
 // runPrefillChunk executes one chunk on the cluster and advances or
-// completes its request. Returns true when the request's prompt finished.
-func (s *Scheduler) runPrefillChunk(pj *request, chunk []int) bool {
+// completes its request. The first chunk of a fresh sequence consults the
+// prefix tree and seeds the session from the longest cached prefix; every
+// chunk is aligned to absolute TokenBudget boundaries and, under perf.Auto,
+// selects its ring variant from the chunk's miss rate (Equation 1). Returns
+// true when the request's prompt finished.
+func (s *Scheduler) runPrefillChunk(pj *request, report *IterReport) bool {
 	if pj == nil {
 		return false
 	}
 	s.execMu.Lock()
-	logits, err := s.cluster.Prefill(pj.session, chunk, s.cfg.Variant)
+	adopted := 0
+	lookedUp := false
+	if s.tree != nil && pj.consumed == 0 && !pj.noCache && s.cluster.SeqLen(pj.session) == 0 {
+		lookedUp = true
+		if hit, entry := s.tree.Lookup(pj.prompt); hit > 0 {
+			if pre, ok := entry.(*transformer.PrefixKV); ok {
+				if err := s.cluster.AdoptPrefix(pj.session, pre); err == nil {
+					adopted = hit
+					pj.consumed = hit
+				}
+			}
+		}
+	}
+	pos := s.cluster.SeqLen(pj.session)
+	// Align chunks to absolute multiples of the budget: per-rank KV
+	// placement (and the auto variant choice) is then a pure function of
+	// position, which is what lets a cached prefix replay a cold prefill
+	// bit for bit.
+	rem := len(pj.prompt) - pj.consumed
+	n := s.cfg.TokenBudget - pos%s.cfg.TokenBudget
+	if n > rem {
+		n = rem
+	}
+	chunk := pj.prompt[pj.consumed : pj.consumed+n]
+	report.PrefillTokens = len(chunk)
+	variant := s.cfg.Variant
+	if variant == perf.Auto {
+		variant = perf.ChooseVariant(s.cluster.W.Cfg.Model, len(chunk), pos)
+	}
+	logits, err := s.cluster.Prefill(pj.session, chunk, variant)
+	evictReq := len(chunk)
+	for err != nil {
+		// A rank ran out of KV room before touching any cache. Cold tree
+		// branches are worth less than a live request: keep shedding LRU
+		// leaves and retrying while the tree can still shrink — an evicted
+		// leaf whose pages a live sequence pins frees no physical rows, so
+		// a single eviction proves nothing. Doubling the request bounds the
+		// retries logarithmically in the tree size.
+		var ce *transformer.CapacityError
+		if !errors.As(err, &ce) || s.tree == nil || s.tree.EvictTokens(evictReq) == 0 {
+			break
+		}
+		evictReq *= 2
+		logits, err = s.cluster.Prefill(pj.session, chunk, variant)
+	}
 	s.execMu.Unlock()
 	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.executing = nil
+	if lookedUp {
+		s.reuse.Lookups++
+	}
 	if len(s.prefills) == 0 || s.prefills[0] != pj {
 		// A concurrent Release purged this request (and completed it with
 		// a released error) while its chunk was executing. The chunk's KV
@@ -672,6 +820,10 @@ func (s *Scheduler) runPrefillChunk(pj *request, chunk []int) bool {
 		return false
 	}
 	if err != nil {
+		var ce *transformer.CapacityError
+		if errors.As(err, &ce) {
+			s.reuse.CapacityQuarantines++
+		}
 		s.prefills = s.prefills[1:]
 		pj.err = &ExecError{fmt.Errorf("prefill: %w", err)}
 		close(pj.done)
@@ -683,6 +835,28 @@ func (s *Scheduler) runPrefillChunk(pj *request, chunk []int) bool {
 		s.maybeFreeSlotLocked(pj.session)
 		s.cond.Broadcast()
 		return false
+	}
+	// Hit accounting lands only once the first miss-suffix chunk succeeds:
+	// an adoption whose request then fails (and is quarantined) served the
+	// client nothing, and must not inflate the reported hit rate.
+	if adopted > 0 {
+		s.reuse.Hits++
+		s.reuse.CachedTokens += int64(adopted)
+		s.canonical[pj.session] = adopted
+		s.history[pj.session] = append([]int(nil), pj.prompt[:adopted]...)
+	}
+	s.reuse.ComputedTokens += int64(len(chunk))
+	if variant == perf.PassQ {
+		s.reuse.PassQChunks++
+	} else {
+		s.reuse.PassKVChunks++
+	}
+	// The canonical prefix grows only through full-budget chunks landing
+	// exactly on its frontier; the first tail chunk or decode step freezes
+	// it for good. Only canonical tokens may ever enter the prefix tree.
+	if pos == s.canonical[pj.session] && pos%s.cfg.TokenBudget == 0 && len(chunk) == s.cfg.TokenBudget {
+		s.canonical[pj.session] = pos + len(chunk)
+		s.history[pj.session] = append(s.history[pj.session], chunk...)
 	}
 	s.prefilled[pj.session] = true
 	pj.consumed += len(chunk)
@@ -715,15 +889,66 @@ func (s *Scheduler) runDecodeBatch(dbatch []*request, report *IterReport) {
 	if len(dbatch) == 0 {
 		return
 	}
-	ids := make([]int, len(dbatch))
-	toks := make([]int, len(dbatch))
-	for i, r := range dbatch {
-		ids[i] = r.session
-		toks[i] = r.token
+	var out [][]float32
+	var err error
+	evictReq := 0
+	for len(dbatch) > 0 {
+		ids := make([]int, len(dbatch))
+		toks := make([]int, len(dbatch))
+		for i, r := range dbatch {
+			ids[i] = r.session
+			toks[i] = r.token
+		}
+		s.execMu.Lock()
+		out, err = s.cluster.DecodeBatch(ids, toks)
+		var ce *transformer.CapacityError
+		if err != nil && errors.As(err, &ce) {
+			// Capacity pressure surfaces before any ring pass or cache
+			// mutation, so it is safe to shed load and retry. First reclaim
+			// cold prefix-tree branches — repeatedly, since an evicted leaf
+			// whose pages a live sequence pins frees no physical rows, with
+			// the request doubling each round so retries stay logarithmic
+			// in the tree size; once it cannot shrink, quarantine exactly
+			// the offending sessions and rerun the rest of the batch — the
+			// survivors were prechecked to fit.
+			if evictReq == 0 {
+				evictReq = len(ce.Seqs)
+			} else {
+				evictReq *= 2
+			}
+			if s.tree != nil && s.tree.EvictTokens(evictReq) > 0 {
+				s.execMu.Unlock()
+				continue
+			}
+			s.execMu.Unlock()
+			bad := make(map[int]bool, len(ce.Seqs))
+			for _, id := range ce.Seqs {
+				bad[id] = true
+			}
+			s.mu.Lock()
+			var kept []*request
+			for _, r := range dbatch {
+				if bad[r.session] {
+					r.err = &ExecError{fmt.Errorf("decode: %w", err)}
+					close(r.done)
+					s.quarantineLocked(r.session)
+					s.maybeFreeSlotLocked(r.session)
+					s.reuse.CapacityQuarantines++
+				} else {
+					kept = append(kept, r)
+				}
+			}
+			s.cond.Broadcast()
+			s.mu.Unlock()
+			dbatch = kept
+			continue
+		}
+		s.execMu.Unlock()
+		break
 	}
-	s.execMu.Lock()
-	out, err := s.cluster.DecodeBatch(ids, toks)
-	s.execMu.Unlock()
+	if len(dbatch) == 0 {
+		return
+	}
 	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -873,7 +1098,10 @@ func (s *Scheduler) Release(session int) {
 	s.decodes = purge(s.decodes)
 	delete(s.sessions, session)
 	delete(s.prefilled, session)
-	s.pendingDrops = append(s.pendingDrops, session)
+	// A clean release detaches the session's canonical prefix into the
+	// prefix tree before dropping, so reconnects and siblings sharing the
+	// prompt hit warm KV.
+	s.pendingDrops = append(s.pendingDrops, sessionDrop{session: session, detach: true})
 	s.admitLocked()
 	s.cond.Broadcast()
 	s.mu.Unlock()
@@ -885,6 +1113,9 @@ func (s *Scheduler) Release(session int) {
 }
 
 // applyDrops evicts every pending session's KV under the execution lock.
+// Releases detach the session's canonical prefix into the prefix tree first
+// (unless the session opted out or never grew one); the tree's spans keep
+// the pages alive while the sequence itself is dropped.
 func (s *Scheduler) applyDrops() {
 	s.mu.Lock()
 	drops := s.pendingDrops
@@ -894,10 +1125,34 @@ func (s *Scheduler) applyDrops() {
 		return
 	}
 	s.execMu.Lock()
-	for _, id := range drops {
-		s.cluster.Drop(id)
+	for _, d := range drops {
+		s.detachAndDrop(d)
 	}
 	s.execMu.Unlock()
+}
+
+// detachAndDrop runs one scheduled eviction; caller holds execMu.
+func (s *Scheduler) detachAndDrop(d sessionDrop) {
+	s.mu.Lock()
+	canon := s.canonical[d.session]
+	hist := s.history[d.session]
+	noDetach := s.noDetach[d.session]
+	delete(s.canonical, d.session)
+	delete(s.history, d.session)
+	delete(s.noDetach, d.session)
+	s.mu.Unlock()
+	if d.detach && !noDetach && s.tree != nil && canon >= s.cfg.TokenBudget {
+		added, err := s.tree.Insert(hist[:canon], func(depth int) (prefixcache.Entry, error) {
+			return s.cluster.DetachPrefix(d.session, depth)
+		})
+		if err == nil && added > 0 {
+			s.mu.Lock()
+			s.reuse.Detached++
+			s.reuse.DetachedTokens += int64(added)
+			s.mu.Unlock()
+		}
+	}
+	s.cluster.Drop(d.session)
 }
 
 // WithCluster runs fn with exclusive access to the cluster, serialized
@@ -933,6 +1188,25 @@ func (s *Scheduler) BatchStats() BatchStats {
 	defer s.mu.Unlock()
 	return s.batch
 }
+
+// Reuse snapshots prefix-reuse and variant-selection telemetry.
+func (s *Scheduler) Reuse() ReuseStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.reuse
+}
+
+// PrefixStats snapshots the prefix tree's telemetry; ok is false when prefix
+// reuse is disabled.
+func (s *Scheduler) PrefixStats() (prefixcache.Stats, bool) {
+	if s.tree == nil {
+		return prefixcache.Stats{}, false
+	}
+	return s.tree.Stats(), true
+}
+
+// PrefixReuseEnabled reports whether the prefix tree is active.
+func (s *Scheduler) PrefixReuseEnabled() bool { return s.tree != nil }
 
 // LastIter returns the most recent iteration's report.
 func (s *Scheduler) LastIter() IterReport {

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/perf"
+	"repro/internal/prefixcache"
 	"repro/internal/transformer"
 )
 
@@ -31,6 +32,12 @@ type Config struct {
 	MaxSessions int
 	// MaxTokens caps a single generate request's max_tokens. 0 = default.
 	MaxTokens int
+	// PrefixCacheTokens bounds the prefix KV-reuse tree released sessions
+	// detach into. 0 = default budget; negative disables prefix reuse.
+	PrefixCacheTokens int
+	// KVCapacity caps every per-rank per-layer KV cache in tokens (the
+	// simulated HBM budget). 0 = unlimited.
+	KVCapacity int
 	// RecvTimeout overrides the cluster's communication receive deadline.
 	// 0 = comm.DefaultRecvTimeout.
 	RecvTimeout time.Duration
@@ -63,6 +70,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.RecvTimeout > 0 {
 		copts = append(copts, transformer.WithRecvTimeout(cfg.RecvTimeout))
 	}
+	if cfg.KVCapacity > 0 {
+		copts = append(copts, transformer.WithKVCapacity(cfg.KVCapacity))
+	}
 	cluster, err := transformer.NewCluster(w, cfg.Ranks, copts...)
 	if err != nil {
 		return nil, err
@@ -70,12 +80,13 @@ func New(cfg Config) (*Server, error) {
 	return &Server{
 		cfg: cfg,
 		sched: NewScheduler(cluster, SchedulerConfig{
-			Policy:      cfg.Policy,
-			Variant:     cfg.Variant,
-			TokenBudget: cfg.TokenBudget,
-			MaxBatch:    cfg.MaxBatch,
-			MaxSessions: cfg.MaxSessions,
-			MaxTokens:   cfg.MaxTokens,
+			Policy:            cfg.Policy,
+			Variant:           cfg.Variant,
+			TokenBudget:       cfg.TokenBudget,
+			MaxBatch:          cfg.MaxBatch,
+			MaxSessions:       cfg.MaxSessions,
+			MaxTokens:         cfg.MaxTokens,
+			PrefixCacheTokens: cfg.PrefixCacheTokens,
 		}),
 		started: time.Now(),
 	}, nil
@@ -113,6 +124,9 @@ type generateRequest struct {
 	Session   int   `json:"session"`
 	Prompt    []int `json:"prompt"`
 	MaxTokens int   `json:"max_tokens"`
+	// NoCache opts this request out of prefix reuse: the prompt is never
+	// served from cached KV and the session never donates KV on release.
+	NoCache bool `json:"no_cache,omitempty"`
 }
 
 type generateResponse struct {
@@ -135,7 +149,8 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "prompt and max_tokens required")
 		return
 	}
-	res, err := s.sched.Generate(r.Context(), req.Session, req.Prompt, req.MaxTokens)
+	res, err := s.sched.GenerateWith(r.Context(), req.Session, req.Prompt, req.MaxTokens,
+		RequestOptions{NoPrefixCache: req.NoCache})
 	if err != nil {
 		writeErr(w, statusFor(err), "%v", err)
 		return
@@ -146,6 +161,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 type prefillRequest struct {
 	Session int   `json:"session"`
 	Tokens  []int `json:"tokens"`
+	NoCache bool  `json:"no_cache,omitempty"`
 }
 
 type prefillResponse struct {
@@ -167,7 +183,8 @@ func (s *Server) handlePrefill(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "tokens required")
 		return
 	}
-	next, err := s.sched.Prefill(r.Context(), req.Session, req.Tokens)
+	next, err := s.sched.PrefillWith(r.Context(), req.Session, req.Tokens,
+		RequestOptions{NoPrefixCache: req.NoCache})
 	if err != nil {
 		writeErr(w, statusFor(err), "%v", err)
 		return
@@ -199,11 +216,17 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 }
 
 // statusFor maps scheduler errors to HTTP statuses: a closed scheduler
-// means the service is going away (503), a session released mid-request is
-// a conflict with a concurrent DELETE (409), an ExecError is an internal
-// cluster failure (500), everything else is a request-level failure (400).
+// means the service is going away (503), KV-capacity shedding is deliberate
+// overload that clients should back off and retry (503, not a fault), a
+// session released mid-request is a conflict with a concurrent DELETE
+// (409), an ExecError is an internal cluster failure (500), everything else
+// is a request-level failure (400).
 func statusFor(err error) int {
 	if errors.Is(err, ErrClosed) {
+		return http.StatusServiceUnavailable
+	}
+	var capErr *transformer.CapacityError
+	if errors.As(err, &capErr) {
 		return http.StatusServiceUnavailable
 	}
 	if errors.Is(err, ErrReleased) {
@@ -219,9 +242,17 @@ func statusFor(err error) int {
 	return http.StatusBadRequest
 }
 
+// prefillSource breaks prompt prefill down by where its KV came from.
+type prefillSource struct {
+	CachedTokens   int64   `json:"cached_tokens"`   // served from the prefix tree
+	ComputedTokens int64   `json:"computed_tokens"` // ring-prefilled
+	HitRate        float64 `json:"hit_rate"`        // cached / (cached + computed)
+}
+
 type statsResponse struct {
 	Ranks       int                  `json:"ranks"`
 	Policy      string               `json:"policy"`
+	Variant     string               `json:"variant"`
 	Sessions    int                  `json:"sessions"`
 	RankKV      []int                `json:"rank_kv_tokens"`
 	CommBytes   float64              `json:"comm_bytes"`
@@ -239,6 +270,10 @@ type statsResponse struct {
 	QueuedPrefill   int        `json:"queued_prefill"`
 	QueuedDecode    int        `json:"queued_decode"`
 	LastDecodeBatch int        `json:"last_decode_batch"`
+	// Prefix-reuse telemetry.
+	PrefillSource prefillSource      `json:"prefill_source"`
+	Reuse         ReuseStats         `json:"reuse"`
+	PrefixCache   *prefixcache.Stats `json:"prefix_cache,omitempty"` // nil when disabled
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -261,9 +296,15 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	})
 	batch := s.sched.BatchStats()
 	admitQ, prefillQ, decodeQ := s.sched.QueueDepths()
+	reuse := s.sched.Reuse()
+	var treeStats *prefixcache.Stats
+	if st, ok := s.sched.PrefixStats(); ok {
+		treeStats = &st
+	}
 	writeJSON(w, http.StatusOK, statsResponse{
 		Ranks:           ranks,
 		Policy:          s.cfg.Policy.String(),
+		Variant:         s.cfg.Variant.String(),
 		Sessions:        len(ids),
 		RankKV:          rankKV,
 		CommBytes:       commBytes,
@@ -280,6 +321,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		QueuedPrefill:   prefillQ,
 		QueuedDecode:    decodeQ,
 		LastDecodeBatch: len(s.sched.LastIter().DecodeSessions),
+		PrefillSource: prefillSource{
+			CachedTokens:   reuse.CachedTokens,
+			ComputedTokens: reuse.ComputedTokens,
+			HitRate:        reuse.HitRate(),
+		},
+		Reuse:       reuse,
+		PrefixCache: treeStats,
 	})
 }
 

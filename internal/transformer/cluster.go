@@ -36,7 +36,8 @@ type Cluster struct {
 type ClusterOption func(*clusterOpts)
 
 type clusterOpts struct {
-	commOpts []comm.Option
+	commOpts   []comm.Option
+	kvCapacity int
 }
 
 // WithRecvTimeout sets the receive deadline of the cluster's comm.World, for
@@ -45,6 +46,15 @@ func WithRecvTimeout(d time.Duration) ClusterOption {
 	return func(o *clusterOpts) {
 		o.commOpts = append(o.commOpts, comm.WithRecvTimeout(d))
 	}
+}
+
+// WithKVCapacity caps every per-rank per-layer KV cache at the given token
+// count — the simulated equivalent of each rank's HBM budget. Prefill and
+// decode precheck the cap before entering a ring and fail with a
+// CapacityError naming the sequences that do not fit, so a capacity fault
+// never strands peer ranks mid-ring or leaves partial KV behind.
+func WithKVCapacity(tokens int) ClusterOption {
+	return func(o *clusterOpts) { o.kvCapacity = tokens }
 }
 
 // NewCluster builds an N-rank execution of the given weights.
@@ -66,7 +76,7 @@ func NewCluster(w *Weights, ranks int, opts ...ClusterOption) (*Cluster, error) 
 	for r := 0; r < ranks; r++ {
 		var perLayer []*kvcache.Cache
 		for l := 0; l < m.Layers; l++ {
-			kc, err := kvcache.New(kvcache.Config{KVHeads: m.NumKV, HeadDim: m.HeadDim})
+			kc, err := kvcache.New(kvcache.Config{KVHeads: m.NumKV, HeadDim: m.HeadDim, Capacity: co.kvCapacity})
 			if err != nil {
 				return nil, err
 			}
@@ -75,6 +85,18 @@ func NewCluster(w *Weights, ranks int, opts ...ClusterOption) (*Cluster, error) 
 		c.caches = append(c.caches, perLayer)
 	}
 	return c, nil
+}
+
+// CapacityError reports the batch sequences whose KV append would exceed a
+// rank's cache capacity. It is returned before any ring pass or cache
+// mutation, so the caller can shed exactly the offending sequences and
+// retry the rest — the batch members that fit were never touched.
+type CapacityError struct {
+	Seqs []int
+}
+
+func (e *CapacityError) Error() string {
+	return fmt.Sprintf("transformer: KV capacity exhausted for sequences %v", e.Seqs)
 }
 
 // Ranks returns the CP group size.
@@ -151,6 +173,23 @@ func (c *Cluster) PrefillBatch(seqIDs []int, tokens [][]int, variant perf.Varian
 	for i, id := range seqIDs {
 		p[i] = c.seqLens[id]
 	}
+	if variant == perf.Auto {
+		// Equation 1 on the batch's aggregate miss rate: chunked serving
+		// calls this once per chunk, so the choice adapts per chunk as the
+		// cached prefix grows. The inputs are pure functions of absolute
+		// position under canonical chunking, which keeps warm (prefix-cache
+		// seeded) prefills on the same variant schedule as a cold replay —
+		// the exact-equality guarantee depends on it.
+		T, P := 0, 0
+		for i := range lens {
+			T += lens[i]
+			P += p[i]
+		}
+		variant = perf.ChooseVariant(m, T, P)
+	}
+	if err := c.prefillCapacityCheck(plan, seqIDs); err != nil {
+		return nil, err
+	}
 	run := ring.PassKVPrefill
 	if variant == perf.PassQ {
 		run = ring.PassQPrefill
@@ -209,6 +248,108 @@ func (c *Cluster) PrefillBatch(seqIDs []int, tokens [][]int, variant perf.Varian
 		c.seqLens[id] += lens[i]
 	}
 	return out, nil
+}
+
+// prefillCapacityCheck verifies, before any ring pass, that every rank can
+// absorb its shard of the batch's new KV on every layer. Sequences are
+// admitted greedily in batch order; the ones that do not fit are returned in
+// a CapacityError with no cache mutated, so a capacity fault quarantines
+// exactly the offending sequences instead of poisoning the batch mid-ring.
+func (c *Cluster) prefillCapacityCheck(plan *sharding.BatchShard, seqIDs []int) error {
+	if c.caches[0][0].Capacity() <= 0 {
+		return nil
+	}
+	n := c.world.N
+	layers := len(c.caches[0])
+	// rows[r][i] = new non-padding KV rows of batch sequence i on rank r.
+	rows := make([][]int, n)
+	for r := 0; r < n; r++ {
+		rows[r] = make([]int, len(seqIDs))
+		lp := plan.LocalPositions(r)
+		ls := plan.LocalSeqs(r)
+		for slot, s := range ls {
+			if lp[slot] != sharding.Pad {
+				rows[r][s]++
+			}
+		}
+	}
+	avail := make([][]int, n)
+	for r := 0; r < n; r++ {
+		avail[r] = make([]int, layers)
+		for l, kc := range c.caches[r] {
+			avail[r][l] = kc.Capacity() - kc.TotalTokens()
+		}
+	}
+	// A rank whose shard of a sequence is all padding appends nothing and
+	// triggers no copy-on-write, so it must not be charged the overhead.
+	need := func(r, l, i int, id int) int {
+		if rows[r][i] == 0 {
+			return 0
+		}
+		return rows[r][i] + c.caches[r][l].AppendOverhead(id)
+	}
+	var offending []int
+	for i, id := range seqIDs {
+		fits := true
+		for r := 0; r < n && fits; r++ {
+			for l := 0; l < layers; l++ {
+				if need(r, l, i, id) > avail[r][l] {
+					fits = false
+					break
+				}
+			}
+		}
+		if !fits {
+			offending = append(offending, id)
+			continue
+		}
+		for r := 0; r < n; r++ {
+			for l := 0; l < layers; l++ {
+				avail[r][l] -= need(r, l, i, id)
+			}
+		}
+	}
+	if len(offending) > 0 {
+		return &CapacityError{Seqs: offending}
+	}
+	return nil
+}
+
+// decodeCapacityCheck is the decode-side precheck: each sequence appends one
+// KV row per layer on its owner rank this step. Returns a CapacityError with
+// the sequences that do not fit, before any cache mutation.
+func (c *Cluster) decodeCapacityCheck(owned [][]ring.DecodeToken) error {
+	if c.caches[0][0].Capacity() <= 0 {
+		return nil
+	}
+	layers := len(c.caches[0])
+	var offending []int
+	for r := range owned {
+		avail := make([]int, layers)
+		for l, kc := range c.caches[r] {
+			avail[l] = kc.Capacity() - kc.TotalTokens()
+		}
+		for _, tok := range owned[r] {
+			fits := true
+			for l := 0; l < layers; l++ {
+				if 1+c.caches[r][l].AppendOverhead(tok.Seq) > avail[l] {
+					fits = false
+					break
+				}
+			}
+			if !fits {
+				offending = append(offending, tok.Seq)
+				continue
+			}
+			for l := 0; l < layers; l++ {
+				avail[l] -= 1 + c.caches[r][l].AppendOverhead(tok.Seq)
+			}
+		}
+	}
+	if len(offending) > 0 {
+		return &CapacityError{Seqs: offending}
+	}
+	return nil
 }
 
 // Decode generates the logits for one new token of a sequence using batched
@@ -273,6 +414,9 @@ func (c *Cluster) DecodeBatch(seqs []int, tokens []int) ([][]float32, error) {
 		if len(owned[r]) > blockLen {
 			blockLen = len(owned[r])
 		}
+	}
+	if err := c.decodeCapacityCheck(owned); err != nil {
+		return nil, err
 	}
 
 	results, err := comm.RunCollect(c.world, func(r *comm.Rank) ([]float32, error) {
@@ -348,6 +492,14 @@ func seqOwnerOffset(seq int) int {
 	return int(x & 0x7fffffff)
 }
 
+// DecodeOwnerRank returns the rank that owns (appends the KV of, and runs
+// the head for) a sequence's decode token at the given per-sequence step, on
+// an n-rank cluster. Exposed so schedulers and tests can reason about
+// per-rank KV pressure without replaying the hash.
+func DecodeOwnerRank(seq, step, n int) int {
+	return sharding.DecodeOwner(seqOwnerOffset(seq), step, n)
+}
+
 // Drop evicts a sequence from every rank's per-layer cache and forgets its
 // decode rotation state, freeing the admission slot it occupied.
 func (c *Cluster) Drop(seq int) {
@@ -358,6 +510,119 @@ func (c *Cluster) Drop(seq int) {
 	}
 	delete(c.seqLens, seq)
 	delete(c.decodeSteps, seq)
+}
+
+// PrefixKV is a refcounted handle on the sharded KV of a sequence's token
+// prefix: one kvcache.Span per rank per layer, pinning the pages a canonical
+// prefill of that prefix produced (load-balanced position tags included).
+// The handle keeps the KV alive after the donor sequence is dropped and can
+// seed any number of later sequences via AdoptPrefix. It satisfies
+// prefixcache.Entry, so the serving layer stores it directly in the prefix
+// tree.
+type PrefixKV struct {
+	tokens   int
+	spans    [][]*kvcache.Span // [rank][layer]
+	released bool
+}
+
+// Tokens returns the prefix length in tokens.
+func (p *PrefixKV) Tokens() int { return p.tokens }
+
+// Release frees the handle's page references on every rank and layer.
+// Releasing twice is a no-op; pages shared with live sequences or other
+// handles survive.
+func (p *PrefixKV) Release() {
+	if p == nil || p.released {
+		return
+	}
+	p.released = true
+	for _, layers := range p.spans {
+		for _, sp := range layers {
+			sp.Release()
+		}
+	}
+}
+
+// DetachPrefix pins the first upTo tokens of a resident sequence into a
+// PrefixKV without copying. upTo must be a boundary the sequence prefilled
+// across in canonical order — every rank's rows below it must form an
+// append-order prefix and the per-layer rank total must equal upTo — or the
+// adopted KV could not replay a cold prefill's placement. The caller may
+// Drop the sequence afterwards; the handle keeps the pages alive.
+func (c *Cluster) DetachPrefix(seq, upTo int) (*PrefixKV, error) {
+	total, ok := c.seqLens[seq]
+	if !ok {
+		return nil, fmt.Errorf("transformer: detach for unknown sequence %d", seq)
+	}
+	if upTo <= 0 || upTo > total {
+		return nil, fmt.Errorf("transformer: detach bound %d outside sequence %d's length %d", upTo, seq, total)
+	}
+	pre := &PrefixKV{tokens: upTo, spans: make([][]*kvcache.Span, c.world.N)}
+	for r, layers := range c.caches {
+		pre.spans[r] = make([]*kvcache.Span, len(layers))
+		for l, kc := range layers {
+			sp, err := kc.AcquireSpan(seq, upTo)
+			if err != nil {
+				pre.Release()
+				return nil, err
+			}
+			pre.spans[r][l] = sp
+		}
+	}
+	for l := range c.caches[0] {
+		n := 0
+		for r := range c.caches {
+			n += pre.spans[r][l].Tokens()
+		}
+		if n != upTo {
+			pre.Release()
+			return nil, fmt.Errorf("transformer: sequence %d holds %d of %d tokens below the detach bound on layer %d",
+				seq, n, upTo, l)
+		}
+	}
+	return pre, nil
+}
+
+// AdoptPrefix seeds a new sequence from a detached prefix by sharing its
+// pages on every rank and layer (copy-on-write on the first append past a
+// shared tail). The sequence continues from position pre.Tokens() exactly as
+// if it had prefilled the prefix itself.
+func (c *Cluster) AdoptPrefix(seq int, pre *PrefixKV) error {
+	if seq < 0 {
+		return fmt.Errorf("transformer: negative sequence id %d", seq)
+	}
+	if pre == nil || pre.released {
+		return fmt.Errorf("transformer: adopting a nil or released prefix")
+	}
+	if _, ok := c.seqLens[seq]; ok {
+		return fmt.Errorf("transformer: sequence %d already resident", seq)
+	}
+	if len(pre.spans) != c.world.N {
+		return fmt.Errorf("transformer: prefix spans %d ranks, cluster has %d", len(pre.spans), c.world.N)
+	}
+	for r, layers := range c.caches {
+		for l, kc := range layers {
+			if err := kc.AdoptSpan(seq, pre.spans[r][l]); err != nil {
+				c.Drop(seq)
+				return err
+			}
+		}
+	}
+	c.seqLens[seq] = pre.tokens
+	return nil
+}
+
+// PrefillFrom seeds a sequence from a cached prefix and prefills only the
+// miss suffix, returning the suffix positions' logits — the warm-start entry
+// point of the prefix-reuse subsystem. A nil prefix degrades to a cold
+// Prefill of the suffix.
+func (c *Cluster) PrefillFrom(seq int, pre *PrefixKV, suffix []int, variant perf.Variant) ([][]float32, error) {
+	if pre != nil && pre.Tokens() > 0 {
+		if err := c.AdoptPrefix(seq, pre); err != nil {
+			return nil, err
+		}
+	}
+	return c.Prefill(seq, suffix, variant)
 }
 
 // Generate greedily extends a prompt: one distributed prefill, then
