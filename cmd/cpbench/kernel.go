@@ -1,0 +1,197 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"time"
+
+	"repro/internal/attention"
+	"repro/internal/parallel"
+	"repro/internal/perf"
+	"repro/internal/tensor"
+	"repro/internal/transformer"
+)
+
+// kernelWorkerPoint is one worker-count measurement of a kernel workload.
+type kernelWorkerPoint struct {
+	Workers       int     `json:"workers"`
+	TokPerSec     float64 `json:"tok_per_sec"`
+	SpeedupVsSeed float64 `json:"speedup_vs_seed,omitempty"`
+}
+
+// kernelPrefillReport is the long-context single-rank GQA prefill section:
+// the seed scalar kernel versus the tiled interval-mask kernel across
+// worker counts.
+type kernelPrefillReport struct {
+	QTokens      int                 `json:"q_tokens"`
+	CachedTokens int                 `json:"cached_tokens"`
+	NumHeads     int                 `json:"num_heads"`
+	NumKV        int                 `json:"num_kv_heads"`
+	HeadDim      int                 `json:"head_dim"`
+	Reps         int                 `json:"reps"`
+	SeedTokSec   float64             `json:"seed_tok_per_sec"`
+	Kernel       []kernelWorkerPoint `json:"kernel"`
+}
+
+// kernelDecodeReport is the batched-decode section: decoded tokens/s of a
+// fused 16-session DecodeBatch sweep on a 2-rank cluster across worker
+// counts (the whole serving stack in the loop: ring pass-Q, assembled-KV
+// mirrors, merge, FFN).
+type kernelDecodeReport struct {
+	Sessions   int                 `json:"sessions"`
+	Ranks      int                 `json:"ranks"`
+	ContextLen int                 `json:"context_len"`
+	Steps      int                 `json:"steps"`
+	Throughput []kernelWorkerPoint `json:"throughput"`
+}
+
+// kernelBenchReport is the machine-readable kernel perf trajectory emitted
+// as BENCH_kernel.json.
+type kernelBenchReport struct {
+	GeneratedUnix int64               `json:"generated_unix"`
+	GOMAXPROCS    int                 `json:"gomaxprocs"`
+	NumCPU        int                 `json:"num_cpu"`
+	Prefill       kernelPrefillReport `json:"prefill"`
+	Decode        kernelDecodeReport  `json:"decode"`
+}
+
+// runKernelBench measures the attention hot path and writes BENCH_kernel.json.
+func runKernelBench(path string) error {
+	report := kernelBenchReport{
+		GeneratedUnix: time.Now().Unix(),
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		NumCPU:        runtime.NumCPU(),
+	}
+	workerCounts := []int{1, 2, 4, 8}
+
+	// Long-context single-rank GQA prefill: one chunk of new queries
+	// attending to a long cached context at a Llama-like GQA geometry.
+	const (
+		qTokens = 128
+		cached  = 7936
+		nh, nkv = 32, 4
+		dh      = 64
+		reps    = 3
+	)
+	rng := rand.New(rand.NewSource(17))
+	q := tensor.RandN(rng, qTokens, nh, dh)
+	k := tensor.RandN(rng, cached+qTokens, nkv, dh)
+	v := tensor.RandN(rng, cached+qTokens, nkv, dh)
+	mask := attention.PartialCausal(qTokens, cached)
+
+	timeIt := func(fn func() error) (float64, error) {
+		// One warm-up then reps timed runs.
+		if err := fn(); err != nil {
+			return 0, err
+		}
+		start := time.Now()
+		for i := 0; i < reps; i++ {
+			if err := fn(); err != nil {
+				return 0, err
+			}
+		}
+		return float64(qTokens) * reps / time.Since(start).Seconds(), nil
+	}
+
+	seedTok, err := timeIt(func() error {
+		_, err := attention.Reference(q, k, v, mask)
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	report.Prefill = kernelPrefillReport{
+		QTokens: qTokens, CachedTokens: cached,
+		NumHeads: nh, NumKV: nkv, HeadDim: dh, Reps: reps,
+		SeedTokSec: seedTok,
+	}
+	for _, w := range workerCounts {
+		old := parallel.SetWorkers(w)
+		tok, err := timeIt(func() error {
+			_, err := attention.GQA(q, k, v, mask)
+			return err
+		})
+		parallel.SetWorkers(old)
+		if err != nil {
+			return err
+		}
+		report.Prefill.Kernel = append(report.Prefill.Kernel, kernelWorkerPoint{
+			Workers: w, TokPerSec: tok, SpeedupVsSeed: tok / seedTok,
+		})
+	}
+
+	// 16-session batched decode through the full cluster: prefill every
+	// session to a shared context length, then time fused DecodeBatch steps.
+	const (
+		sessions = 16
+		ranks    = 2
+		ctxLen   = 256
+		steps    = 24
+	)
+	w8, err := transformer.NewWeights(transformer.Tiny(23))
+	if err != nil {
+		return err
+	}
+	report.Decode = kernelDecodeReport{Sessions: sessions, Ranks: ranks, ContextLen: ctxLen, Steps: steps}
+	for _, w := range workerCounts {
+		old := parallel.SetWorkers(w)
+		stepsSec, err := runDecodeBench(w8, sessions, ranks, ctxLen, steps)
+		parallel.SetWorkers(old)
+		if err != nil {
+			return err
+		}
+		report.Decode.Throughput = append(report.Decode.Throughput, kernelWorkerPoint{
+			Workers: w, TokPerSec: stepsSec * sessions, // one token per session per step
+		})
+	}
+
+	buf, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	best := report.Prefill.Kernel[len(report.Prefill.Kernel)-1]
+	fmt.Printf("kernel bench: seed %.0f tok/s; tiled kernel %.0f tok/s at %d workers (%.1fx)\n",
+		seedTok, best.TokPerSec, best.Workers, best.SpeedupVsSeed)
+	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// runDecodeBench prefills `sessions` sequences to ctxLen and times fused
+// decode steps for all of them.
+func runDecodeBench(w *transformer.Weights, sessions, ranks, ctxLen, steps int) (float64, error) {
+	c, err := transformer.NewCluster(w, ranks)
+	if err != nil {
+		return 0, err
+	}
+	vocab := w.Cfg.Model.VocabSize
+	seqs := make([]int, sessions)
+	toks := make([]int, sessions)
+	prompt := make([]int, ctxLen)
+	for i := range prompt {
+		prompt[i] = (i*7 + 3) % vocab
+	}
+	for sid := 0; sid < sessions; sid++ {
+		seqs[sid] = sid
+		toks[sid] = (sid * 11) % vocab
+		if _, err := c.Prefill(sid, prompt, perf.PassKV); err != nil {
+			return 0, err
+		}
+	}
+	// Warm-up step so decode mirrors exist before timing.
+	if _, err := c.DecodeBatch(seqs, toks); err != nil {
+		return 0, err
+	}
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		if _, err := c.DecodeBatch(seqs, toks); err != nil {
+			return 0, err
+		}
+	}
+	return float64(steps) / time.Since(start).Seconds(), nil
+}

@@ -6,6 +6,7 @@
 //	cpbench -exp table4
 //	cpbench -exp all
 //	cpbench -prefix-json BENCH_prefix.json
+//	cpbench -kernel-json BENCH_kernel.json
 //
 // Each experiment prints the same rows/series the paper reports, with the
 // paper's measured values alongside the model's predictions where the paper
@@ -21,14 +22,27 @@ import (
 	"os"
 
 	"repro/internal/experiments"
+	"repro/internal/parallel"
 )
 
 func main() {
 	list := flag.Bool("list", false, "list available experiment ids")
 	exp := flag.String("exp", "all", "experiment id to run, or 'all'")
 	prefixJSON := flag.String("prefix-json", "", "measure prefix KV-reuse prefill TTFT and write the JSON report to this path")
+	kernelJSON := flag.String("kernel-json", "", "measure serial-vs-parallel GQA kernel throughput and write the JSON report to this path")
+	workers := flag.Int("workers", 0, "attention kernel worker-pool width for experiments (0 = GOMAXPROCS)")
 	flag.Parse()
 
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
+	if *kernelJSON != "" {
+		if err := runKernelBench(*kernelJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "cpbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *prefixJSON != "" {
 		if err := runPrefixBench(*prefixJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "cpbench:", err)

@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"os"
 
+	"repro/internal/parallel"
 	"repro/internal/perf"
 	"repro/internal/server"
 	"repro/internal/transformer"
@@ -37,7 +38,12 @@ func main() {
 		"token budget of the prefix KV-reuse tree (released sessions detach into it); <= 0 disables")
 	kvCapacity := flag.Int("kv-capacity", 0, "per-rank per-layer KV cache capacity in tokens (0 = unlimited)")
 	recvTimeout := flag.Duration("recv-timeout", 0, "cluster comm receive deadline (0 = default)")
+	workers := flag.Int("workers", 0, "attention kernel worker-pool width (0 = GOMAXPROCS; env CP_WORKERS also applies)")
 	flag.Parse()
+
+	if *workers > 0 {
+		parallel.SetWorkers(*workers)
+	}
 
 	var policy server.Policy
 	switch *policyName {
@@ -88,8 +94,8 @@ func main() {
 	if prefixTokens > 0 {
 		prefixDesc = fmt.Sprintf("%d tok", prefixTokens)
 	}
-	log.Printf("cpserve: %d CP ranks, %s scheduling, %v prefill, budget %d tok/iter, batch<=%d, sessions<=%d, prefix cache %s, listening on %s",
-		*ranks, policy, variant, *tokenBudget, *maxBatch, *maxSessions, prefixDesc, *addr)
+	log.Printf("cpserve: %d CP ranks, %s scheduling, %v prefill, budget %d tok/iter, batch<=%d, sessions<=%d, prefix cache %s, %d kernel workers, listening on %s",
+		*ranks, policy, variant, *tokenBudget, *maxBatch, *maxSessions, prefixDesc, parallel.Workers(), *addr)
 	log.Printf(`try: curl -s localhost%s/v1/generate -d '{"session":1,"prompt":[4,19,22,7],"max_tokens":8}'`, *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)

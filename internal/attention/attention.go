@@ -3,7 +3,12 @@
 //
 // Three kernels are provided:
 //
-//   - GQA: a direct reference kernel over arbitrary position/sequence masks.
+//   - GQA: the production kernel. It compiles the position/sequence mask into
+//     per-query contiguous KV intervals once per call (see Intervals), then
+//     sweeps head-major tiles — one (query token, KV head) cell computes
+//     every query head of the group against the same contiguous K/V rows —
+//     and fans the independent tiles out over the shared worker pool
+//     (internal/parallel). Scores and weighted sums accumulate in float64.
 //   - Blocked: a flash-style streaming kernel that visits KV in blocks while
 //     maintaining an online softmax (Milakov & Gimelshein), used both as a
 //     second witness for correctness and as the shape of the per-step
@@ -11,6 +16,14 @@
 //   - Merge: the merge-attention operator (Appendix B, Equation 4) that
 //     combines partial attention outputs computed against disjoint KV chunks
 //     into the exact attention over the full KV.
+//
+// Every output cell (query token, head) is a pure function of the query row
+// and the ordered list of KV rows the mask admits, with a fixed per-cell
+// reduction order. Two consequences the rest of the repo relies on:
+// parallel execution is bit-identical to serial at any worker count (cells
+// are independent and each is computed identically), and interleaving
+// masked-out rows — padding, other sequences' KV — into the key/value
+// tensors cannot perturb a single bit.
 //
 // All kernels carry per-(query, head) log-sum-exp (LSE) values so partial
 // results can be merged exactly. Masking is expressed through global token
@@ -23,7 +36,9 @@ package attention
 import (
 	"fmt"
 	"math"
+	"sync"
 
+	"repro/internal/parallel"
 	"repro/internal/tensor"
 )
 
@@ -101,6 +116,16 @@ func NewOutput(tokens, heads, dim int) *Output {
 	return &Output{O: tensor.New(tokens, heads, dim), LSE: lse}
 }
 
+// Reset restores the zero/NegInf identity so the output can be reused as a
+// kernel destination. The ring sweeps recycle one partial Output per rank
+// this way instead of allocating one per ring step.
+func (o *Output) Reset() {
+	clear(o.O.Data)
+	for i := range o.LSE {
+		o.LSE[i] = NegInf
+	}
+}
+
 // LSEAt returns the log-sum-exp for query token t, head h.
 func (o *Output) LSEAt(t, h int) float64 { return o.LSE[t*o.O.Heads+h] }
 
@@ -111,22 +136,299 @@ func (o *Output) Clone() *Output {
 	return &Output{O: o.O.Clone(), LSE: lse}
 }
 
-// GQA computes exact grouped-query attention of q against (k, v) under the
-// mask. q has NH heads; k and v have NKV heads with NH divisible by NKV.
-// Scores are scaled by 1/sqrt(DH). Accumulation is float64 so the reference
-// is a trustworthy oracle for the distributed implementations.
-func GQA(q, k, v *tensor.Tensor, m Mask) (*Output, error) {
+// gqaScratch is one worker's reusable kernel state: compacted scores for
+// every head of the current group, float64 accumulators, and the per-head
+// running max/denominator. Pooled so steady-state kernel calls allocate
+// nothing regardless of context length.
+// kvTileRows is how many K/V rows a cell widens to float64 at a time. The
+// tile amortizes the float32→float64 conversion across the whole query-head
+// group and keeps the working set (tile + one score stripe per head) inside
+// L1 for realistic head dims.
+const kvTileRows = 32
+
+type gqaScratch struct {
+	scores []float64
+	acc    []float64
+	qf     []float64 // query rows of the current group, widened once per cell
+	tile   []float64 // current K or V row tile, widened once per group
+	max    []float64
+	denom  []float64
+}
+
+var scratchPool = sync.Pool{New: func() any { return &gqaScratch{} }}
+
+func (s *gqaScratch) size(group, na, dim int) {
+	if need := group * na; cap(s.scores) < need {
+		s.scores = make([]float64, need)
+	}
+	if need := group * dim; cap(s.acc) < need {
+		s.acc = make([]float64, need)
+		s.qf = make([]float64, need)
+	}
+	if need := kvTileRows * dim; cap(s.tile) < need {
+		s.tile = make([]float64, need)
+	}
+	if cap(s.max) < group {
+		s.max = make([]float64, group)
+		s.denom = make([]float64, group)
+	}
+}
+
+func validateGQA(q, k, v *tensor.Tensor, m Mask) error {
 	if err := m.Validate(q.Tokens, k.Tokens); err != nil {
-		return nil, err
+		return err
 	}
 	if k.Tokens != v.Tokens || k.Heads != v.Heads || k.Dim != v.Dim {
-		return nil, fmt.Errorf("attention: k %s and v %s differ", k.ShapeString(), v.ShapeString())
+		return fmt.Errorf("attention: k %s and v %s differ", k.ShapeString(), v.ShapeString())
 	}
 	if q.Dim != k.Dim {
-		return nil, fmt.Errorf("attention: head dim mismatch q=%d kv=%d", q.Dim, k.Dim)
+		return fmt.Errorf("attention: head dim mismatch q=%d kv=%d", q.Dim, k.Dim)
 	}
 	if k.Heads == 0 || q.Heads%k.Heads != 0 {
-		return nil, fmt.Errorf("attention: NH=%d not divisible by NKV=%d", q.Heads, k.Heads)
+		return fmt.Errorf("attention: NH=%d not divisible by NKV=%d", q.Heads, k.Heads)
+	}
+	return nil
+}
+
+// GQA computes exact grouped-query attention of q against (k, v) under the
+// mask. q has NH heads; k and v have NKV heads with NH divisible by NKV.
+// Scores are scaled by 1/sqrt(DH). Accumulation is float64 so the kernel is
+// a trustworthy oracle for the distributed implementations.
+func GQA(q, k, v *tensor.Tensor, m Mask) (*Output, error) {
+	out := NewOutput(q.Tokens, q.Heads, q.Dim)
+	if err := GQAInto(out, q, k, v, m); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// GQAInto computes GQA into dst, which must have q's shape. dst is reset
+// first, so the caller can reuse one Output across many kernel calls (the
+// ring sweep loops do). The result is bit-identical to GQA at any worker
+// count.
+func GQAInto(dst *Output, q, k, v *tensor.Tensor, m Mask) error {
+	if err := validateGQA(q, k, v, m); err != nil {
+		return err
+	}
+	if dst.O.Tokens != q.Tokens || dst.O.Heads != q.Heads || dst.O.Dim != q.Dim {
+		return fmt.Errorf("attention: destination %s does not match q %s", dst.O.ShapeString(), q.ShapeString())
+	}
+	dst.Reset()
+	if q.Tokens == 0 {
+		return nil
+	}
+	iv := NewIntervals(m)
+	gqaTiles(dst, q, k, v, iv)
+	return nil
+}
+
+// gqaTiles runs the tiled kernel: one work item per (KV head, query token)
+// cell, each computing the full query-head group of that cell. Cells write
+// disjoint output rows, so the pool fan-out is embarrassingly parallel and
+// exactly equal to the serial sweep.
+func gqaTiles(dst *Output, q, k, v *tensor.Tensor, iv *Intervals) {
+	T := q.Tokens
+	nh, nkv, dh := q.Heads, k.Heads, q.Dim
+	group := nh / nkv
+	scale := 1 / math.Sqrt(float64(dh))
+	parallel.For(nkv*T, func(lo, hi int) {
+		sc := scratchPool.Get().(*gqaScratch)
+		defer scratchPool.Put(sc)
+		for cell := lo; cell < hi; cell++ {
+			kvh := cell / T
+			t := cell % T
+			row := iv.Row(t)
+			na := 0
+			for _, r := range row {
+				na += r.Hi - r.Lo
+			}
+			if na == 0 {
+				continue // identity rows: dst is already zero/NegInf
+			}
+			sc.size(group, na, dh)
+			gqaCell(dst, q, k, v, sc, row, t, kvh, group, na, scale)
+		}
+	})
+}
+
+// gqaCell computes every head of one (query token, KV head) tile. Pass one
+// walks the allowed K rows accumulating scaled float64 dot products and the
+// running max; pass two re-walks the same rows fusing the exp-weight with
+// the weighted V accumulation. Each K/V row is widened to float64 exactly
+// once (widening is exact, so sharing the conversion across the head group
+// changes no bits) and every per-head accumulator is contiguous. Both passes
+// visit rows in ascending KV index order, so the per-(t,h) reduction order
+// is fixed regardless of tiling.
+func gqaCell(dst *Output, q, k, v *tensor.Tensor, sc *gqaScratch, row []Interval, t, kvh, group, na int, scale float64) {
+	dh := q.Dim
+	kvRowLen := k.Heads * dh
+	scores, acc, maxs, denom := sc.scores, sc.acc, sc.max, sc.denom
+	qf := sc.qf[:group*dh]
+	tile := sc.tile[:kvTileRows*dh]
+	h0 := kvh * group
+	for g := 0; g < group; g++ {
+		maxs[g] = NegInf
+		qRow := q.Data[(t*q.Heads+h0+g)*dh:][:dh]
+		for d, x := range qRow {
+			qf[g*dh+d] = float64(x)
+		}
+	}
+	// Pass 1: scores and per-head max, widening each K tile once and scoring
+	// every head of the group against it.
+	ns := 0
+	for _, r := range row {
+		for base := r.Lo; base < r.Hi; base += kvTileRows {
+			n := r.Hi - base
+			if n > kvTileRows {
+				n = kvTileRows
+			}
+			widenRows(tile, k.Data, base, n, kvRowLen, kvh*dh, dh)
+			for g := 0; g < group; g++ {
+				mx := dotTile(qf[g*dh:][:dh], tile[:n*dh], scores[g*na+ns:][:n], scale)
+				if mx > maxs[g] {
+					maxs[g] = mx
+				}
+			}
+			ns += n
+		}
+	}
+	// Turn every head's score stripe into softmax weights in place: one
+	// shifted-exp batch per head over the whole allowed set.
+	for g := 0; g < group; g++ {
+		sg := scores[g*na:][:na]
+		mg := maxs[g]
+		for i := range sg {
+			sg[i] -= mg
+		}
+		expNegVec(sg)
+	}
+	// Pass 2: weighted V accumulation over the same tiles. Per head the
+	// weights, denominator and accumulator all reduce in ascending KV order,
+	// independent of tiling.
+	for i := range acc[:group*dh] {
+		acc[i] = 0
+	}
+	for g := 0; g < group; g++ {
+		denom[g] = 0
+	}
+	ns = 0
+	for _, r := range row {
+		for base := r.Lo; base < r.Hi; base += kvTileRows {
+			n := r.Hi - base
+			if n > kvTileRows {
+				n = kvTileRows
+			}
+			widenRows(tile, v.Data, base, n, kvRowLen, kvh*dh, dh)
+			for g := 0; g < group; g++ {
+				w := scores[g*na+ns:][:n]
+				dg := denom[g]
+				accg := acc[g*dh:][:dh]
+				if useAVX {
+					for jj, wj := range w {
+						dg += wj
+						axpyAVX(wj, tile[jj*dh:][:dh], accg)
+					}
+				} else {
+					for jj, wj := range w {
+						dg += wj
+						vRow := tile[jj*dh:][:dh]
+						for d, vd := range vRow {
+							accg[d] += wj * vd
+						}
+					}
+				}
+				denom[g] = dg
+			}
+			ns += n
+		}
+	}
+	for g := 0; g < group; g++ {
+		oRow := dst.O.Data[(t*q.Heads+h0+g)*dh:][:dh]
+		accg := acc[g*dh:][:dh]
+		for d := 0; d < dh; d++ {
+			oRow[d] = float32(accg[d] / denom[g])
+		}
+		dst.LSE[t*q.Heads+h0+g] = maxs[g] + math.Log(denom[g])
+	}
+}
+
+// widenRows converts n consecutive KV rows (one KV head's dh-wide stripe,
+// starting at token row base) into the contiguous float64 tile. Widening is
+// exact, so sharing the converted tile across the head group changes no bits.
+func widenRows(tile []float64, data []float32, base, n, rowLen, headOff, dh int) {
+	if useAVX {
+		if rowLen == dh {
+			cvtAVX(tile[:n*dh], data[base*dh:][:n*dh])
+			return
+		}
+		off := base*rowLen + headOff
+		for jj := 0; jj < n; jj++ {
+			cvtAVX(tile[jj*dh:][:dh], data[off:][:dh])
+			off += rowLen
+		}
+		return
+	}
+	if rowLen == dh {
+		// Single-KV-head layout: the stripe is the whole row block, one flat
+		// conversion loop.
+		src := data[base*dh:][: n*dh : n*dh]
+		dst := tile[:n*dh]
+		for i, x := range src {
+			dst[i] = float64(x)
+		}
+		return
+	}
+	off := base*rowLen + headOff
+	for jj := 0; jj < n; jj++ {
+		src := data[off:][:dh:dh]
+		dst := tile[jj*dh:][:dh]
+		for d, x := range src {
+			dst[d] = float64(x)
+		}
+		off += rowLen
+	}
+}
+
+// dotTile scores one widened query row against every row of a widened K
+// tile, writing scaled float64 dot products and returning their max. The
+// four-way unrolled accumulators break the floating-point add latency chain;
+// the summation order is a fixed function of the row length, never of the
+// caller.
+func dotTile(q, rows, out []float64, scale float64) float64 {
+	dh := len(q)
+	if useAVX {
+		return dotTileAVX(q, rows[:len(out)*dh], out, scale)
+	}
+	mx := NegInf
+	for jj := range out {
+		row := rows[jj*dh:][:dh]
+		var s0, s1, s2, s3 float64
+		i := 0
+		for ; i+3 < dh; i += 4 {
+			s0 += q[i] * row[i]
+			s1 += q[i+1] * row[i+1]
+			s2 += q[i+2] * row[i+2]
+			s3 += q[i+3] * row[i+3]
+		}
+		for ; i < dh; i++ {
+			s0 += q[i] * row[i]
+		}
+		s := ((s0 + s2) + (s1 + s3)) * scale
+		out[jj] = s
+		if s > mx {
+			mx = s
+		}
+	}
+	return mx
+}
+
+// Reference is the seed scalar kernel kept verbatim as a second witness: a
+// direct per-(token, head, key) evaluation of the mask with float32 dot
+// products and float64 softmax accumulation. The tests check the production
+// kernel against it and the kernel benchmarks use it as the baseline.
+func Reference(q, k, v *tensor.Tensor, m Mask) (*Output, error) {
+	if err := validateGQA(q, k, v, m); err != nil {
+		return nil, err
 	}
 	group := q.Heads / k.Heads
 	scale := 1 / math.Sqrt(float64(q.Dim))
@@ -180,14 +482,18 @@ func GQA(q, k, v *tensor.Tensor, m Mask) (*Output, error) {
 // Blocked computes the same result as GQA by streaming KV in blocks of
 // blockSize tokens with an online softmax, the computation pattern of
 // FlashAttention and of each ring iteration. blockSize must be positive.
+// Blocks are zero-copy views of k and v, and one partial Output is recycled
+// across blocks, so the witness kernel allocates O(1) beyond its result.
 func Blocked(q, k, v *tensor.Tensor, m Mask, blockSize int) (*Output, error) {
 	if blockSize <= 0 {
 		return nil, fmt.Errorf("attention: blockSize %d must be positive", blockSize)
 	}
-	if err := m.Validate(q.Tokens, k.Tokens); err != nil {
+	if err := validateGQA(q, k, v, m); err != nil {
 		return nil, err
 	}
 	out := NewOutput(q.Tokens, q.Heads, q.Dim)
+	partial := NewOutput(q.Tokens, q.Heads, q.Dim)
+	rowLen := k.Heads * k.Dim
 	for lo := 0; lo < k.Tokens; lo += blockSize {
 		hi := lo + blockSize
 		if hi > k.Tokens {
@@ -199,18 +505,40 @@ func Blocked(q, k, v *tensor.Tensor, m Mask, blockSize int) (*Output, error) {
 			KVPos: m.KVPos[lo:hi],
 			KVSeq: m.KVSeq[lo:hi],
 		}
-		partial, err := GQA(q, k.SliceTokens(lo, hi), v.SliceTokens(lo, hi), sub)
+		kBlk, err := tensor.FromData(hi-lo, k.Heads, k.Dim, k.Data[lo*rowLen:hi*rowLen])
 		if err != nil {
+			return nil, err
+		}
+		vBlk, err := tensor.FromData(hi-lo, v.Heads, v.Dim, v.Data[lo*rowLen:hi*rowLen])
+		if err != nil {
+			return nil, err
+		}
+		if err := GQAInto(partial, q, kBlk, vBlk, sub); err != nil {
 			return nil, err
 		}
 		AccumulateInto(out, partial)
 	}
-	if k.Tokens == 0 {
-		// No blocks were visited; out is already the zero/NegInf identity.
-		return out, nil
-	}
 	return out, nil
 }
+
+// forCells fans fn over n cells, or runs it inline when the whole job is
+// smaller than one pool dispatch is worth (decode-step Merge/Accumulate
+// touches a handful of rows; the dispatch would cost more than the math).
+// Inline and fanned execution are bit-identical, so this is purely a
+// throughput decision.
+func forCells(work, n int, fn func(lo, hi int)) {
+	const minParallelWork = 4096 // scalar ops; ~a few µs, the dispatch cost
+	if work < minParallelWork {
+		fn(0, n)
+		return
+	}
+	parallel.For(n, fn)
+}
+
+// mergeScratchPool recycles the per-worker float64 accumulator Merge needs;
+// the decode path calls Merge every ring sweep and must not allocate scratch
+// per call.
+var mergeScratchPool = sync.Pool{New: func() any { return &[]float64{} }}
 
 // Merge combines partial attention outputs computed against disjoint KV
 // chunks for the same queries, per Equation 4:
@@ -218,7 +546,9 @@ func Blocked(q, k, v *tensor.Tensor, m Mask, blockSize int) (*Output, error) {
 //	O = Σ_s O_s · exp(LSE_s − LSE_max) / Σ_s exp(LSE_s − LSE_max)
 //
 // and the merged LSE is LSE_max + log Σ_s exp(LSE_s − LSE_max), making the
-// operation associative: merging merges is merging everything.
+// operation associative: merging merges is merging everything. Cells fan out
+// over the worker pool; each (token, head) cell is independent, so parallel
+// output equals serial exactly.
 func Merge(partials ...*Output) *Output {
 	if len(partials) == 0 {
 		panic("attention: Merge of zero partials")
@@ -232,10 +562,16 @@ func Merge(partials ...*Output) *Output {
 		}
 	}
 	out := NewOutput(tokens, heads, dim)
-	acc := make([]float64, dim)
-	for t := 0; t < tokens; t++ {
-		for h := 0; h < heads; h++ {
-			idx := t*heads + h
+	forCells(tokens*heads*dim, tokens*heads, func(lo, hi int) {
+		accp := mergeScratchPool.Get().(*[]float64)
+		defer mergeScratchPool.Put(accp)
+		if cap(*accp) < dim {
+			*accp = make([]float64, dim)
+		}
+		acc := (*accp)[:dim]
+		for idx := lo; idx < hi; idx++ {
+			t := idx / heads
+			h := idx % heads
 			maxLSE := NegInf
 			for _, p := range partials {
 				if p.LSE[idx] > maxLSE {
@@ -266,22 +602,24 @@ func Merge(partials ...*Output) *Output {
 			}
 			out.LSE[idx] = maxLSE + math.Log(denom)
 		}
-	}
+	})
 	return out
 }
 
 // AccumulateInto merges partial into dst in place. It is the streaming form
 // of Merge used by the ring loop, where partial results arrive one KV chunk
-// at a time and keeping all N partials alive would waste memory.
+// at a time and keeping all N partials alive would waste memory. Cells fan
+// out over the worker pool with the same exact-equality guarantee as Merge.
 func AccumulateInto(dst, partial *Output) {
 	if dst.O.Tokens != partial.O.Tokens || dst.O.Heads != partial.O.Heads || dst.O.Dim != partial.O.Dim {
 		panic(fmt.Sprintf("attention: accumulate shape mismatch %s vs %s",
 			dst.O.ShapeString(), partial.O.ShapeString()))
 	}
 	heads, dim := dst.O.Heads, dst.O.Dim
-	for t := 0; t < dst.O.Tokens; t++ {
-		for h := 0; h < heads; h++ {
-			idx := t*heads + h
+	forCells(dst.O.Tokens*heads*dim, dst.O.Tokens*heads, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			t := idx / heads
+			h := idx % heads
 			a, b := dst.LSE[idx], partial.LSE[idx]
 			if math.IsInf(b, -1) {
 				continue
@@ -305,7 +643,7 @@ func AccumulateInto(dst, partial *Output) {
 			}
 			dst.LSE[idx] = m + math.Log(denom)
 		}
-	}
+	})
 }
 
 // GatherTokens reorders (or selects) query rows of an output. It is used by

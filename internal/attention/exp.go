@@ -1,0 +1,98 @@
+package attention
+
+import "math"
+
+// Fast deterministic e^x for softmax weights.
+//
+// math.Exp costs ~40ns on the CPUs this repo targets and the kernels call it
+// once per (query, head, key) — it is the single largest term in the decode
+// and long-prefill hot paths. expNeg replaces it with the classical
+// table-driven reduction: x = (32m + i)·ln2/32 + r with |r| <= ln2/64, so
+//
+//	e^x = 2^m · 2^(i/32) · p(r)
+//
+// where p is the degree-5 Taylor polynomial of e^r (its degree-6 term is
+// below 3e-15 relative on the reduced range, far inside the float64 noise of
+// the surrounding softmax). The result is a pure function of x built from
+// IEEE arithmetic — the same bits on every call, every goroutine, every
+// worker count — which is all the repo's bit-identity guarantees need.
+// Arguments are softmax-shifted scores, so x <= 0 always holds; values so
+// negative that the 2^m bit-shift would leave the normal range fall back to
+// math.Exp, which handles the denormal tail.
+//
+// Exactness anchor: expNeg(0) == 1 exactly (m = i = 0, r = 0, p(0) = 1), so
+// a query attending to a single key still reproduces its V row bit-for-bit.
+const (
+	expInvL  = 46.166241308446828384      // 32/ln2
+	expLHi   = 0x1.62e42feep-06           // ln2Hi/32: trailing zero bits make n*expLHi exact
+	expLLo   = 5.96317165397058656256e-12 // ln2Lo/32; expLHi + expLLo = ln2/32
+	expC2    = 1.0 / 2
+	expC3    = 1.0 / 6
+	expC4    = 1.0 / 24
+	expC5    = 1.0 / 120
+	expFloor = -690 // below this, delegate to math.Exp for the denormal tail
+)
+
+// expTab[i] = 2^(i/32), filled at init; math.Exp2 is deterministic within a
+// process, which is the scope of the repo's bit-identity guarantees.
+var expTab [32]float64
+
+func init() {
+	for i := range expTab {
+		expTab[i] = math.Exp2(float64(i) / 32)
+	}
+}
+
+// expNeg returns e^x for x <= 0 (NaN propagates).
+func expNeg(x float64) float64 {
+	if !(x >= expFloor) { // also catches NaN and -Inf via math.Exp
+		return math.Exp(x)
+	}
+	n := math.Floor(x*expInvL + 0.5)
+	r := (x - n*expLHi) - n*expLLo
+	p := 1 + r*(1+r*(expC2+r*(expC3+r*(expC4+r*expC5))))
+	ni := int64(n)
+	i := ni & 31
+	m := (ni - i) >> 5
+	s := expTab[i] * p
+	return math.Float64frombits(math.Float64bits(s) + uint64(m)<<52)
+}
+
+// expNegVec replaces every element of x with e^x, four lanes interleaved so
+// the polynomial latency chains of neighbouring elements overlap. Lane
+// arithmetic is identical to expNeg, so the transformation is elementwise
+// deterministic regardless of how callers batch it.
+func expNegVec(x []float64) {
+	j := 0
+	for ; j+3 < len(x); j += 4 {
+		x0, x1, x2, x3 := x[j], x[j+1], x[j+2], x[j+3]
+		if !(x0 >= expFloor) || !(x1 >= expFloor) || !(x2 >= expFloor) || !(x3 >= expFloor) {
+			x[j], x[j+1], x[j+2], x[j+3] = expNeg(x0), expNeg(x1), expNeg(x2), expNeg(x3)
+			continue
+		}
+		n0 := math.Floor(x0*expInvL + 0.5)
+		n1 := math.Floor(x1*expInvL + 0.5)
+		n2 := math.Floor(x2*expInvL + 0.5)
+		n3 := math.Floor(x3*expInvL + 0.5)
+		r0 := (x0 - n0*expLHi) - n0*expLLo
+		r1 := (x1 - n1*expLHi) - n1*expLLo
+		r2 := (x2 - n2*expLHi) - n2*expLLo
+		r3 := (x3 - n3*expLHi) - n3*expLLo
+		p0 := 1 + r0*(1+r0*(expC2+r0*(expC3+r0*(expC4+r0*expC5))))
+		p1 := 1 + r1*(1+r1*(expC2+r1*(expC3+r1*(expC4+r1*expC5))))
+		p2 := 1 + r2*(1+r2*(expC2+r2*(expC3+r2*(expC4+r2*expC5))))
+		p3 := 1 + r3*(1+r3*(expC2+r3*(expC3+r3*(expC4+r3*expC5))))
+		i0, i1, i2, i3 := int64(n0)&31, int64(n1)&31, int64(n2)&31, int64(n3)&31
+		s0 := expTab[i0] * p0
+		s1 := expTab[i1] * p1
+		s2 := expTab[i2] * p2
+		s3 := expTab[i3] * p3
+		x[j] = math.Float64frombits(math.Float64bits(s0) + uint64((int64(n0)-i0)>>5)<<52)
+		x[j+1] = math.Float64frombits(math.Float64bits(s1) + uint64((int64(n1)-i1)>>5)<<52)
+		x[j+2] = math.Float64frombits(math.Float64bits(s2) + uint64((int64(n2)-i2)>>5)<<52)
+		x[j+3] = math.Float64frombits(math.Float64bits(s3) + uint64((int64(n3)-i3)>>5)<<52)
+	}
+	for ; j < len(x); j++ {
+		x[j] = expNeg(x[j])
+	}
+}

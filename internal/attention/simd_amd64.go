@@ -1,0 +1,29 @@
+//go:build amd64
+
+package attention
+
+// useAVX gates the AVX inner loops. The vector code is lane-for-lane the
+// same arithmetic as the four-way unrolled scalar loops (lane i of the
+// vector accumulator is exactly scalar accumulator s_i, and the horizontal
+// reduction replays ((s0+s2)+(s1+s3))), so switching between the two paths
+// can never change a bit — it is purely a throughput decision.
+var useAVX = cpuidAVX()
+
+// cpuidAVX reports AVX support with OS-enabled YMM state (CPUID.1:ECX
+// OSXSAVE+AVX, then XGETBV XMM+YMM). Implemented in simd_amd64.s.
+func cpuidAVX() bool
+
+// axpyAVX computes y[i] += alpha*x[i] (len(y) >= len(x)), elementwise mul
+// then add, identical rounding to the scalar loop. Implemented in
+// simd_amd64.s.
+func axpyAVX(alpha float64, x, y []float64)
+
+// cvtAVX widens src into dst (len(dst) >= len(src)); float32→float64 is
+// exact, so vector and scalar conversion agree bitwise. Implemented in
+// simd_amd64.s.
+func cvtAVX(dst []float64, src []float32)
+
+// dotTileAVX runs the full dotTile inner loop — len(out) consecutive rows
+// dotted against q, scaled, stored, max-tracked — with the same lane
+// arithmetic as dotvAVX. Implemented in simd_amd64.s.
+func dotTileAVX(q, rows, out []float64, scale float64) float64

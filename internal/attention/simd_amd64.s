@@ -1,0 +1,154 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidAVX() bool
+// CPUID.1:ECX must report OSXSAVE (bit 27) and AVX (bit 28), and XGETBV
+// must confirm the OS saves XMM+YMM state (XCR0 bits 1 and 2).
+TEXT ·cpuidAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	MOVL CX, BX
+	ANDL $(1<<27 | 1<<28), BX
+	CMPL BX, $(1<<27 | 1<<28)
+	JNE  noavx
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+noavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func axpyAVX(alpha float64, x, y []float64)
+// y[i] += alpha*x[i]: elementwise multiply then add, the same two roundings
+// per element as the portable loop in the same order.
+TEXT ·axpyAVX(SB), NOSPLIT, $0-56
+	VBROADCASTSD alpha+0(FP), Y3
+	MOVQ x_base+8(FP), SI
+	MOVQ y_base+32(FP), DI
+	MOVQ x_len+16(FP), CX
+	MOVQ CX, DX
+	SHRQ $2, DX
+	JZ   atail_setup
+aloop4:
+	VMOVUPD (SI), Y1
+	VMULPD  Y3, Y1, Y1
+	VMOVUPD (DI), Y2
+	VADDPD  Y1, Y2, Y2
+	VMOVUPD Y2, (DI)
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ DX
+	JNZ  aloop4
+atail_setup:
+	ANDQ $3, CX
+	JZ   adone
+atail:
+	VMOVSD (SI), X1
+	VMULSD X3, X1, X1
+	VMOVSD (DI), X2
+	VADDSD X1, X2, X2
+	VMOVSD X2, (DI)
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  atail
+adone:
+	VZEROUPPER
+	RET
+
+// func cvtAVX(dst []float64, src []float32)
+// Widens len(src) float32s to float64 (conversion is exact, so any
+// implementation produces identical bits).
+TEXT ·cvtAVX(SB), NOSPLIT, $0-48
+	MOVQ dst_base+0(FP), DI
+	MOVQ src_base+24(FP), SI
+	MOVQ src_len+32(FP), CX
+	MOVQ CX, DX
+	SHRQ $2, DX
+	JZ   ctail_setup
+cloop4:
+	VCVTPS2PD (SI), Y1
+	VMOVUPD   Y1, (DI)
+	ADDQ $16, SI
+	ADDQ $32, DI
+	DECQ DX
+	JNZ  cloop4
+ctail_setup:
+	ANDQ $3, CX
+	JZ   cdone
+ctail:
+	VCVTSS2SD (SI), X1, X1
+	VMOVSD    X1, (DI)
+	ADDQ $4, SI
+	ADDQ $8, DI
+	DECQ CX
+	JNZ  ctail
+cdone:
+	VZEROUPPER
+	RET
+
+// func dotTileAVX(q, rows, out []float64, scale float64) float64
+// The whole dotTile loop: len(out) consecutive rows of len(q) floats are
+// each dotted against q (lane arithmetic identical to dotvAVX/the scalar
+// unroll), scaled, stored, and max-tracked. VMAXSD's operand order makes a
+// NaN score leave the running max unchanged, matching the scalar compare.
+TEXT ·dotTileAVX(SB), NOSPLIT, $0-88
+	MOVQ q_base+0(FP), R8
+	MOVQ q_len+8(FP), R10
+	MOVQ rows_base+24(FP), DI
+	MOVQ out_base+48(FP), R9
+	MOVQ out_len+56(FP), CX
+	VMOVSD scale+72(FP), X7
+	MOVQ $0xFFF0000000000000, AX // -Inf
+	MOVQ AX, X8
+	TESTQ CX, CX
+	JZ   tdone
+trowloop:
+	VXORPD Y0, Y0, Y0
+	MOVQ R8, SI
+	MOVQ R10, DX
+	SHRQ $2, DX
+	JZ   ttail_setup
+tinner4:
+	VMOVUPD (SI), Y1
+	VMOVUPD (DI), Y2
+	VMULPD  Y2, Y1, Y1
+	VADDPD  Y1, Y0, Y0
+	ADDQ $32, SI
+	ADDQ $32, DI
+	DECQ DX
+	JNZ  tinner4
+ttail_setup:
+	VEXTRACTF128 $1, Y0, X3
+	MOVQ R10, DX
+	ANDQ $3, DX
+	JZ   tcombine
+ttail:
+	VMOVSD (SI), X1
+	VMULSD (DI), X1, X1
+	VADDSD X1, X0, X0
+	ADDQ $8, SI
+	ADDQ $8, DI
+	DECQ DX
+	JNZ  ttail
+tcombine:
+	VADDSD    X3, X0, X4
+	VPERMILPD $1, X0, X5
+	VPERMILPD $1, X3, X6
+	VADDSD    X6, X5, X5
+	VADDSD    X5, X4, X4
+	VMULSD    X7, X4, X4
+	VMOVSD    X4, (R9)
+	ADDQ $8, R9
+	VMAXSD    X8, X4, X8
+	DECQ CX
+	JNZ  trowloop
+tdone:
+	VMOVSD X8, ret+80(FP)
+	VZEROUPPER
+	RET

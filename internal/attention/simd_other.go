@@ -1,0 +1,15 @@
+//go:build !amd64
+
+package attention
+
+// Non-amd64 builds always take the portable scalar loops; the constant lets
+// the compiler delete the vector branches entirely.
+const useAVX = false
+
+func axpyAVX(alpha float64, x, y []float64) { panic("attention: axpyAVX without AVX") }
+
+func cvtAVX(dst []float64, src []float32) { panic("attention: cvtAVX without AVX") }
+
+func dotTileAVX(q, rows, out []float64, scale float64) float64 {
+	panic("attention: dotTileAVX without AVX")
+}

@@ -1,0 +1,119 @@
+package attention
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// scalarDot replays the portable four-way unrolled dot product.
+func scalarDot(a, b []float64) float64 {
+	var s0, s1, s2, s3 float64
+	i := 0
+	for ; i+3 < len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s2) + (s1 + s3)
+}
+
+// The AVX inner loops must be bit-identical to the portable scalar loops at
+// every length, including non-multiple-of-four tails — switching between
+// them is a pure throughput decision.
+func TestSIMDMatchesScalarExactly(t *testing.T) {
+	if !useAVX {
+		t.Skip("no AVX on this machine")
+	}
+	rng := rand.New(rand.NewSource(11))
+	for n := 1; n <= 70; n++ {
+		a := make([]float64, n)
+		b := make([]float64, n)
+		y1 := make([]float64, n)
+		y2 := make([]float64, n)
+		for trial := 0; trial < 8; trial++ {
+			for i := range a {
+				a[i] = rng.NormFloat64()
+				b[i] = rng.NormFloat64()
+				y1[i] = rng.NormFloat64()
+				y2[i] = y1[i]
+			}
+			var one [1]float64
+			if got, want := dotTileAVX(a, b, one[:], 1), scalarDot(a, b); got != want {
+				t.Fatalf("dotTileAVX(n=%d) = %x, scalar %x", n, got, want)
+			}
+			alpha := rng.NormFloat64()
+			axpyAVX(alpha, a, y1)
+			for i := range y2 {
+				y2[i] += alpha * a[i]
+			}
+			for i := range y1 {
+				if y1[i] != y2[i] {
+					t.Fatalf("axpyAVX(n=%d)[%d] = %x, scalar %x", n, i, y1[i], y2[i])
+				}
+			}
+		}
+	}
+}
+
+func TestCvtAVXMatchesScalarExactly(t *testing.T) {
+	if !useAVX {
+		t.Skip("no AVX on this machine")
+	}
+	rng := rand.New(rand.NewSource(12))
+	for n := 0; n <= 70; n++ {
+		src := make([]float32, n)
+		for i := range src {
+			src[i] = float32(rng.NormFloat64())
+		}
+		dst := make([]float64, n)
+		cvtAVX(dst, src)
+		for i := range src {
+			if dst[i] != float64(src[i]) {
+				t.Fatalf("cvtAVX(n=%d)[%d] = %x, want %x", n, i, dst[i], float64(src[i]))
+			}
+		}
+	}
+}
+
+func TestDotTileAVXMatchesScalarExactly(t *testing.T) {
+	if !useAVX {
+		t.Skip("no AVX on this machine")
+	}
+	rng := rand.New(rand.NewSource(13))
+	for _, dh := range []int{1, 3, 4, 7, 8, 16, 33, 64} {
+		for _, rows := range []int{0, 1, 2, 5, 32} {
+			q := make([]float64, dh)
+			rs := make([]float64, rows*dh)
+			for i := range q {
+				q[i] = rng.NormFloat64()
+			}
+			for i := range rs {
+				rs[i] = rng.NormFloat64()
+			}
+			scale := rng.Float64() + 0.5
+			got := make([]float64, rows)
+			want := make([]float64, rows)
+			gotMax := dotTileAVX(q, rs, got, scale)
+			wantMax := NegInf
+			for jj := 0; jj < rows; jj++ {
+				s := scalarDot(q, rs[jj*dh:(jj+1)*dh]) * scale
+				want[jj] = s
+				if s > wantMax {
+					wantMax = s
+				}
+			}
+			if gotMax != wantMax {
+				t.Fatalf("dotTileAVX(dh=%d rows=%d) max = %x, want %x", dh, rows, gotMax, wantMax)
+			}
+			for jj := range got {
+				if got[jj] != want[jj] {
+					t.Fatalf("dotTileAVX(dh=%d rows=%d)[%d] = %x, want %x", dh, rows, jj, got[jj], want[jj])
+				}
+			}
+		}
+	}
+}

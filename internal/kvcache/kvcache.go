@@ -212,24 +212,44 @@ func (c *Cache) releaseRef(ref pageRef) {
 // Get materializes the cached K, V and positions of a sequence as contiguous
 // tensors, in append order. Returns empty tensors for unknown sequences.
 func (c *Cache) Get(seq int) (k, v *tensor.Tensor, pos []int) {
-	sc := c.seqs[seq]
 	n := c.SeqLen(seq)
 	k = tensor.New(n, c.cfg.KVHeads, c.cfg.HeadDim)
 	v = tensor.New(n, c.cfg.KVHeads, c.cfg.HeadDim)
-	pos = make([]int, 0, n)
+	pos = make([]int, n)
+	c.CopyRange(seq, 0, k.Data, v.Data, pos)
+	return k, v, pos
+}
+
+// CopyRange copies cached rows [lo, SeqLen) of a sequence, in append order,
+// into the caller's row-major buffers: k and v must hold at least
+// (SeqLen-lo)*KVHeads*HeadDim floats and pos as many ints. It is the
+// allocation-free incremental companion to Get (which delegates to it):
+// callers that mirror a sequence's KV — the ring layer's assembled-block
+// cache — fetch only the rows appended since their last sync, written
+// straight into the mirror's backing arrays. Returns the rows copied; lo
+// past the end, or an unknown sequence, copies nothing.
+func (c *Cache) CopyRange(seq, lo int, k, v []float32, pos []int) int {
+	sc := c.seqs[seq]
 	if sc == nil {
-		return k, v, pos
+		return 0
 	}
+	rowLen := c.cfg.KVHeads * c.cfg.HeadDim
+	skip := lo
 	row := 0
 	for _, ref := range sc.refs {
-		for i := 0; i < ref.n; i++ {
-			copy(k.Row2D(row), ref.pg.k.Row2D(i))
-			copy(v.Row2D(row), ref.pg.v.Row2D(i))
-			pos = append(pos, ref.pg.pos[i])
+		if skip >= ref.n {
+			skip -= ref.n
+			continue
+		}
+		for i := skip; i < ref.n; i++ {
+			copy(k[row*rowLen:(row+1)*rowLen], ref.pg.k.Row2D(i))
+			copy(v[row*rowLen:(row+1)*rowLen], ref.pg.v.Row2D(i))
+			pos[row] = ref.pg.pos[i]
 			row++
 		}
+		skip = 0
 	}
-	return k, v, pos
+	return row
 }
 
 // SeqLen returns the number of cached tokens for a sequence.
@@ -278,6 +298,12 @@ func (c *Cache) NumPages(seq int) int {
 
 // Capacity returns the configured token capacity (0 = unlimited).
 func (c *Cache) Capacity() int { return c.cfg.Capacity }
+
+// KVHeads returns the per-row KV head count (NKV).
+func (c *Cache) KVHeads() int { return c.cfg.KVHeads }
+
+// HeadDim returns the per-head embedding dimension (DH).
+func (c *Cache) HeadDim() int { return c.cfg.HeadDim }
 
 // Drop evicts a sequence, freeing the capacity of pages no other holder
 // still references. Dropping an unknown sequence is a no-op.

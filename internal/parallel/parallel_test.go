@@ -1,0 +1,110 @@
+package parallel
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+func withWorkers(t *testing.T, n int) {
+	t.Helper()
+	old := SetWorkers(n)
+	t.Cleanup(func() { SetWorkers(old) })
+}
+
+// Every index must be visited exactly once, at any width, including widths
+// far beyond GOMAXPROCS and n.
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, w := range []int{1, 2, 3, 8, 33} {
+		for _, n := range []int{0, 1, 2, 7, 64, 1000} {
+			func() {
+				old := SetWorkers(w)
+				defer SetWorkers(old)
+				counts := make([]int32, n)
+				For(n, func(lo, hi int) {
+					if lo < 0 || hi > n || lo >= hi {
+						t.Errorf("w=%d n=%d bad chunk [%d,%d)", w, n, lo, hi)
+					}
+					for i := lo; i < hi; i++ {
+						atomic.AddInt32(&counts[i], 1)
+					}
+				})
+				for i, c := range counts {
+					if c != 1 {
+						t.Fatalf("w=%d n=%d index %d visited %d times", w, n, i, c)
+					}
+				}
+			}()
+		}
+	}
+}
+
+// Nested For must not deadlock: the caller of the inner job drains it
+// itself even when every pool worker is busy.
+func TestForNestedDoesNotDeadlock(t *testing.T) {
+	withWorkers(t, 4)
+	var total atomic.Int64
+	For(8, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			For(16, func(ilo, ihi int) {
+				total.Add(int64(ihi - ilo))
+			})
+		}
+	})
+	if got := total.Load(); got != 8*16 {
+		t.Fatalf("nested total %d, want %d", got, 8*16)
+	}
+}
+
+// A panic inside fn must surface on the caller, not kill a pool goroutine,
+// and the pool must remain usable afterwards.
+func TestForPanicPropagatesToCaller(t *testing.T) {
+	withWorkers(t, 4)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("panic did not propagate")
+			}
+		}()
+		For(64, func(lo, hi int) {
+			if lo == 0 {
+				panic("boom")
+			}
+		})
+	}()
+	// Pool still works.
+	var n atomic.Int64
+	For(64, func(lo, hi int) { n.Add(int64(hi - lo)) })
+	if n.Load() != 64 {
+		t.Fatalf("pool broken after panic: %d", n.Load())
+	}
+}
+
+func TestSetWorkersClampsAndRestores(t *testing.T) {
+	old := SetWorkers(3)
+	defer SetWorkers(old)
+	if Workers() != 3 {
+		t.Fatalf("Workers() = %d, want 3", Workers())
+	}
+	SetWorkers(0)
+	if Workers() != 1 {
+		t.Fatalf("Workers() after SetWorkers(0) = %d, want 1", Workers())
+	}
+	SetWorkers(3)
+}
+
+func TestSnapshotCountsJobs(t *testing.T) {
+	withWorkers(t, 2)
+	before := Snapshot()
+	For(100, func(lo, hi int) {})
+	after := Snapshot()
+	if after.Jobs <= before.Jobs {
+		t.Fatalf("parallel job not counted: %+v -> %+v", before, after)
+	}
+	withWorkers(t, 1)
+	before = Snapshot()
+	For(100, func(lo, hi int) {})
+	after = Snapshot()
+	if after.SerialJobs <= before.SerialJobs {
+		t.Fatalf("serial job not counted: %+v -> %+v", before, after)
+	}
+}

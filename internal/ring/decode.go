@@ -31,7 +31,12 @@ type DecodeInput struct {
 	// [len(Owned), NKV, DH] — the projections of each owned decode token.
 	Q, K, V *tensor.Tensor
 	Cache   *kvcache.Cache // this rank's shard of every sequence's KV
-	Elem    float64
+	// Blocks caches each sequence's assembled contiguous KV across decode
+	// steps (and across the prefill that preceded them), so a sweep reads a
+	// zero-copy view extended by at most one row instead of re-gathering the
+	// whole paged context per visiting query. Nil rebuilds per call.
+	Blocks *BlockCache
+	Elem   float64
 }
 
 func (in *DecodeInput) validate() error {
@@ -112,6 +117,13 @@ func PassQDecode(in *DecodeInput) (*attention.Output, error) {
 	next := (in.Rank.ID + 1) % n
 	prev := (in.Rank.ID - 1 + n) % n
 	partials := make([]*attention.Output, n)
+	blocks := in.Blocks
+	if blocks == nil {
+		blocks = NewBlockCache()
+	}
+	// One single-row output recycled across every visiting query of every
+	// ring step; decodeBlockAttention resets it per row via GQAInto.
+	rowOut := attention.NewOutput(1, in.Q.Heads, in.Q.Dim)
 	src := in.Rank.ID
 	for j := 0; j < n; j++ {
 		var recvErr error
@@ -119,7 +131,7 @@ func PassQDecode(in *DecodeInput) (*attention.Output, error) {
 		if j < n-1 {
 			received, recvErr = in.Rank.SendRecv(next, prev, cur, cur.bytes(in.Elem))
 		}
-		partial, err := decodeBlockAttention(in.Cache, cur)
+		partial, err := decodeBlockAttention(in.Cache, blocks, cur, rowOut)
 		if err != nil {
 			return nil, err
 		}
@@ -150,29 +162,40 @@ func PassQDecode(in *DecodeInput) (*attention.Output, error) {
 
 // decodeBlockAttention computes the visiting query block against this rank's
 // KV shard: row r attends to the local cache of sequence seq[r] under the
-// causal position bound pos[r]. Padding rows produce identity outputs.
-func decodeBlockAttention(cache *kvcache.Cache, blk *qBlock) (*attention.Output, error) {
+// causal position bound pos[r]. Padding rows produce identity outputs. Each
+// sequence's KV comes from its assembled-block mirror (extended by at most
+// the rows appended since the last sweep), the query row is a zero-copy view
+// into the circulating block, and rowOut is recycled across rows.
+func decodeBlockAttention(cache *kvcache.Cache, blocks *BlockCache, blk *qBlock, rowOut *attention.Output) (*attention.Output, error) {
 	out := attention.NewOutput(blk.q.Tokens, blk.q.Heads, blk.q.Dim)
+	nkv, dh := cache.KVHeads(), cache.HeadDim()
+	qRowLen := blk.q.Heads * blk.q.Dim
 	for r := 0; r < blk.q.Tokens; r++ {
 		if blk.seq[r] < 0 {
 			continue
 		}
-		k, v, kpos := cache.Get(blk.seq[r])
-		if k.Tokens == 0 {
-			continue
-		}
-		kseq := make([]int, len(kpos))
-		for i := range kseq {
-			kseq[i] = blk.seq[r]
-		}
-		row, err := attention.GQA(blk.q.SliceTokens(r, r+1), k, v, attention.Mask{
-			QPos: []int{blk.pos[r]}, QSeq: []int{blk.seq[r]}, KVPos: kpos, KVSeq: kseq,
-		})
+		b, err := blocks.sync(cache, blk.seq[r], -1, nkv*dh)
 		if err != nil {
 			return nil, err
 		}
-		copy(out.O.Row2D(r), row.O.Row2D(0))
-		copy(out.LSE[r*out.O.Heads:(r+1)*out.O.Heads], row.LSE)
+		if b.n == 0 {
+			continue
+		}
+		k, v, kpos, kseq, err := b.view(b.n, nkv, dh, blk.seq[r])
+		if err != nil {
+			return nil, err
+		}
+		qRow, err := tensor.FromData(1, blk.q.Heads, blk.q.Dim, blk.q.Data[r*qRowLen:(r+1)*qRowLen])
+		if err != nil {
+			return nil, err
+		}
+		if err := attention.GQAInto(rowOut, qRow, k, v, attention.Mask{
+			QPos: blk.pos[r : r+1], QSeq: blk.seq[r : r+1], KVPos: kpos, KVSeq: kseq,
+		}); err != nil {
+			return nil, err
+		}
+		copy(out.O.Row2D(r), rowOut.O.Row2D(0))
+		copy(out.LSE[r*out.O.Heads:(r+1)*out.O.Heads], rowOut.LSE)
 	}
 	return out, nil
 }

@@ -45,7 +45,12 @@ type PrefillInput struct {
 	// must be zero rows (sharding.BatchShard.Shard produces them).
 	Q, K, V *tensor.Tensor
 	Cache   *kvcache.Cache // persistent KV from earlier turns; may be nil
-	Elem    float64        // accounted bytes per element (e in the paper)
+	// Blocks caches the assembled per-sequence KV segments across a
+	// prefill's chunks (one BlockCache per rank per layer, owned by the rank
+	// goroutine). Nil falls back to rebuilding the block from Cache on every
+	// call, the seed engine's cost profile.
+	Blocks *BlockCache
+	Elem   float64 // accounted bytes per element (e in the paper)
 	// SeqIDs maps each batch-plan sequence index to its persistent cache
 	// key, so an engine can prefill different batch compositions against
 	// long-lived conversations. Nil means the identity mapping.
@@ -137,70 +142,78 @@ func (b *oBlock) bytes(elem float64) float64 {
 // sequence, the cached rows followed by the rank's new non-padding rows,
 // padded to the agreed per-sequence length L_i (Algorithm 2's
 // concat_i(pad(P_k^i + T_k^i, L_i))). padTo[i] < 0 means "no padding".
+//
+// With a persistent Blocks cache the call is incremental: the cached-context
+// prefix lives in the sequence's mirror from earlier chunks, so only this
+// chunk's new rows (and padding) are written — no O(context) re-gather. For
+// a single-sequence plan the returned block is a zero-copy view of the
+// mirror; fused multi-sequence plans still concatenate the per-sequence
+// segments into one contiguous block.
 func (in *PrefillInput) localKV(padTo []int) (*kvBlock, error) {
 	nkv, dh := in.K.Heads, in.K.Dim
-	blocks := make([]*tensor.Tensor, 0, 2*len(in.Plan.SeqLens))
-	vblocks := make([]*tensor.Tensor, 0, 2*len(in.Plan.SeqLens))
-	var pos, seq []int
+	rowLen := nkv * dh
+	blocks := in.Blocks
+	if blocks == nil {
+		// Transient mirror: rebuilt from Cache on every call, matching the
+		// seed path for direct ring users that keep no cluster state.
+		blocks = NewBlockCache()
+	}
 	lp := in.Plan.LocalPositions(in.Rank.ID)
 	ls := in.Plan.LocalSeqs(in.Rank.ID)
+	single := len(in.Plan.SeqLens) == 1
+
+	var ks, vs []*tensor.Tensor
+	var pos, seq []int
+	var kRows, vRows [][]float32
+	var newPos []int
 	for i := range in.Plan.SeqLens {
-		segTokens := 0
-		if in.Cache != nil {
-			ck, cv, cpos := in.Cache.Get(in.seqKey(i))
-			if ck.Tokens > 0 {
-				for _, cp := range cpos {
-					// Partial prefill places new tokens at P^i and up; a
-					// cached row at or past P^i (a stale or adopted span
-					// that overlaps the new range) would duplicate
-					// positions and silently corrupt causality.
-					if cp >= in.P[i] {
-						return nil, fmt.Errorf("ring: rank %d sequence %d has cached position %d >= prefill base %d",
-							in.Rank.ID, i, cp, in.P[i])
-					}
-				}
-				blocks = append(blocks, ck)
-				vblocks = append(vblocks, cv)
-				pos = append(pos, cpos...)
-				for range cpos {
-					seq = append(seq, i)
-				}
-				segTokens += ck.Tokens
-			}
+		// Mirror the cached context. A cached row at or past P^i (a stale or
+		// adopted span that overlaps the new range) would duplicate
+		// positions and silently corrupt causality; sync rejects it.
+		b, err := blocks.sync(in.Cache, in.seqKey(i), in.P[i], rowLen)
+		if err != nil {
+			return nil, fmt.Errorf("ring: rank %d sequence %d has %w", in.Rank.ID, i, err)
 		}
-		// New rows of sequence i on this rank, skipping padding slots.
-		rows := make([]int, 0)
+		// Append this chunk's new rows (plan order, padding slots skipped)
+		// ahead of the kvcache; the engine persists the same rows right
+		// after the ring pass.
+		kRows, vRows, newPos = kRows[:0], vRows[:0], newPos[:0]
 		for slot, s := range ls {
 			if s == i && lp[slot] != sharding.Pad {
-				rows = append(rows, slot)
+				kRows = append(kRows, in.K.Row2D(slot))
+				vRows = append(vRows, in.V.Row2D(slot))
+				newPos = append(newPos, in.P[i]+lp[slot])
 			}
 		}
-		if len(rows) > 0 {
-			blocks = append(blocks, in.K.Gather(rows))
-			vblocks = append(vblocks, in.V.Gather(rows))
-			for _, slot := range rows {
-				pos = append(pos, in.P[i]+lp[slot])
-				seq = append(seq, i)
-			}
-			segTokens += len(rows)
-		}
+		b.advance(blocks, rowLen, kRows, vRows, newPos)
+		segTokens := b.n
+		padCount := 0
 		if padTo != nil && padTo[i] >= 0 {
 			if segTokens > padTo[i] {
 				return nil, fmt.Errorf("ring: rank %d sequence %d has %d KV rows > pad target %d",
 					in.Rank.ID, i, segTokens, padTo[i])
 			}
-			if n := padTo[i] - segTokens; n > 0 {
-				blocks = append(blocks, tensor.New(n, nkv, dh))
-				vblocks = append(vblocks, tensor.New(n, nkv, dh))
-				for j := 0; j < n; j++ {
-					pos = append(pos, -1)
-					seq = append(seq, i)
-				}
-			}
+			padCount = padTo[i] - segTokens
+			b.pad(rowLen, padCount)
 		}
+		total := segTokens + padCount
+		if total == 0 {
+			continue
+		}
+		kT, vT, p, s2, err := b.view(total, nkv, dh, i)
+		if err != nil {
+			return nil, err
+		}
+		if single {
+			return &kvBlock{k: kT, v: vT, pos: p, seq: s2}, nil
+		}
+		ks = append(ks, kT)
+		vs = append(vs, vT)
+		pos = append(pos, p...)
+		seq = append(seq, s2...)
 	}
-	k := tensor.Concat(blocks...)
-	v := tensor.Concat(vblocks...)
+	k := tensor.Concat(ks...)
+	v := tensor.Concat(vs...)
 	if k.Tokens == 0 {
 		k = tensor.New(0, nkv, dh)
 		v = tensor.New(0, nkv, dh)
@@ -265,6 +278,8 @@ func PassKVPrefill(in *PrefillInput) (*attention.Output, error) {
 	}
 	qPos, qSeq := in.qMask()
 	out := attention.NewOutput(in.Q.Tokens, in.Q.Heads, in.Q.Dim)
+	// One partial buffer recycled across all n ring steps; GQAInto resets it.
+	partial := attention.NewOutput(in.Q.Tokens, in.Q.Heads, in.Q.Dim)
 	next := (in.Rank.ID + 1) % n
 	prev := (in.Rank.ID - 1 + n) % n
 	for j := 0; j < n; j++ {
@@ -276,10 +291,9 @@ func PassKVPrefill(in *PrefillInput) (*attention.Output, error) {
 		if j < n-1 {
 			received, recvErr = in.Rank.SendRecv(next, prev, cur, cur.bytes(in.Elem))
 		}
-		partial, err := attention.GQA(in.Q, cur.k, cur.v, attention.Mask{
+		if err := attention.GQAInto(partial, in.Q, cur.k, cur.v, attention.Mask{
 			QPos: qPos, QSeq: qSeq, KVPos: cur.pos, KVSeq: cur.seq,
-		})
-		if err != nil {
+		}); err != nil {
 			return nil, err
 		}
 		attention.AccumulateInto(out, partial)

@@ -9,8 +9,10 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/parallel"
 	"repro/internal/perf"
 	"repro/internal/prefixcache"
+	"repro/internal/ring"
 	"repro/internal/transformer"
 )
 
@@ -274,6 +276,12 @@ type statsResponse struct {
 	PrefillSource prefillSource      `json:"prefill_source"`
 	Reuse         ReuseStats         `json:"reuse"`
 	PrefixCache   *prefixcache.Stats `json:"prefix_cache,omitempty"` // nil when disabled
+	// Kernel parallelism (shared worker pool) and per-sweep KV-assembly
+	// copy counters: Kernel shows how attention work fans out over the
+	// pool; KVAssembly shows that chunked prefill and batched decode extend
+	// cached KV mirrors instead of re-concatenating the context.
+	Kernel     parallel.Stats       `json:"kernel"`
+	KVAssembly ring.BlockCacheStats `json:"kv_assembly"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -285,11 +293,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	var ranks int
 	var rankKV []int
 	var commBytes float64
+	var assembly ring.BlockCacheStats
 	lens := make(map[string]int, len(ids))
 	s.sched.WithCluster(func(c *transformer.Cluster) {
 		ranks = c.Ranks()
 		rankKV = c.RankCacheTokens()
 		commBytes = c.CommStats().TotalBytes()
+		assembly = c.AssemblyStats()
 		for _, id := range ids {
 			lens[strconv.Itoa(id)] = c.SeqLen(id)
 		}
@@ -328,6 +338,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Reuse:       reuse,
 		PrefixCache: treeStats,
+		Kernel:      parallel.Snapshot(),
+		KVAssembly:  assembly,
 	})
 }
 

@@ -22,7 +22,8 @@ type Cluster struct {
 	W     *Weights
 	world *comm.World
 
-	caches  [][]*kvcache.Cache // [rank][layer]
+	caches  [][]*kvcache.Cache   // [rank][layer]
+	blocks  [][]*ring.BlockCache // [rank][layer] assembled-KV mirrors
 	seqLens map[int]int
 	// decodeSteps counts completed decode steps per sequence. Owner rotation
 	// is per-sequence rather than per-cluster so that a sequence's KV lands
@@ -75,14 +76,17 @@ func NewCluster(w *Weights, ranks int, opts ...ClusterOption) (*Cluster, error) 
 	}
 	for r := 0; r < ranks; r++ {
 		var perLayer []*kvcache.Cache
+		var perLayerBlocks []*ring.BlockCache
 		for l := 0; l < m.Layers; l++ {
 			kc, err := kvcache.New(kvcache.Config{KVHeads: m.NumKV, HeadDim: m.HeadDim, Capacity: co.kvCapacity})
 			if err != nil {
 				return nil, err
 			}
 			perLayer = append(perLayer, kc)
+			perLayerBlocks = append(perLayerBlocks, ring.NewBlockCache())
 		}
 		c.caches = append(c.caches, perLayer)
+		c.blocks = append(c.blocks, perLayerBlocks)
 	}
 	return c, nil
 }
@@ -107,6 +111,20 @@ func (c *Cluster) SeqLen(seq int) int { return c.seqLens[seq] }
 
 // CommStats returns cumulative traffic.
 func (c *Cluster) CommStats() comm.Stats { return c.world.TotalStats() }
+
+// AssemblyStats aggregates the assembled-KV mirror copy counters across all
+// ranks and layers — the observable form of the zero-rebuild guarantee.
+// Callers must not race it against an in-flight prefill or decode (the
+// serving layer reads it under its cluster lock, like RankCacheTokens).
+func (c *Cluster) AssemblyStats() ring.BlockCacheStats {
+	var total ring.BlockCacheStats
+	for _, layers := range c.blocks {
+		for _, bc := range layers {
+			total.Add(bc.Stats())
+		}
+	}
+	return total
+}
 
 // RankCacheTokens returns per-rank cached tokens summed over layers.
 func (c *Cluster) RankCacheTokens() []int {
@@ -219,7 +237,7 @@ func (c *Cluster) PrefillBatch(seqIDs []int, tokens [][]int, variant perf.Varian
 			out, err := run(&ring.PrefillInput{
 				Rank: r, Plan: plan, P: p, SeqIDs: seqIDs,
 				Q: q, K: k, V: v,
-				Cache: c.caches[r.ID][l], Elem: m.ElemBytes,
+				Cache: c.caches[r.ID][l], Blocks: c.blocks[r.ID][l], Elem: m.ElemBytes,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("layer %d: %w", l, err)
@@ -442,7 +460,7 @@ func (c *Cluster) DecodeBatch(seqs []int, tokens []int) ([][]float32, error) {
 				Q:     tensor.New(0, m.NumHeads, m.HeadDim),
 				K:     tensor.New(0, m.NumKV, m.HeadDim),
 				V:     tensor.New(0, m.NumKV, m.HeadDim),
-				Cache: c.caches[r.ID][l], Elem: m.ElemBytes,
+				Cache: c.caches[r.ID][l], Blocks: c.blocks[r.ID][l], Elem: m.ElemBytes,
 			}
 			if len(mine) > 0 {
 				in.Q, in.K, in.V = c.W.projectQKV(l, hidden, len(mine), pos)
@@ -500,12 +518,18 @@ func DecodeOwnerRank(seq, step, n int) int {
 	return sharding.DecodeOwner(seqOwnerOffset(seq), step, n)
 }
 
-// Drop evicts a sequence from every rank's per-layer cache and forgets its
-// decode rotation state, freeing the admission slot it occupied.
+// Drop evicts a sequence from every rank's per-layer cache (and its
+// assembled-block mirror) and forgets its decode rotation state, freeing the
+// admission slot it occupied.
 func (c *Cluster) Drop(seq int) {
 	for _, layers := range c.caches {
 		for _, kc := range layers {
 			kc.Drop(seq)
+		}
+	}
+	for _, layers := range c.blocks {
+		for _, bc := range layers {
+			bc.Drop(seq)
 		}
 	}
 	delete(c.seqLens, seq)
