@@ -9,6 +9,14 @@
 //	cpserve -addr :8080 -ranks 4 -policy prefill-first -token-budget 32 -max-batch 64
 //	curl -s localhost:8080/v1/generate -d '{"session":1,"prompt":[4,19,22,7],"max_tokens":8}'
 //	curl -s localhost:8080/v1/stats
+//
+// Distributed mode coordinates cprank worker processes over TCP instead of
+// simulating ranks in-process (same API, bit-identical outputs):
+//
+//	cprank -rank 0 -world 3 -addrs 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002 &
+//	cprank -rank 1 -world 3 -addrs 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002 &
+//	cprank -rank 2 -world 3 -addrs 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002 &
+//	cpserve -distributed -rank-addrs 127.0.0.1:9000,127.0.0.1:9001,127.0.0.1:9002
 package main
 
 import (
@@ -17,6 +25,8 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
+	"time"
 
 	"repro/internal/parallel"
 	"repro/internal/perf"
@@ -39,6 +49,9 @@ func main() {
 	kvCapacity := flag.Int("kv-capacity", 0, "per-rank per-layer KV cache capacity in tokens (0 = unlimited)")
 	recvTimeout := flag.Duration("recv-timeout", 0, "cluster comm receive deadline (0 = default)")
 	workers := flag.Int("workers", 0, "attention kernel worker-pool width (0 = GOMAXPROCS; env CP_WORKERS also applies)")
+	distributed := flag.Bool("distributed", false, "coordinate cprank worker processes instead of simulating ranks in-process")
+	rankAddrs := flag.String("rank-addrs", "", "comma-separated cprank worker addresses, index = rank id (requires -distributed)")
+	dialTimeout := flag.Duration("dial-timeout", 15*time.Second, "distributed control-plane rendezvous deadline")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -71,6 +84,17 @@ func main() {
 	if prefixTokens <= 0 {
 		prefixTokens = -1 // disabled
 	}
+	var addrs []string
+	if *distributed {
+		if *rankAddrs == "" {
+			fmt.Fprintln(os.Stderr, "cpserve: -distributed requires -rank-addrs")
+			os.Exit(1)
+		}
+		addrs = strings.Split(*rankAddrs, ",")
+	} else if *rankAddrs != "" {
+		fmt.Fprintln(os.Stderr, "cpserve: -rank-addrs requires -distributed")
+		os.Exit(1)
+	}
 
 	srv, err := server.New(server.Config{
 		Transformer:       transformer.Tiny(*seed),
@@ -84,6 +108,8 @@ func main() {
 		PrefixCacheTokens: prefixTokens,
 		KVCapacity:        *kvCapacity,
 		RecvTimeout:       *recvTimeout,
+		RankAddrs:         addrs,
+		DialTimeout:       *dialTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -94,8 +120,12 @@ func main() {
 	if prefixTokens > 0 {
 		prefixDesc = fmt.Sprintf("%d tok", prefixTokens)
 	}
-	log.Printf("cpserve: %d CP ranks, %s scheduling, %v prefill, budget %d tok/iter, batch<=%d, sessions<=%d, prefix cache %s, %d kernel workers, listening on %s",
-		*ranks, policy, variant, *tokenBudget, *maxBatch, *maxSessions, prefixDesc, parallel.Workers(), *addr)
+	rankDesc := fmt.Sprintf("%d in-process CP ranks", *ranks)
+	if *distributed {
+		rankDesc = fmt.Sprintf("%d distributed CP ranks (%s)", len(addrs), *rankAddrs)
+	}
+	log.Printf("cpserve: %s, %s scheduling, %v prefill, budget %d tok/iter, batch<=%d, sessions<=%d, prefix cache %s, %d kernel workers, listening on %s",
+		rankDesc, policy, variant, *tokenBudget, *maxBatch, *maxSessions, prefixDesc, parallel.Workers(), *addr)
 	log.Printf(`try: curl -s localhost%s/v1/generate -d '{"session":1,"prompt":[4,19,22,7],"max_tokens":8}'`, *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		log.Fatal(err)

@@ -1,22 +1,31 @@
-// Package comm provides the simulated collective-communication substrate the
-// ring-attention algorithms run on. A World is a group of N CP ranks, each
-// executed as its own goroutine, connected by per-(src,dst) FIFO mailboxes.
-// The primitives mirror the NCCL surface the paper uses — point-to-point
-// SendRecv for the ring loop, All2All for restoring pass-Q partial outputs,
-// AllGather for the all-gather pass-KV baseline, and AllReduce for the
-// tensor-parallel comparison — while recording per-collective message and
-// byte counts so tests can check the paper's communication-cost claims
-// (Table 2) against actually-transferred bytes.
+// Package comm provides the collective-communication substrate the
+// ring-attention algorithms run on. A World is a group of N CP ranks
+// connected by a pluggable point-to-point transport (comm/transport): the
+// in-memory mailbox transport runs every rank as a goroutine in one process
+// (the seed engine's behavior, unchanged), while the TCP transport connects
+// ranks living in separate OS processes through the deterministic wire
+// codec. The primitives mirror the NCCL surface the paper uses —
+// point-to-point SendRecv for the ring loop, All2All for restoring pass-Q
+// partial outputs, AllGather for the all-gather pass-KV baseline, and
+// AllReduce for the tensor-parallel comparison — while recording
+// per-collective message and byte counts so tests can check the paper's
+// communication-cost claims (Table 2) against actually-transferred bytes.
 //
-// The transport is in-memory and reliable by default. Links can be failed
-// explicitly to exercise error paths, and all receives carry a timeout so a
-// bug that would deadlock a real cluster fails the test quickly instead.
+// Every receive carries a timeout so a bug that would deadlock a real
+// cluster fails the test quickly instead, and links can be failed
+// explicitly to exercise error paths. All communication errors name the
+// directed link uniformly as src->dst.
 package comm
 
 import (
+	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
+
+	"repro/internal/comm/transport"
+	"repro/internal/comm/wire"
 )
 
 // Kind labels a collective family for accounting.
@@ -50,12 +59,8 @@ func WithRecvTimeout(d time.Duration) Option {
 	}
 }
 
-type envelope struct {
-	src     int
-	payload any
-}
-
-// Stats aggregates traffic counters for one rank.
+// Stats aggregates traffic counters for one rank (or, via TotalStats, all
+// locally hosted ranks).
 type Stats struct {
 	Messages map[Kind]int64
 	Bytes    map[Kind]float64
@@ -83,67 +88,94 @@ func (s Stats) TotalMessages() int64 {
 	return t
 }
 
-// World is a simulated process group of N ranks.
+// Add accumulates other into s (used when aggregating per-rank snapshots
+// across processes).
+func (s *Stats) Add(other Stats) {
+	for k, v := range other.Messages {
+		s.Messages[k] += v
+	}
+	for k, v := range other.Bytes {
+		s.Bytes[k] += v
+	}
+}
+
+// World is a process group of N ranks over one transport. In a distributed
+// cluster each process holds its own World over the shared TCP transport;
+// its stats then cover the locally hosted rank's traffic only.
 type World struct {
 	N           int
 	RecvTimeout time.Duration
 
-	mu     sync.Mutex
-	boxes  [][]chan envelope // boxes[dst][src]
-	stats  []*Stats          // per sending rank
-	failed map[[2]int]bool   // directed failed links
+	t     transport.Transport
+	local []int
+
+	mu    sync.Mutex
+	stats []*Stats // per sending rank
+	links map[[2]int]*linkAgg
 }
 
-// NewWorld creates a process group with n ranks.
+// linkAgg is one directed link's modeled traffic (accounted bytes, not wire
+// bytes).
+type linkAgg struct {
+	msgs  int64
+	bytes float64
+}
+
+// NewWorld creates an in-process group with n ranks over the mailbox
+// transport.
 func NewWorld(n int, opts ...Option) *World {
 	if n <= 0 {
 		panic(fmt.Sprintf("comm: non-positive world size %d", n))
 	}
-	w := &World{N: n, RecvTimeout: DefaultRecvTimeout, failed: make(map[[2]int]bool)}
+	return NewWorldOver(transport.NewMem(n), opts...)
+}
+
+// NewWorldOver wraps an existing transport (for distributed ranks: the TCP
+// mesh this process joined).
+func NewWorldOver(t transport.Transport, opts ...Option) *World {
+	w := &World{
+		N:           t.WorldSize(),
+		RecvTimeout: DefaultRecvTimeout,
+		t:           t,
+		local:       t.LocalRanks(),
+		links:       make(map[[2]int]*linkAgg),
+	}
 	for _, opt := range opts {
 		opt(w)
 	}
-	w.boxes = make([][]chan envelope, n)
-	w.stats = make([]*Stats, n)
-	for d := 0; d < n; d++ {
-		w.boxes[d] = make([]chan envelope, n)
-		for s := 0; s < n; s++ {
-			// Capacity n+1 lets every rank complete an All2All send phase
-			// before any rank starts receiving, avoiding deadlock without
-			// extra goroutines.
-			w.boxes[d][s] = make(chan envelope, n+1)
-		}
-		w.stats[d] = newStats()
+	w.stats = make([]*Stats, w.N)
+	for i := range w.stats {
+		w.stats[i] = newStats()
 	}
 	return w
 }
 
+// Transport returns the delivery layer (e.g. to read TCP wire counters).
+func (w *World) Transport() transport.Transport { return w.t }
+
+// LocalRanks lists the ranks hosted in this process.
+func (w *World) LocalRanks() []int { return append([]int(nil), w.local...) }
+
 // FailLink marks the directed link src->dst as failed; subsequent sends on
 // it return an error.
-func (w *World) FailLink(src, dst int) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	w.failed[[2]int{src, dst}] = true
-}
+func (w *World) FailLink(src, dst int) { w.t.FailLink(src, dst) }
 
 // HealLink restores a previously failed link.
-func (w *World) HealLink(src, dst int) {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	delete(w.failed, [2]int{src, dst})
-}
+func (w *World) HealLink(src, dst int) { w.t.HealLink(src, dst) }
 
-func (w *World) linkFailed(src, dst int) bool {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	return w.failed[[2]int{src, dst}]
-}
-
-func (w *World) account(src int, kind Kind, bytes float64) {
+func (w *World) account(src, dst int, kind Kind, bytes float64) {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	w.stats[src].Messages[kind]++
 	w.stats[src].Bytes[kind] += bytes
+	key := [2]int{src, dst}
+	agg := w.links[key]
+	if agg == nil {
+		agg = &linkAgg{}
+		w.links[key] = agg
+	}
+	agg.msgs++
+	agg.bytes += bytes
 }
 
 // RankStats returns a snapshot of rank r's send-side traffic counters.
@@ -160,17 +192,51 @@ func (w *World) RankStats(r int) Stats {
 	return out
 }
 
-// TotalStats returns traffic summed over all ranks.
+// TotalStats returns traffic summed over all ranks hosted in this process
+// (all ranks for the in-memory transport).
 func (w *World) TotalStats() Stats {
 	out := Stats{Messages: make(map[Kind]int64), Bytes: make(map[Kind]float64)}
 	for r := 0; r < w.N; r++ {
 		s := w.RankStats(r)
-		for k, v := range s.Messages {
-			out.Messages[k] += v
+		out.Add(s)
+	}
+	return out
+}
+
+// LinkStats snapshots per-directed-link traffic: the modeled bytes the
+// collectives account, merged with the transport's wire-level frame/byte
+// counters (TCP only; the mailbox transport moves no wire bytes). Sorted by
+// (src, dst).
+func (w *World) LinkStats() []wire.LinkStat {
+	merged := make(map[[2]int]*wire.LinkStat)
+	w.mu.Lock()
+	for key, agg := range w.links {
+		merged[key] = &wire.LinkStat{Src: key[0], Dst: key[1], Messages: agg.msgs, Bytes: agg.bytes}
+	}
+	w.mu.Unlock()
+	for _, ws := range w.t.WireLinks() {
+		key := [2]int{ws.Src, ws.Dst}
+		ls := merged[key]
+		if ls == nil {
+			ls = &wire.LinkStat{Src: ws.Src, Dst: ws.Dst}
+			merged[key] = ls
 		}
-		for k, v := range s.Bytes {
-			out.Bytes[k] += v
+		ls.WireMsgs = ws.WireMsgs
+		ls.WireBytes = ws.WireBytes
+	}
+	keys := make([][2]int, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i][0] != keys[j][0] {
+			return keys[i][0] < keys[j][0]
 		}
+		return keys[i][1] < keys[j][1]
+	})
+	out := make([]wire.LinkStat, len(keys))
+	for i, k := range keys {
+		out[i] = *merged[k]
 	}
 	return out
 }
@@ -182,6 +248,7 @@ func (w *World) ResetStats() {
 	for r := range w.stats {
 		w.stats[r] = newStats()
 	}
+	w.links = make(map[[2]int]*linkAgg)
 }
 
 // Rank is one participant's handle into the world. Methods on Rank are
@@ -204,30 +271,51 @@ func (r *Rank) N() int { return r.w.N }
 
 func (r *Rank) send(dst int, kind Kind, msg any, bytes float64) error {
 	if dst < 0 || dst >= r.w.N {
-		return fmt.Errorf("comm: rank %d sending to invalid rank %d", r.ID, dst)
+		return fmt.Errorf("comm: send %d->%d: destination outside [0,%d)", r.ID, dst, r.w.N)
 	}
-	if r.w.linkFailed(r.ID, dst) {
-		return fmt.Errorf("comm: link %d->%d failed", r.ID, dst)
+	if err := r.w.t.Send(r.ID, dst, msg, r.w.RecvTimeout); err != nil {
+		switch {
+		case errors.Is(err, transport.ErrLinkFailed):
+			return linkFailedErr(r.ID, dst, err)
+		case errors.Is(err, transport.ErrTimeout):
+			return fmt.Errorf("comm: send %d->%d timed out%s", r.ID, dst, causeSuffix(err))
+		default:
+			return fmt.Errorf("comm: send %d->%d: %v", r.ID, dst, err)
+		}
 	}
-	r.w.account(r.ID, kind, bytes)
-	select {
-	case r.w.boxes[dst][r.ID] <- envelope{src: r.ID, payload: msg}:
-		return nil
-	case <-time.After(r.w.RecvTimeout):
-		return fmt.Errorf("comm: send %d->%d timed out (mailbox full)", r.ID, dst)
-	}
+	r.w.account(r.ID, dst, kind, bytes)
+	return nil
 }
 
 func (r *Rank) recv(src int) (any, error) {
 	if src < 0 || src >= r.w.N {
-		return nil, fmt.Errorf("comm: rank %d receiving from invalid rank %d", r.ID, src)
+		return nil, fmt.Errorf("comm: recv %d->%d: source outside [0,%d)", src, r.ID, r.w.N)
 	}
-	select {
-	case env := <-r.w.boxes[r.ID][src]:
-		return env.payload, nil
-	case <-time.After(r.w.RecvTimeout):
-		return nil, fmt.Errorf("comm: recv on rank %d from %d timed out", r.ID, src)
+	msg, err := r.w.t.Recv(r.ID, src, r.w.RecvTimeout)
+	if err != nil {
+		switch {
+		case errors.Is(err, transport.ErrLinkFailed):
+			return nil, linkFailedErr(src, r.ID, err)
+		case errors.Is(err, transport.ErrTimeout):
+			return nil, fmt.Errorf("comm: recv %d->%d timed out after %v%s", src, r.ID, r.w.RecvTimeout, causeSuffix(err))
+		default:
+			return nil, fmt.Errorf("comm: recv %d->%d: %v", src, r.ID, err)
+		}
 	}
+	return msg, nil
+}
+
+// linkFailedErr names a dead directed link, appending the transport-level
+// cause (e.g. the socket error) when one exists.
+func linkFailedErr(src, dst int, err error) error {
+	return fmt.Errorf("comm: link %d->%d failed%s", src, dst, causeSuffix(err))
+}
+
+func causeSuffix(err error) string {
+	if c := transport.Cause(err); c != nil {
+		return ": " + c.Error()
+	}
+	return ""
 }
 
 // Send delivers msg to dst, accounting bytes under SendRecv.
@@ -240,7 +328,7 @@ func (r *Rank) Recv(src int) (any, error) { return r.recv(src) }
 
 // SendRecv performs the ring step: send msg to dst and receive the
 // in-flight message from src. It is safe for all ranks to call this
-// concurrently in a ring because mailboxes are buffered.
+// concurrently in a ring because the transport buffers sends.
 func (r *Rank) SendRecv(dst, src int, msg any, bytes float64) (any, error) {
 	if err := r.send(dst, KindSendRecv, msg, bytes); err != nil {
 		return nil, err
@@ -352,12 +440,14 @@ func (r *Rank) Barrier() error {
 	return nil
 }
 
-// Run executes fn concurrently on every rank and waits for all to finish.
-// The first non-nil error (lowest rank wins ties) is returned.
+// Run executes fn concurrently on every rank hosted in this process and
+// waits for all to finish. The first non-nil error (lowest rank wins ties)
+// is returned. For the in-memory transport that is every rank; a
+// distributed worker hosts one.
 func (w *World) Run(fn func(r *Rank) error) error {
 	errs := make([]error, w.N)
 	var wg sync.WaitGroup
-	for i := 0; i < w.N; i++ {
+	for _, i := range w.local {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
@@ -378,8 +468,8 @@ func (w *World) Run(fn func(r *Rank) error) error {
 	return nil
 }
 
-// RunCollect executes fn on every rank and returns each rank's result,
-// indexed by rank id, failing on the first error.
+// RunCollect executes fn on every locally hosted rank and returns each
+// rank's result, indexed by rank id, failing on the first error.
 func RunCollect[T any](w *World, fn func(r *Rank) (T, error)) ([]T, error) {
 	out := make([]T, w.N)
 	err := w.Run(func(r *Rank) error {

@@ -346,3 +346,74 @@ func TestWithRecvTimeoutOption(t *testing.T) {
 		t.Fatalf("zero timeout applied: %v", got)
 	}
 }
+
+func TestLinkStatsPerDirectedLink(t *testing.T) {
+	w := NewWorld(3)
+	if err := w.Run(func(r *Rank) error {
+		next := (r.ID + 1) % 3
+		prev := (r.ID - 1 + 3) % 3
+		if _, err := r.SendRecv(next, prev, "x", 100); err != nil {
+			return err
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	links := w.LinkStats()
+	if len(links) != 3 {
+		t.Fatalf("links = %+v, want 3 directed ring links", links)
+	}
+	for _, l := range links {
+		if l.Dst != (l.Src+1)%3 {
+			t.Fatalf("unexpected link %d->%d", l.Src, l.Dst)
+		}
+		if l.Messages != 1 || l.Bytes != 100 {
+			t.Fatalf("link %d->%d counted %d msgs / %v bytes", l.Src, l.Dst, l.Messages, l.Bytes)
+		}
+		// The mailbox transport never serializes: wire counters stay zero.
+		if l.WireMsgs != 0 || l.WireBytes != 0 {
+			t.Fatalf("in-memory link %d->%d reports wire traffic", l.Src, l.Dst)
+		}
+	}
+	w.ResetStats()
+	if got := w.LinkStats(); len(got) != 0 {
+		t.Fatalf("ResetStats left link residue: %+v", got)
+	}
+}
+
+// TestErrorTextNamesBothEndpoints pins the uniform src->dst error format on
+// every receive and send path: rank attribution of race-job failures
+// depends on it.
+func TestErrorTextNamesBothEndpoints(t *testing.T) {
+	w := NewWorld(2, WithRecvTimeout(30*time.Millisecond))
+	if _, err := w.Rank(0).Recv(1); err == nil || !strings.Contains(err.Error(), "recv 1->0 timed out") {
+		t.Fatalf("recv timeout error %q lacks src->dst", errStr(err))
+	}
+	if _, err := w.Rank(0).Recv(-1); err == nil || !strings.Contains(err.Error(), "recv -1->0") {
+		t.Fatalf("recv range error %q lacks src->dst", errStr(err))
+	}
+	if err := w.Rank(0).Send(5, nil, 0); err == nil || !strings.Contains(err.Error(), "send 0->5") {
+		t.Fatalf("send range error %q lacks src->dst", errStr(err))
+	}
+	w.FailLink(0, 1)
+	if err := w.Rank(0).Send(1, nil, 0); err == nil || !strings.Contains(err.Error(), "link 0->1 failed") {
+		t.Fatalf("failed-link error %q lacks src->dst", errStr(err))
+	}
+	// Fill the 1-capacity... mailbox capacity is n+1=3; overfill it.
+	w.HealLink(0, 1)
+	for i := 0; i < 3; i++ {
+		if err := w.Rank(0).Send(1, i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Rank(0).Send(1, 99, 1); err == nil || !strings.Contains(err.Error(), "send 0->1 timed out") {
+		t.Fatalf("send timeout error %q lacks src->dst", errStr(err))
+	}
+}
+
+func errStr(err error) string {
+	if err == nil {
+		return "<nil>"
+	}
+	return err.Error()
+}

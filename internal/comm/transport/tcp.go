@@ -1,0 +1,615 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/comm/wire"
+)
+
+// Rendezvous / liveness defaults.
+const (
+	DefaultRendezvousTimeout = 15 * time.Second
+	DefaultHeartbeatEvery    = 500 * time.Millisecond
+	DefaultDialTimeout       = 2 * time.Second
+)
+
+// TCPConfig parameterizes one rank's entry into a TCP mesh.
+type TCPConfig struct {
+	World int      // total rank count
+	Rank  int      // this process's rank, [0, World)
+	Addrs []string // Addrs[i] = rank i's listen address
+
+	// Listener is this rank's bound listener. Nil listens on Addrs[Rank];
+	// callers that bind :0 themselves (to learn the port before sharing it)
+	// pass the listener in and put the resolved address in Addrs.
+	Listener net.Listener
+
+	// ConfigSum is the model/config digest exchanged in the Hello handshake;
+	// mismatched peers are rejected at rendezvous, not discovered as skewed
+	// logits later.
+	ConfigSum uint64
+
+	// ExpectCtrl makes Join also wait for the coordinator's control
+	// connection (a Hello with rank -1) before returning.
+	ExpectCtrl bool
+
+	RendezvousTimeout time.Duration // mesh-formation deadline; default 15s
+	HeartbeatEvery    time.Duration // idle-link heartbeat period; default 500ms
+	MaxFrame          int           // per-frame byte cap; default wire.DefaultMaxFrame
+}
+
+func (c *TCPConfig) applyDefaults() error {
+	if c.World <= 0 {
+		return fmt.Errorf("transport: non-positive world size %d", c.World)
+	}
+	if c.Rank < 0 || c.Rank >= c.World {
+		return fmt.Errorf("transport: rank %d outside world [0,%d)", c.Rank, c.World)
+	}
+	if len(c.Addrs) != c.World {
+		return fmt.Errorf("transport: %d addresses for world size %d", len(c.Addrs), c.World)
+	}
+	if c.RendezvousTimeout <= 0 {
+		c.RendezvousTimeout = DefaultRendezvousTimeout
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = wire.DefaultMaxFrame
+	}
+	return nil
+}
+
+// link is one established peer connection (one conn per unordered rank
+// pair, carrying both directions).
+type link struct {
+	peer int
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes (rank goroutine + heartbeat)
+
+	downOnce sync.Once
+	downCh   chan struct{}
+	cause    atomic.Value // error
+
+	outMsgs, outBytes int64 // atomics: frames/bytes written
+	inMsgs, inBytes   int64 // atomics: frames/bytes read
+}
+
+func (l *link) markDown(err error) {
+	l.downOnce.Do(func() {
+		if err == nil {
+			err = errors.New("connection closed")
+		}
+		l.cause.Store(err)
+		close(l.downCh)
+		l.conn.Close()
+	})
+}
+
+func (l *link) down() bool {
+	select {
+	case <-l.downCh:
+		return true
+	default:
+		return false
+	}
+}
+
+func (l *link) downCause() error {
+	if err, ok := l.cause.Load().(error); ok {
+		return err
+	}
+	return nil
+}
+
+// TCP is the multi-process transport: this process hosts exactly one rank,
+// connected to every peer rank by a TCP connection carrying wire-codec
+// frames.
+type TCP struct {
+	cfg    TCPConfig
+	links  map[int]*link
+	inbox  map[int]chan any
+	inject failMap
+
+	closeOnce sync.Once
+	closedCh  chan struct{}
+}
+
+// WorldSize implements Transport.
+func (t *TCP) WorldSize() int { return t.cfg.World }
+
+// LocalRanks implements Transport: a TCP process hosts one rank.
+func (t *TCP) LocalRanks() []int { return []int{t.cfg.Rank} }
+
+// FailLink implements Transport (send-side fault injection, mirroring Mem).
+func (t *TCP) FailLink(src, dst int) { t.inject.fail(src, dst) }
+
+// HealLink implements Transport.
+func (t *TCP) HealLink(src, dst int) { t.inject.heal(src, dst) }
+
+// Send implements Transport: encodes payload as one frame on the peer link.
+func (t *TCP) Send(src, dst int, payload any, timeout time.Duration) error {
+	if src != t.cfg.Rank {
+		return fmt.Errorf("transport: rank %d is not hosted by this process (local %d)", src, t.cfg.Rank)
+	}
+	if t.inject.failed(src, dst) {
+		return ErrLinkFailed
+	}
+	l := t.links[dst]
+	if l == nil {
+		return failWith(ErrLinkFailed, fmt.Errorf("no link to rank %d", dst))
+	}
+	if l.down() {
+		return failWith(ErrLinkFailed, l.downCause())
+	}
+	l.wmu.Lock()
+	defer l.wmu.Unlock()
+	if err := l.conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
+		return failWith(ErrLinkFailed, err)
+	}
+	n, err := wire.WriteFrame(l.conn, payload)
+	atomic.AddInt64(&l.outMsgs, 1)
+	atomic.AddInt64(&l.outBytes, int64(n))
+	if err != nil {
+		// Any write error — timeouts included — may have left a partial
+		// frame on the stream; the framing is unrecoverable, so the link
+		// dies either way. Timeouts still surface as ErrTimeout.
+		l.markDown(err)
+		if ne, ok := err.(net.Error); ok && ne.Timeout() {
+			return failWith(ErrTimeout, err)
+		}
+		return failWith(ErrLinkFailed, err)
+	}
+	return nil
+}
+
+// Recv implements Transport: returns the next decoded frame from src.
+// Buffered frames are drained even after the link dies; once empty, a dead
+// link fails immediately instead of burning the whole timeout.
+func (t *TCP) Recv(dst, src int, timeout time.Duration) (any, error) {
+	if dst != t.cfg.Rank {
+		return nil, fmt.Errorf("transport: rank %d is not hosted by this process (local %d)", dst, t.cfg.Rank)
+	}
+	ch := t.inbox[src]
+	l := t.links[src]
+	if ch == nil || l == nil {
+		return nil, failWith(ErrLinkFailed, fmt.Errorf("no link from rank %d", src))
+	}
+	select {
+	case v := <-ch:
+		return v, nil
+	default:
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case v := <-ch:
+		return v, nil
+	case <-l.downCh:
+		// The reader may have enqueued frames before dying.
+		select {
+		case v := <-ch:
+			return v, nil
+		default:
+			return nil, failWith(ErrLinkFailed, l.downCause())
+		}
+	case <-t.closedCh:
+		return nil, failWith(ErrLinkFailed, errors.New("transport closed"))
+	case <-timer.C:
+		return nil, ErrTimeout
+	}
+}
+
+// WireLinks implements Transport: two directed entries per peer link.
+func (t *TCP) WireLinks() []wire.LinkStat {
+	peers := make([]int, 0, len(t.links))
+	for p := range t.links {
+		peers = append(peers, p)
+	}
+	sort.Ints(peers)
+	out := make([]wire.LinkStat, 0, 2*len(peers))
+	for _, p := range peers {
+		l := t.links[p]
+		out = append(out,
+			wire.LinkStat{Src: t.cfg.Rank, Dst: p,
+				WireMsgs: atomic.LoadInt64(&l.outMsgs), WireBytes: atomic.LoadInt64(&l.outBytes)},
+			wire.LinkStat{Src: p, Dst: t.cfg.Rank,
+				WireMsgs: atomic.LoadInt64(&l.inMsgs), WireBytes: atomic.LoadInt64(&l.inBytes)},
+		)
+	}
+	return out
+}
+
+// Close implements Transport.
+func (t *TCP) Close() error {
+	t.closeOnce.Do(func() {
+		close(t.closedCh)
+		for _, l := range t.links {
+			l.markDown(errors.New("transport closed"))
+		}
+	})
+	return nil
+}
+
+func (t *TCP) hello() *wire.Hello {
+	return &wire.Hello{Magic: wire.Magic, Version: wire.Version, World: t.cfg.World,
+		Rank: t.cfg.Rank, ConfigSum: t.cfg.ConfigSum}
+}
+
+// validateHello checks a peer handshake frame against this mesh's identity.
+func validateHello(h *wire.Hello, world int, configSum uint64) error {
+	if h.Magic != wire.Magic {
+		return fmt.Errorf("bad magic %#x", h.Magic)
+	}
+	if h.Version != wire.Version {
+		return fmt.Errorf("protocol version %d, want %d", h.Version, wire.Version)
+	}
+	if h.World != world {
+		return fmt.Errorf("world size %d, want %d", h.World, world)
+	}
+	if h.ConfigSum != configSum {
+		return fmt.Errorf("config digest %#x, want %#x (mismatched model/seed/flags)", h.ConfigSum, configSum)
+	}
+	return nil
+}
+
+// joinConn is one accepted or dialed connection after its handshake.
+type joinConn struct {
+	rank  int // -1 for the coordinator control connection
+	conn  net.Conn
+	hello wire.Hello
+}
+
+// Join forms the mesh: listens for higher-ranked peers (and, with
+// ExpectCtrl, the coordinator), dials lower-ranked peers with retry, and
+// returns once every expected connection is up with readers and heartbeats
+// running. The returned Ctrl is nil unless ExpectCtrl is set.
+func Join(cfg TCPConfig) (*TCP, *Ctrl, error) {
+	if err := cfg.applyDefaults(); err != nil {
+		return nil, nil, err
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		var err error
+		ln, err = net.Listen("tcp", cfg.Addrs[cfg.Rank])
+		if err != nil {
+			return nil, nil, fmt.Errorf("transport: rank %d listen: %w", cfg.Rank, err)
+		}
+	}
+	t := &TCP{
+		cfg:      cfg,
+		links:    make(map[int]*link),
+		inbox:    make(map[int]chan any),
+		inject:   newFailMap(),
+		closedCh: make(chan struct{}),
+	}
+	deadline := time.Now().Add(cfg.RendezvousTimeout)
+	connCh := make(chan joinConn, cfg.World+1)
+	errCh := make(chan error, cfg.World+1)
+
+	// Accept side: higher-ranked peers dial us; the coordinator may too.
+	acceptDone := make(chan struct{})
+	go func() {
+		defer close(acceptDone)
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return // listener closed: rendezvous over
+			}
+			go func(conn net.Conn) {
+				conn.SetDeadline(deadline)
+				v, _, err := wire.ReadFrame(conn, cfg.MaxFrame)
+				if err != nil {
+					conn.Close()
+					return
+				}
+				h, ok := v.(*wire.Hello)
+				if !ok {
+					conn.Close()
+					return
+				}
+				if err := validateHello(h, cfg.World, cfg.ConfigSum); err != nil ||
+					(h.Rank != -1 && (h.Rank <= cfg.Rank || h.Rank >= cfg.World)) {
+					if err == nil {
+						err = fmt.Errorf("unexpected rank %d dialing rank %d", h.Rank, cfg.Rank)
+					}
+					// Tell the dialer why before hanging up, so its error
+					// names the cause instead of a bare EOF.
+					wire.WriteFrame(conn, &wire.Ack{Err: err.Error()})
+					conn.Close()
+					errCh <- fmt.Errorf("transport: rank %d rejected peer: %v", cfg.Rank, err)
+					return
+				}
+				if _, err := wire.WriteFrame(conn, t.hello()); err != nil {
+					conn.Close()
+					return
+				}
+				conn.SetDeadline(time.Time{})
+				connCh <- joinConn{rank: h.Rank, conn: conn, hello: *h}
+			}(conn)
+		}
+	}()
+
+	// Dial side: we dial every lower-ranked peer, retrying while it boots.
+	for j := 0; j < cfg.Rank; j++ {
+		go func(j int) {
+			conn, err := dialHandshake(cfg.Addrs[j], t.hello(), deadline, cfg.MaxFrame, func(h *wire.Hello) error {
+				if err := validateHello(h, cfg.World, cfg.ConfigSum); err != nil {
+					return err
+				}
+				if h.Rank != j {
+					return fmt.Errorf("address %s answered as rank %d, want %d", cfg.Addrs[j], h.Rank, j)
+				}
+				return nil
+			})
+			if err != nil {
+				errCh <- fmt.Errorf("transport: rank %d dialing rank %d: %w", cfg.Rank, j, err)
+				return
+			}
+			connCh <- joinConn{rank: j, conn: conn}
+		}(j)
+	}
+
+	need := make(map[int]bool, cfg.World)
+	for j := 0; j < cfg.World; j++ {
+		if j != cfg.Rank {
+			need[j] = true
+		}
+	}
+	var ctrl *Ctrl
+	timer := time.NewTimer(time.Until(deadline))
+	defer timer.Stop()
+	for len(need) > 0 || (cfg.ExpectCtrl && ctrl == nil) {
+		select {
+		case jc := <-connCh:
+			if jc.rank == -1 {
+				if !cfg.ExpectCtrl || ctrl != nil {
+					jc.conn.Close()
+					continue
+				}
+				ctrl = newCtrl(jc.conn, cfg.MaxFrame)
+				ctrl.Peer = jc.hello
+				continue
+			}
+			if !need[jc.rank] {
+				jc.conn.Close()
+				continue
+			}
+			delete(need, jc.rank)
+			t.addLink(jc.rank, jc.conn)
+		case err := <-errCh:
+			ln.Close()
+			t.Close()
+			return nil, nil, err
+		case <-timer.C:
+			ln.Close()
+			t.Close()
+			missing := make([]int, 0, len(need))
+			for j := range need {
+				missing = append(missing, j)
+			}
+			sort.Ints(missing)
+			what := fmt.Sprintf("ranks %v", missing)
+			if len(missing) == 0 {
+				what = "coordinator control connection"
+			}
+			return nil, nil, fmt.Errorf("transport: rank %d rendezvous timed out after %v waiting for %s",
+				cfg.Rank, cfg.RendezvousTimeout, what)
+		}
+	}
+	// Mesh complete: no further connections are expected on this listener.
+	ln.Close()
+	<-acceptDone
+	return t, ctrl, nil
+}
+
+// dialHandshake dials addr with retry until deadline, sends hello, and
+// validates the peer's reply.
+func dialHandshake(addr string, hello *wire.Hello, deadline time.Time, maxFrame int, check func(*wire.Hello) error) (net.Conn, error) {
+	var lastErr error
+	for {
+		remain := time.Until(deadline)
+		if remain <= 0 {
+			if lastErr == nil {
+				lastErr = errors.New("rendezvous window elapsed")
+			}
+			return nil, lastErr
+		}
+		dialTO := DefaultDialTimeout
+		if remain < dialTO {
+			dialTO = remain
+		}
+		conn, err := net.DialTimeout("tcp", addr, dialTO)
+		if err != nil {
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		conn.SetDeadline(deadline)
+		if _, err := wire.WriteFrame(conn, hello); err != nil {
+			conn.Close()
+			lastErr = err
+			continue
+		}
+		v, _, err := wire.ReadFrame(conn, maxFrame)
+		if err != nil {
+			conn.Close()
+			lastErr = err
+			time.Sleep(50 * time.Millisecond)
+			continue
+		}
+		switch reply := v.(type) {
+		case *wire.Hello:
+			if err := check(reply); err != nil {
+				conn.Close()
+				return nil, err // identity errors are fatal, not retryable
+			}
+			conn.SetDeadline(time.Time{})
+			return conn, nil
+		case *wire.Ack:
+			conn.Close()
+			return nil, fmt.Errorf("peer rejected handshake: %s", reply.Err)
+		default:
+			conn.Close()
+			return nil, fmt.Errorf("peer answered handshake with %T", v)
+		}
+	}
+}
+
+// addLink registers an established peer connection and starts its reader
+// and heartbeat goroutines.
+func (t *TCP) addLink(peer int, conn net.Conn) {
+	l := &link{peer: peer, conn: conn, downCh: make(chan struct{})}
+	t.links[peer] = l
+	ch := make(chan any, 64)
+	t.inbox[peer] = ch
+	go t.readLoop(l, ch)
+	go t.heartbeatLoop(l)
+}
+
+// readLoop decodes frames off one link into its inbox. Heartbeats are
+// dropped here, invisible to receivers. A read error (peer crash, conn
+// reset, transport close) downs the link.
+func (t *TCP) readLoop(l *link, ch chan any) {
+	for {
+		v, n, err := wire.ReadFrame(l.conn, t.cfg.MaxFrame)
+		if err != nil {
+			if errors.Is(err, io.EOF) {
+				err = fmt.Errorf("peer rank %d closed the connection", l.peer)
+			}
+			l.markDown(err)
+			return
+		}
+		atomic.AddInt64(&l.inMsgs, 1)
+		atomic.AddInt64(&l.inBytes, int64(n))
+		if _, hb := v.(*wire.Heartbeat); hb {
+			continue
+		}
+		select {
+		case ch <- v:
+		case <-t.closedCh:
+			return
+		}
+	}
+}
+
+// heartbeatLoop keeps the link observably alive: a frame every
+// HeartbeatEvery means a crashed or wedged peer surfaces as a write error
+// (downing the link) within a couple of periods instead of only at the next
+// ring pass.
+func (t *TCP) heartbeatLoop(l *link) {
+	tick := time.NewTicker(t.cfg.HeartbeatEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-tick.C:
+			l.wmu.Lock()
+			l.conn.SetWriteDeadline(time.Now().Add(2 * t.cfg.HeartbeatEvery))
+			n, err := wire.WriteFrame(l.conn, &wire.Heartbeat{})
+			l.wmu.Unlock()
+			atomic.AddInt64(&l.outMsgs, 1)
+			atomic.AddInt64(&l.outBytes, int64(n))
+			if err != nil {
+				// A timed-out write may sit half-flushed on the stream;
+				// framing is gone either way, so the link dies.
+				l.markDown(err)
+				return
+			}
+		case <-l.downCh:
+			return
+		case <-t.closedCh:
+			return
+		}
+	}
+}
+
+// Ctrl is a framed control connection between the coordinator and one
+// worker rank, carrying command/result frames with the same codec as the
+// data plane.
+type Ctrl struct {
+	conn     net.Conn
+	maxFrame int
+	wmu      sync.Mutex
+	Peer     wire.Hello // the remote end's handshake
+
+	outMsgs, outBytes int64
+	inMsgs, inBytes   int64
+}
+
+func newCtrl(conn net.Conn, maxFrame int) *Ctrl {
+	return &Ctrl{conn: conn, maxFrame: maxFrame}
+}
+
+// DialCtrl connects the coordinator's control plane to one worker: sends
+// hello (rank -1), waits for the worker's identity reply, and retries while
+// the worker is still meshing. The worker must answer as expectRank.
+func DialCtrl(addr string, hello *wire.Hello, expectRank int, timeout time.Duration) (*Ctrl, error) {
+	if timeout <= 0 {
+		timeout = DefaultRendezvousTimeout
+	}
+	deadline := time.Now().Add(timeout)
+	var peer wire.Hello
+	conn, err := dialHandshake(addr, hello, deadline, wire.DefaultMaxFrame, func(h *wire.Hello) error {
+		if err := validateHello(h, hello.World, hello.ConfigSum); err != nil {
+			return err
+		}
+		if h.Rank != expectRank {
+			return fmt.Errorf("address %s answered as rank %d, want %d", addr, h.Rank, expectRank)
+		}
+		peer = *h
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("transport: control dial %s: %w", addr, err)
+	}
+	c := newCtrl(conn, wire.DefaultMaxFrame)
+	c.Peer = peer
+	return c, nil
+}
+
+// Send writes one command/result frame.
+func (c *Ctrl) Send(v any) error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	n, err := wire.WriteFrame(c.conn, v)
+	atomic.AddInt64(&c.outMsgs, 1)
+	atomic.AddInt64(&c.outBytes, int64(n))
+	return err
+}
+
+// Recv reads the next frame; timeout 0 blocks indefinitely (a worker idling
+// between commands). io.EOF reports an orderly peer shutdown.
+func (c *Ctrl) Recv(timeout time.Duration) (any, error) {
+	var deadline time.Time
+	if timeout > 0 {
+		deadline = time.Now().Add(timeout)
+	}
+	if err := c.conn.SetReadDeadline(deadline); err != nil {
+		return nil, err
+	}
+	v, n, err := wire.ReadFrame(c.conn, c.maxFrame)
+	atomic.AddInt64(&c.inMsgs, 1)
+	atomic.AddInt64(&c.inBytes, int64(n))
+	if err != nil {
+		return nil, err
+	}
+	return v, nil
+}
+
+// WireTotals returns the control link's cumulative frame and byte counts,
+// both directions combined.
+func (c *Ctrl) WireTotals() (msgs, bytes int64) {
+	return atomic.LoadInt64(&c.outMsgs) + atomic.LoadInt64(&c.inMsgs),
+		atomic.LoadInt64(&c.outBytes) + atomic.LoadInt64(&c.inBytes)
+}
+
+// Close hangs up the control connection.
+func (c *Ctrl) Close() error { return c.conn.Close() }

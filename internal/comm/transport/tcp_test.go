@@ -1,0 +1,354 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/comm/wire"
+)
+
+// loopbackMesh forms an n-rank TCP mesh on 127.0.0.1 with pre-bound :0
+// listeners (no port races) and returns the transports.
+func loopbackMesh(t *testing.T, n int, configSum uint64) []*TCP {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	addrs := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		addrs[i] = ln.Addr().String()
+	}
+	out := make([]*TCP, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tp, _, err := Join(TCPConfig{
+				World: n, Rank: i, Addrs: addrs, Listener: lns[i],
+				ConfigSum: configSum, RendezvousTimeout: 10 * time.Second,
+			})
+			out[i], errs[i] = tp, err
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d join: %v", i, err)
+		}
+	}
+	t.Cleanup(func() {
+		for _, tp := range out {
+			if tp != nil {
+				tp.Close()
+			}
+		}
+	})
+	return out
+}
+
+func TestTCPMeshSendRecv(t *testing.T) {
+	n := 3
+	mesh := loopbackMesh(t, n, 0x1234)
+	// Ring hop: every rank sends a tagged payload to next, receives from prev.
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			next, prev := (i+1)%n, (i-1+n)%n
+			if err := mesh[i].Send(i, next, []int{i * 10}, time.Second); err != nil {
+				errs[i] = err
+				return
+			}
+			v, err := mesh[i].Recv(i, prev, 5*time.Second)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			got := v.([]int)
+			if len(got) != 1 || got[0] != prev*10 {
+				errs[i] = fmt.Errorf("rank %d got %v from %d", i, got, prev)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("rank %d: %v", i, err)
+		}
+	}
+	// Wire counters saw the traffic (heartbeats may add more).
+	links := mesh[0].WireLinks()
+	if len(links) != 2*(n-1) {
+		t.Fatalf("rank 0 has %d link stats, want %d", len(links), 2*(n-1))
+	}
+	var sent int64
+	for _, l := range links {
+		if l.Src == 0 {
+			sent += l.WireBytes
+		}
+	}
+	if sent == 0 {
+		t.Fatal("no wire bytes counted on rank 0's outgoing links")
+	}
+}
+
+func TestTCPFIFOOrdering(t *testing.T) {
+	mesh := loopbackMesh(t, 2, 7)
+	const k = 50
+	done := make(chan error, 1)
+	go func() {
+		for i := 0; i < k; i++ {
+			if err := mesh[0].Send(0, 1, []int{i}, time.Second); err != nil {
+				done <- err
+				return
+			}
+		}
+		done <- nil
+	}()
+	for i := 0; i < k; i++ {
+		v, err := mesh[1].Recv(1, 0, 5*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := v.([]int)[0]; got != i {
+			t.Fatalf("out of order: got %d want %d", got, i)
+		}
+	}
+	if err := <-done; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPInjectedLinkFailure(t *testing.T) {
+	mesh := loopbackMesh(t, 2, 7)
+	mesh[0].FailLink(0, 1)
+	err := mesh[0].Send(0, 1, nil, time.Second)
+	if !errors.Is(err, ErrLinkFailed) {
+		t.Fatalf("send over injected-failed link: %v", err)
+	}
+	mesh[0].HealLink(0, 1)
+	if err := mesh[0].Send(0, 1, []int{1}, time.Second); err != nil {
+		t.Fatalf("healed link: %v", err)
+	}
+	if _, err := mesh[1].Recv(1, 0, 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPRecvTimeout(t *testing.T) {
+	mesh := loopbackMesh(t, 2, 7)
+	start := time.Now()
+	_, err := mesh[0].Recv(0, 1, 100*time.Millisecond)
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("recv from silent peer: %v", err)
+	}
+	if waited := time.Since(start); waited > 5*time.Second {
+		t.Fatalf("timeout took %v", waited)
+	}
+}
+
+// TestTCPPeerDeath checks the failure semantics the ring relies on: when a
+// peer process dies (here: its transport closes), pending and future
+// receives fail with a link error quickly — not a silent hang — and
+// buffered frames are still drained first.
+func TestTCPPeerDeath(t *testing.T) {
+	mesh := loopbackMesh(t, 2, 7)
+	// Rank 1 sends one frame, then dies.
+	if err := mesh[1].Send(1, 0, []int{42}, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Let the frame land in rank 0's inbox before the peer dies.
+	deadlineOK := false
+	for i := 0; i < 100; i++ {
+		if v, err := mesh[0].Recv(0, 1, 100*time.Millisecond); err == nil {
+			if v.([]int)[0] != 42 {
+				t.Fatalf("got %v", v)
+			}
+			deadlineOK = true
+			break
+		}
+	}
+	if !deadlineOK {
+		t.Fatal("buffered frame never arrived")
+	}
+	mesh[1].Close()
+	// The reader notices the closed conn; recv fails with a link error well
+	// before a long timeout.
+	start := time.Now()
+	_, err := mesh[0].Recv(0, 1, 30*time.Second)
+	if !errors.Is(err, ErrLinkFailed) {
+		t.Fatalf("recv from dead peer: %v", err)
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("dead-peer recv took %v, want fast failure", waited)
+	}
+	// Sends to the dead peer fail too (possibly after one buffered write).
+	var sendErr error
+	for i := 0; i < 50 && sendErr == nil; i++ {
+		sendErr = mesh[0].Send(0, 1, []int{i}, 200*time.Millisecond)
+		time.Sleep(20 * time.Millisecond)
+	}
+	if sendErr == nil {
+		t.Fatal("sends to dead peer kept succeeding")
+	}
+}
+
+// TestTCPVersionMismatchRejected covers the handshake gate: a dialer with
+// the wrong protocol version or config digest is refused with a named
+// reason at rendezvous.
+func TestTCPVersionMismatchRejected(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln.Addr().String(), "127.0.0.1:1"} // rank 1 never joins
+	joinErr := make(chan error, 1)
+	go func() {
+		_, _, err := Join(TCPConfig{
+			World: 2, Rank: 0, Addrs: addrs, Listener: ln,
+			ConfigSum: 1, RendezvousTimeout: 5 * time.Second,
+		})
+		joinErr <- err
+	}()
+	// A "worker" with the wrong version dials rank 0 directly.
+	conn, err := net.DialTimeout("tcp", addrs[0], 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	bad := &wire.Hello{Magic: wire.Magic, Version: wire.Version + 1, World: 2, Rank: 1, ConfigSum: 1}
+	if _, err := wire.WriteFrame(conn, bad); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := wire.ReadFrame(conn, 0)
+	if err != nil {
+		t.Fatalf("no rejection reply: %v", err)
+	}
+	ack, ok := v.(*wire.Ack)
+	if !ok || !strings.Contains(ack.Err, "version") {
+		t.Fatalf("rejection = %#v, want version-mismatch Ack", v)
+	}
+	// The rejected peer aborts rank 0's rendezvous with a named cause.
+	if err := <-joinErr; err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("join error = %v, want version mismatch", err)
+	}
+
+	// Same gate for a mismatched config digest.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, _, err := Join(TCPConfig{
+			World: 2, Rank: 0, Addrs: []string{ln2.Addr().String(), "127.0.0.1:1"}, Listener: ln2,
+			ConfigSum: 1, RendezvousTimeout: 5 * time.Second,
+		})
+		joinErr <- err
+	}()
+	conn2, err := net.DialTimeout("tcp", ln2.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	skewed := &wire.Hello{Magic: wire.Magic, Version: wire.Version, World: 2, Rank: 1, ConfigSum: 2}
+	if _, err := wire.WriteFrame(conn2, skewed); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-joinErr; err == nil || !strings.Contains(err.Error(), "config digest") {
+		t.Fatalf("join error = %v, want config-digest mismatch", err)
+	}
+}
+
+func TestTCPRendezvousTimeout(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	_, _, err = Join(TCPConfig{
+		World: 2, Rank: 0, Addrs: []string{ln.Addr().String(), "127.0.0.1:1"}, Listener: ln,
+		RendezvousTimeout: 500 * time.Millisecond,
+	})
+	if err == nil || !strings.Contains(err.Error(), "rendezvous timed out") {
+		t.Fatalf("join with absent peer: %v", err)
+	}
+	if waited := time.Since(start); waited > 10*time.Second {
+		t.Fatalf("rendezvous timeout took %v", waited)
+	}
+}
+
+// TestCtrlRoundTrip exercises the coordinator control plane: handshake,
+// command/result frames, and orderly shutdown via EOF.
+func TestCtrlRoundTrip(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addrs := []string{ln.Addr().String()}
+	type joined struct {
+		tp   *TCP
+		ctrl *Ctrl
+		err  error
+	}
+	workerCh := make(chan joined, 1)
+	go func() {
+		tp, ctrl, err := Join(TCPConfig{
+			World: 1, Rank: 0, Addrs: addrs, Listener: ln,
+			ConfigSum: 9, ExpectCtrl: true, RendezvousTimeout: 5 * time.Second,
+		})
+		workerCh <- joined{tp, ctrl, err}
+	}()
+	hello := &wire.Hello{Magic: wire.Magic, Version: wire.Version, World: 1, Rank: -1, ConfigSum: 9}
+	coord, err := DialCtrl(addrs[0], hello, 0, 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := <-workerCh
+	if w.err != nil {
+		t.Fatal(w.err)
+	}
+	defer w.tp.Close()
+	if w.ctrl == nil {
+		t.Fatal("worker join returned no control connection")
+	}
+	if err := coord.Send(&wire.DropCmd{Seq: 5}); err != nil {
+		t.Fatal(err)
+	}
+	v, err := w.ctrl.Recv(5 * time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cmd, ok := v.(*wire.DropCmd); !ok || cmd.Seq != 5 {
+		t.Fatalf("worker received %#v", v)
+	}
+	if err := w.ctrl.Send(&wire.Ack{}); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := coord.Recv(5 * time.Second); err != nil {
+		t.Fatal(err)
+	} else if _, ok := v.(*wire.Ack); !ok {
+		t.Fatalf("coordinator received %#v", v)
+	}
+	// One command out, one result in (the handshake predates the Ctrl).
+	msgs, bytes := coord.WireTotals()
+	if msgs < 2 || bytes == 0 {
+		t.Fatalf("ctrl wire totals = %d msgs / %d bytes", msgs, bytes)
+	}
+	// Coordinator hangs up; the worker's blocking Recv ends with EOF.
+	coord.Close()
+	if _, err := w.ctrl.Recv(5 * time.Second); err == nil {
+		t.Fatal("worker recv survived coordinator hangup")
+	}
+}

@@ -1,0 +1,184 @@
+// Package transport provides the pluggable message-delivery layer under
+// comm.World. Two implementations share one interface:
+//
+//   - Mem: the seed engine's in-process per-(src,dst) FIFO mailboxes, for
+//     clusters whose ranks are goroutines in one address space. Payloads are
+//     passed by pointer, never serialized — zero behavior change from the
+//     pre-interface World.
+//   - TCP (tcp.go): ranks as separate OS processes on a full mesh of TCP
+//     connections, every payload encoded with the deterministic wire codec,
+//     plus rank rendezvous, heartbeats, and link-failure detection.
+//
+// The interface deliberately mirrors what the ring algorithms need and
+// nothing more: directed point-to-point send/receive with timeouts, link
+// fault injection, and per-link wire-traffic counters. Collectives stay in
+// comm, built from these primitives, so both transports run the identical
+// algorithm code.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/comm/wire"
+)
+
+// ErrTimeout reports a send or receive that exceeded its deadline while the
+// link itself still looks healthy.
+var ErrTimeout = errors.New("timed out")
+
+// ErrLinkFailed reports a send or receive on a failed link: explicitly
+// fault-injected, or (TCP) a connection that died.
+var ErrLinkFailed = errors.New("link failed")
+
+// failure wraps a sentinel with a transport-level cause (e.g. the socket
+// error that killed a TCP link). errors.Is still matches the sentinel.
+type failure struct {
+	sentinel error
+	cause    error
+}
+
+func (f *failure) Error() string { return f.sentinel.Error() + ": " + f.cause.Error() }
+func (f *failure) Unwrap() error { return f.sentinel }
+
+func failWith(sentinel, cause error) error {
+	if cause == nil {
+		return sentinel
+	}
+	return &failure{sentinel: sentinel, cause: cause}
+}
+
+// Cause returns the transport-level cause attached to a sentinel error, or
+// nil for a bare sentinel.
+func Cause(err error) error {
+	var f *failure
+	if errors.As(err, &f) {
+		return f.cause
+	}
+	return nil
+}
+
+// Transport moves opaque payloads between ranks. Implementations must allow
+// concurrent calls from different local ranks' goroutines; per-(dst,src)
+// receive ordering is FIFO.
+type Transport interface {
+	// WorldSize returns the total rank count, local and remote.
+	WorldSize() int
+	// LocalRanks lists the ranks hosted in this process, ascending.
+	LocalRanks() []int
+	// Send delivers payload on the directed link src->dst. src must be
+	// local. A full outgoing path blocks up to timeout.
+	Send(src, dst int, payload any, timeout time.Duration) error
+	// Recv returns the next payload on the directed link src->dst. dst must
+	// be local. An empty link blocks up to timeout.
+	Recv(dst, src int, timeout time.Duration) (any, error)
+	// FailLink / HealLink inject and clear a directed send-side fault.
+	FailLink(src, dst int)
+	HealLink(src, dst int)
+	// WireLinks snapshots actual per-link wire traffic (frames and encoded
+	// bytes). The in-memory transport never serializes and returns nil.
+	WireLinks() []wire.LinkStat
+	// Close tears the transport down; in-flight operations fail.
+	Close() error
+}
+
+// Mem is the in-process mailbox transport. Every rank is local.
+type Mem struct {
+	n      int
+	boxes  [][]chan any // boxes[dst][src]
+	failMu failMap
+}
+
+// NewMem builds the mailbox mesh for n ranks.
+func NewMem(n int) *Mem {
+	if n <= 0 {
+		panic(fmt.Sprintf("transport: non-positive world size %d", n))
+	}
+	m := &Mem{n: n, failMu: newFailMap()}
+	m.boxes = make([][]chan any, n)
+	for d := 0; d < n; d++ {
+		m.boxes[d] = make([]chan any, n)
+		for s := 0; s < n; s++ {
+			// Capacity n+1 lets every rank complete an All2All send phase
+			// before any rank starts receiving, avoiding deadlock without
+			// extra goroutines.
+			m.boxes[d][s] = make(chan any, n+1)
+		}
+	}
+	return m
+}
+
+// WorldSize implements Transport.
+func (m *Mem) WorldSize() int { return m.n }
+
+// LocalRanks implements Transport: every rank lives in this process.
+func (m *Mem) LocalRanks() []int {
+	out := make([]int, m.n)
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// Send implements Transport.
+func (m *Mem) Send(src, dst int, payload any, timeout time.Duration) error {
+	if m.failMu.failed(src, dst) {
+		return ErrLinkFailed
+	}
+	select {
+	case m.boxes[dst][src] <- payload:
+		return nil
+	case <-time.After(timeout):
+		return failWith(ErrTimeout, errors.New("mailbox full"))
+	}
+}
+
+// Recv implements Transport.
+func (m *Mem) Recv(dst, src int, timeout time.Duration) (any, error) {
+	select {
+	case v := <-m.boxes[dst][src]:
+		return v, nil
+	case <-time.After(timeout):
+		return nil, ErrTimeout
+	}
+}
+
+// FailLink implements Transport.
+func (m *Mem) FailLink(src, dst int) { m.failMu.fail(src, dst) }
+
+// HealLink implements Transport.
+func (m *Mem) HealLink(src, dst int) { m.failMu.heal(src, dst) }
+
+// WireLinks implements Transport: in-process delivery moves no wire bytes.
+func (m *Mem) WireLinks() []wire.LinkStat { return nil }
+
+// Close implements Transport.
+func (m *Mem) Close() error { return nil }
+
+// failMap is the shared injected-fault set.
+type failMap struct {
+	mu  sync.Mutex
+	set map[[2]int]bool
+}
+
+func newFailMap() failMap { return failMap{set: make(map[[2]int]bool)} }
+
+func (f *failMap) fail(src, dst int) {
+	f.mu.Lock()
+	f.set[[2]int{src, dst}] = true
+	f.mu.Unlock()
+}
+
+func (f *failMap) heal(src, dst int) {
+	f.mu.Lock()
+	delete(f.set, [2]int{src, dst})
+	f.mu.Unlock()
+}
+
+func (f *failMap) failed(src, dst int) bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.set[[2]int{src, dst}]
+}

@@ -1,0 +1,308 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/attention"
+	"repro/internal/tensor"
+)
+
+// trickyFloats are the values a lossy or text-based codec mangles: NaN
+// payload bits, signed zeros, denormals, infinities, and extreme exponents.
+// Bit-identity across processes requires all of them to survive unchanged.
+var trickyFloats = []float32{
+	0, float32(math.Copysign(0, -1)),
+	float32(math.NaN()), math.Float32frombits(0x7fc00001), math.Float32frombits(0xffc00123),
+	math.Float32frombits(1), math.Float32frombits(0x00000fff), // denormals
+	float32(math.Inf(1)), float32(math.Inf(-1)),
+	math.MaxFloat32, -math.MaxFloat32, math.SmallestNonzeroFloat32,
+	1.5e-39, // subnormal range
+}
+
+func randTensor(rng *rand.Rand, tokens, heads, dim int) *tensor.Tensor {
+	t := tensor.New(tokens, heads, dim)
+	for i := range t.Data {
+		if rng.Intn(4) == 0 {
+			t.Data[i] = trickyFloats[rng.Intn(len(trickyFloats))]
+		} else {
+			t.Data[i] = float32(rng.NormFloat64())
+		}
+	}
+	return t
+}
+
+// roundTrip encodes v, decodes it back, and checks exact (bitwise for
+// floats) equality via reflect.DeepEqual — NaN != NaN under ==, but
+// DeepEqual on float bit patterns holds only if... it does not: DeepEqual
+// uses ==. So tensors are compared bit-for-bit explicitly.
+func roundTrip(t *testing.T, v any) any {
+	t.Helper()
+	b, err := Append(nil, v)
+	if err != nil {
+		t.Fatalf("encode %T: %v", v, err)
+	}
+	got, err := Decode(b)
+	if err != nil {
+		t.Fatalf("decode %T: %v", v, err)
+	}
+	return got
+}
+
+func sameTensor(t *testing.T, a, b *tensor.Tensor) {
+	t.Helper()
+	if (a == nil) != (b == nil) {
+		t.Fatalf("tensor nil mismatch: %v vs %v", a == nil, b == nil)
+	}
+	if a == nil {
+		return
+	}
+	if a.Tokens != b.Tokens || a.Heads != b.Heads || a.Dim != b.Dim {
+		t.Fatalf("shape mismatch: [%d %d %d] vs [%d %d %d]", a.Tokens, a.Heads, a.Dim, b.Tokens, b.Heads, b.Dim)
+	}
+	for i := range a.Data {
+		if math.Float32bits(a.Data[i]) != math.Float32bits(b.Data[i]) {
+			t.Fatalf("data[%d] bits %08x vs %08x", i, math.Float32bits(a.Data[i]), math.Float32bits(b.Data[i]))
+		}
+	}
+}
+
+func TestKVBlockRoundTripBitExact(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		tok := rng.Intn(17)
+		blk := &KVBlock{
+			K:   randTensor(rng, tok, 2, 8),
+			V:   randTensor(rng, tok, 2, 8),
+			Pos: randInts(rng, tok),
+			Seq: randInts(rng, tok),
+		}
+		got := roundTrip(t, blk).(*KVBlock)
+		sameTensor(t, blk.K, got.K)
+		sameTensor(t, blk.V, got.V)
+		if !equalInts(blk.Pos, got.Pos) || !equalInts(blk.Seq, got.Seq) {
+			t.Fatalf("metadata mismatch: %v/%v vs %v/%v", blk.Pos, blk.Seq, got.Pos, got.Seq)
+		}
+	}
+}
+
+func randInts(rng *rand.Rand, n int) []int {
+	if n == 0 {
+		return nil
+	}
+	out := make([]int, n)
+	for i := range out {
+		out[i] = rng.Intn(1000) - 1 // includes -1 padding markers
+	}
+	return out
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestQBlockAndOBlockRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	q := &QBlock{Q: randTensor(rng, 5, 4, 8), Pos: []int{-1, 0, 3, 9, 2}, Seq: []int{-1, 0, 0, 1, 2}}
+	gq := roundTrip(t, q).(*QBlock)
+	sameTensor(t, q.Q, gq.Q)
+	if !equalInts(q.Pos, gq.Pos) || !equalInts(q.Seq, gq.Seq) {
+		t.Fatal("qblock metadata mismatch")
+	}
+
+	out := &attention.Output{O: randTensor(rng, 3, 4, 8), LSE: []float64{
+		math.Inf(-1), math.NaN(), 0, math.Copysign(0, -1), 1e-310, 42,
+		math.Inf(1), -1e300, 5e-324, 1, 2, 3,
+	}}
+	ob := roundTrip(t, &OBlock{Out: out}).(*OBlock)
+	sameTensor(t, out.O, ob.Out.O)
+	for i := range out.LSE {
+		if math.Float64bits(out.LSE[i]) != math.Float64bits(ob.Out.LSE[i]) {
+			t.Fatalf("LSE[%d] bits differ", i)
+		}
+	}
+}
+
+func TestEmptyTensorsAndVectors(t *testing.T) {
+	blk := &KVBlock{K: tensor.New(0, 2, 8), V: tensor.New(0, 2, 8)}
+	got := roundTrip(t, blk).(*KVBlock)
+	sameTensor(t, blk.K, got.K)
+	if got.Pos != nil || got.Seq != nil {
+		t.Fatalf("empty metadata decoded as %v/%v", got.Pos, got.Seq)
+	}
+	if v := roundTrip(t, []int(nil)); v.([]int) != nil {
+		t.Fatalf("nil intvec decoded as %v", v)
+	}
+	if v := roundTrip(t, nil); v != nil {
+		t.Fatalf("nil payload decoded as %v", v)
+	}
+	if v := roundTrip(t, &PrefillResult{}); v.(*PrefillResult).Logits != nil {
+		t.Fatal("nil logits decoded as tensor")
+	}
+}
+
+func TestControlFrameRoundTrip(t *testing.T) {
+	frames := []any{
+		&Hello{Magic: Magic, Version: Version, World: 3, Rank: -1, ConfigSum: 0xdeadbeefcafef00d},
+		&Heartbeat{},
+		&PrefillCmd{Seqs: []int{7, 9}, Tokens: [][]int{{1, 2, 3}, {4}}, P: []int{0, 32}, Variant: 1},
+		&DecodeCmd{Seqs: []int{1, 2}, Tokens: []int{5, 6}, Pos: []int{10, 20}, Owners: []int{0, 2}},
+		&DropCmd{Seq: 4},
+		&DetachCmd{Seq: 1, UpTo: 64, ID: 99},
+		&AdoptCmd{Seq: 2, ID: 99},
+		&ReleasePrefixCmd{ID: 99},
+		&CapQueryCmd{Seqs: []int{1, 2, 3}},
+		&StatsCmd{},
+		&ShutdownCmd{},
+		&DecodeResult{Flat: []float32{1, 2, 3}, Err: ""},
+		&Ack{Err: "boom"},
+		&DetachResult{PerLayer: []int{16, 16}},
+		&CapResult{Capacity: 128, Avail: []int{3, 4}, Overhead: [][]int{{0, 1}, {2, 0}}, Err: ""},
+		&StatsResult{
+			CacheTokens: 77, Assembly: []int64{1, 2, 3, 4, 5},
+			Kinds: []string{"allgather", "sendrecv"}, Msgs: []int64{3, 9}, Bytes: []float64{12.5, 900},
+			Links: []LinkStat{{Src: 0, Dst: 1, Messages: 4, Bytes: 100.25, WireMsgs: 6, WireBytes: 512}},
+			Err:   "",
+		},
+	}
+	for _, f := range frames {
+		got := roundTrip(t, f)
+		if !reflect.DeepEqual(f, got) {
+			t.Fatalf("round trip of %T: %#v vs %#v", f, f, got)
+		}
+	}
+}
+
+// TestTruncatedFramesRejected checks that every strict prefix of a valid
+// encoding fails with an error — never a panic, never a silent partial
+// decode.
+func TestTruncatedFramesRejected(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	payloads := []any{
+		&KVBlock{K: randTensor(rng, 4, 2, 8), V: randTensor(rng, 4, 2, 8), Pos: []int{0, 1, 2, 3}, Seq: []int{0, 0, 1, 1}},
+		&PrefillCmd{Seqs: []int{1}, Tokens: [][]int{{1, 2}}, P: []int{0}},
+		&StatsResult{Kinds: []string{"x"}, Msgs: []int64{1}, Links: []LinkStat{{Src: 1, Dst: 2}}},
+		&Hello{Magic: Magic, Version: Version, World: 2, Rank: 0},
+	}
+	for _, p := range payloads {
+		b, err := Append(nil, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for cut := 0; cut < len(b); cut++ {
+			if _, err := Decode(b[:cut]); err == nil {
+				t.Fatalf("%T truncated to %d/%d bytes decoded without error", p, cut, len(b))
+			}
+		}
+		// Trailing garbage is rejected too.
+		if _, err := Decode(append(append([]byte(nil), b...), 0xee)); err == nil {
+			t.Fatalf("%T with trailing byte decoded without error", p)
+		}
+	}
+}
+
+func TestUnknownTypeRejected(t *testing.T) {
+	if _, err := Decode([]byte{0xf7}); err == nil {
+		t.Fatal("unknown type id accepted")
+	}
+	if _, err := Decode(nil); err == nil {
+		t.Fatal("empty payload accepted")
+	}
+}
+
+func TestFrameIO(t *testing.T) {
+	var buf bytes.Buffer
+	want := &DecodeCmd{Seqs: []int{1}, Tokens: []int{2}, Pos: []int{3}, Owners: []int{0}}
+	n, err := WriteFrame(&buf, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != buf.Len() {
+		t.Fatalf("WriteFrame reported %d bytes, wrote %d", n, buf.Len())
+	}
+	got, rn, err := ReadFrame(&buf, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn != n {
+		t.Fatalf("ReadFrame consumed %d of %d bytes", rn, n)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("frame round trip: %#v vs %#v", want, got)
+	}
+
+	// A frame longer than the cap is rejected before allocation.
+	buf.Reset()
+	if _, err := WriteFrame(&buf, &DropCmd{Seq: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := ReadFrame(&buf, 4); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+// TestHelloVersionGate documents the rendezvous rule the transport enforces:
+// a Hello with the wrong magic or version must be detectable from the frame
+// alone.
+func TestHelloVersionGate(t *testing.T) {
+	h := &Hello{Magic: Magic, Version: Version + 1, World: 2, Rank: 0}
+	got := roundTrip(t, h).(*Hello)
+	if got.Version == Version {
+		t.Fatal("version not preserved")
+	}
+	bad := &Hello{Magic: 0x12345678, Version: Version}
+	if roundTrip(t, bad).(*Hello).Magic == Magic {
+		t.Fatal("magic not preserved")
+	}
+}
+
+// FuzzDecode feeds arbitrary bytes to the decoder; any panic or runaway
+// allocation is a bug. Valid corpus entries check encode/decode/encode
+// stability.
+func FuzzDecode(f *testing.F) {
+	rng := rand.New(rand.NewSource(11))
+	seeds := []any{
+		nil,
+		[]int{1, -1, 1 << 40},
+		[]float64{math.NaN(), math.Inf(-1)},
+		&KVBlock{K: randTensor(rng, 3, 2, 4), V: randTensor(rng, 3, 2, 4), Pos: []int{0, 1, 2}, Seq: []int{0, 0, 0}},
+		&QBlock{Q: randTensor(rng, 2, 4, 4), Pos: []int{5, 6}, Seq: []int{1, 1}},
+		&OBlock{Out: &attention.Output{O: randTensor(rng, 1, 2, 4), LSE: []float64{0, 1}}},
+		&StatsResult{Kinds: []string{"sendrecv"}, Msgs: []int64{1}, Bytes: []float64{8}},
+	}
+	for _, s := range seeds {
+		b, err := Append(nil, s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, err := Decode(data)
+		if err != nil {
+			return
+		}
+		// Valid frames re-encode to exactly the input: the codec has one
+		// canonical encoding per value (determinism), except that nil and
+		// empty slices share the count-0 form — which Decode normalizes to
+		// nil, so a decoded value always re-encodes canonically.
+		b2, err := Append(nil, v)
+		if err != nil {
+			t.Fatalf("re-encode of decoded %T failed: %v", v, err)
+		}
+		if !bytes.Equal(data, b2) {
+			t.Fatalf("non-canonical encoding: %x decoded to %T re-encoding %x", data, v, b2)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/attention"
 	"repro/internal/comm"
+	"repro/internal/comm/wire"
 	"repro/internal/kvcache"
 	"repro/internal/tensor"
 )
@@ -113,7 +114,7 @@ func PassQDecode(in *DecodeInput) (*attention.Output, error) {
 		bids[i] = tok.Seq
 		pos[i] = tok.Pos
 	}
-	cur := &qBlock{q: q, pos: pos, seq: bids}
+	cur := &wire.QBlock{Q: q, Pos: pos, Seq: bids}
 	next := (in.Rank.ID + 1) % n
 	prev := (in.Rank.ID - 1 + n) % n
 	partials := make([]*attention.Output, n)
@@ -129,7 +130,7 @@ func PassQDecode(in *DecodeInput) (*attention.Output, error) {
 		var recvErr error
 		var received any
 		if j < n-1 {
-			received, recvErr = in.Rank.SendRecv(next, prev, cur, cur.bytes(in.Elem))
+			received, recvErr = in.Rank.SendRecv(next, prev, cur, qBlockBytes(cur, in.Elem))
 		}
 		partial, err := decodeBlockAttention(in.Cache, blocks, cur, rowOut)
 		if err != nil {
@@ -140,9 +141,9 @@ func PassQDecode(in *DecodeInput) (*attention.Output, error) {
 			if recvErr != nil {
 				return nil, recvErr
 			}
-			blk, ok := received.(*qBlock)
+			blk, ok := received.(*wire.QBlock)
 			if !ok {
-				return nil, fmt.Errorf("ring: rank %d received non-Q payload in decode", in.Rank.ID)
+				return nil, fmt.Errorf("ring: rank %d received non-Q payload from %d in decode", in.Rank.ID, (in.Rank.ID-1+n)%n)
 			}
 			cur = blk
 			src = (src - 1 + n) % n
@@ -166,31 +167,31 @@ func PassQDecode(in *DecodeInput) (*attention.Output, error) {
 // sequence's KV comes from its assembled-block mirror (extended by at most
 // the rows appended since the last sweep), the query row is a zero-copy view
 // into the circulating block, and rowOut is recycled across rows.
-func decodeBlockAttention(cache *kvcache.Cache, blocks *BlockCache, blk *qBlock, rowOut *attention.Output) (*attention.Output, error) {
-	out := attention.NewOutput(blk.q.Tokens, blk.q.Heads, blk.q.Dim)
+func decodeBlockAttention(cache *kvcache.Cache, blocks *BlockCache, blk *wire.QBlock, rowOut *attention.Output) (*attention.Output, error) {
+	out := attention.NewOutput(blk.Q.Tokens, blk.Q.Heads, blk.Q.Dim)
 	nkv, dh := cache.KVHeads(), cache.HeadDim()
-	qRowLen := blk.q.Heads * blk.q.Dim
-	for r := 0; r < blk.q.Tokens; r++ {
-		if blk.seq[r] < 0 {
+	qRowLen := blk.Q.Heads * blk.Q.Dim
+	for r := 0; r < blk.Q.Tokens; r++ {
+		if blk.Seq[r] < 0 {
 			continue
 		}
-		b, err := blocks.sync(cache, blk.seq[r], -1, nkv*dh)
+		b, err := blocks.sync(cache, blk.Seq[r], -1, nkv*dh)
 		if err != nil {
 			return nil, err
 		}
 		if b.n == 0 {
 			continue
 		}
-		k, v, kpos, kseq, err := b.view(b.n, nkv, dh, blk.seq[r])
+		k, v, kpos, kseq, err := b.view(b.n, nkv, dh, blk.Seq[r])
 		if err != nil {
 			return nil, err
 		}
-		qRow, err := tensor.FromData(1, blk.q.Heads, blk.q.Dim, blk.q.Data[r*qRowLen:(r+1)*qRowLen])
+		qRow, err := tensor.FromData(1, blk.Q.Heads, blk.Q.Dim, blk.Q.Data[r*qRowLen:(r+1)*qRowLen])
 		if err != nil {
 			return nil, err
 		}
 		if err := attention.GQAInto(rowOut, qRow, k, v, attention.Mask{
-			QPos: blk.pos[r : r+1], QSeq: blk.seq[r : r+1], KVPos: kpos, KVSeq: kseq,
+			QPos: blk.Pos[r : r+1], QSeq: blk.Seq[r : r+1], KVPos: kpos, KVSeq: kseq,
 		}); err != nil {
 			return nil, err
 		}

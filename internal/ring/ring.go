@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/attention"
 	"repro/internal/comm"
+	"repro/internal/comm/wire"
 	"repro/internal/kvcache"
 	"repro/internal/sharding"
 	"repro/internal/tensor"
@@ -103,39 +104,24 @@ func (in *PrefillInput) qMask() (pos, seq []int) {
 	return pos, seq
 }
 
-// kvBlock is the circulating payload of pass-KV: key/value rows plus their
-// global positions and sequence ids (padding rows carry pos -1).
-type kvBlock struct {
-	k, v *tensor.Tensor
-	pos  []int
-	seq  []int
+// The circulating payloads — KV tiles for pass-KV, query blocks for pass-Q
+// and decode, partial outputs for the All2All — are the exported wire types
+// (comm/wire), so the same structs flow through in-process mailboxes by
+// pointer and across TCP through the deterministic codec. Their accounted
+// sizes stay the paper's analytic element counts:
+
+func kvBlockBytes(b *wire.KVBlock, elem float64) float64 {
+	return b.K.Bytes(elem) + b.V.Bytes(elem) + float64(len(b.Pos))*metaBytesPerToken
 }
 
-func (b *kvBlock) bytes(elem float64) float64 {
-	return b.k.Bytes(elem) + b.v.Bytes(elem) + float64(len(b.pos))*metaBytesPerToken
+func qBlockBytes(b *wire.QBlock, elem float64) float64 {
+	return b.Q.Bytes(elem) + float64(len(b.Pos))*metaBytesPerToken
 }
 
-// qBlock is the circulating payload of pass-Q: query rows plus mask data.
-type qBlock struct {
-	q   *tensor.Tensor
-	pos []int
-	seq []int
-}
-
-func (b *qBlock) bytes(elem float64) float64 {
-	return b.q.Bytes(elem) + float64(len(b.pos))*metaBytesPerToken
-}
-
-// oBlock is a partial attention output transported by the pass-Q All2All:
-// output embeddings plus per-(token, head) LSE.
-type oBlock struct {
-	out *attention.Output
-}
-
-func (b *oBlock) bytes(elem float64) float64 {
+func oBlockBytes(b *wire.OBlock, elem float64) float64 {
 	// Output payload plus one LSE scalar per (token, head), as in the
 	// paper's All2All cost (N-1)(D+1)Te (Appendix C).
-	return b.out.O.Bytes(elem) + float64(len(b.out.LSE))*elem
+	return b.Out.O.Bytes(elem) + float64(len(b.Out.LSE))*elem
 }
 
 // localKV assembles this rank's stationary/initial KV block: for every
@@ -149,7 +135,7 @@ func (b *oBlock) bytes(elem float64) float64 {
 // a single-sequence plan the returned block is a zero-copy view of the
 // mirror; fused multi-sequence plans still concatenate the per-sequence
 // segments into one contiguous block.
-func (in *PrefillInput) localKV(padTo []int) (*kvBlock, error) {
+func (in *PrefillInput) localKV(padTo []int) (*wire.KVBlock, error) {
 	nkv, dh := in.K.Heads, in.K.Dim
 	rowLen := nkv * dh
 	blocks := in.Blocks
@@ -205,7 +191,7 @@ func (in *PrefillInput) localKV(padTo []int) (*kvBlock, error) {
 			return nil, err
 		}
 		if single {
-			return &kvBlock{k: kT, v: vT, pos: p, seq: s2}, nil
+			return &wire.KVBlock{K: kT, V: vT, Pos: p, Seq: s2}, nil
 		}
 		ks = append(ks, kT)
 		vs = append(vs, vT)
@@ -218,7 +204,7 @@ func (in *PrefillInput) localKV(padTo []int) (*kvBlock, error) {
 		k = tensor.New(0, nkv, dh)
 		v = tensor.New(0, nkv, dh)
 	}
-	return &kvBlock{k: k, v: v, pos: pos, seq: seq}, nil
+	return &wire.KVBlock{K: k, V: v, Pos: pos, Seq: seq}, nil
 }
 
 // agreeSegmentLengths computes L_i = max_j(P_j^i + T_j^i) for every sequence
@@ -289,10 +275,10 @@ func PassKVPrefill(in *PrefillInput) (*attention.Output, error) {
 		var recvErr error
 		var received any
 		if j < n-1 {
-			received, recvErr = in.Rank.SendRecv(next, prev, cur, cur.bytes(in.Elem))
+			received, recvErr = in.Rank.SendRecv(next, prev, cur, kvBlockBytes(cur, in.Elem))
 		}
-		if err := attention.GQAInto(partial, in.Q, cur.k, cur.v, attention.Mask{
-			QPos: qPos, QSeq: qSeq, KVPos: cur.pos, KVSeq: cur.seq,
+		if err := attention.GQAInto(partial, in.Q, cur.K, cur.V, attention.Mask{
+			QPos: qPos, QSeq: qSeq, KVPos: cur.Pos, KVSeq: cur.Seq,
 		}); err != nil {
 			return nil, err
 		}
@@ -301,9 +287,9 @@ func PassKVPrefill(in *PrefillInput) (*attention.Output, error) {
 			if recvErr != nil {
 				return nil, recvErr
 			}
-			blk, ok := received.(*kvBlock)
+			blk, ok := received.(*wire.KVBlock)
 			if !ok {
-				return nil, fmt.Errorf("ring: rank %d received non-KV payload", in.Rank.ID)
+				return nil, fmt.Errorf("ring: rank %d received non-KV payload from %d", in.Rank.ID, (in.Rank.ID-1+n)%n)
 			}
 			cur = blk
 		}
@@ -325,7 +311,7 @@ func PassQPrefill(in *PrefillInput) (*attention.Output, error) {
 		return nil, err
 	}
 	qPos, qSeq := in.qMask()
-	cur := &qBlock{q: in.Q, pos: qPos, seq: qSeq}
+	cur := &wire.QBlock{Q: in.Q, Pos: qPos, Seq: qSeq}
 	next := (in.Rank.ID + 1) % n
 	prev := (in.Rank.ID - 1 + n) % n
 	partials := make([]*attention.Output, n) // partials[s] = O_s^k for source s
@@ -334,10 +320,10 @@ func PassQPrefill(in *PrefillInput) (*attention.Output, error) {
 		var recvErr error
 		var received any
 		if j < n-1 {
-			received, recvErr = in.Rank.SendRecv(next, prev, cur, cur.bytes(in.Elem))
+			received, recvErr = in.Rank.SendRecv(next, prev, cur, qBlockBytes(cur, in.Elem))
 		}
-		partial, err := attention.GQA(cur.q, kv.k, kv.v, attention.Mask{
-			QPos: cur.pos, QSeq: cur.seq, KVPos: kv.pos, KVSeq: kv.seq,
+		partial, err := attention.GQA(cur.Q, kv.K, kv.V, attention.Mask{
+			QPos: cur.Pos, QSeq: cur.Seq, KVPos: kv.Pos, KVSeq: kv.Seq,
 		})
 		if err != nil {
 			return nil, err
@@ -347,9 +333,9 @@ func PassQPrefill(in *PrefillInput) (*attention.Output, error) {
 			if recvErr != nil {
 				return nil, recvErr
 			}
-			blk, ok := received.(*qBlock)
+			blk, ok := received.(*wire.QBlock)
 			if !ok {
-				return nil, fmt.Errorf("ring: rank %d received non-Q payload", in.Rank.ID)
+				return nil, fmt.Errorf("ring: rank %d received non-Q payload from %d", in.Rank.ID, (in.Rank.ID-1+n)%n)
 			}
 			cur = blk
 			src = (src - 1 + n) % n
@@ -366,9 +352,9 @@ func all2allMerge(rank *comm.Rank, partials []*attention.Output, elem float64) (
 	msgs := make([]any, n)
 	sizes := make([]float64, n)
 	for s := 0; s < n; s++ {
-		blk := &oBlock{out: partials[s]}
+		blk := &wire.OBlock{Out: partials[s]}
 		msgs[s] = blk
-		sizes[s] = blk.bytes(elem)
+		sizes[s] = oBlockBytes(blk, elem)
 	}
 	got, err := rank.All2All(msgs, sizes)
 	if err != nil {
@@ -376,11 +362,11 @@ func all2allMerge(rank *comm.Rank, partials []*attention.Output, elem float64) (
 	}
 	mine := make([]*attention.Output, 0, n)
 	for src := 0; src < n; src++ {
-		blk, ok := got[src].(*oBlock)
+		blk, ok := got[src].(*wire.OBlock)
 		if !ok {
-			return nil, fmt.Errorf("ring: rank %d received non-output payload in All2All", rank.ID)
+			return nil, fmt.Errorf("ring: rank %d received non-output payload from %d in All2All", rank.ID, src)
 		}
-		mine = append(mine, blk.out)
+		mine = append(mine, blk.Out)
 	}
 	return attention.Merge(mine...), nil
 }
@@ -396,7 +382,7 @@ func AllGatherPrefill(in *PrefillInput) (*attention.Output, error) {
 	if err != nil {
 		return nil, err
 	}
-	gathered, err := in.Rank.AllGather(local, local.bytes(in.Elem))
+	gathered, err := in.Rank.AllGather(local, kvBlockBytes(local, in.Elem))
 	if err != nil {
 		return nil, err
 	}
@@ -404,17 +390,17 @@ func AllGatherPrefill(in *PrefillInput) (*attention.Output, error) {
 	vs := make([]*tensor.Tensor, 0, len(gathered))
 	var pos, seq []int
 	for _, g := range gathered {
-		blk, ok := g.(*kvBlock)
+		blk, ok := g.(*wire.KVBlock)
 		if !ok {
 			return nil, fmt.Errorf("ring: rank %d gathered non-KV payload", in.Rank.ID)
 		}
-		if blk.k.Tokens == 0 {
+		if blk.K.Tokens == 0 {
 			continue
 		}
-		ks = append(ks, blk.k)
-		vs = append(vs, blk.v)
-		pos = append(pos, blk.pos...)
-		seq = append(seq, blk.seq...)
+		ks = append(ks, blk.K)
+		vs = append(vs, blk.V)
+		pos = append(pos, blk.Pos...)
+		seq = append(seq, blk.Seq...)
 	}
 	qPos, qSeq := in.qMask()
 	k := tensor.Concat(ks...)

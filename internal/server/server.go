@@ -9,6 +9,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/comm/wire"
 	"repro/internal/parallel"
 	"repro/internal/perf"
 	"repro/internal/prefixcache"
@@ -41,8 +42,21 @@ type Config struct {
 	// simulated HBM budget). 0 = unlimited.
 	KVCapacity int
 	// RecvTimeout overrides the cluster's communication receive deadline.
-	// 0 = comm.DefaultRecvTimeout.
+	// 0 = comm.DefaultRecvTimeout. In distributed mode the workers own
+	// their ring deadline (cprank -recv-timeout, which should match this);
+	// here it sizes the coordinator's per-command reply deadline, which
+	// must exceed the ring deadline.
 	RecvTimeout time.Duration
+	// RankAddrs switches the server into distributed mode: instead of
+	// simulating ranks in-process, it connects to one cprank worker process
+	// per address (index = rank id) and coordinates them over TCP. Ranks is
+	// ignored; the world size is len(RankAddrs). Workers must be started
+	// with the same seed and KV capacity (the rendezvous digest enforces
+	// it).
+	RankAddrs []string
+	// DialTimeout bounds the distributed control-plane rendezvous.
+	// 0 = default.
+	DialTimeout time.Duration
 }
 
 // Server is an HTTP inference frontend over one context-parallel cluster
@@ -61,6 +75,9 @@ type Server struct {
 
 // New builds the server, its cluster, and the scheduler step loop.
 func New(cfg Config) (*Server, error) {
+	if len(cfg.RankAddrs) > 0 {
+		cfg.Ranks = len(cfg.RankAddrs)
+	}
 	if cfg.Ranks <= 0 {
 		return nil, fmt.Errorf("server: non-positive rank count %d", cfg.Ranks)
 	}
@@ -68,14 +85,24 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	var copts []transformer.ClusterOption
-	if cfg.RecvTimeout > 0 {
-		copts = append(copts, transformer.WithRecvTimeout(cfg.RecvTimeout))
+	var cluster *transformer.Cluster
+	if len(cfg.RankAddrs) > 0 {
+		cluster, err = transformer.ConnectCluster(w, transformer.ConnectConfig{
+			Addrs:       cfg.RankAddrs,
+			KVCapacity:  cfg.KVCapacity,
+			DialTimeout: cfg.DialTimeout,
+			RecvTimeout: cfg.RecvTimeout,
+		})
+	} else {
+		var copts []transformer.ClusterOption
+		if cfg.RecvTimeout > 0 {
+			copts = append(copts, transformer.WithRecvTimeout(cfg.RecvTimeout))
+		}
+		if cfg.KVCapacity > 0 {
+			copts = append(copts, transformer.WithKVCapacity(cfg.KVCapacity))
+		}
+		cluster, err = transformer.NewCluster(w, cfg.Ranks, copts...)
 	}
-	if cfg.KVCapacity > 0 {
-		copts = append(copts, transformer.WithKVCapacity(cfg.KVCapacity))
-	}
-	cluster, err := transformer.NewCluster(w, cfg.Ranks, copts...)
 	if err != nil {
 		return nil, err
 	}
@@ -98,8 +125,12 @@ func New(cfg Config) (*Server, error) {
 // that want occupancy reports.
 func (s *Server) Scheduler() *Scheduler { return s.sched }
 
-// Close stops the scheduler.
-func (s *Server) Close() { s.sched.Close() }
+// Close stops the scheduler and releases the cluster (in distributed mode:
+// shuts the worker processes down and hangs up the control plane).
+func (s *Server) Close() {
+	s.sched.Close()
+	s.sched.WithCluster(func(c *transformer.Cluster) { c.Close() })
+}
 
 // Handler returns the HTTP routing for the API.
 func (s *Server) Handler() http.Handler {
@@ -251,6 +282,25 @@ type prefillSource struct {
 	HitRate        float64 `json:"hit_rate"`        // cached / (cached + computed)
 }
 
+// commKindStats is one collective family's accounted traffic.
+type commKindStats struct {
+	Messages int64   `json:"messages"`
+	Bytes    float64 `json:"bytes"`
+}
+
+// commBlock surfaces the cluster's communication substrate: which transport
+// carries the ring, per-collective accounted (modeled) traffic, and
+// per-directed-link counters. On the TCP transport each link additionally
+// reports actual wire frames/bytes (codec framing, heartbeats, and control
+// traffic included); src -1 marks coordinator control links.
+type commBlock struct {
+	Transport     string                   `json:"transport"`
+	TotalBytes    float64                  `json:"total_bytes"`
+	TotalMessages int64                    `json:"total_messages"`
+	ByKind        map[string]commKindStats `json:"by_kind"`
+	Links         []wire.LinkStat          `json:"links,omitempty"`
+}
+
 type statsResponse struct {
 	Ranks       int                  `json:"ranks"`
 	Policy      string               `json:"policy"`
@@ -282,6 +332,9 @@ type statsResponse struct {
 	// cached KV mirrors instead of re-concatenating the context.
 	Kernel     parallel.Stats       `json:"kernel"`
 	KVAssembly ring.BlockCacheStats `json:"kv_assembly"`
+	// Comm breaks communication down by collective kind and directed link
+	// (wire-level counters included on the TCP transport).
+	Comm commBlock `json:"comm"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -291,19 +344,30 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	ids := s.sched.SessionIDs()
 	var ranks int
-	var rankKV []int
-	var commBytes float64
-	var assembly ring.BlockCacheStats
+	var tel transformer.Telemetry
+	var telErr error
 	lens := make(map[string]int, len(ids))
 	s.sched.WithCluster(func(c *transformer.Cluster) {
 		ranks = c.Ranks()
-		rankKV = c.RankCacheTokens()
-		commBytes = c.CommStats().TotalBytes()
-		assembly = c.AssemblyStats()
+		tel, telErr = c.Telemetry()
 		for _, id := range ids {
 			lens[strconv.Itoa(id)] = c.SeqLen(id)
 		}
 	})
+	if telErr != nil {
+		writeErr(w, http.StatusInternalServerError, "cluster telemetry: %v", telErr)
+		return
+	}
+	comm := commBlock{
+		Transport:     tel.Transport,
+		TotalBytes:    tel.Comm.TotalBytes(),
+		TotalMessages: tel.Comm.TotalMessages(),
+		ByKind:        make(map[string]commKindStats, len(tel.Comm.Messages)),
+		Links:         tel.Links,
+	}
+	for kind, msgs := range tel.Comm.Messages {
+		comm.ByKind[string(kind)] = commKindStats{Messages: msgs, Bytes: tel.Comm.Bytes[kind]}
+	}
 	batch := s.sched.BatchStats()
 	admitQ, prefillQ, decodeQ := s.sched.QueueDepths()
 	reuse := s.sched.Reuse()
@@ -316,8 +380,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Policy:          s.cfg.Policy.String(),
 		Variant:         s.cfg.Variant.String(),
 		Sessions:        len(ids),
-		RankKV:          rankKV,
-		CommBytes:       commBytes,
+		RankKV:          tel.RankKV,
+		CommBytes:       tel.Comm.TotalBytes(),
 		UptimeSec:       time.Since(s.started).Seconds(),
 		QueueStats:      s.sched.Stats(),
 		SessionLens:     lens,
@@ -339,7 +403,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Reuse:       reuse,
 		PrefixCache: treeStats,
 		Kernel:      parallel.Snapshot(),
-		KVAssembly:  assembly,
+		KVAssembly:  tel.Assembly,
+		Comm:        comm,
 	})
 }
 

@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"repro/internal/comm"
-	"repro/internal/kvcache"
+	"repro/internal/comm/wire"
 	"repro/internal/perf"
 	"repro/internal/ring"
 	"repro/internal/sharding"
@@ -18,12 +18,29 @@ import (
 // the token dimension), and every layer's attention runs the ring
 // algorithms against per-layer per-rank persistent KV caches. Weights are
 // replicated on every rank, as in the paper.
+//
+// Ranks live in one of two places, invisible to callers:
+//
+//   - In-process (NewCluster): every rank is a goroutine over the in-memory
+//     mailbox transport — the seed engine's execution, unchanged.
+//   - Distributed (ConnectCluster, remote.go): every rank is a cprank worker
+//     process on a TCP mesh; this Cluster is the coordinator, driving the
+//     identical per-rank engine code through control-plane command frames.
+//
+// Both paths produce bit-identical logits and decode streams: commands carry
+// every derived quantity (positions, owners, resolved variants), engines are
+// pure functions of the command stream, and the wire codec moves floats by
+// exact bit pattern.
 type Cluster struct {
-	W     *Weights
-	world *comm.World
+	W *Weights
 
-	caches  [][]*kvcache.Cache   // [rank][layer]
-	blocks  [][]*ring.BlockCache // [rank][layer] assembled-KV mirrors
+	n       int
+	world   *comm.World   // in-process mode; nil when remote
+	engines []*rankEngine // in-process mode; nil when remote
+	remote  *remotePlane  // distributed mode; nil when in-process
+
+	kvCapacity int
+
 	seqLens map[int]int
 	// decodeSteps counts completed decode steps per sequence. Owner rotation
 	// is per-sequence rather than per-cluster so that a sequence's KV lands
@@ -31,6 +48,7 @@ type Cluster struct {
 	// the property that makes batched serving bit-identical to the serial
 	// single-session path.
 	decodeSteps map[int]int
+	prefixSeq   uint64
 }
 
 // ClusterOption configures a Cluster at construction time.
@@ -58,7 +76,7 @@ func WithKVCapacity(tokens int) ClusterOption {
 	return func(o *clusterOpts) { o.kvCapacity = tokens }
 }
 
-// NewCluster builds an N-rank execution of the given weights.
+// NewCluster builds an in-process N-rank execution of the given weights.
 func NewCluster(w *Weights, ranks int, opts ...ClusterOption) (*Cluster, error) {
 	if ranks <= 0 {
 		return nil, fmt.Errorf("transformer: non-positive rank count %d", ranks)
@@ -67,26 +85,20 @@ func NewCluster(w *Weights, ranks int, opts ...ClusterOption) (*Cluster, error) 
 	for _, opt := range opts {
 		opt(&co)
 	}
-	m := w.Cfg.Model
 	c := &Cluster{
 		W:           w,
+		n:           ranks,
 		world:       comm.NewWorld(ranks, co.commOpts...),
+		kvCapacity:  co.kvCapacity,
 		seqLens:     make(map[int]int),
 		decodeSteps: make(map[int]int),
 	}
 	for r := 0; r < ranks; r++ {
-		var perLayer []*kvcache.Cache
-		var perLayerBlocks []*ring.BlockCache
-		for l := 0; l < m.Layers; l++ {
-			kc, err := kvcache.New(kvcache.Config{KVHeads: m.NumKV, HeadDim: m.HeadDim, Capacity: co.kvCapacity})
-			if err != nil {
-				return nil, err
-			}
-			perLayer = append(perLayer, kc)
-			perLayerBlocks = append(perLayerBlocks, ring.NewBlockCache())
+		e, err := newRankEngine(w, co.kvCapacity)
+		if err != nil {
+			return nil, err
 		}
-		c.caches = append(c.caches, perLayer)
-		c.blocks = append(c.blocks, perLayerBlocks)
+		c.engines = append(c.engines, e)
 	}
 	return c, nil
 }
@@ -104,37 +116,90 @@ func (e *CapacityError) Error() string {
 }
 
 // Ranks returns the CP group size.
-func (c *Cluster) Ranks() int { return c.world.N }
+func (c *Cluster) Ranks() int { return c.n }
+
+// Distributed reports whether the ranks live in other processes.
+func (c *Cluster) Distributed() bool { return c.remote != nil }
 
 // SeqLen returns the cached length of a sequence.
 func (c *Cluster) SeqLen(seq int) int { return c.seqLens[seq] }
 
-// CommStats returns cumulative traffic.
-func (c *Cluster) CommStats() comm.Stats { return c.world.TotalStats() }
+// Close releases the cluster's transport resources. For a distributed
+// cluster it sends every worker a shutdown command and hangs up the control
+// plane; in-process clusters have nothing to release.
+func (c *Cluster) Close() error {
+	if c.remote != nil {
+		return c.remote.close()
+	}
+	return nil
+}
+
+// Telemetry is a consistent cross-rank snapshot of the cluster's observable
+// state: per-rank KV occupancy, assembled-KV copy counters, comm accounting
+// by collective kind, and per-directed-link traffic (modeled bytes always;
+// wire frames/bytes when a real transport moved them).
+type Telemetry struct {
+	Transport string
+	RankKV    []int
+	Assembly  ring.BlockCacheStats
+	Comm      comm.Stats
+	Links     []wire.LinkStat
+}
+
+// Telemetry snapshots the cluster. Callers must not race it against an
+// in-flight prefill or decode (the serving layer reads it under its cluster
+// lock). For a distributed cluster this is a control-plane round trip.
+func (c *Cluster) Telemetry() (Telemetry, error) {
+	if c.remote != nil {
+		return c.remote.telemetry()
+	}
+	tel := Telemetry{
+		Transport: "mem",
+		RankKV:    make([]int, c.n),
+		Comm:      c.world.TotalStats(),
+		Links:     c.world.LinkStats(),
+	}
+	for r, e := range c.engines {
+		tel.RankKV[r] = e.cacheTokens()
+		tel.Assembly.Add(e.assembly())
+	}
+	return tel, nil
+}
+
+// CommStats returns cumulative traffic accounted by collective kind. It is
+// an in-process convenience wrapper: on a distributed cluster whose control
+// plane has failed it returns zero-valued stats — use Telemetry directly
+// when the error matters (the failure itself is not silent: every
+// subsequent cluster operation fails once the plane is poisoned).
+func (c *Cluster) CommStats() comm.Stats {
+	tel, err := c.Telemetry()
+	if err != nil {
+		return comm.Stats{Messages: map[comm.Kind]int64{}, Bytes: map[comm.Kind]float64{}}
+	}
+	return tel.Comm
+}
 
 // AssemblyStats aggregates the assembled-KV mirror copy counters across all
 // ranks and layers — the observable form of the zero-rebuild guarantee.
-// Callers must not race it against an in-flight prefill or decode (the
-// serving layer reads it under its cluster lock, like RankCacheTokens).
+// Like CommStats, it returns zero values if a distributed control plane has
+// failed; use Telemetry for error visibility.
 func (c *Cluster) AssemblyStats() ring.BlockCacheStats {
-	var total ring.BlockCacheStats
-	for _, layers := range c.blocks {
-		for _, bc := range layers {
-			total.Add(bc.Stats())
-		}
+	tel, err := c.Telemetry()
+	if err != nil {
+		return ring.BlockCacheStats{}
 	}
-	return total
+	return tel.Assembly
 }
 
-// RankCacheTokens returns per-rank cached tokens summed over layers.
+// RankCacheTokens returns per-rank cached tokens summed over layers. Like
+// CommStats, it returns zeros if a distributed control plane has failed;
+// use Telemetry for error visibility.
 func (c *Cluster) RankCacheTokens() []int {
-	out := make([]int, c.world.N)
-	for r, layers := range c.caches {
-		for _, kc := range layers {
-			out[r] += kc.TotalTokens()
-		}
+	tel, err := c.Telemetry()
+	if err != nil {
+		return make([]int, c.n)
 	}
-	return out
+	return tel.RankKV
 }
 
 // Prefill runs a full or partial prefill of new tokens for a sequence and
@@ -183,7 +248,7 @@ func (c *Cluster) PrefillBatch(seqIDs []int, tokens [][]int, variant perf.Varian
 			}
 		}
 	}
-	plan, err := sharding.NewBatchShard(lens, c.world.N)
+	plan, err := sharding.NewBatchShard(lens, c.n)
 	if err != nil {
 		return nil, err
 	}
@@ -208,49 +273,15 @@ func (c *Cluster) PrefillBatch(seqIDs []int, tokens [][]int, variant perf.Varian
 	if err := c.prefillCapacityCheck(plan, seqIDs); err != nil {
 		return nil, err
 	}
-	run := ring.PassKVPrefill
-	if variant == perf.PassQ {
-		run = ring.PassQPrefill
+	cmd := &wire.PrefillCmd{Seqs: seqIDs, Tokens: tokens, P: p, Variant: int(variant)}
+	var locals []*tensor.Tensor
+	if c.remote != nil {
+		locals, err = c.remote.prefill(cmd)
+	} else {
+		locals, err = comm.RunCollect(c.world, func(r *comm.Rank) (*tensor.Tensor, error) {
+			return c.engines[r.ID].prefill(r, cmd)
+		})
 	}
-
-	locals, err := comm.RunCollect(c.world, func(r *comm.Rank) (*tensor.Tensor, error) {
-		lp := plan.LocalPositions(r.ID)
-		ls := plan.LocalSeqs(r.ID)
-		localLen := plan.LocalLen(r.ID)
-		ids := make([]int, localLen)
-		gpos := make([]int, localLen)
-		for slot, pos := range lp {
-			if pos == sharding.Pad {
-				ids[slot] = -1
-				gpos[slot] = -1
-			} else {
-				ids[slot] = tokens[ls[slot]][pos]
-				gpos[slot] = p[ls[slot]] + pos
-			}
-		}
-		hidden, err := c.W.embedTokens(ids)
-		if err != nil {
-			return nil, err
-		}
-		for l := 0; l < m.Layers; l++ {
-			q, k, v := c.W.projectQKV(l, hidden, localLen, gpos)
-			out, err := run(&ring.PrefillInput{
-				Rank: r, Plan: plan, P: p, SeqIDs: seqIDs,
-				Q: q, K: k, V: v,
-				Cache: c.caches[r.ID][l], Blocks: c.blocks[r.ID][l], Elem: m.ElemBytes,
-			})
-			if err != nil {
-				return nil, fmt.Errorf("layer %d: %w", l, err)
-			}
-			if err := ring.AppendLocalKV(c.caches[r.ID][l], plan, r.ID, p, seqIDs, k, v); err != nil {
-				return nil, err
-			}
-			c.W.attnResidual(l, hidden, out.O)
-			c.W.ffnResidual(l, hidden, localLen)
-		}
-		flat := c.W.logits(hidden, localLen)
-		return tensor.FromData(localLen, 1, m.VocabSize, flat)
-	})
 	if err != nil {
 		return nil, err
 	}
@@ -268,17 +299,47 @@ func (c *Cluster) PrefillBatch(seqIDs []int, tokens [][]int, variant perf.Varian
 	return out, nil
 }
 
+// capSnapshot holds the admission-control inputs of every rank: free rows
+// per (rank, layer) and copy-on-write append overhead per (rank, batch
+// sequence, layer). nil means capacity limits are off.
+type capSnapshot struct {
+	avail    [][]int   // [rank][layer]
+	overhead [][][]int // [rank][seqIdx][layer]
+}
+
+// capInputs gathers the snapshot for the listed batch sequences — locally
+// from the engines, or by a control-plane query in distributed mode. The
+// command stream is single-threaded, so the snapshot cannot go stale
+// between the check and the ring pass.
+func (c *Cluster) capInputs(seqIDs []int) (*capSnapshot, error) {
+	if c.kvCapacity <= 0 {
+		return nil, nil
+	}
+	if c.remote != nil {
+		return c.remote.capInputs(seqIDs)
+	}
+	snap := &capSnapshot{avail: make([][]int, c.n), overhead: make([][][]int, c.n)}
+	for r, e := range c.engines {
+		snap.avail[r], snap.overhead[r] = e.capInfo(seqIDs)
+	}
+	return snap, nil
+}
+
 // prefillCapacityCheck verifies, before any ring pass, that every rank can
 // absorb its shard of the batch's new KV on every layer. Sequences are
 // admitted greedily in batch order; the ones that do not fit are returned in
 // a CapacityError with no cache mutated, so a capacity fault quarantines
 // exactly the offending sequences instead of poisoning the batch mid-ring.
 func (c *Cluster) prefillCapacityCheck(plan *sharding.BatchShard, seqIDs []int) error {
-	if c.caches[0][0].Capacity() <= 0 {
+	snap, err := c.capInputs(seqIDs)
+	if err != nil {
+		return err
+	}
+	if snap == nil {
 		return nil
 	}
-	n := c.world.N
-	layers := len(c.caches[0])
+	n := c.n
+	layers := len(snap.avail[0])
 	// rows[r][i] = new non-padding KV rows of batch sequence i on rank r.
 	rows := make([][]int, n)
 	for r := 0; r < n; r++ {
@@ -293,25 +354,22 @@ func (c *Cluster) prefillCapacityCheck(plan *sharding.BatchShard, seqIDs []int) 
 	}
 	avail := make([][]int, n)
 	for r := 0; r < n; r++ {
-		avail[r] = make([]int, layers)
-		for l, kc := range c.caches[r] {
-			avail[r][l] = kc.Capacity() - kc.TotalTokens()
-		}
+		avail[r] = append([]int(nil), snap.avail[r]...)
 	}
 	// A rank whose shard of a sequence is all padding appends nothing and
 	// triggers no copy-on-write, so it must not be charged the overhead.
-	need := func(r, l, i int, id int) int {
+	need := func(r, l, i int) int {
 		if rows[r][i] == 0 {
 			return 0
 		}
-		return rows[r][i] + c.caches[r][l].AppendOverhead(id)
+		return rows[r][i] + snap.overhead[r][i][l]
 	}
 	var offending []int
 	for i, id := range seqIDs {
 		fits := true
 		for r := 0; r < n && fits; r++ {
 			for l := 0; l < layers; l++ {
-				if need(r, l, i, id) > avail[r][l] {
+				if need(r, l, i) > avail[r][l] {
 					fits = false
 					break
 				}
@@ -323,7 +381,7 @@ func (c *Cluster) prefillCapacityCheck(plan *sharding.BatchShard, seqIDs []int) 
 		}
 		for r := 0; r < n; r++ {
 			for l := 0; l < layers; l++ {
-				avail[r][l] -= need(r, l, i, id)
+				avail[r][l] -= need(r, l, i)
 			}
 		}
 	}
@@ -336,21 +394,24 @@ func (c *Cluster) prefillCapacityCheck(plan *sharding.BatchShard, seqIDs []int) 
 // decodeCapacityCheck is the decode-side precheck: each sequence appends one
 // KV row per layer on its owner rank this step. Returns a CapacityError with
 // the sequences that do not fit, before any cache mutation.
-func (c *Cluster) decodeCapacityCheck(owned [][]ring.DecodeToken) error {
-	if c.caches[0][0].Capacity() <= 0 {
+func (c *Cluster) decodeCapacityCheck(cmd *wire.DecodeCmd) error {
+	snap, err := c.capInputs(cmd.Seqs)
+	if err != nil {
+		return err
+	}
+	if snap == nil {
 		return nil
 	}
-	layers := len(c.caches[0])
+	owned, ownedRows, _ := decodeOwnership(cmd, c.n)
+	layers := len(snap.avail[0])
 	var offending []int
 	for r := range owned {
-		avail := make([]int, layers)
-		for l, kc := range c.caches[r] {
-			avail[l] = kc.Capacity() - kc.TotalTokens()
-		}
-		for _, tok := range owned[r] {
+		avail := append([]int(nil), snap.avail[r]...)
+		for j, tok := range owned[r] {
+			row := ownedRows[r][j]
 			fits := true
 			for l := 0; l < layers; l++ {
-				if 1+c.caches[r][l].AppendOverhead(tok.Seq) > avail[l] {
+				if 1+snap.overhead[r][row][l] > avail[l] {
 					fits = false
 					break
 				}
@@ -360,7 +421,7 @@ func (c *Cluster) decodeCapacityCheck(owned [][]ring.DecodeToken) error {
 				continue
 			}
 			for l := 0; l < layers; l++ {
-				avail[l] -= 1 + c.caches[r][l].AppendOverhead(tok.Seq)
+				avail[l] -= 1 + snap.overhead[r][row][l]
 			}
 		}
 	}
@@ -396,7 +457,6 @@ func (c *Cluster) DecodeBatch(seqs []int, tokens []int) ([][]float32, error) {
 		return nil, fmt.Errorf("transformer: %d sequences with %d decode tokens", b, len(tokens))
 	}
 	m := c.W.Cfg.Model
-	n := c.world.N
 	seen := make(map[int]bool, b)
 	for i, seq := range seqs {
 		if seq < 0 {
@@ -414,76 +474,39 @@ func (c *Cluster) DecodeBatch(seqs []int, tokens []int) ([][]float32, error) {
 		}
 	}
 
-	// Assign each batch entry to its owner rank and agree on a uniform
-	// circulating block length (per-sequence rotation can collide owners).
-	owned := make([][]ring.DecodeToken, n)
-	ownedRows := make([][]int, n)
+	// Resolve each batch entry's owner rank and global position on the
+	// coordinator — pure functions of (sequence, per-sequence step) — and
+	// ship them in the command so every rank derives identical ownership.
+	pos := make([]int, b)
+	owners := make([]int, b)
 	for i, seq := range seqs {
 		// Owner depends only on (seq, per-seq step) — never on batch
 		// composition — so fused and serial execution place KV
 		// identically, while distinct sequences at equal step counts
 		// still spread across ranks instead of piling onto one.
-		r := sharding.DecodeOwner(seqOwnerOffset(seq), c.decodeSteps[seq], n)
-		owned[r] = append(owned[r], ring.DecodeToken{Seq: seq, Pos: c.seqLens[seq]})
-		ownedRows[r] = append(ownedRows[r], i)
+		pos[i] = c.seqLens[seq]
+		owners[i] = sharding.DecodeOwner(seqOwnerOffset(seq), c.decodeSteps[seq], c.n)
 	}
-	blockLen := 1
-	for r := 0; r < n; r++ {
-		if len(owned[r]) > blockLen {
-			blockLen = len(owned[r])
-		}
-	}
-	if err := c.decodeCapacityCheck(owned); err != nil {
+	cmd := &wire.DecodeCmd{Seqs: seqs, Tokens: tokens, Pos: pos, Owners: owners}
+	if err := c.decodeCapacityCheck(cmd); err != nil {
 		return nil, err
 	}
 
-	results, err := comm.RunCollect(c.world, func(r *comm.Rank) ([]float32, error) {
-		mine := ownedRows[r.ID]
-		var hidden []float32
-		pos := make([]int, len(mine))
-		if len(mine) > 0 {
-			ids := make([]int, len(mine))
-			for j, row := range mine {
-				ids[j] = tokens[row]
-				pos[j] = owned[r.ID][j].Pos
-			}
-			var err error
-			hidden, err = c.W.embedTokens(ids)
-			if err != nil {
-				return nil, err
-			}
-		}
-		for l := 0; l < m.Layers; l++ {
-			in := &ring.DecodeInput{
-				Rank: r, NumSeqs: b, BlockLen: blockLen,
-				Owned: owned[r.ID],
-				Q:     tensor.New(0, m.NumHeads, m.HeadDim),
-				K:     tensor.New(0, m.NumKV, m.HeadDim),
-				V:     tensor.New(0, m.NumKV, m.HeadDim),
-				Cache: c.caches[r.ID][l], Blocks: c.blocks[r.ID][l], Elem: m.ElemBytes,
-			}
-			if len(mine) > 0 {
-				in.Q, in.K, in.V = c.W.projectQKV(l, hidden, len(mine), pos)
-			}
-			out, err := ring.PassQDecode(in)
-			if err != nil {
-				return nil, fmt.Errorf("layer %d: %w", l, err)
-			}
-			if len(mine) > 0 {
-				c.W.attnResidual(l, hidden, out.O)
-				c.W.ffnResidual(l, hidden, len(mine))
-			}
-		}
-		if len(mine) == 0 {
-			return nil, nil
-		}
-		return c.W.logits(hidden, len(mine)), nil
-	})
+	var results [][]float32
+	var err error
+	if c.remote != nil {
+		results, err = c.remote.decode(cmd)
+	} else {
+		results, err = comm.RunCollect(c.world, func(r *comm.Rank) ([]float32, error) {
+			return c.engines[r.ID].decode(r, cmd)
+		})
+	}
 	if err != nil {
 		return nil, err
 	}
+	_, ownedRows, _ := decodeOwnership(cmd, c.n)
 	out := make([][]float32, b)
-	for r := 0; r < n; r++ {
+	for r := 0; r < c.n; r++ {
 		for j, row := range ownedRows[r] {
 			out[row] = results[r][j*m.VocabSize : (j+1)*m.VocabSize]
 		}
@@ -522,14 +545,11 @@ func DecodeOwnerRank(seq, step, n int) int {
 // assembled-block mirror) and forgets its decode rotation state, freeing the
 // admission slot it occupied.
 func (c *Cluster) Drop(seq int) {
-	for _, layers := range c.caches {
-		for _, kc := range layers {
-			kc.Drop(seq)
-		}
-	}
-	for _, layers := range c.blocks {
-		for _, bc := range layers {
-			bc.Drop(seq)
+	if c.remote != nil {
+		c.remote.drop(seq)
+	} else {
+		for _, e := range c.engines {
+			e.drop(seq)
 		}
 	}
 	delete(c.seqLens, seq)
@@ -537,15 +557,15 @@ func (c *Cluster) Drop(seq int) {
 }
 
 // PrefixKV is a refcounted handle on the sharded KV of a sequence's token
-// prefix: one kvcache.Span per rank per layer, pinning the pages a canonical
-// prefill of that prefix produced (load-balanced position tags included).
-// The handle keeps the KV alive after the donor sequence is dropped and can
-// seed any number of later sequences via AdoptPrefix. It satisfies
-// prefixcache.Entry, so the serving layer stores it directly in the prefix
-// tree.
+// prefix: one kvcache.Span per rank per layer (held rank-side), pinning the
+// pages a canonical prefill of that prefix produced. The handle keeps the KV
+// alive after the donor sequence is dropped and can seed any number of later
+// sequences via AdoptPrefix. It satisfies prefixcache.Entry, so the serving
+// layer stores it directly in the prefix tree.
 type PrefixKV struct {
 	tokens   int
-	spans    [][]*kvcache.Span // [rank][layer]
+	id       uint64
+	c        *Cluster
 	released bool
 }
 
@@ -560,10 +580,16 @@ func (p *PrefixKV) Release() {
 		return
 	}
 	p.released = true
-	for _, layers := range p.spans {
-		for _, sp := range layers {
-			sp.Release()
-		}
+	p.c.releasePrefix(p.id)
+}
+
+func (c *Cluster) releasePrefix(id uint64) {
+	if c.remote != nil {
+		c.remote.releasePrefix(id)
+		return
+	}
+	for _, e := range c.engines {
+		e.releasePrefix(id)
 	}
 }
 
@@ -581,30 +607,42 @@ func (c *Cluster) DetachPrefix(seq, upTo int) (*PrefixKV, error) {
 	if upTo <= 0 || upTo > total {
 		return nil, fmt.Errorf("transformer: detach bound %d outside sequence %d's length %d", upTo, seq, total)
 	}
-	pre := &PrefixKV{tokens: upTo, spans: make([][]*kvcache.Span, c.world.N)}
-	for r, layers := range c.caches {
-		pre.spans[r] = make([]*kvcache.Span, len(layers))
-		for l, kc := range layers {
-			sp, err := kc.AcquireSpan(seq, upTo)
+	c.prefixSeq++
+	id := c.prefixSeq
+	// perRank[r][l] = tokens rank r pinned below the boundary on layer l.
+	var perRank [][]int
+	if c.remote != nil {
+		var err error
+		perRank, err = c.remote.detach(id, seq, upTo)
+		if err != nil {
+			c.releasePrefix(id)
+			return nil, err
+		}
+	} else {
+		for r, e := range c.engines {
+			perLayer, err := e.detach(id, seq, upTo)
 			if err != nil {
-				pre.Release()
+				for _, done := range c.engines[:r] {
+					done.releasePrefix(id)
+				}
 				return nil, err
 			}
-			pre.spans[r][l] = sp
+			perRank = append(perRank, perLayer)
 		}
 	}
-	for l := range c.caches[0] {
+	layers := len(perRank[0])
+	for l := 0; l < layers; l++ {
 		n := 0
-		for r := range c.caches {
-			n += pre.spans[r][l].Tokens()
+		for r := range perRank {
+			n += perRank[r][l]
 		}
 		if n != upTo {
-			pre.Release()
+			c.releasePrefix(id)
 			return nil, fmt.Errorf("transformer: sequence %d holds %d of %d tokens below the detach bound on layer %d",
 				seq, n, upTo, l)
 		}
 	}
-	return pre, nil
+	return &PrefixKV{tokens: upTo, id: id, c: c}, nil
 }
 
 // AdoptPrefix seeds a new sequence from a detached prefix by sharing its
@@ -618,15 +656,20 @@ func (c *Cluster) AdoptPrefix(seq int, pre *PrefixKV) error {
 	if pre == nil || pre.released {
 		return fmt.Errorf("transformer: adopting a nil or released prefix")
 	}
+	if pre.c != c {
+		return fmt.Errorf("transformer: adopting a prefix detached from a different cluster")
+	}
 	if _, ok := c.seqLens[seq]; ok {
 		return fmt.Errorf("transformer: sequence %d already resident", seq)
 	}
-	if len(pre.spans) != c.world.N {
-		return fmt.Errorf("transformer: prefix spans %d ranks, cluster has %d", len(pre.spans), c.world.N)
-	}
-	for r, layers := range c.caches {
-		for l, kc := range layers {
-			if err := kc.AdoptSpan(seq, pre.spans[r][l]); err != nil {
+	if c.remote != nil {
+		if err := c.remote.adopt(seq, pre.id); err != nil {
+			c.Drop(seq)
+			return err
+		}
+	} else {
+		for _, e := range c.engines {
+			if err := e.adopt(seq, pre.id); err != nil {
 				c.Drop(seq)
 				return err
 			}

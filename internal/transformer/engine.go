@@ -1,0 +1,287 @@
+package transformer
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/comm"
+	"repro/internal/comm/wire"
+	"repro/internal/kvcache"
+	"repro/internal/perf"
+	"repro/internal/ring"
+	"repro/internal/sharding"
+	"repro/internal/tensor"
+)
+
+// rankEngine holds one CP rank's execution state: per-layer KV caches and
+// assembled-block mirrors, replicated weights, and the registry of detached
+// prefix spans. The same engine code runs in two homes — N engines inside an
+// in-process Cluster, or one engine inside a cprank worker process — driven
+// by identical command frames, which is what makes the two deployments
+// bit-identical: a rank cannot tell where its peers live.
+type rankEngine struct {
+	w        *Weights
+	caches   []*kvcache.Cache           // per layer
+	blocks   []*ring.BlockCache         // per layer
+	prefixes map[uint64][]*kvcache.Span // detached prefixes, spans per layer
+}
+
+func newRankEngine(w *Weights, kvCapacity int) (*rankEngine, error) {
+	m := w.Cfg.Model
+	e := &rankEngine{w: w, prefixes: make(map[uint64][]*kvcache.Span)}
+	for l := 0; l < m.Layers; l++ {
+		kc, err := kvcache.New(kvcache.Config{KVHeads: m.NumKV, HeadDim: m.HeadDim, Capacity: kvCapacity})
+		if err != nil {
+			return nil, err
+		}
+		e.caches = append(e.caches, kc)
+		e.blocks = append(e.blocks, ring.NewBlockCache())
+	}
+	return e, nil
+}
+
+// prefill executes one rank's share of a fused varseq prefill command: the
+// full per-layer loop of embeddings, QKV projection, ring attention, KV
+// persistence, and the output head over this rank's token shard. The
+// sharding plan is recomputed from the command — it is a pure function of
+// (lengths, world size), so every rank derives the same plan without
+// shipping it.
+func (e *rankEngine) prefill(r *comm.Rank, cmd *wire.PrefillCmd) (*tensor.Tensor, error) {
+	m := e.w.Cfg.Model
+	lens := make([]int, len(cmd.Tokens))
+	for i, toks := range cmd.Tokens {
+		lens[i] = len(toks)
+	}
+	plan, err := sharding.NewBatchShard(lens, r.N())
+	if err != nil {
+		return nil, err
+	}
+	run := ring.PassKVPrefill
+	if perf.Variant(cmd.Variant) == perf.PassQ {
+		run = ring.PassQPrefill
+	}
+	lp := plan.LocalPositions(r.ID)
+	ls := plan.LocalSeqs(r.ID)
+	localLen := plan.LocalLen(r.ID)
+	ids := make([]int, localLen)
+	gpos := make([]int, localLen)
+	for slot, pos := range lp {
+		if pos == sharding.Pad {
+			ids[slot] = -1
+			gpos[slot] = -1
+		} else {
+			ids[slot] = cmd.Tokens[ls[slot]][pos]
+			gpos[slot] = cmd.P[ls[slot]] + pos
+		}
+	}
+	hidden, err := e.w.embedTokens(ids)
+	if err != nil {
+		return nil, err
+	}
+	for l := 0; l < m.Layers; l++ {
+		q, k, v := e.w.projectQKV(l, hidden, localLen, gpos)
+		out, err := run(&ring.PrefillInput{
+			Rank: r, Plan: plan, P: cmd.P, SeqIDs: cmd.Seqs,
+			Q: q, K: k, V: v,
+			Cache: e.caches[l], Blocks: e.blocks[l], Elem: m.ElemBytes,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("layer %d: %w", l, err)
+		}
+		if err := ring.AppendLocalKV(e.caches[l], plan, r.ID, cmd.P, cmd.Seqs, k, v); err != nil {
+			return nil, err
+		}
+		e.w.attnResidual(l, hidden, out.O)
+		e.w.ffnResidual(l, hidden, localLen)
+	}
+	flat := e.w.logits(hidden, localLen)
+	return tensor.FromData(localLen, 1, m.VocabSize, flat)
+}
+
+// decodeOwnership derives the per-rank token assignment of a decode command:
+// owned[r] lists the DecodeTokens rank r appends and heads, rows[r] their
+// batch-row indices, and blockLen the uniform circulating block size. Pure
+// function of the command, identical on every rank.
+func decodeOwnership(cmd *wire.DecodeCmd, n int) (owned [][]ring.DecodeToken, rows [][]int, blockLen int) {
+	owned = make([][]ring.DecodeToken, n)
+	rows = make([][]int, n)
+	for i, seq := range cmd.Seqs {
+		r := cmd.Owners[i]
+		owned[r] = append(owned[r], ring.DecodeToken{Seq: seq, Pos: cmd.Pos[i]})
+		rows[r] = append(rows[r], i)
+	}
+	blockLen = 1
+	for r := 0; r < n; r++ {
+		if len(owned[r]) > blockLen {
+			blockLen = len(owned[r])
+		}
+	}
+	return owned, rows, blockLen
+}
+
+// decode executes one rank's share of a fused batched decode step and
+// returns the flat logits of its owned rows (nil when it owns none this
+// step — it still participates in every layer's ring attention).
+func (e *rankEngine) decode(r *comm.Rank, cmd *wire.DecodeCmd) ([]float32, error) {
+	m := e.w.Cfg.Model
+	owned, ownedRows, blockLen := decodeOwnership(cmd, r.N())
+	mine := ownedRows[r.ID]
+	var hidden []float32
+	pos := make([]int, len(mine))
+	if len(mine) > 0 {
+		ids := make([]int, len(mine))
+		for j, row := range mine {
+			ids[j] = cmd.Tokens[row]
+			pos[j] = owned[r.ID][j].Pos
+		}
+		var err error
+		hidden, err = e.w.embedTokens(ids)
+		if err != nil {
+			return nil, err
+		}
+	}
+	for l := 0; l < m.Layers; l++ {
+		in := &ring.DecodeInput{
+			Rank: r, NumSeqs: len(cmd.Seqs), BlockLen: blockLen,
+			Owned: owned[r.ID],
+			Q:     tensor.New(0, m.NumHeads, m.HeadDim),
+			K:     tensor.New(0, m.NumKV, m.HeadDim),
+			V:     tensor.New(0, m.NumKV, m.HeadDim),
+			Cache: e.caches[l], Blocks: e.blocks[l], Elem: m.ElemBytes,
+		}
+		if len(mine) > 0 {
+			in.Q, in.K, in.V = e.w.projectQKV(l, hidden, len(mine), pos)
+		}
+		out, err := ring.PassQDecode(in)
+		if err != nil {
+			return nil, fmt.Errorf("layer %d: %w", l, err)
+		}
+		if len(mine) > 0 {
+			e.w.attnResidual(l, hidden, out.O)
+			e.w.ffnResidual(l, hidden, len(mine))
+		}
+	}
+	if len(mine) == 0 {
+		return nil, nil
+	}
+	return e.w.logits(hidden, len(mine)), nil
+}
+
+// drop evicts one sequence from every layer's cache and mirror.
+func (e *rankEngine) drop(seq int) {
+	for l := range e.caches {
+		e.caches[l].Drop(seq)
+		e.blocks[l].Drop(seq)
+	}
+}
+
+// detach pins the first upTo tokens of a resident sequence into the prefix
+// registry under id, returning the per-layer token counts this rank holds
+// below the boundary (the coordinator validates the cross-rank sums).
+func (e *rankEngine) detach(id uint64, seq, upTo int) ([]int, error) {
+	if _, ok := e.prefixes[id]; ok {
+		return nil, fmt.Errorf("transformer: prefix id %d already exists", id)
+	}
+	spans := make([]*kvcache.Span, len(e.caches))
+	perLayer := make([]int, len(e.caches))
+	for l, kc := range e.caches {
+		sp, err := kc.AcquireSpan(seq, upTo)
+		if err != nil {
+			for _, acquired := range spans[:l] {
+				acquired.Release()
+			}
+			return nil, err
+		}
+		spans[l] = sp
+		perLayer[l] = sp.Tokens()
+	}
+	e.prefixes[id] = spans
+	return perLayer, nil
+}
+
+// adopt seeds a new sequence from a detached prefix's spans. Partial
+// failures leave layers inconsistent; the caller drops the sequence.
+func (e *rankEngine) adopt(seq int, id uint64) error {
+	spans, ok := e.prefixes[id]
+	if !ok {
+		return fmt.Errorf("transformer: adopting unknown prefix id %d", id)
+	}
+	for l, kc := range e.caches {
+		if err := kc.AdoptSpan(seq, spans[l]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// releasePrefix frees a detached prefix's page references. Unknown ids are
+// a no-op (release after a failed distributed detach).
+func (e *rankEngine) releasePrefix(id uint64) {
+	for _, sp := range e.prefixes[id] {
+		sp.Release()
+	}
+	delete(e.prefixes, id)
+}
+
+// capacity returns the per-layer KV cache capacity (0 = unlimited).
+func (e *rankEngine) capacity() int { return e.caches[0].Capacity() }
+
+// capInfo snapshots the admission-control inputs for the listed sequences:
+// per-layer free rows and per-(sequence, layer) copy-on-write append
+// overhead.
+func (e *rankEngine) capInfo(seqs []int) (avail []int, overhead [][]int) {
+	avail = make([]int, len(e.caches))
+	for l, kc := range e.caches {
+		avail[l] = kc.Capacity() - kc.TotalTokens()
+	}
+	overhead = make([][]int, len(seqs))
+	for i, seq := range seqs {
+		overhead[i] = make([]int, len(e.caches))
+		for l, kc := range e.caches {
+			overhead[i][l] = kc.AppendOverhead(seq)
+		}
+	}
+	return avail, overhead
+}
+
+// cacheTokens returns this rank's cached tokens summed over layers.
+func (e *rankEngine) cacheTokens() int {
+	n := 0
+	for _, kc := range e.caches {
+		n += kc.TotalTokens()
+	}
+	return n
+}
+
+// assembly aggregates the per-layer assembled-KV mirror copy counters.
+func (e *rankEngine) assembly() ring.BlockCacheStats {
+	var total ring.BlockCacheStats
+	for _, bc := range e.blocks {
+		total.Add(bc.Stats())
+	}
+	return total
+}
+
+// statsResult snapshots this rank's telemetry into a wire frame: cache
+// occupancy, assembly counters, and the world's comm accounting for this
+// rank (kinds sorted for a deterministic encoding).
+func (e *rankEngine) statsResult(world *comm.World) *wire.StatsResult {
+	a := e.assembly()
+	res := &wire.StatsResult{
+		CacheTokens: e.cacheTokens(),
+		Assembly:    []int64{a.Rebuilds, a.RebuildRows, a.Appends, a.AppendedRows, a.Reuses},
+		Links:       world.LinkStats(),
+	}
+	st := world.TotalStats()
+	kinds := make([]string, 0, len(st.Messages))
+	for k := range st.Messages {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		res.Kinds = append(res.Kinds, k)
+		res.Msgs = append(res.Msgs, st.Messages[comm.Kind(k)])
+		res.Bytes = append(res.Bytes, st.Bytes[comm.Kind(k)])
+	}
+	return res
+}

@@ -1,0 +1,341 @@
+package transformer
+
+import (
+	"fmt"
+	"hash/fnv"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/comm/transport"
+	"repro/internal/comm/wire"
+	"repro/internal/tensor"
+)
+
+// DefaultCtrlTimeout bounds how long the coordinator waits for a worker's
+// result frame. It must comfortably exceed the workers' ring receive
+// timeout, so a mid-ring fault surfaces as the workers' own link/timeout
+// errors (attributable to a rank pair) rather than a bare control-plane
+// deadline.
+const DefaultCtrlTimeout = 2 * comm.DefaultRecvTimeout
+
+// ConnectConfig parameterizes a coordinator's connection to a worker mesh.
+type ConnectConfig struct {
+	// Addrs lists every worker rank's control address; Addrs[i] must answer
+	// as rank i. World size is len(Addrs).
+	Addrs []string
+	// KVCapacity must match the workers' -kv-capacity flag; it participates
+	// in the rendezvous config digest.
+	KVCapacity int
+	// DialTimeout bounds the control-plane rendezvous (workers may still be
+	// meshing when the coordinator starts). Default 15s.
+	DialTimeout time.Duration
+	// RecvTimeout is the workers' ring receive deadline (their
+	// -recv-timeout flag). It does not configure the workers — it informs
+	// the default CtrlTimeout, which must exceed the ring deadline so a
+	// mid-ring stall surfaces as the workers' own rank-attributed errors
+	// rather than a bare control-plane deadline.
+	RecvTimeout time.Duration
+	// CtrlTimeout bounds each per-command worker reply. Default: twice
+	// RecvTimeout when set, else DefaultCtrlTimeout.
+	CtrlTimeout time.Duration
+}
+
+// ConfigSum digests everything two processes must agree on before forming a
+// cluster: the full transformer configuration (weights seed included), the
+// world size, the KV capacity, and the wire-protocol version. Workers and
+// coordinator exchange it in the Hello handshake; a mismatch fails
+// rendezvous with a named cause instead of surfacing later as skewed
+// logits.
+func ConfigSum(cfg Config, world, kvCapacity int) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%#v|world=%d|kv=%d|wire=%d", cfg, world, kvCapacity, wire.Version)
+	return h.Sum64()
+}
+
+// remotePlane is the coordinator's control plane: one framed connection per
+// worker rank, carrying command/result frames in lockstep with the
+// cluster's (single-threaded) command stream.
+//
+// Replies are matched to commands purely by stream order, so the plane is
+// sound only while every command gets exactly one reply. Any broadcast
+// failure — a send error (some workers may have received the command,
+// others not) or a reply timeout (the late reply would alias the next
+// command's) — therefore poisons the plane permanently: every subsequent
+// command fails fast with the original cause instead of silently reading
+// desynchronized or divergent rank state.
+type remotePlane struct {
+	ctrls   []*transport.Ctrl
+	timeout time.Duration
+	dead    error
+}
+
+// ConnectCluster dials a worker mesh and returns a distributed Cluster: the
+// coordinator hosts no ranks, drives the workers' engines through command
+// frames, and assembles their results. The weights are the coordinator's
+// replica — workers built their own from the same configuration, and the
+// handshake digest guarantees they match.
+func ConnectCluster(w *Weights, cfg ConnectConfig) (*Cluster, error) {
+	if len(cfg.Addrs) == 0 {
+		return nil, fmt.Errorf("transformer: distributed cluster needs worker addresses")
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = transport.DefaultRendezvousTimeout
+	}
+	if cfg.CtrlTimeout <= 0 {
+		if cfg.RecvTimeout > 0 {
+			cfg.CtrlTimeout = 2 * cfg.RecvTimeout
+		} else {
+			cfg.CtrlTimeout = DefaultCtrlTimeout
+		}
+	}
+	n := len(cfg.Addrs)
+	hello := &wire.Hello{
+		Magic: wire.Magic, Version: wire.Version, World: n, Rank: -1,
+		ConfigSum: ConfigSum(w.Cfg, n, cfg.KVCapacity),
+	}
+	plane := &remotePlane{timeout: cfg.CtrlTimeout}
+	for i, addr := range cfg.Addrs {
+		ctrl, err := transport.DialCtrl(addr, hello, i, cfg.DialTimeout)
+		if err != nil {
+			plane.hangup()
+			return nil, fmt.Errorf("transformer: connecting rank %d: %w", i, err)
+		}
+		plane.ctrls = append(plane.ctrls, ctrl)
+	}
+	return &Cluster{
+		W:           w,
+		n:           n,
+		remote:      plane,
+		kvCapacity:  cfg.KVCapacity,
+		seqLens:     make(map[int]int),
+		decodeSteps: make(map[int]int),
+	}, nil
+}
+
+func (p *remotePlane) hangup() {
+	for _, c := range p.ctrls {
+		if c != nil {
+			c.Close()
+		}
+	}
+}
+
+// bcast sends cmd to every worker, then collects one reply per worker.
+// Sends complete before any reply is awaited: a ring pass needs all ranks
+// running, so a worker must never wait on a peer whose command is still
+// queued behind our slow reply read.
+func (p *remotePlane) bcast(cmd any) ([]any, error) {
+	if p.dead != nil {
+		return nil, fmt.Errorf("transformer: control plane is down: %w", p.dead)
+	}
+	for r, c := range p.ctrls {
+		if err := c.Send(cmd); err != nil {
+			return nil, p.poison(fmt.Errorf("transformer: control send to rank %d: %w", r, err))
+		}
+	}
+	out := make([]any, len(p.ctrls))
+	for r, c := range p.ctrls {
+		v, err := c.Recv(p.timeout)
+		if err != nil {
+			return nil, p.poison(fmt.Errorf("transformer: control reply from rank %d: %w", r, err))
+		}
+		out[r] = v
+	}
+	return out, nil
+}
+
+// poison marks the plane dead with its first fatal error and hangs up, so a
+// stale in-flight reply can never be read as a later command's result.
+func (p *remotePlane) poison(err error) error {
+	if p.dead == nil {
+		p.dead = err
+		p.hangup()
+	}
+	return err
+}
+
+// firstErr surfaces the lowest-ranked worker error, matching the in-process
+// RunCollect convention.
+func firstErr(replies []any) error {
+	for r, v := range replies {
+		if msg := wire.ErrOf(v); msg != "" {
+			return fmt.Errorf("rank %d: %s", r, msg)
+		}
+	}
+	return nil
+}
+
+func (p *remotePlane) prefill(cmd *wire.PrefillCmd) ([]*tensor.Tensor, error) {
+	replies, err := p.bcast(cmd)
+	if err != nil {
+		return nil, err
+	}
+	if err := firstErr(replies); err != nil {
+		return nil, err
+	}
+	out := make([]*tensor.Tensor, len(replies))
+	for r, v := range replies {
+		res, ok := v.(*wire.PrefillResult)
+		if !ok {
+			return nil, fmt.Errorf("transformer: rank %d answered prefill with %T", r, v)
+		}
+		out[r] = res.Logits
+	}
+	return out, nil
+}
+
+func (p *remotePlane) decode(cmd *wire.DecodeCmd) ([][]float32, error) {
+	replies, err := p.bcast(cmd)
+	if err != nil {
+		return nil, err
+	}
+	if err := firstErr(replies); err != nil {
+		return nil, err
+	}
+	out := make([][]float32, len(replies))
+	for r, v := range replies {
+		res, ok := v.(*wire.DecodeResult)
+		if !ok {
+			return nil, fmt.Errorf("transformer: rank %d answered decode with %T", r, v)
+		}
+		out[r] = res.Flat
+	}
+	return out, nil
+}
+
+// drop is fire-and-collect: eviction failures have no caller-visible error
+// path (Drop returns nothing). A partial broadcast could leave the
+// sequence evicted on some ranks and resident on others — which is why
+// bcast poisons the plane on any failure: the skewed state can never be
+// reached again, and the next prefill or decode fails with the cause.
+func (p *remotePlane) drop(seq int) {
+	replies, err := p.bcast(&wire.DropCmd{Seq: seq})
+	if err != nil {
+		return
+	}
+	_ = firstErr(replies)
+}
+
+func (p *remotePlane) detach(id uint64, seq, upTo int) ([][]int, error) {
+	replies, err := p.bcast(&wire.DetachCmd{Seq: seq, UpTo: upTo, ID: id})
+	if err != nil {
+		return nil, err
+	}
+	if err := firstErr(replies); err != nil {
+		return nil, err
+	}
+	perRank := make([][]int, len(replies))
+	for r, v := range replies {
+		res, ok := v.(*wire.DetachResult)
+		if !ok {
+			return nil, fmt.Errorf("transformer: rank %d answered detach with %T", r, v)
+		}
+		perRank[r] = res.PerLayer
+	}
+	return perRank, nil
+}
+
+func (p *remotePlane) adopt(seq int, id uint64) error {
+	replies, err := p.bcast(&wire.AdoptCmd{Seq: seq, ID: id})
+	if err != nil {
+		return err
+	}
+	return firstErr(replies)
+}
+
+func (p *remotePlane) releasePrefix(id uint64) {
+	replies, err := p.bcast(&wire.ReleasePrefixCmd{ID: id})
+	if err != nil {
+		return
+	}
+	_ = firstErr(replies)
+}
+
+func (p *remotePlane) capInputs(seqIDs []int) (*capSnapshot, error) {
+	replies, err := p.bcast(&wire.CapQueryCmd{Seqs: seqIDs})
+	if err != nil {
+		return nil, err
+	}
+	if err := firstErr(replies); err != nil {
+		return nil, err
+	}
+	snap := &capSnapshot{avail: make([][]int, len(replies)), overhead: make([][][]int, len(replies))}
+	for r, v := range replies {
+		res, ok := v.(*wire.CapResult)
+		if !ok {
+			return nil, fmt.Errorf("transformer: rank %d answered capacity query with %T", r, v)
+		}
+		snap.avail[r] = res.Avail
+		snap.overhead[r] = res.Overhead
+	}
+	return snap, nil
+}
+
+func (p *remotePlane) telemetry() (Telemetry, error) {
+	replies, err := p.bcast(&wire.StatsCmd{})
+	if err != nil {
+		return Telemetry{}, err
+	}
+	if err := firstErr(replies); err != nil {
+		return Telemetry{}, err
+	}
+	tel := Telemetry{
+		Transport: "tcp",
+		RankKV:    make([]int, len(replies)),
+		Comm:      comm.Stats{Messages: map[comm.Kind]int64{}, Bytes: map[comm.Kind]float64{}},
+	}
+	// Each worker reports its own rank's send-side accounting and both
+	// directions of its wire links; keep each link's stats from its sender's
+	// snapshot so directions are never double-counted.
+	for r, v := range replies {
+		res, ok := v.(*wire.StatsResult)
+		if !ok {
+			return Telemetry{}, fmt.Errorf("transformer: rank %d answered stats with %T", r, v)
+		}
+		tel.RankKV[r] = res.CacheTokens
+		if len(res.Assembly) == 5 {
+			tel.Assembly.Rebuilds += res.Assembly[0]
+			tel.Assembly.RebuildRows += res.Assembly[1]
+			tel.Assembly.Appends += res.Assembly[2]
+			tel.Assembly.AppendedRows += res.Assembly[3]
+			tel.Assembly.Reuses += res.Assembly[4]
+		}
+		for i, k := range res.Kinds {
+			tel.Comm.Messages[comm.Kind(k)] += res.Msgs[i]
+			tel.Comm.Bytes[comm.Kind(k)] += res.Bytes[i]
+		}
+		for _, l := range res.Links {
+			if l.Src == r {
+				tel.Links = append(tel.Links, l)
+			}
+		}
+	}
+	// The control plane's own traffic, as coordinator->worker links.
+	for r, c := range p.ctrls {
+		msgs, bytes := c.WireTotals()
+		tel.Links = append(tel.Links, wire.LinkStat{Src: -1, Dst: r, WireMsgs: msgs, WireBytes: bytes})
+	}
+	return tel, nil
+}
+
+// close shuts the workers down (best effort) and hangs up the control
+// plane.
+func (p *remotePlane) close() error {
+	if p.dead != nil {
+		return nil // already poisoned and hung up
+	}
+	var firstSendErr error
+	for _, c := range p.ctrls {
+		if err := c.Send(&wire.ShutdownCmd{}); err != nil && firstSendErr == nil {
+			firstSendErr = err
+		}
+	}
+	for _, c := range p.ctrls {
+		// Give each worker a moment to ack so its serve loop exits cleanly,
+		// but never block shutdown on a wedged or already-gone peer: a
+		// missing ack is not an error at teardown.
+		_, _ = c.Recv(2 * time.Second)
+	}
+	p.hangup()
+	return firstSendErr
+}

@@ -1,0 +1,186 @@
+package transformer
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/comm"
+	"repro/internal/comm/transport"
+	"repro/internal/comm/wire"
+)
+
+// WorkerConfig parameterizes one cprank worker process: which rank it
+// hosts, where the mesh lives, and the model it replicates.
+type WorkerConfig struct {
+	Transformer Config // must match the coordinator's (digest-checked)
+	Rank, World int
+
+	// Listen is the TCP listen address (may be host:0); ignored when
+	// Listener is set.
+	Listen   string
+	Listener net.Listener
+
+	// Addrs lists every rank's address. Nil enables the rendezvous
+	// exchange: the worker prints "CPRANK_ADDR <addr>" on AddrOut and reads
+	// the full comma-separated list as one line from AddrIn — how a parent
+	// process wires up a mesh of :0 listeners without port races.
+	Addrs   []string
+	AddrOut io.Writer
+	AddrIn  io.Reader
+
+	KVCapacity        int
+	RecvTimeout       time.Duration // ring receive deadline (0 = comm default)
+	RendezvousTimeout time.Duration
+}
+
+// RunWorker hosts one CP rank: builds the replicated weights, joins the TCP
+// mesh (plus the coordinator's control connection), and serves command
+// frames until shutdown or coordinator hangup. This is the entire cprank
+// process in one call, exported so tests and examples can run workers
+// without shelling out to the binary.
+func RunWorker(cfg WorkerConfig) error {
+	w, err := NewWeights(cfg.Transformer)
+	if err != nil {
+		return err
+	}
+	ln := cfg.Listener
+	if ln == nil {
+		ln, err = net.Listen("tcp", cfg.Listen)
+		if err != nil {
+			return fmt.Errorf("transformer: worker %d listen: %w", cfg.Rank, err)
+		}
+	}
+	if cfg.AddrOut != nil {
+		fmt.Fprintf(cfg.AddrOut, "CPRANK_ADDR %s\n", ln.Addr())
+	}
+	addrs := cfg.Addrs
+	if addrs == nil {
+		if cfg.AddrIn == nil {
+			ln.Close()
+			return errors.New("transformer: worker has neither Addrs nor AddrIn")
+		}
+		line, err := bufio.NewReader(cfg.AddrIn).ReadString('\n')
+		if err != nil {
+			ln.Close()
+			return fmt.Errorf("transformer: worker %d reading address list: %w", cfg.Rank, err)
+		}
+		addrs = strings.Split(strings.TrimSpace(line), ",")
+	}
+	tp, ctrl, err := transport.Join(transport.TCPConfig{
+		World: cfg.World, Rank: cfg.Rank, Addrs: addrs, Listener: ln,
+		ConfigSum:         ConfigSum(cfg.Transformer, cfg.World, cfg.KVCapacity),
+		ExpectCtrl:        true,
+		RendezvousTimeout: cfg.RendezvousTimeout,
+	})
+	if err != nil {
+		return err
+	}
+	defer tp.Close()
+	defer ctrl.Close()
+	var commOpts []comm.Option
+	if cfg.RecvTimeout > 0 {
+		commOpts = append(commOpts, comm.WithRecvTimeout(cfg.RecvTimeout))
+	}
+	world := comm.NewWorldOver(tp, commOpts...)
+	return ServeRank(ctrl, world, w, cfg.KVCapacity)
+}
+
+// ServeRank runs one rank's command loop: receive a control frame, execute
+// it on the rank engine (ring passes flow over the world's transport), and
+// reply with a result frame. Engine errors are reported in the reply and
+// the loop keeps serving — they are the coordinator's to handle; only
+// control-plane breakage (or shutdown) ends the loop. A coordinator hangup
+// (EOF) is an orderly exit.
+func ServeRank(ctrl *transport.Ctrl, world *comm.World, w *Weights, kvCapacity int) error {
+	local := world.LocalRanks()
+	if len(local) != 1 {
+		return fmt.Errorf("transformer: worker world hosts %d ranks, want exactly 1", len(local))
+	}
+	rank := world.Rank(local[0])
+	e, err := newRankEngine(w, kvCapacity)
+	if err != nil {
+		return err
+	}
+	for {
+		v, err := ctrl.Recv(0)
+		if err != nil {
+			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
+				return nil // coordinator hung up
+			}
+			return err
+		}
+		reply, shutdown := e.handle(rank, world, v)
+		if err := ctrl.Send(reply); err != nil {
+			return err
+		}
+		if shutdown {
+			return nil
+		}
+	}
+}
+
+// handle executes one command frame. Panics become error replies so a
+// malformed command cannot kill the worker while its peers wait mid-ring.
+func (e *rankEngine) handle(rank *comm.Rank, world *comm.World, v any) (reply any, shutdown bool) {
+	defer func() {
+		if p := recover(); p != nil {
+			reply = &wire.Ack{Err: fmt.Sprintf("rank %d panicked: %v", rank.ID, p)}
+		}
+	}()
+	switch cmd := v.(type) {
+	case *wire.PrefillCmd:
+		logits, err := e.prefill(rank, cmd)
+		return &wire.PrefillResult{Logits: logits, Err: errString(err)}, false
+	case *wire.DecodeCmd:
+		flat, err := e.decode(rank, cmd)
+		return &wire.DecodeResult{Flat: flat, Err: errString(err)}, false
+	case *wire.DropCmd:
+		e.drop(cmd.Seq)
+		return &wire.Ack{}, false
+	case *wire.DetachCmd:
+		perLayer, err := e.detach(cmd.ID, cmd.Seq, cmd.UpTo)
+		return &wire.DetachResult{PerLayer: perLayer, Err: errString(err)}, false
+	case *wire.AdoptCmd:
+		return &wire.Ack{Err: errString(e.adopt(cmd.Seq, cmd.ID))}, false
+	case *wire.ReleasePrefixCmd:
+		e.releasePrefix(cmd.ID)
+		return &wire.Ack{}, false
+	case *wire.CapQueryCmd:
+		avail, overhead := e.capInfo(cmd.Seqs)
+		return &wire.CapResult{Capacity: e.capacity(), Avail: avail, Overhead: overhead}, false
+	case *wire.StatsCmd:
+		return e.statsResult(world), false
+	case *wire.ShutdownCmd:
+		return &wire.Ack{}, true
+	default:
+		return &wire.Ack{Err: fmt.Sprintf("rank %d received unsupported command %T", rank.ID, v)}, false
+	}
+}
+
+func errString(err error) string {
+	if err == nil {
+		return ""
+	}
+	return err.Error()
+}
+
+// WorkerMain is the cprank entry point shared with self-executing examples:
+// it runs RunWorker with the standard stdout/stdin address exchange when no
+// explicit address list is given, and maps failure onto a process exit
+// code.
+func WorkerMain(cfg WorkerConfig) {
+	if cfg.Addrs == nil {
+		cfg.AddrOut = os.Stdout
+		cfg.AddrIn = os.Stdin
+	}
+	if err := RunWorker(cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "cprank: rank %d: %v\n", cfg.Rank, err)
+		os.Exit(1)
+	}
+}
