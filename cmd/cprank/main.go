@@ -46,6 +46,9 @@ func main() {
 	recvTimeout := flag.Duration("recv-timeout", 0, "ring receive deadline (0 = default)")
 	rendezvous := flag.Duration("rendezvous-timeout", 15*time.Second, "mesh-formation deadline")
 	workers := flag.Int("workers", 0, "attention kernel worker-pool width (0 = GOMAXPROCS; env CP_WORKERS also applies)")
+	rejoin := flag.Bool("rejoin", false, "survive cluster rebuilds: when the coordinator hangs up (epoch rebuild after a rank failure), discard state and rejoin the mesh at the next epoch instead of exiting")
+	epoch := flag.Uint64("epoch", 1, "cluster epoch to join first; a respawned replacement rank can leave the default and adopt the mesh's current epoch at handshake")
+	maxRejoins := flag.Int("max-rejoins", 16, "bound on rejoin cycles (requires -rejoin)")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -63,6 +66,9 @@ func main() {
 		KVCapacity:        *kvCapacity,
 		RecvTimeout:       *recvTimeout,
 		RendezvousTimeout: *rendezvous,
+		Epoch:             *epoch,
+		Rejoin:            *rejoin,
+		MaxRejoins:        *maxRejoins,
 	}
 	if *addrs != "" {
 		cfg.Addrs = strings.Split(*addrs, ",")

@@ -20,12 +20,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/parallel"
@@ -52,6 +55,8 @@ func main() {
 	distributed := flag.Bool("distributed", false, "coordinate cprank worker processes instead of simulating ranks in-process")
 	rankAddrs := flag.String("rank-addrs", "", "comma-separated cprank worker addresses, index = rank id (requires -distributed)")
 	dialTimeout := flag.Duration("dial-timeout", 15*time.Second, "distributed control-plane rendezvous deadline")
+	recover := flag.Bool("recover", false, "rebuild the cluster on a new epoch after a rank failure and replay live sessions bit-identically (instead of faulting them)")
+	maxRecoveries := flag.Int("max-recoveries", 3, "lifetime bound on recovery rebuild attempts (requires -recover)")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -91,6 +96,20 @@ func main() {
 			os.Exit(1)
 		}
 		addrs = strings.Split(*rankAddrs, ",")
+		// Validate before rendezvous: a malformed or duplicated address, or
+		// a list that contradicts an explicit -ranks, must fail with one
+		// clear line instead of a hang or a mid-handshake rejection.
+		if err := server.ValidateRankAddrs(addrs); err != nil {
+			fmt.Fprintf(os.Stderr, "cpserve: %v\n", err)
+			os.Exit(1)
+		}
+		ranksSet := false
+		flag.Visit(func(f *flag.Flag) { ranksSet = ranksSet || f.Name == "ranks" })
+		if ranksSet && *ranks != len(addrs) {
+			fmt.Fprintf(os.Stderr, "cpserve: -ranks %d does not match %d -rank-addrs entries (world size is the address count)\n",
+				*ranks, len(addrs))
+			os.Exit(1)
+		}
 	} else if *rankAddrs != "" {
 		fmt.Fprintln(os.Stderr, "cpserve: -rank-addrs requires -distributed")
 		os.Exit(1)
@@ -110,24 +129,52 @@ func main() {
 		RecvTimeout:       *recvTimeout,
 		RankAddrs:         addrs,
 		DialTimeout:       *dialTimeout,
+		Recover:           *recover,
+		MaxRecoveries:     *maxRecoveries,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
 
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	// Graceful drain on SIGINT/SIGTERM: in-flight decodes finish their step
+	// and return truncated successes, the HTTP layer flushes those responses
+	// to their clients, and then the workers get an orderly shutdown command
+	// (so cprank -rejoin loops exit instead of waiting for an epoch that
+	// never comes).
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("cpserve: %v: draining and shutting down", sig)
+		srv.Close()
+		// Wait for in-flight handlers to write their (possibly truncated)
+		// responses before the process goes away; bounded so a wedged
+		// client cannot hold shutdown hostage.
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(ctx)
+		os.Exit(0)
+	}()
+
 	prefixDesc := "off"
 	if prefixTokens > 0 {
 		prefixDesc = fmt.Sprintf("%d tok", prefixTokens)
+	}
+	recoverDesc := "off"
+	if *recover {
+		recoverDesc = fmt.Sprintf("on (<=%d rebuilds)", *maxRecoveries)
 	}
 	rankDesc := fmt.Sprintf("%d in-process CP ranks", *ranks)
 	if *distributed {
 		rankDesc = fmt.Sprintf("%d distributed CP ranks (%s)", len(addrs), *rankAddrs)
 	}
-	log.Printf("cpserve: %s, %s scheduling, %v prefill, budget %d tok/iter, batch<=%d, sessions<=%d, prefix cache %s, %d kernel workers, listening on %s",
-		rankDesc, policy, variant, *tokenBudget, *maxBatch, *maxSessions, prefixDesc, parallel.Workers(), *addr)
+	log.Printf("cpserve: %s, %s scheduling, %v prefill, budget %d tok/iter, batch<=%d, sessions<=%d, prefix cache %s, recovery %s, %d kernel workers, listening on %s",
+		rankDesc, policy, variant, *tokenBudget, *maxBatch, *maxSessions, prefixDesc, recoverDesc, parallel.Workers(), *addr)
 	log.Printf(`try: curl -s localhost%s/v1/generate -d '{"session":1,"prompt":[4,19,22,7],"max_tokens":8}'`, *addr)
-	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
 }

@@ -156,6 +156,13 @@ func (w *World) Transport() transport.Transport { return w.t }
 // LocalRanks lists the ranks hosted in this process.
 func (w *World) LocalRanks() []int { return append([]int(nil), w.local...) }
 
+// Failures surfaces the transport's asynchronous link-fault events (dead
+// peer connections, failed heartbeats, injected faults). The channel closes
+// when the transport closes. Serving layers watch it to start recovery
+// while the cluster is idle, instead of learning about a dead rank only
+// when the next collective fails.
+func (w *World) Failures() <-chan transport.FailureEvent { return w.t.Failures() }
+
 // FailLink marks the directed link src->dst as failed; subsequent sends on
 // it return an error.
 func (w *World) FailLink(src, dst int) { w.t.FailLink(src, dst) }

@@ -36,6 +36,12 @@ type TCPConfig struct {
 	// logits later.
 	ConfigSum uint64
 
+	// Epoch is the cluster incarnation this rank joins (0 is normalized to
+	// 1). Handshakes require equal epochs; a peer on a newer epoch makes
+	// Join fail with an EpochError so the rejoin loop can converge on it,
+	// while stale dialers are answered with our Hello and turned away.
+	Epoch uint64
+
 	// ExpectCtrl makes Join also wait for the coordinator's control
 	// connection (a Hello with rank -1) before returning.
 	ExpectCtrl bool
@@ -64,6 +70,9 @@ func (c *TCPConfig) applyDefaults() error {
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = wire.DefaultMaxFrame
 	}
+	if c.Epoch == 0 {
+		c.Epoch = 1
+	}
 	return nil
 }
 
@@ -78,6 +87,7 @@ type link struct {
 	downOnce sync.Once
 	downCh   chan struct{}
 	cause    atomic.Value // error
+	onDown   func(peer int, cause error)
 
 	outMsgs, outBytes int64 // atomics: frames/bytes written
 	inMsgs, inBytes   int64 // atomics: frames/bytes read
@@ -91,6 +101,9 @@ func (l *link) markDown(err error) {
 		l.cause.Store(err)
 		close(l.downCh)
 		l.conn.Close()
+		if l.onDown != nil {
+			l.onDown(l.peer, err)
+		}
 	})
 }
 
@@ -118,6 +131,7 @@ type TCP struct {
 	links  map[int]*link
 	inbox  map[int]chan any
 	inject failMap
+	events *eventSink
 
 	closeOnce sync.Once
 	closedCh  chan struct{}
@@ -130,10 +144,19 @@ func (t *TCP) WorldSize() int { return t.cfg.World }
 func (t *TCP) LocalRanks() []int { return []int{t.cfg.Rank} }
 
 // FailLink implements Transport (send-side fault injection, mirroring Mem).
-func (t *TCP) FailLink(src, dst int) { t.inject.fail(src, dst) }
+func (t *TCP) FailLink(src, dst int) {
+	t.inject.fail(src, dst)
+	t.events.publish(FailureEvent{Peer: dst, Cause: fmt.Errorf("injected link failure %d->%d", src, dst)})
+}
 
 // HealLink implements Transport.
 func (t *TCP) HealLink(src, dst int) { t.inject.heal(src, dst) }
+
+// Failures implements Transport: dead peer connections (reader EOF, reset,
+// failed heartbeat write) and injected faults surface here, so a process
+// idling between commands still detects a crashed peer within a couple of
+// heartbeat periods instead of at its next ring pass.
+func (t *TCP) Failures() <-chan FailureEvent { return t.events.ch }
 
 // Send implements Transport: encodes payload as one frame on the peer link.
 func (t *TCP) Send(src, dst int, payload any, timeout time.Duration) error {
@@ -231,6 +254,9 @@ func (t *TCP) WireLinks() []wire.LinkStat {
 // Close implements Transport.
 func (t *TCP) Close() error {
 	t.closeOnce.Do(func() {
+		// Silence the event sink first: an orderly local close is not a
+		// peer failure, and the links downed below must not publish one.
+		t.events.close()
 		close(t.closedCh)
 		for _, l := range t.links {
 			l.markDown(errors.New("transport closed"))
@@ -241,7 +267,7 @@ func (t *TCP) Close() error {
 
 func (t *TCP) hello() *wire.Hello {
 	return &wire.Hello{Magic: wire.Magic, Version: wire.Version, World: t.cfg.World,
-		Rank: t.cfg.Rank, ConfigSum: t.cfg.ConfigSum}
+		Rank: t.cfg.Rank, ConfigSum: t.cfg.ConfigSum, Epoch: t.cfg.Epoch}
 }
 
 // validateHello checks a peer handshake frame against this mesh's identity.
@@ -289,11 +315,31 @@ func Join(cfg TCPConfig) (*TCP, *Ctrl, error) {
 		links:    make(map[int]*link),
 		inbox:    make(map[int]chan any),
 		inject:   newFailMap(),
+		events:   newEventSink(2 * cfg.World),
 		closedCh: make(chan struct{}),
 	}
 	deadline := time.Now().Add(cfg.RendezvousTimeout)
 	connCh := make(chan joinConn, cfg.World+1)
 	errCh := make(chan error, cfg.World+1)
+	// rzDone is closed when Join returns. Handshake goroutines deliver
+	// their conn/error through it so a straggler arriving after the
+	// rendezvous is over closes its conn and exits instead of blocking
+	// forever on a channel nobody drains (a goroutine and fd leak under
+	// repeated bad peers).
+	rzDone := make(chan struct{})
+	offerConn := func(jc joinConn) {
+		select {
+		case connCh <- jc:
+		case <-rzDone:
+			jc.conn.Close()
+		}
+	}
+	offerErr := func(err error) {
+		select {
+		case errCh <- err:
+		case <-rzDone:
+		}
+	}
 
 	// Accept side: higher-ranked peers dial us; the coordinator may too.
 	acceptDone := make(chan struct{})
@@ -308,6 +354,15 @@ func Join(cfg TCPConfig) (*TCP, *Ctrl, error) {
 				conn.SetDeadline(deadline)
 				v, _, err := wire.ReadFrame(conn, cfg.MaxFrame)
 				if err != nil {
+					if errors.Is(err, wire.ErrBadFrame) {
+						// A frame that arrived but won't decode is almost
+						// certainly a peer on another wire-protocol version
+						// (the Hello layout itself changes between
+						// versions). Ack's encoding is version-stable, so
+						// the rejection still reaches them by name.
+						wire.WriteFrame(conn, &wire.Ack{Err: fmt.Sprintf(
+							"undecodable handshake; this side speaks wire protocol version %d", wire.Version)})
+					}
 					conn.Close()
 					return
 				}
@@ -325,7 +380,21 @@ func Join(cfg TCPConfig) (*TCP, *Ctrl, error) {
 					// names the cause instead of a bare EOF.
 					wire.WriteFrame(conn, &wire.Ack{Err: err.Error()})
 					conn.Close()
-					errCh <- fmt.Errorf("transport: rank %d rejected peer: %v", cfg.Rank, err)
+					offerErr(fmt.Errorf("transport: rank %d rejected peer: %v", cfg.Rank, err))
+					return
+				}
+				if h.Epoch != cfg.Epoch {
+					// Answer with our Hello either way: it carries our epoch,
+					// which is all the other side needs to resolve the skew.
+					wire.WriteFrame(conn, t.hello())
+					conn.Close()
+					if h.Epoch > cfg.Epoch {
+						// We are the stale incarnation: abort this rendezvous
+						// so the rejoin loop can retry at the newer epoch.
+						offerErr(&EpochError{Observed: h.Epoch, Stale: cfg.Epoch})
+					}
+					// A stale dialer was turned away; it will adopt our epoch
+					// and redial. Keep listening.
 					return
 				}
 				if _, err := wire.WriteFrame(conn, t.hello()); err != nil {
@@ -333,7 +402,7 @@ func Join(cfg TCPConfig) (*TCP, *Ctrl, error) {
 					return
 				}
 				conn.SetDeadline(time.Time{})
-				connCh <- joinConn{rank: h.Rank, conn: conn, hello: *h}
+				offerConn(joinConn{rank: h.Rank, conn: conn, hello: *h})
 			}(conn)
 		}
 	}()
@@ -348,13 +417,13 @@ func Join(cfg TCPConfig) (*TCP, *Ctrl, error) {
 				if h.Rank != j {
 					return fmt.Errorf("address %s answered as rank %d, want %d", cfg.Addrs[j], h.Rank, j)
 				}
-				return nil
+				return checkEpoch(h.Epoch, cfg.Epoch)
 			})
 			if err != nil {
-				errCh <- fmt.Errorf("transport: rank %d dialing rank %d: %w", cfg.Rank, j, err)
+				offerErr(fmt.Errorf("transport: rank %d dialing rank %d: %w", cfg.Rank, j, err))
 				return
 			}
-			connCh <- joinConn{rank: j, conn: conn}
+			offerConn(joinConn{rank: j, conn: conn})
 		}(j)
 	}
 
@@ -365,6 +434,7 @@ func Join(cfg TCPConfig) (*TCP, *Ctrl, error) {
 		}
 	}
 	var ctrl *Ctrl
+	defer close(rzDone)
 	timer := time.NewTimer(time.Until(deadline))
 	defer timer.Stop()
 	for len(need) > 0 || (cfg.ExpectCtrl && ctrl == nil) {
@@ -411,6 +481,25 @@ func Join(cfg TCPConfig) (*TCP, *Ctrl, error) {
 	return t, ctrl, nil
 }
 
+// errRetryHandshake marks a handshake reply that is wrong only transiently
+// (a peer still catching up to a newer epoch); the dialer closes the conn,
+// sleeps, and redials instead of failing the rendezvous.
+var errRetryHandshake = errors.New("transient handshake mismatch")
+
+// checkEpoch applies the epoch-convergence rule from the dialer's side: a
+// peer on a newer epoch means we are stale (fatal EpochError — adopt and
+// rejoin); a peer on an older epoch is still catching up (retry).
+func checkEpoch(peer, mine uint64) error {
+	switch {
+	case peer == mine:
+		return nil
+	case peer > mine:
+		return &EpochError{Observed: peer, Stale: mine}
+	default:
+		return fmt.Errorf("%w: peer still at epoch %d, want %d", errRetryHandshake, peer, mine)
+	}
+}
+
 // dialHandshake dials addr with retry until deadline, sends hello, and
 // validates the peer's reply.
 func dialHandshake(addr string, hello *wire.Hello, deadline time.Time, maxFrame int, check func(*wire.Hello) error) (net.Conn, error) {
@@ -442,6 +531,12 @@ func dialHandshake(addr string, hello *wire.Hello, deadline time.Time, maxFrame 
 		v, _, err := wire.ReadFrame(conn, maxFrame)
 		if err != nil {
 			conn.Close()
+			if errors.Is(err, wire.ErrBadFrame) {
+				// The peer answered with bytes we cannot decode: a
+				// wire-protocol version mismatch, not a transient boot race.
+				return nil, fmt.Errorf("peer handshake undecodable (mismatched wire protocol version? this side speaks %d): %v",
+					wire.Version, err)
+			}
 			lastErr = err
 			time.Sleep(50 * time.Millisecond)
 			continue
@@ -450,6 +545,11 @@ func dialHandshake(addr string, hello *wire.Hello, deadline time.Time, maxFrame 
 		case *wire.Hello:
 			if err := check(reply); err != nil {
 				conn.Close()
+				if errors.Is(err, errRetryHandshake) {
+					lastErr = err
+					time.Sleep(50 * time.Millisecond)
+					continue
+				}
 				return nil, err // identity errors are fatal, not retryable
 			}
 			conn.SetDeadline(time.Time{})
@@ -467,7 +567,10 @@ func dialHandshake(addr string, hello *wire.Hello, deadline time.Time, maxFrame 
 // addLink registers an established peer connection and starts its reader
 // and heartbeat goroutines.
 func (t *TCP) addLink(peer int, conn net.Conn) {
-	l := &link{peer: peer, conn: conn, downCh: make(chan struct{})}
+	l := &link{peer: peer, conn: conn, downCh: make(chan struct{}),
+		onDown: func(peer int, cause error) {
+			t.events.publish(FailureEvent{Peer: peer, Cause: cause})
+		}}
 	t.links[peer] = l
 	ch := make(chan any, 64)
 	t.inbox[peer] = ch
@@ -555,6 +658,11 @@ func DialCtrl(addr string, hello *wire.Hello, expectRank int, timeout time.Durat
 	if timeout <= 0 {
 		timeout = DefaultRendezvousTimeout
 	}
+	if hello.Epoch == 0 {
+		h := *hello
+		h.Epoch = 1 // same normalization Join applies to TCPConfig.Epoch
+		hello = &h
+	}
 	deadline := time.Now().Add(timeout)
 	var peer wire.Hello
 	conn, err := dialHandshake(addr, hello, deadline, wire.DefaultMaxFrame, func(h *wire.Hello) error {
@@ -563,6 +671,11 @@ func DialCtrl(addr string, hello *wire.Hello, expectRank int, timeout time.Durat
 		}
 		if h.Rank != expectRank {
 			return fmt.Errorf("address %s answered as rank %d, want %d", addr, h.Rank, expectRank)
+		}
+		if err := checkEpoch(h.Epoch, hello.Epoch); err != nil {
+			// A worker on a newer epoch means this coordinator is stale; the
+			// EpochError tells ConnectCluster which epoch to redial at.
+			return err
 		}
 		peer = *h
 		return nil

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
@@ -222,6 +223,28 @@ func TestTCPVersionMismatchRejected(t *testing.T) {
 		})
 		joinErr <- err
 	}()
+	// A peer whose Hello doesn't even decode (a different wire-protocol
+	// version changes frame layouts) gets a named Ack rejection — Ack's
+	// encoding is version-stable — instead of a silent hangup that would
+	// retry into a rendezvous timeout. This does not abort the rendezvous.
+	garbled, err := net.DialTimeout("tcp", addrs[0], 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer garbled.Close()
+	// A syntactically valid frame (length prefix + Hello type id) whose
+	// body is truncated relative to the current Hello layout.
+	if _, err := garbled.Write([]byte{3, 0, 0, 0, 6, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	v0, _, err := wire.ReadFrame(garbled, 0)
+	if err != nil {
+		t.Fatalf("garbled handshake got no reply: %v", err)
+	}
+	if ack, ok := v0.(*wire.Ack); !ok || !strings.Contains(ack.Err, "undecodable") {
+		t.Fatalf("garbled handshake reply = %#v, want undecodable-handshake Ack", v0)
+	}
+
 	// A "worker" with the wrong version dials rank 0 directly.
 	conn, err := net.DialTimeout("tcp", addrs[0], 2*time.Second)
 	if err != nil {
@@ -286,6 +309,173 @@ func TestTCPRendezvousTimeout(t *testing.T) {
 	}
 	if waited := time.Since(start); waited > 10*time.Second {
 		t.Fatalf("rendezvous timeout took %v", waited)
+	}
+}
+
+// settleGoroutines polls until the goroutine count drops to at most
+// baseline+slack, failing with a stack dump if it never does.
+func settleGoroutines(t *testing.T, baseline, slack int, what string) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		runtime.GC()
+		n := runtime.NumGoroutine()
+		if n <= baseline+slack {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<20)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("%s: %d goroutines, baseline %d (+%d slack)\n%s", what, n, baseline, slack, buf)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestTCPCloseNoGoroutineLeak pins the shutdown audit the ISSUE asks for:
+// per-link readers and heartbeat loops must exit promptly on Close — even
+// when a peer died abruptly mid-traffic, and even when rejected handshake
+// stragglers hit a rendezvous that already returned (the offer channels
+// must never strand a goroutine).
+func TestTCPCloseNoGoroutineLeak(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	// A working mesh with traffic, one peer dying abruptly, then Close.
+	mesh := loopbackMesh(t, 3, 0x77)
+	for i := 0; i < 10; i++ {
+		if err := mesh[0].Send(0, 1, []int{i}, time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := mesh[1].Recv(1, 0, 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	mesh[2].Close() // abrupt peer death: links down, peers' readers exit
+	time.Sleep(100 * time.Millisecond)
+	for _, tp := range mesh {
+		tp.Close()
+	}
+	settleGoroutines(t, baseline, 2, "after mesh close")
+
+	// Rendezvous flooded with bad peers: the first rejection aborts the
+	// join; the rest arrive after it returned and must clean themselves up
+	// (conns closed, no goroutine parked on the offer channels).
+	baseline = runtime.NumGoroutine()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joinErr := make(chan error, 1)
+	go func() {
+		_, _, err := Join(TCPConfig{
+			World: 2, Rank: 0, Addrs: []string{ln.Addr().String(), "127.0.0.1:1"}, Listener: ln,
+			ConfigSum: 5, RendezvousTimeout: 5 * time.Second,
+		})
+		joinErr <- err
+	}()
+	for i := 0; i < 20; i++ {
+		conn, err := net.DialTimeout("tcp", ln.Addr().String(), time.Second)
+		if err != nil {
+			break // listener already closed by the aborted join
+		}
+		// Rank 7 is out of range for a 2-world: rejected with an Ack.
+		wire.WriteFrame(conn, &wire.Hello{Magic: wire.Magic, Version: wire.Version, World: 2, Rank: 7, ConfigSum: 5, Epoch: 1})
+		wire.ReadFrame(conn, 0)
+		conn.Close()
+	}
+	if err := <-joinErr; err == nil {
+		t.Fatal("join survived a flood of invalid peers")
+	}
+	settleGoroutines(t, baseline, 2, "after rejected-peer flood")
+}
+
+// TestTCPEpochHandshake pins the epoch-convergence rules at rendezvous: a
+// stale dialer is answered with the acceptor's newer Hello and turned away
+// (the acceptor keeps listening), while a newer dialer makes the stale
+// acceptor abort with an EpochError naming the epoch to rejoin at.
+func TestTCPEpochHandshake(t *testing.T) {
+	// Acceptor at epoch 3; world of 2, rank 0 listening for rank 1.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := make(chan error, 1)
+	go func() {
+		tp, _, err := Join(TCPConfig{
+			World: 2, Rank: 0, Addrs: []string{ln.Addr().String(), "127.0.0.1:1"}, Listener: ln,
+			ConfigSum: 9, Epoch: 3, RendezvousTimeout: 10 * time.Second,
+		})
+		if tp != nil {
+			defer tp.Close()
+		}
+		joined <- err
+	}()
+
+	// A stale rank-1 dialer (epoch 1) is answered with the epoch-3 Hello
+	// and disconnected — that reply is how it learns what to rejoin at.
+	conn, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hello := &wire.Hello{Magic: wire.Magic, Version: wire.Version, World: 2, Rank: 1, ConfigSum: 9, Epoch: 1}
+	if _, err := wire.WriteFrame(conn, hello); err != nil {
+		t.Fatal(err)
+	}
+	v, _, err := wire.ReadFrame(conn, 0)
+	if err != nil {
+		t.Fatalf("stale dialer got no reply: %v", err)
+	}
+	reply, ok := v.(*wire.Hello)
+	if !ok || reply.Epoch != 3 {
+		t.Fatalf("stale dialer reply = %#v, want Hello at epoch 3", v)
+	}
+	conn.Close()
+
+	// Redialing at the observed epoch completes the mesh.
+	conn2, err := net.DialTimeout("tcp", ln.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn2.Close()
+	hello.Epoch = 3
+	if _, err := wire.WriteFrame(conn2, hello); err != nil {
+		t.Fatal(err)
+	}
+	if v, _, err := wire.ReadFrame(conn2, 0); err != nil {
+		t.Fatal(err)
+	} else if h, ok := v.(*wire.Hello); !ok || h.Epoch != 3 {
+		t.Fatalf("matched-epoch reply = %#v", v)
+	}
+	if err := <-joined; err != nil {
+		t.Fatalf("join after epoch catch-up: %v", err)
+	}
+
+	// The mirror case: an acceptor at epoch 1 meeting an epoch-4 dialer
+	// aborts with an EpochError so its rejoin loop can adopt epoch 4.
+	ln2, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		_, _, err := Join(TCPConfig{
+			World: 2, Rank: 0, Addrs: []string{ln2.Addr().String(), "127.0.0.1:1"}, Listener: ln2,
+			ConfigSum: 9, Epoch: 1, RendezvousTimeout: 10 * time.Second,
+		})
+		joined <- err
+	}()
+	conn3, err := net.DialTimeout("tcp", ln2.Addr().String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn3.Close()
+	newer := &wire.Hello{Magic: wire.Magic, Version: wire.Version, World: 2, Rank: 1, ConfigSum: 9, Epoch: 4}
+	if _, err := wire.WriteFrame(conn3, newer); err != nil {
+		t.Fatal(err)
+	}
+	err = <-joined
+	var eErr *EpochError
+	if !errors.As(err, &eErr) || eErr.Observed != 4 {
+		t.Fatalf("stale acceptor join error = %v, want EpochError observing 4", err)
 	}
 }
 

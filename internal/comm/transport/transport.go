@@ -60,6 +60,69 @@ func Cause(err error) error {
 	return nil
 }
 
+// FailureEvent reports a detected data-plane fault: the directed link to
+// Peer is down (injected fault, dead connection, or failed heartbeat).
+// Events surface asynchronously on Transport.Failures, independent of any
+// in-flight send or receive, so an idle cluster still learns about a dead
+// rank within a couple of heartbeat periods.
+//
+// Epoch is the cluster incarnation the event belongs to. Transports leave
+// it zero; the cluster layer stamps it when forwarding, so consumers can
+// discard events from an incarnation that recovery already retired instead
+// of rebuilding a healthy successor.
+type FailureEvent struct {
+	Peer  int
+	Cause error
+	Epoch uint64
+}
+
+// EpochError reports a rendezvous handshake that met a peer on a newer
+// cluster epoch: this process's incarnation is stale and should rejoin at
+// (at least) the observed epoch. Rejoin loops use it to converge on the
+// coordinator's epoch without out-of-band coordination.
+type EpochError struct {
+	Observed uint64 // the newer epoch seen on the wire
+	Stale    uint64 // the epoch this process tried to join with
+}
+
+func (e *EpochError) Error() string {
+	return fmt.Sprintf("transport: epoch %d is stale, cluster is at epoch %d", e.Stale, e.Observed)
+}
+
+// eventSink is the shared bounded failure-event channel: sends never block
+// (events are droppable hints — the consumer only needs to learn that
+// something failed) and Close is safe against concurrent publishers.
+type eventSink struct {
+	mu     sync.Mutex
+	ch     chan FailureEvent
+	closed bool
+}
+
+func newEventSink(buf int) *eventSink {
+	return &eventSink{ch: make(chan FailureEvent, buf)}
+}
+
+func (s *eventSink) publish(ev FailureEvent) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	select {
+	case s.ch <- ev:
+	default: // full: the consumer already has failure signals pending
+	}
+}
+
+func (s *eventSink) close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.closed {
+		s.closed = true
+		close(s.ch)
+	}
+}
+
 // Transport moves opaque payloads between ranks. Implementations must allow
 // concurrent calls from different local ranks' goroutines; per-(dst,src)
 // receive ordering is FIFO.
@@ -77,6 +140,11 @@ type Transport interface {
 	// FailLink / HealLink inject and clear a directed send-side fault.
 	FailLink(src, dst int)
 	HealLink(src, dst int)
+	// Failures surfaces detected link faults as asynchronous events:
+	// injected FailLink calls and (TCP) dead connections. The channel is
+	// closed when the transport closes. Events are droppable hints — a slow
+	// consumer loses duplicates, never the fact that a failure happened.
+	Failures() <-chan FailureEvent
 	// WireLinks snapshots actual per-link wire traffic (frames and encoded
 	// bytes). The in-memory transport never serializes and returns nil.
 	WireLinks() []wire.LinkStat
@@ -89,6 +157,7 @@ type Mem struct {
 	n      int
 	boxes  [][]chan any // boxes[dst][src]
 	failMu failMap
+	events *eventSink
 }
 
 // NewMem builds the mailbox mesh for n ranks.
@@ -96,7 +165,7 @@ func NewMem(n int) *Mem {
 	if n <= 0 {
 		panic(fmt.Sprintf("transport: non-positive world size %d", n))
 	}
-	m := &Mem{n: n, failMu: newFailMap()}
+	m := &Mem{n: n, failMu: newFailMap(), events: newEventSink(2 * n)}
 	m.boxes = make([][]chan any, n)
 	for d := 0; d < n; d++ {
 		m.boxes[d] = make([]chan any, n)
@@ -145,17 +214,27 @@ func (m *Mem) Recv(dst, src int, timeout time.Duration) (any, error) {
 	}
 }
 
-// FailLink implements Transport.
-func (m *Mem) FailLink(src, dst int) { m.failMu.fail(src, dst) }
+// FailLink implements Transport. The injected fault surfaces on Failures
+// too, mirroring how a real dead link announces itself on the TCP transport.
+func (m *Mem) FailLink(src, dst int) {
+	m.failMu.fail(src, dst)
+	m.events.publish(FailureEvent{Peer: dst, Cause: fmt.Errorf("injected link failure %d->%d", src, dst)})
+}
 
 // HealLink implements Transport.
 func (m *Mem) HealLink(src, dst int) { m.failMu.heal(src, dst) }
+
+// Failures implements Transport.
+func (m *Mem) Failures() <-chan FailureEvent { return m.events.ch }
 
 // WireLinks implements Transport: in-process delivery moves no wire bytes.
 func (m *Mem) WireLinks() []wire.LinkStat { return nil }
 
 // Close implements Transport.
-func (m *Mem) Close() error { return nil }
+func (m *Mem) Close() error {
+	m.events.close()
+	return nil
+}
 
 // failMap is the shared injected-fault set.
 type failMap struct {

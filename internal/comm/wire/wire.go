@@ -20,6 +20,7 @@ package wire
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -33,8 +34,9 @@ import (
 const Magic = 0x43505257 // "CPRW"
 
 // Version is the wire-protocol version. Peers with mismatched versions are
-// rejected at rendezvous, never mid-ring.
-const Version = 1
+// rejected at rendezvous, never mid-ring. Version 2 added the Hello epoch
+// (cluster-incarnation number for fault recovery) and the FailureNote frame.
+const Version = 2
 
 // DefaultMaxFrame bounds a single frame's encoded size (length prefix
 // included). Loopback KV tiles at laptop scale are kilobytes; anything near
@@ -67,6 +69,7 @@ const (
 	tDetachResult
 	tCapResult
 	tStatsResult
+	tFailureNote
 )
 
 // KVBlock is the circulating payload of ring pass-KV: key/value rows plus
@@ -94,12 +97,19 @@ type OBlock struct {
 // Hello is the rendezvous handshake frame: the first frame on every data and
 // control connection, in both directions. Rank -1 identifies the coordinator
 // (control plane); worker ranks are [0, World).
+//
+// Epoch is the cluster incarnation: it starts at 1 and increments on every
+// fault-recovery rebuild, so a frame from a stale incarnation (a wedged old
+// worker, a delayed old coordinator) is rejected at handshake instead of
+// silently joining a cluster whose state it no longer shares. Peers on a
+// lower epoch learn the current one from the rejection and rejoin at it.
 type Hello struct {
 	Magic     uint32
 	Version   uint16
 	World     int
 	Rank      int
 	ConfigSum uint64 // model config + seed digest; catches mismatched workers
+	Epoch     uint64 // cluster incarnation; mismatched epochs never mesh
 }
 
 // Heartbeat keeps an idle link observable; receivers drop it before the
@@ -151,6 +161,17 @@ type ReleasePrefixCmd struct{ ID uint64 }
 // sequences, so the coordinator can run the same global admission greedy the
 // in-process cluster runs.
 type CapQueryCmd struct{ Seqs []int }
+
+// FailureNote is an unsolicited worker->coordinator frame: the worker
+// observed a data-plane fault (a peer link died) while idle between
+// commands. The coordinator's control-plane reader filters it out of the
+// command/result stream — like a heartbeat, it never aliases a reply — and
+// surfaces it as a FailureEvent so recovery can start before the next
+// command trips over the dead rank.
+type FailureNote struct {
+	Rank  int    // reporting worker's rank
+	Cause string // human-readable fault description (names the dead peer)
+}
 
 // StatsCmd asks a rank for its telemetry snapshot.
 type StatsCmd struct{}
@@ -564,6 +585,7 @@ func Append(buf []byte, v any) ([]byte, error) {
 		e.i64(x.World)
 		e.i64(x.Rank)
 		e.u64(x.ConfigSum)
+		e.u64(x.Epoch)
 	case *Heartbeat:
 		e.u8(tHeartbeat)
 	case *PrefillCmd:
@@ -600,6 +622,10 @@ func Append(buf []byte, v any) ([]byte, error) {
 		e.u8(tStatsCmd)
 	case *ShutdownCmd:
 		e.u8(tShutdownCmd)
+	case *FailureNote:
+		e.u8(tFailureNote)
+		e.i64(x.Rank)
+		e.str(x.Cause)
 	case *PrefillResult:
 		e.u8(tPrefillResult)
 		e.tensor(x.Logits)
@@ -667,7 +693,7 @@ func Decode(b []byte) (any, error) {
 	case tOBlock:
 		v = &OBlock{Out: d.output()}
 	case tHello:
-		v = &Hello{Magic: d.u32(), Version: d.u16(), World: d.i64(), Rank: d.i64(), ConfigSum: d.u64()}
+		v = &Hello{Magic: d.u32(), Version: d.u16(), World: d.i64(), Rank: d.i64(), ConfigSum: d.u64(), Epoch: d.u64()}
 	case tHeartbeat:
 		v = &Heartbeat{}
 	case tPrefillCmd:
@@ -688,6 +714,8 @@ func Decode(b []byte) (any, error) {
 		v = &StatsCmd{}
 	case tShutdownCmd:
 		v = &ShutdownCmd{}
+	case tFailureNote:
+		v = &FailureNote{Rank: d.i64(), Cause: d.str()}
 	case tPrefillResult:
 		v = &PrefillResult{Logits: d.tensor(), Err: d.str()}
 	case tDecodeResult:
@@ -753,8 +781,17 @@ func WriteFrame(w io.Writer, v any) (int, error) {
 	return len(body), nil
 }
 
+// ErrBadFrame marks a frame that arrived intact but did not decode — the
+// signature of a peer speaking a different wire-protocol version (layouts
+// change between versions, so a foreign Hello fails strict decode before
+// the in-band version field can even be compared). Handshake paths match
+// it to reject mixed-version peers with a named cause instead of retrying
+// into a rendezvous timeout.
+var ErrBadFrame = errors.New("wire: undecodable frame")
+
 // ReadFrame reads one length-prefixed frame from r (maxFrame <= 0 uses
 // DefaultMaxFrame) and returns the decoded payload plus total bytes read.
+// Decode failures of a fully received frame wrap ErrBadFrame.
 func ReadFrame(r io.Reader, maxFrame int) (any, int, error) {
 	if maxFrame <= 0 {
 		maxFrame = DefaultMaxFrame
@@ -765,14 +802,17 @@ func ReadFrame(r io.Reader, maxFrame int) (any, int, error) {
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[:]))
 	if n < 1 || n > maxFrame {
-		return nil, 4, fmt.Errorf("wire: frame length %d outside (0,%d]", n, maxFrame)
+		return nil, 4, fmt.Errorf("%w: frame length %d outside (0,%d]", ErrBadFrame, n, maxFrame)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, 4, fmt.Errorf("wire: short frame body: %w", err)
 	}
 	v, err := Decode(body)
-	return v, 4 + n, err
+	if err != nil {
+		return nil, 4 + n, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return v, 4 + n, nil
 }
 
 // ErrOf extracts the Err field of a result frame, or "" when the frame type

@@ -154,8 +154,9 @@ func TestEmptyTensorsAndVectors(t *testing.T) {
 
 func TestControlFrameRoundTrip(t *testing.T) {
 	frames := []any{
-		&Hello{Magic: Magic, Version: Version, World: 3, Rank: -1, ConfigSum: 0xdeadbeefcafef00d},
+		&Hello{Magic: Magic, Version: Version, World: 3, Rank: -1, ConfigSum: 0xdeadbeefcafef00d, Epoch: 7},
 		&Heartbeat{},
+		&FailureNote{Rank: 2, Cause: "link to rank 1 failed: connection reset"},
 		&PrefillCmd{Seqs: []int{7, 9}, Tokens: [][]int{{1, 2, 3}, {4}}, P: []int{0, 32}, Variant: 1},
 		&DecodeCmd{Seqs: []int{1, 2}, Tokens: []int{5, 6}, Pos: []int{10, 20}, Owners: []int{0, 2}},
 		&DropCmd{Seq: 4},

@@ -94,12 +94,18 @@ func TestE4M3RoundTripValues(t *testing.T) {
 }
 
 func TestPropertyE4M3Monotoneish(t *testing.T) {
-	// Quantization error is bounded by an eighth of the binade step.
+	// Quantization error is bounded by half the representable step: an
+	// eighth of the binade for normal values, and the fixed 2^-9 subnormal
+	// granularity below the min normal 2^-6 (the binade bound is tighter
+	// than the format there, so tiny inputs would flakily fail it).
 	f := func(raw uint16) bool {
 		x := float64(raw)/100 + 0.001 // (0, 655]
-		got := decodeE4M3(encodeE4M3(x))
-		step := math.Pow(2, math.Floor(math.Log2(x))) / 8
-		return math.Abs(got-x) <= step/2+1e-12 || x > 448
+		exp := math.Floor(math.Log2(x))
+		if exp < -6 {
+			exp = -6
+		}
+		step := math.Pow(2, exp) / 8
+		return math.Abs(decodeE4M3(encodeE4M3(x))-x) <= step/2+1e-12 || x > 448
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
 		t.Fatal(err)

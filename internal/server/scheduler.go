@@ -168,6 +168,15 @@ type SchedulerConfig struct {
 	// detach their KV into (block size = TokenBudget). 0 = the default
 	// budget; negative disables prefix reuse entirely.
 	PrefixCacheTokens int
+	// Recover arms fault recovery: cluster infrastructure failures (a dead
+	// rank, a broken control plane) trigger an epoch rebuild and a
+	// bit-identical replay of every live session's token log instead of
+	// faulting the sessions. Requires keeping a per-session token log.
+	Recover bool
+	// MaxRecoveries bounds the scheduler's lifetime rebuild attempts
+	// (default 3 when Recover is set). Once spent, further infrastructure
+	// failures fault sessions exactly as they do with Recover off.
+	MaxRecoveries int
 	// Manual disables the background step loop; callers drive iterations
 	// with Step. Tests use this to pin down exactly what one iteration
 	// batches.
@@ -189,6 +198,9 @@ func (c *SchedulerConfig) applyDefaults() {
 	}
 	if c.PrefixCacheTokens == 0 {
 		c.PrefixCacheTokens = DefaultPrefixCacheTokens
+	}
+	if c.Recover && c.MaxRecoveries <= 0 {
+		c.MaxRecoveries = 3
 	}
 }
 
@@ -227,6 +239,11 @@ type request struct {
 
 	prompt   []int // tokens to prefill; nil for decode-only requests
 	consumed int   // chunk progress
+	// adopted is the prefix-tree hit this request's session was seeded
+	// with, held until the first miss-suffix chunk succeeds so the hit
+	// accounting lands exactly once — even when a chunk failure and
+	// recovery make runPrefillChunk re-enter with consumed > 0.
+	adopted int
 
 	pending int   // decode steps remaining
 	token   int   // token feeding the next decode step
@@ -283,6 +300,20 @@ type Scheduler struct {
 	canonical map[int]int
 	history   map[int][]int // the canonical prefix's tokens, len == canonical
 	noDetach  map[int]bool  // sessions opted out of donating KV (no_cache)
+	// log is the per-session token log recovery replays (Recover mode
+	// only): one segment per uninterrupted run of prefill chunks or decode
+	// steps, in residency order. Its invariant is exact agreement with the
+	// cluster: a token is appended when — and only when — its KV landed.
+	// Prefill segments replay as chunked prefills, decode segments as
+	// decode steps, so the per-rank KV placement (and every later logit)
+	// reproduces the original bit for bit.
+	log map[int][]logSeg
+	// needRecovery carries the first unhandled infrastructure failure; the
+	// step loop runs an epoch rebuild + replay before any other work. Only
+	// set when cfg.Recover armed the subsystem.
+	needRecovery error
+	recStats     RecoveryStats
+	watchStop    chan struct{}
 	// executing is the prefill head whose chunk the current iteration is
 	// running; cancellation must not remove it mid-chunk, but may between
 	// iterations.
@@ -324,12 +355,17 @@ func NewScheduler(cluster *transformer.Cluster, cfg SchedulerConfig) *Scheduler 
 		canonical: make(map[int]int),
 		history:   make(map[int][]int),
 		noDetach:  make(map[int]bool),
+		log:       make(map[int][]logSeg),
+		watchStop: make(chan struct{}),
 		queueStats: map[Class]*QueueStats{
 			ClassPrefill: {}, ClassDecode: {},
 		},
 		lastIter: IterReport{PrefillSession: -1},
 		loopDone: make(chan struct{}),
 	}
+	s.recStats.Enabled = cfg.Recover
+	s.recStats.MaxRecoveries = cfg.MaxRecoveries
+	s.recStats.Epoch = cluster.Epoch()
 	if cfg.PrefixCacheTokens > 0 {
 		// Block size must equal the chunk budget: hits are only bit-exact at
 		// canonical chunk boundaries. Config was validated by applyDefaults,
@@ -340,6 +376,9 @@ func NewScheduler(cluster *transformer.Cluster, cfg SchedulerConfig) *Scheduler 
 		})
 	}
 	s.cond = sync.NewCond(&s.mu)
+	if cfg.Recover {
+		go s.watchFailures()
+	}
 	if cfg.Manual {
 		close(s.loopDone)
 	} else {
@@ -592,7 +631,7 @@ func (s *Scheduler) maybeFreeSlotLocked(session int) {
 
 func (s *Scheduler) hasWorkLocked() bool {
 	return len(s.admit) > 0 || len(s.prefills) > 0 || len(s.decodes) > 0 ||
-		len(s.pendingDrops) > 0
+		len(s.pendingDrops) > 0 || s.needRecovery != nil
 }
 
 func (s *Scheduler) loop() {
@@ -640,6 +679,9 @@ func (s *Scheduler) Step() (IterReport, bool) {
 // step runs one iteration; callers are the background loop or Step.
 func (s *Scheduler) step() (IterReport, bool) {
 	s.applyDrops() // evictions are loop-ordered: never racing chunk or batch
+	// Recovery runs after drops (so released sessions are already out of
+	// the replay set) and before any chunk or batch touches the cluster.
+	s.maybeRecover()
 	s.mu.Lock()
 	s.admitLocked()
 	var pj *request
@@ -752,15 +794,26 @@ func (s *Scheduler) runPrefillChunk(pj *request, report *IterReport) bool {
 		return false
 	}
 	s.execMu.Lock()
-	adopted := 0
 	lookedUp := false
 	if s.tree != nil && pj.consumed == 0 && !pj.noCache && s.cluster.SeqLen(pj.session) == 0 {
 		lookedUp = true
 		if hit, entry := s.tree.Lookup(pj.prompt); hit > 0 {
 			if pre, ok := entry.(*transformer.PrefixKV); ok {
 				if err := s.cluster.AdoptPrefix(pj.session, pre); err == nil {
-					adopted = hit
+					pj.adopted = hit
 					pj.consumed = hit
+					// The adopted KV is resident now, so the token log and
+					// the canonical-prefix bookkeeping update now —
+					// deferring them to the chunk's success would
+					// desynchronize them from the cluster if the chunk
+					// fails and recovery replays the session (the retried
+					// chunk re-enters with consumed > 0 and never takes
+					// this branch again).
+					s.mu.Lock()
+					s.appendLogLocked(pj.session, false, pj.prompt[:hit])
+					s.canonical[pj.session] = hit
+					s.history[pj.session] = append([]int(nil), pj.prompt[:hit]...)
+					s.mu.Unlock()
 				}
 			}
 		}
@@ -821,6 +874,14 @@ func (s *Scheduler) runPrefillChunk(pj *request, report *IterReport) bool {
 	}
 	if err != nil {
 		var ce *transformer.CapacityError
+		if !errors.As(err, &ce) && s.recoveryArmedLocked() {
+			// Infrastructure failure with recovery armed: the request stays
+			// at the queue head and its session keeps its state — the next
+			// iteration rebuilds the cluster, replays the token log (which
+			// covers everything up to pj.consumed), and retries this chunk.
+			s.scheduleRecoveryLocked(fmt.Errorf("prefill chunk for session %d: %w", pj.session, err))
+			return false
+		}
 		if errors.As(err, &ce) {
 			s.reuse.CapacityQuarantines++
 		}
@@ -838,14 +899,16 @@ func (s *Scheduler) runPrefillChunk(pj *request, report *IterReport) bool {
 	}
 	// Hit accounting lands only once the first miss-suffix chunk succeeds:
 	// an adoption whose request then fails (and is quarantined) served the
-	// client nothing, and must not inflate the reported hit rate.
-	if adopted > 0 {
+	// client nothing, and must not inflate the reported hit rate. The
+	// pending count rides the request, not the stack, so a chunk retried
+	// after recovery still settles it.
+	if pj.adopted > 0 {
 		s.reuse.Hits++
-		s.reuse.CachedTokens += int64(adopted)
-		s.canonical[pj.session] = adopted
-		s.history[pj.session] = append([]int(nil), pj.prompt[:adopted]...)
+		s.reuse.CachedTokens += int64(pj.adopted)
+		pj.adopted = 0
 	}
 	s.reuse.ComputedTokens += int64(len(chunk))
+	s.appendLogLocked(pj.session, false, chunk)
 	if variant == perf.PassQ {
 		s.reuse.PassQChunks++
 	} else {
@@ -953,6 +1016,17 @@ func (s *Scheduler) runDecodeBatch(dbatch []*request, report *IterReport) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err != nil {
+		if s.recoveryArmedLocked() {
+			// Infrastructure failure with recovery armed: requeue the batch
+			// in order at the front of the decode pool instead of faulting
+			// it. Each request's pending token is untouched, and the replay
+			// restores its session's KV through exactly the last logged
+			// token, so the retried step is bit-identical to the one that
+			// failed.
+			s.decodes = append(append([]*request(nil), dbatch...), s.decodes...)
+			s.scheduleRecoveryLocked(fmt.Errorf("decode batch of %d: %w", len(dbatch), err))
+			return
+		}
 		// Dead sessions are filtered out at batch assembly and evictions
 		// are loop-ordered, so a failure here is infrastructure (comm
 		// fault, mid-ring timeout) that may have left partial per-rank KV.
@@ -975,6 +1049,7 @@ func (s *Scheduler) runDecodeBatch(dbatch []*request, report *IterReport) {
 	}
 	for i, r := range dbatch {
 		report.DecodeSessions = append(report.DecodeSessions, r.session)
+		s.appendLogLocked(r.session, true, []int{r.token})
 		next := transformer.Argmax(out[i])
 		r.pending--
 		if r.collect {
@@ -990,9 +1065,11 @@ func (s *Scheduler) runDecodeBatch(dbatch []*request, report *IterReport) {
 			// client's multi-turn conversation stays resident.
 			s.abortCanceledLocked(r, r.collect)
 		case r.pending > 0 && s.closed:
-			// Shutdown boundary: the stream ends here, not after its
-			// remaining (possibly millions of) steps.
-			r.err = ErrClosed
+			// Shutdown boundary: the stream is drained, not faulted — the
+			// client gets the tokens generated so far (ending with this
+			// step's) as a successful, truncated response. Shutdown stays
+			// bounded by one iteration, not by the stream's remaining
+			// (possibly millions of) steps.
 			close(r.done)
 		case r.pending > 0 && !s.prefilled[r.session]:
 			// Released while this step was in flight; don't requeue a
@@ -1075,17 +1152,14 @@ func (s *Scheduler) sessionQueuedLocked(session int) bool {
 	return false
 }
 
-// Release frees a session's admission slot, fails its queued requests (so
-// a fused batch never sees a dead sequence), schedules its KV for eviction
-// on the step loop, and admits waiting work.
-func (s *Scheduler) Release(session int) {
-	s.mu.Lock()
-	relErr := releasedErr(session)
+// purgeSessionLocked fails every queued request of a session with the
+// given error and removes them from all three queues; caller holds s.mu.
+func (s *Scheduler) purgeSessionLocked(session int, err error) {
 	purge := func(q []*request) []*request {
 		kept := q[:0]
 		for _, r := range q {
 			if r.session == session {
-				r.err = relErr
+				r.err = err
 				close(r.done)
 				continue
 			}
@@ -1096,6 +1170,14 @@ func (s *Scheduler) Release(session int) {
 	s.admit = purge(s.admit)
 	s.prefills = purge(s.prefills)
 	s.decodes = purge(s.decodes)
+}
+
+// Release frees a session's admission slot, fails its queued requests (so
+// a fused batch never sees a dead sequence), schedules its KV for eviction
+// on the step loop, and admits waiting work.
+func (s *Scheduler) Release(session int) {
+	s.mu.Lock()
+	s.purgeSessionLocked(session, releasedErr(session))
 	delete(s.sessions, session)
 	delete(s.prefilled, session)
 	// A clean release detaches the session's canonical prefix into the
@@ -1140,6 +1222,7 @@ func (s *Scheduler) detachAndDrop(d sessionDrop) {
 	delete(s.canonical, d.session)
 	delete(s.history, d.session)
 	delete(s.noDetach, d.session)
+	delete(s.log, d.session) // evicted sessions are not replayable
 	s.mu.Unlock()
 	if d.detach && !noDetach && s.tree != nil && canon >= s.cfg.TokenBudget {
 		added, err := s.tree.Insert(hist[:canon], func(depth int) (prefixcache.Entry, error) {
@@ -1217,25 +1300,45 @@ func (s *Scheduler) LastIter() IterReport {
 	return out
 }
 
-// Close stops admission, fails requests still waiting for an admission
-// slot, lets the loop drain queued work, and waits for it to exit.
-// Subsequent submissions fail.
+// Close stops admission, fails requests still waiting in a queue, lets the
+// loop finish its in-flight iteration (a generate stream claimed by that
+// iteration drains gracefully: its client gets the tokens generated so far
+// as a successful truncated response), and waits for the loop to exit.
+// Subsequent submissions fail with ErrClosed. Closing twice is safe: the
+// second call just waits for the first to finish.
 func (s *Scheduler) Close() {
 	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		<-s.loopDone
+		return
+	}
 	s.closed = true
-	// Fail everything queued rather than draining: a generate stream can
-	// have millions of steps left, and shutdown must be bounded by one
-	// iteration, not by the longest client request. In-flight work is cut
-	// at its next chunk/step boundary by the closed checks in the step
-	// loop.
+	close(s.watchStop)
+	// Cut everything queued rather than running it down: a generate stream
+	// can have millions of steps left, and shutdown must be bounded by one
+	// iteration, not by the longest client request. Streams that already
+	// produced tokens drain as successful truncated responses; requests
+	// that produced nothing fail with ErrClosed.
 	for _, q := range [][]*request{s.admit, s.prefills, s.decodes} {
 		for _, r := range q {
-			r.err = ErrClosed
+			if !r.collect || len(r.tokens) == 0 {
+				r.err = ErrClosed
+			}
 			close(r.done)
 		}
 	}
 	s.admit, s.prefills, s.decodes = nil, nil, nil
+	s.needRecovery = nil // nothing left worth rebuilding for
 	s.cond.Broadcast()
 	s.mu.Unlock()
 	<-s.loopDone
+}
+
+// Closed reports whether Close has begun; the HTTP layer maps post-close
+// requests (stats included) to 503 uniformly.
+func (s *Scheduler) Closed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }

@@ -4,9 +4,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"net"
 	"net/http"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/comm/wire"
@@ -57,6 +59,12 @@ type Config struct {
 	// DialTimeout bounds the distributed control-plane rendezvous.
 	// 0 = default.
 	DialTimeout time.Duration
+	// Recover arms fault recovery: a rank failure triggers an epoch
+	// rebuild and bit-identical session replay instead of faulting every
+	// in-flight session. See SchedulerConfig.Recover.
+	Recover bool
+	// MaxRecoveries bounds lifetime rebuild attempts (0 = 3 when Recover).
+	MaxRecoveries int
 }
 
 // Server is an HTTP inference frontend over one context-parallel cluster
@@ -68,9 +76,10 @@ type Config struct {
 //	GET    /v1/stats
 //	DELETE /v1/session/{id}
 type Server struct {
-	cfg     Config
-	sched   *Scheduler
-	started time.Time
+	cfg       Config
+	sched     *Scheduler
+	started   time.Time
+	closeOnce sync.Once
 }
 
 // New builds the server, its cluster, and the scheduler step loop.
@@ -87,6 +96,10 @@ func New(cfg Config) (*Server, error) {
 	}
 	var cluster *transformer.Cluster
 	if len(cfg.RankAddrs) > 0 {
+		cfg.RankAddrs, err = NormalizeRankAddrs(cfg.RankAddrs)
+		if err != nil {
+			return nil, err
+		}
 		cluster, err = transformer.ConnectCluster(w, transformer.ConnectConfig{
 			Addrs:       cfg.RankAddrs,
 			KVCapacity:  cfg.KVCapacity,
@@ -116,6 +129,8 @@ func New(cfg Config) (*Server, error) {
 			MaxSessions:       cfg.MaxSessions,
 			MaxTokens:         cfg.MaxTokens,
 			PrefixCacheTokens: cfg.PrefixCacheTokens,
+			Recover:           cfg.Recover,
+			MaxRecoveries:     cfg.MaxRecoveries,
 		}),
 		started: time.Now(),
 	}, nil
@@ -125,11 +140,51 @@ func New(cfg Config) (*Server, error) {
 // that want occupancy reports.
 func (s *Server) Scheduler() *Scheduler { return s.sched }
 
-// Close stops the scheduler and releases the cluster (in distributed mode:
-// shuts the worker processes down and hangs up the control plane).
+// NormalizeRankAddrs validates a distributed worker address list up front
+// and returns it in the exact form the dialer will use: every entry must
+// parse as host:port (surrounding whitespace is stripped, since flag lists
+// are often written "a:1, b:2") and be unique after stripping. Failing here
+// produces one clear line instead of a rendezvous hang or a mid-handshake
+// rejection.
+func NormalizeRankAddrs(addrs []string) ([]string, error) {
+	out := make([]string, len(addrs))
+	seen := make(map[string]int, len(addrs))
+	for i, raw := range addrs {
+		addr := strings.TrimSpace(raw)
+		host, port, err := net.SplitHostPort(addr)
+		if err != nil || host == "" || port == "" {
+			return nil, fmt.Errorf("server: rank %d address %q is not host:port", i, raw)
+		}
+		if p, err := strconv.Atoi(port); err != nil || p <= 0 || p > 65535 {
+			return nil, fmt.Errorf("server: rank %d address %q has invalid port %q", i, raw, port)
+		}
+		if prev, dup := seen[addr]; dup {
+			return nil, fmt.Errorf("server: ranks %d and %d share address %q", prev, i, addr)
+		}
+		seen[addr] = i
+		out[i] = addr
+	}
+	return out, nil
+}
+
+// ValidateRankAddrs is NormalizeRankAddrs without the normalized result.
+func ValidateRankAddrs(addrs []string) error {
+	_, err := NormalizeRankAddrs(addrs)
+	return err
+}
+
+// Close stops the scheduler — draining the in-flight iteration, so claimed
+// decode streams finish their step and return truncated successes — and
+// only then releases the cluster (in distributed mode: shuts the worker
+// processes down and hangs up the control plane). The order matters: the
+// scheduler owns all cluster execution, so the cluster hangup can never
+// race an in-flight chunk or batch. Closing more than once is safe, and
+// requests arriving after Close uniformly fail with ErrClosed/503.
 func (s *Server) Close() {
-	s.sched.Close()
-	s.sched.WithCluster(func(c *transformer.Cluster) { c.Close() })
+	s.closeOnce.Do(func() {
+		s.sched.Close()
+		s.sched.WithCluster(func(c *transformer.Cluster) { c.Close() })
+	})
 }
 
 // Handler returns the HTTP routing for the API.
@@ -335,6 +390,10 @@ type statsResponse struct {
 	// Comm breaks communication down by collective kind and directed link
 	// (wire-level counters included on the TCP transport).
 	Comm commBlock `json:"comm"`
+	// Recovery is the fault-tolerance telemetry: cluster epoch, rebuild and
+	// replay counters, recovered vs. lost sessions. Present even when
+	// recovery is disabled (enabled=false) so dashboards need no probing.
+	Recovery RecoveryStats `json:"recovery"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -342,7 +401,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusMethodNotAllowed, "GET required")
 		return
 	}
+	if s.sched.Closed() {
+		// Uniform post-close behavior: every endpoint answers 503, instead
+		// of stats surfacing a confusing closed-cluster telemetry error.
+		writeErr(w, http.StatusServiceUnavailable, "%v", ErrClosed)
+		return
+	}
 	ids := s.sched.SessionIDs()
+	// Snapshot the recovery block before the cluster lock: WithCluster
+	// blocks for the whole rebuild+replay while a recovery is executing, so
+	// sampling afterwards could never observe in_progress=true.
+	recovery := s.sched.RecoveryStats()
 	var ranks int
 	var tel transformer.Telemetry
 	var telErr error
@@ -355,6 +424,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 	})
 	if telErr != nil {
+		if s.sched.Closed() {
+			// Close ran while this request was in flight; answer like every
+			// other post-close request instead of surfacing a 500.
+			writeErr(w, http.StatusServiceUnavailable, "%v", ErrClosed)
+			return
+		}
 		writeErr(w, http.StatusInternalServerError, "cluster telemetry: %v", telErr)
 		return
 	}
@@ -405,6 +480,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Kernel:      parallel.Snapshot(),
 		KVAssembly:  tel.Assembly,
 		Comm:        comm,
+		Recovery:    recovery,
 	})
 }
 

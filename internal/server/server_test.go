@@ -690,10 +690,11 @@ func TestSchedulerCancelBeforeFirstChunkFreesSlot(t *testing.T) {
 	}
 }
 
-// TestCloseCutsInFlightStreams: Close must be bounded by one iteration, not
-// by a long client stream — the in-flight generate fails with ErrClosed at
-// its next step boundary.
-func TestCloseCutsInFlightStreams(t *testing.T) {
+// TestCloseDrainsInFlightStreams: Close must be bounded by one iteration,
+// not by a long client stream — the in-flight generate drains at its next
+// step boundary as a successful truncated response (the tokens produced so
+// far), never as a lost stream.
+func TestCloseDrainsInFlightStreams(t *testing.T) {
 	w, err := transformer.NewWeights(transformer.Tiny(99))
 	if err != nil {
 		t.Fatal(err)
@@ -703,10 +704,14 @@ func TestCloseCutsInFlightStreams(t *testing.T) {
 		t.Fatal(err)
 	}
 	s := NewScheduler(cluster, SchedulerConfig{TokenBudget: 4, MaxTokens: 1 << 20})
-	errCh := make(chan error, 1)
+	type result struct {
+		res *GenerateResult
+		err error
+	}
+	resCh := make(chan result, 1)
 	go func() {
-		_, err := s.Generate(context.Background(), 1, []int{1, 2, 3}, 1<<20)
-		errCh <- err
+		res, err := s.Generate(context.Background(), 1, []int{1, 2, 3}, 1<<20)
+		resCh <- result{res, err}
 	}()
 	// Let the stream get going, then close.
 	time.Sleep(50 * time.Millisecond)
@@ -716,9 +721,12 @@ func TestCloseCutsInFlightStreams(t *testing.T) {
 		t.Fatalf("Close took %v with an in-flight stream", waited)
 	}
 	select {
-	case err := <-errCh:
-		if err == nil {
-			t.Fatal("in-flight generate survived Close without error")
+	case r := <-resCh:
+		if r.err != nil {
+			t.Fatalf("in-flight generate faulted at Close instead of draining: %v", r.err)
+		}
+		if len(r.res.Tokens) == 0 || len(r.res.Tokens) >= 1<<20 {
+			t.Fatalf("drained stream returned %d tokens, want a truncated non-empty prefix", len(r.res.Tokens))
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("in-flight generate still blocked after Close")

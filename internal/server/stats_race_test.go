@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/perf"
+	"repro/internal/transformer"
+)
+
+// TestStatsHammerUnderTraffic is the ISSUE's lock-discipline pin: /v1/stats
+// — comm block (per-link modeled + wire counters), kernel block, and the
+// new recovery block — is hammered concurrently with prefill/decode traffic
+// and fail-link churn. Run under -race (the CI race job does), any unlocked
+// counter access surfaces here.
+//
+// Two deployments, because the counters live in different places: the
+// in-process subtest churns injected link faults through full recovery
+// cycles (recovery bookkeeping racing stats snapshots), and the distributed
+// subtest reads TCP per-link wire counters while worker heartbeat and
+// reader goroutines advance them.
+func TestStatsHammerUnderTraffic(t *testing.T) {
+	hammer := func(t *testing.T, srv *Server, failLink bool) {
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		defer srv.Close()
+		stop := make(chan struct{})
+		var wg sync.WaitGroup
+
+		// Traffic: short overlapping generates across a few sessions.
+		for g := 0; g < 3; g++ {
+			wg.Add(1)
+			go func(g int) {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					prompt := []int{1 + g, 2, 3 + i%5, 4, 5, 6, 7, 8}
+					_, _ = srv.Scheduler().Generate(context.Background(), 100+g, prompt, 4)
+					srv.Scheduler().Release(100 + g)
+				}
+			}(g)
+		}
+		// Stats hammer: parse the full block every time so any torn field
+		// also breaks decoding, not just the race detector.
+		for h := 0; h < 4; h++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					resp, err := http.Get(ts.URL + "/v1/stats")
+					if err != nil {
+						continue
+					}
+					var body statsResponse
+					_ = json.NewDecoder(resp.Body).Decode(&body)
+					resp.Body.Close()
+				}
+			}()
+		}
+		// Fault churn: inject link failures; recovery heals them by
+		// rebuilding, then the next injection fails the fresh epoch.
+		if failLink {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					select {
+					case <-stop:
+						return
+					case <-time.After(60 * time.Millisecond):
+						srv.Scheduler().WithCluster(func(c *transformer.Cluster) { c.FailLink(0, 1) })
+					}
+				}
+			}()
+		}
+		time.Sleep(700 * time.Millisecond)
+		close(stop)
+		wg.Wait()
+	}
+
+	t.Run("in-process-with-recovery-churn", func(t *testing.T) {
+		srv, err := New(Config{
+			Transformer:   transformer.Tiny(51),
+			Ranks:         2,
+			Variant:       perf.Auto,
+			TokenBudget:   8,
+			RecvTimeout:   300 * time.Millisecond,
+			Recover:       true,
+			MaxRecoveries: 1 << 20, // churn through many rebuilds
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hammer(t, srv, true)
+	})
+
+	t.Run("distributed-wire-counters", func(t *testing.T) {
+		cfg := transformer.Tiny(53)
+		addrs := startWorkers(t, cfg, 2)
+		srv, err := New(Config{
+			Transformer: cfg,
+			RankAddrs:   addrs,
+			Variant:     perf.PassKV,
+			TokenBudget: 8,
+			DialTimeout: 20 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hammer(t, srv, false)
+	})
+}

@@ -2,9 +2,11 @@ package transformer
 
 import (
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/comm"
+	"repro/internal/comm/transport"
 	"repro/internal/comm/wire"
 	"repro/internal/perf"
 	"repro/internal/ring"
@@ -40,6 +42,23 @@ type Cluster struct {
 	remote  *remotePlane  // distributed mode; nil when in-process
 
 	kvCapacity int
+
+	// Rebuild inputs: the construction options (in-process) or connect
+	// config (distributed) a fault-recovery rebuild replays, and the
+	// cluster incarnation it bumps. events is the stable failure-event
+	// fan-in — it survives rebuilds, so a watcher never has to resubscribe.
+	// The pump from the current incarnation's source starts lazily on the
+	// first Failures call (eventsMu guards pumping/eventSrc, since watchers
+	// subscribe from their own goroutine): a cluster nobody watches spawns
+	// no goroutine, so Close-less construction stays leak-free.
+	opts     clusterOpts
+	connCfg  ConnectConfig
+	epoch    uint64
+	events   chan transport.FailureEvent
+	eventsMu sync.Mutex
+	eventSrc <-chan transport.FailureEvent
+	srcEpoch uint64
+	pumping  bool
 
 	seqLens map[int]int
 	// decodeSteps counts completed decode steps per sequence. Owner rotation
@@ -89,9 +108,12 @@ func NewCluster(w *Weights, ranks int, opts ...ClusterOption) (*Cluster, error) 
 		W:           w,
 		n:           ranks,
 		world:       comm.NewWorld(ranks, co.commOpts...),
+		opts:        co,
+		epoch:       1,
 		kvCapacity:  co.kvCapacity,
 		seqLens:     make(map[int]int),
 		decodeSteps: make(map[int]int),
+		events:      make(chan transport.FailureEvent, ranks+2),
 	}
 	for r := 0; r < ranks; r++ {
 		e, err := newRankEngine(w, co.kvCapacity)
@@ -100,6 +122,7 @@ func NewCluster(w *Weights, ranks int, opts ...ClusterOption) (*Cluster, error) 
 		}
 		c.engines = append(c.engines, e)
 	}
+	c.setEventSource(c.world.Failures(), c.epoch)
 	return c, nil
 }
 
@@ -118,6 +141,16 @@ func (e *CapacityError) Error() string {
 // Ranks returns the CP group size.
 func (c *Cluster) Ranks() int { return c.n }
 
+// FailLink injects a directed link fault into an in-process cluster's
+// transport (the chaos hook recovery tests drive; mirrors
+// comm.World.FailLink and surfaces on Failures). No-op on a distributed
+// cluster — kill the worker process instead.
+func (c *Cluster) FailLink(src, dst int) {
+	if c.world != nil {
+		c.world.FailLink(src, dst)
+	}
+}
+
 // Distributed reports whether the ranks live in other processes.
 func (c *Cluster) Distributed() bool { return c.remote != nil }
 
@@ -126,12 +159,13 @@ func (c *Cluster) SeqLen(seq int) int { return c.seqLens[seq] }
 
 // Close releases the cluster's transport resources. For a distributed
 // cluster it sends every worker a shutdown command and hangs up the control
-// plane; in-process clusters have nothing to release.
+// plane; in-process clusters close their mailbox transport (stopping the
+// failure-event pump). Closing twice is safe.
 func (c *Cluster) Close() error {
 	if c.remote != nil {
 		return c.remote.close()
 	}
-	return nil
+	return c.world.Transport().Close()
 }
 
 // Telemetry is a consistent cross-rank snapshot of the cluster's observable
@@ -566,6 +600,7 @@ type PrefixKV struct {
 	tokens   int
 	id       uint64
 	c        *Cluster
+	epoch    uint64 // incarnation whose rank registries hold the spans
 	released bool
 }
 
@@ -574,13 +609,18 @@ func (p *PrefixKV) Tokens() int { return p.tokens }
 
 // Release frees the handle's page references on every rank and layer.
 // Releasing twice is a no-op; pages shared with live sequences or other
-// handles survive.
+// handles survive. A handle from a pre-rebuild epoch releases nothing: the
+// registries that held its spans died with the old incarnation, and a
+// release broadcast would be wasted round trips (or worse, would race the
+// new epoch's ids).
 func (p *PrefixKV) Release() {
 	if p == nil || p.released {
 		return
 	}
 	p.released = true
-	p.c.releasePrefix(p.id)
+	if p.epoch == p.c.epoch {
+		p.c.releasePrefix(p.id)
+	}
 }
 
 func (c *Cluster) releasePrefix(id uint64) {
@@ -642,7 +682,7 @@ func (c *Cluster) DetachPrefix(seq, upTo int) (*PrefixKV, error) {
 				seq, n, upTo, l)
 		}
 	}
-	return &PrefixKV{tokens: upTo, id: id, c: c}, nil
+	return &PrefixKV{tokens: upTo, id: id, c: c, epoch: c.epoch}, nil
 }
 
 // AdoptPrefix seeds a new sequence from a detached prefix by sharing its
@@ -658,6 +698,9 @@ func (c *Cluster) AdoptPrefix(seq int, pre *PrefixKV) error {
 	}
 	if pre.c != c {
 		return fmt.Errorf("transformer: adopting a prefix detached from a different cluster")
+	}
+	if pre.epoch != c.epoch {
+		return fmt.Errorf("transformer: adopting a prefix from stale epoch %d (cluster is at %d)", pre.epoch, c.epoch)
 	}
 	if _, ok := c.seqLens[seq]; ok {
 		return fmt.Errorf("transformer: sequence %d already resident", seq)

@@ -1,8 +1,10 @@
 package transformer
 
 import (
+	"errors"
 	"fmt"
 	"hash/fnv"
+	"sync"
 	"time"
 
 	"repro/internal/comm"
@@ -26,6 +28,11 @@ type ConnectConfig struct {
 	// KVCapacity must match the workers' -kv-capacity flag; it participates
 	// in the rendezvous config digest.
 	KVCapacity int
+	// Epoch is the cluster incarnation to dial at (0 = 1). If a worker
+	// answers from a newer epoch — this coordinator restarted while the
+	// workers kept rejoining — the dial adopts the observed epoch and
+	// retries, so a rolling coordinator restart converges without flags.
+	Epoch uint64
 	// DialTimeout bounds the control-plane rendezvous (workers may still be
 	// meshing when the coordinator starts). Default 15s.
 	DialTimeout time.Duration
@@ -62,11 +69,77 @@ func ConfigSum(cfg Config, world, kvCapacity int) uint64 {
 // others not) or a reply timeout (the late reply would alias the next
 // command's) — therefore poisons the plane permanently: every subsequent
 // command fails fast with the original cause instead of silently reading
-// desynchronized or divergent rank state.
+// desynchronized or divergent rank state. Recovery happens by rebuilding a
+// fresh plane on a new epoch (Cluster.Rebuild), never by reviving this one.
+//
+// Each control connection has a dedicated reader goroutine, for two
+// reasons: a dead worker is detected the moment its connection drops (even
+// while the coordinator is idle between commands), and workers may send
+// unsolicited FailureNote frames — filtered here, like heartbeats in the
+// data plane — without ever aliasing a command's reply.
 type remotePlane struct {
 	ctrls   []*transport.Ctrl
+	replies []chan any      // reader -> bcast reply handoff, per rank
+	down    []chan struct{} // closed by the reader on exit; downErr[r] is set first
+	downErr []error
+	events  chan transport.FailureEvent
+
+	readers    sync.WaitGroup
+	closed     chan struct{} // closed at hangup; unblocks reader handoff
+	hangupOnce sync.Once
+
 	timeout time.Duration
 	dead    error
+}
+
+// connectPlane dials every worker's control address at the given epoch. On
+// an EpochError (the workers are ahead of us) it reports the observed epoch
+// so the caller can adopt it and retry.
+func connectPlane(w *Weights, cfg ConnectConfig, epoch uint64) (*remotePlane, error) {
+	n := len(cfg.Addrs)
+	hello := &wire.Hello{
+		Magic: wire.Magic, Version: wire.Version, World: n, Rank: -1,
+		ConfigSum: ConfigSum(w.Cfg, n, cfg.KVCapacity),
+		Epoch:     epoch,
+	}
+	plane := &remotePlane{
+		timeout: cfg.CtrlTimeout,
+		closed:  make(chan struct{}),
+		events:  make(chan transport.FailureEvent, n+2),
+	}
+	for i, addr := range cfg.Addrs {
+		ctrl, err := transport.DialCtrl(addr, hello, i, cfg.DialTimeout)
+		if err != nil {
+			plane.hangup()
+			return nil, fmt.Errorf("transformer: connecting rank %d: %w", i, err)
+		}
+		plane.ctrls = append(plane.ctrls, ctrl)
+	}
+	plane.replies = make([]chan any, n)
+	plane.down = make([]chan struct{}, n)
+	plane.downErr = make([]error, n)
+	for r := range plane.ctrls {
+		plane.replies[r] = make(chan any)
+		plane.down[r] = make(chan struct{})
+		plane.readers.Add(1)
+		go plane.readLoop(r)
+	}
+	return plane, nil
+}
+
+// dialPlane runs connectPlane with epoch adoption: if the workers answer
+// from a newer epoch (this coordinator is the one that restarted), redial at
+// the observed epoch. Returns the plane and the epoch it actually joined.
+func dialPlane(w *Weights, cfg ConnectConfig, epoch uint64) (*remotePlane, uint64, error) {
+	for tries := 0; ; tries++ {
+		plane, err := connectPlane(w, cfg, epoch)
+		var eErr *transport.EpochError
+		if err != nil && errors.As(err, &eErr) && tries < 4 {
+			epoch = eErr.Observed
+			continue
+		}
+		return plane, epoch, err
+	}
 }
 
 // ConnectCluster dials a worker mesh and returns a distributed Cluster: the
@@ -88,35 +161,92 @@ func ConnectCluster(w *Weights, cfg ConnectConfig) (*Cluster, error) {
 			cfg.CtrlTimeout = DefaultCtrlTimeout
 		}
 	}
-	n := len(cfg.Addrs)
-	hello := &wire.Hello{
-		Magic: wire.Magic, Version: wire.Version, World: n, Rank: -1,
-		ConfigSum: ConfigSum(w.Cfg, n, cfg.KVCapacity),
+	if cfg.Epoch == 0 {
+		cfg.Epoch = 1
 	}
-	plane := &remotePlane{timeout: cfg.CtrlTimeout}
-	for i, addr := range cfg.Addrs {
-		ctrl, err := transport.DialCtrl(addr, hello, i, cfg.DialTimeout)
-		if err != nil {
-			plane.hangup()
-			return nil, fmt.Errorf("transformer: connecting rank %d: %w", i, err)
-		}
-		plane.ctrls = append(plane.ctrls, ctrl)
+	plane, epoch, err := dialPlane(w, cfg, cfg.Epoch)
+	if err != nil {
+		return nil, err
 	}
-	return &Cluster{
+	c := &Cluster{
 		W:           w,
-		n:           n,
+		n:           len(cfg.Addrs),
 		remote:      plane,
+		connCfg:     cfg,
+		epoch:       epoch,
 		kvCapacity:  cfg.KVCapacity,
 		seqLens:     make(map[int]int),
 		decodeSteps: make(map[int]int),
-	}, nil
+		events:      make(chan transport.FailureEvent, len(cfg.Addrs)+2),
+	}
+	c.setEventSource(plane.events, epoch)
+	return c, nil
+}
+
+// readLoop drains one worker's control connection: replies are handed to the
+// in-flight bcast, FailureNotes become failure events, and a dead connection
+// downs the rank with its cause.
+func (p *remotePlane) readLoop(r int) {
+	defer p.readers.Done()
+	for {
+		v, err := p.ctrls[r].Recv(0)
+		if err != nil {
+			p.downErr[r] = err
+			close(p.down[r])
+			p.pushEvent(transport.FailureEvent{Peer: r, Cause: err})
+			return
+		}
+		if note, ok := v.(*wire.FailureNote); ok {
+			p.pushEvent(transport.FailureEvent{Peer: note.Rank,
+				Cause: fmt.Errorf("worker reported: %s", note.Cause)})
+			continue
+		}
+		select {
+		case p.replies[r] <- v:
+		case <-p.closed:
+			return
+		}
+	}
+}
+
+// pushEvent publishes without blocking; the plane may be torn down while a
+// reader still holds an event, so a full or abandoned channel drops it (the
+// consumer already has failure signals pending). Send-after-close is
+// impossible by ordering, not by a guard: pushEvent is called only from
+// readLoop goroutines, and hangup closes p.events only after
+// p.readers.Wait() — keep it that way (or switch to a closed-guarded sink)
+// if another publisher is ever added.
+func (p *remotePlane) pushEvent(ev transport.FailureEvent) {
+	select {
+	case p.events <- ev:
+	default:
+	}
 }
 
 func (p *remotePlane) hangup() {
-	for _, c := range p.ctrls {
-		if c != nil {
-			c.Close()
+	p.hangupOnce.Do(func() {
+		close(p.closed)
+		for _, c := range p.ctrls {
+			if c != nil {
+				c.Close()
+			}
 		}
+		p.readers.Wait()
+		close(p.events)
+	})
+}
+
+// recvReply waits for rank r's next reply frame.
+func (p *remotePlane) recvReply(r int) (any, error) {
+	timer := time.NewTimer(p.timeout)
+	defer timer.Stop()
+	select {
+	case v := <-p.replies[r]:
+		return v, nil
+	case <-p.down[r]:
+		return nil, p.downErr[r]
+	case <-timer.C:
+		return nil, fmt.Errorf("timed out after %v", p.timeout)
 	}
 }
 
@@ -134,8 +264,8 @@ func (p *remotePlane) bcast(cmd any) ([]any, error) {
 		}
 	}
 	out := make([]any, len(p.ctrls))
-	for r, c := range p.ctrls {
-		v, err := c.Recv(p.timeout)
+	for r := range p.ctrls {
+		v, err := p.recvReply(r)
 		if err != nil {
 			return nil, p.poison(fmt.Errorf("transformer: control reply from rank %d: %w", r, err))
 		}
@@ -330,12 +460,21 @@ func (p *remotePlane) close() error {
 			firstSendErr = err
 		}
 	}
-	for _, c := range p.ctrls {
+	for r := range p.ctrls {
 		// Give each worker a moment to ack so its serve loop exits cleanly,
 		// but never block shutdown on a wedged or already-gone peer: a
 		// missing ack is not an error at teardown.
-		_, _ = c.Recv(2 * time.Second)
+		timer := time.NewTimer(2 * time.Second)
+		select {
+		case <-p.replies[r]:
+		case <-p.down[r]:
+		case <-timer.C:
+		}
+		timer.Stop()
 	}
 	p.hangup()
+	// Mark the plane closed so later operations fail fast with a named
+	// cause and a second Close is a no-op.
+	p.dead = errors.New("cluster closed")
 	return firstSendErr
 }

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"os"
 	"strings"
@@ -14,6 +15,13 @@ import (
 	"repro/internal/comm/transport"
 	"repro/internal/comm/wire"
 )
+
+// ErrCoordinatorHangup reports a worker serve loop that ended because the
+// coordinator's control connection dropped without an explicit shutdown
+// command — the signature of a coordinator-initiated epoch rebuild (or a
+// coordinator crash). Rejoin loops treat it as "rejoin at the next epoch";
+// single-shot workers treat it as an orderly exit.
+var ErrCoordinatorHangup = errors.New("transformer: coordinator hung up")
 
 // WorkerConfig parameterizes one cprank worker process: which rank it
 // hosts, where the mesh lives, and the model it replicates.
@@ -37,23 +45,116 @@ type WorkerConfig struct {
 	KVCapacity        int
 	RecvTimeout       time.Duration // ring receive deadline (0 = comm default)
 	RendezvousTimeout time.Duration
+
+	// Epoch is the cluster incarnation to join first (0 = 1). A respawned
+	// replacement for a dead rank can leave it 1: its peers answer from the
+	// current epoch and the handshake adopts it.
+	Epoch uint64
+	// Rejoin keeps the worker alive across cluster incarnations: when the
+	// serve loop ends with a coordinator hangup, a lost peer, or a stale
+	// epoch, the worker discards its engine and rejoins the mesh at the
+	// next (or observed) epoch instead of exiting. MaxRejoins bounds the
+	// cycles (0 = 16).
+	Rejoin     bool
+	MaxRejoins int
 }
 
-// RunWorker hosts one CP rank: builds the replicated weights, joins the TCP
-// mesh (plus the coordinator's control connection), and serves command
-// frames until shutdown or coordinator hangup. This is the entire cprank
-// process in one call, exported so tests and examples can run workers
-// without shelling out to the binary.
+// RunWorker hosts one CP rank for a single cluster incarnation: builds the
+// replicated weights, joins the TCP mesh (plus the coordinator's control
+// connection), and serves command frames until shutdown or coordinator
+// hangup (both orderly here — use RunWorkerLoop for rejoin semantics).
 func RunWorker(cfg WorkerConfig) error {
 	w, err := NewWeights(cfg.Transformer)
 	if err != nil {
 		return err
 	}
+	b, err := newWorkerBoot(&cfg)
+	if err != nil {
+		return err
+	}
+	defer b.close()
+	err = b.serveEpoch(cfg, w, cfg.Epoch)
+	if errors.Is(err, ErrCoordinatorHangup) {
+		return nil
+	}
+	return err
+}
+
+// RunWorkerLoop hosts one CP rank across cluster incarnations: each cycle
+// joins the mesh at the current epoch with a fresh engine, serves until the
+// incarnation ends, and rejoins at the next epoch. The loop exits cleanly
+// on an explicit shutdown command, and with an error when the rendezvous
+// for a new epoch times out (no coordinator came back) or the rejoin budget
+// is spent.
+func RunWorkerLoop(cfg WorkerConfig) error {
+	if !cfg.Rejoin {
+		return RunWorker(cfg)
+	}
+	w, err := NewWeights(cfg.Transformer)
+	if err != nil {
+		return err
+	}
+	b, err := newWorkerBoot(&cfg)
+	if err != nil {
+		return err
+	}
+	defer b.close()
+	maxRejoins := cfg.MaxRejoins
+	if maxRejoins <= 0 {
+		maxRejoins = 16
+	}
+	epoch := cfg.Epoch
+	if epoch == 0 {
+		epoch = 1
+	}
+	for rejoins := 0; ; rejoins++ {
+		err := b.serveEpoch(cfg, w, epoch)
+		var eErr *transport.EpochError
+		switch {
+		case err == nil:
+			return nil // explicit shutdown command
+		case errors.As(err, &eErr):
+			// The mesh is already at a newer epoch; adopt it.
+			log.Printf("cprank: rank %d adopting epoch %d (was joining %d)", cfg.Rank, eErr.Observed, epoch)
+			epoch = eErr.Observed
+		case errors.Is(err, ErrCoordinatorHangup):
+			// This incarnation is dead; the coordinator will rebuild at the
+			// next epoch.
+			log.Printf("cprank: rank %d lost the coordinator at epoch %d; rejoining at %d", cfg.Rank, epoch, epoch+1)
+			epoch++
+		default:
+			// Anything else — rendezvous timeout, a rejected stray peer
+			// aborting the join, a transient re-listen failure — retries at
+			// the same epoch while budget remains. A rejoin worker's job is
+			// to come back; only a spent budget makes it give up.
+			log.Printf("cprank: rank %d rejoin at epoch %d failed (%v); retrying", cfg.Rank, epoch, err)
+		}
+		// rejoins counts completed cycles; the one about to start is
+		// rejoin number rejoins+1, and the budget bounds rejoins proper —
+		// the initial join is never charged against it.
+		if rejoins+1 > maxRejoins {
+			return fmt.Errorf("transformer: rank %d exceeded %d rejoins (last: %v)", cfg.Rank, maxRejoins, err)
+		}
+	}
+}
+
+// workerBoot holds what persists across a worker's incarnations: the
+// resolved address list and this rank's stable listen address. The first
+// cycle may consume a caller-provided listener (and run the stdin/stdout
+// address exchange); later cycles re-listen on the same address.
+type workerBoot struct {
+	addrs      []string
+	listenAddr string
+	ln         net.Listener // first cycle's listener; nil afterwards
+}
+
+func newWorkerBoot(cfg *WorkerConfig) (*workerBoot, error) {
 	ln := cfg.Listener
 	if ln == nil {
+		var err error
 		ln, err = net.Listen("tcp", cfg.Listen)
 		if err != nil {
-			return fmt.Errorf("transformer: worker %d listen: %w", cfg.Rank, err)
+			return nil, fmt.Errorf("transformer: worker %d listen: %w", cfg.Rank, err)
 		}
 	}
 	if cfg.AddrOut != nil {
@@ -63,24 +164,85 @@ func RunWorker(cfg WorkerConfig) error {
 	if addrs == nil {
 		if cfg.AddrIn == nil {
 			ln.Close()
-			return errors.New("transformer: worker has neither Addrs nor AddrIn")
+			return nil, errors.New("transformer: worker has neither Addrs nor AddrIn")
 		}
 		line, err := bufio.NewReader(cfg.AddrIn).ReadString('\n')
 		if err != nil {
 			ln.Close()
-			return fmt.Errorf("transformer: worker %d reading address list: %w", cfg.Rank, err)
+			return nil, fmt.Errorf("transformer: worker %d reading address list: %w", cfg.Rank, err)
 		}
 		addrs = strings.Split(strings.TrimSpace(line), ",")
 	}
+	return &workerBoot{addrs: addrs, listenAddr: ln.Addr().String(), ln: ln}, nil
+}
+
+// listener returns the cycle's listener: the boot (or parked) listener
+// when one is held, else a fresh bind of the stable address. The brief
+// retry absorbs an OS still releasing the port.
+func (b *workerBoot) listener() (net.Listener, error) {
+	if b.ln != nil {
+		ln := b.ln
+		b.ln = nil
+		return ln, nil
+	}
+	var lastErr error
+	for i := 0; i < 40; i++ {
+		ln, err := net.Listen("tcp", b.listenAddr)
+		if err == nil {
+			return ln, nil
+		}
+		lastErr = err
+		time.Sleep(50 * time.Millisecond)
+	}
+	return nil, fmt.Errorf("transformer: re-listen on %s: %w", b.listenAddr, lastErr)
+}
+
+// park re-binds the worker's address as a placeholder the moment Join
+// releases it (Join closes its listener once the mesh completes), and the
+// next cycle's Join inherits the parked listener directly. Without this the
+// port sits unbound for the whole serve phase — long enough for another
+// process to claim it (ephemeral-port setups especially), which would
+// strand every future rejoin. Dialers that hit the parked socket queue in
+// the kernel backlog and complete their handshake when the next rendezvous
+// starts accepting.
+func (b *workerBoot) park() {
+	for i := 0; i < 40 && b.ln == nil; i++ {
+		ln, err := net.Listen("tcp", b.listenAddr)
+		if err == nil {
+			b.ln = ln
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	// Failed to park: listener() retries the bind at the next rejoin.
+}
+
+// close releases a parked listener (worker exiting for good).
+func (b *workerBoot) close() {
+	if b.ln != nil {
+		b.ln.Close()
+		b.ln = nil
+	}
+}
+
+// serveEpoch runs one incarnation: fresh engine, mesh join at the given
+// epoch, serve until the incarnation ends.
+func (b *workerBoot) serveEpoch(cfg WorkerConfig, w *Weights, epoch uint64) error {
+	ln, err := b.listener()
+	if err != nil {
+		return err
+	}
 	tp, ctrl, err := transport.Join(transport.TCPConfig{
-		World: cfg.World, Rank: cfg.Rank, Addrs: addrs, Listener: ln,
+		World: cfg.World, Rank: cfg.Rank, Addrs: b.addrs, Listener: ln,
 		ConfigSum:         ConfigSum(cfg.Transformer, cfg.World, cfg.KVCapacity),
+		Epoch:             epoch,
 		ExpectCtrl:        true,
 		RendezvousTimeout: cfg.RendezvousTimeout,
 	})
 	if err != nil {
 		return err
 	}
+	b.park() // hold the port through the serve phase for the next rejoin
 	defer tp.Close()
 	defer ctrl.Close()
 	var commOpts []comm.Option
@@ -94,9 +256,19 @@ func RunWorker(cfg WorkerConfig) error {
 // ServeRank runs one rank's command loop: receive a control frame, execute
 // it on the rank engine (ring passes flow over the world's transport), and
 // reply with a result frame. Engine errors are reported in the reply and
-// the loop keeps serving — they are the coordinator's to handle; only
-// control-plane breakage (or shutdown) ends the loop. A coordinator hangup
-// (EOF) is an orderly exit.
+// the loop keeps serving — they are the coordinator's to handle.
+//
+// Data-plane faults (a peer link dying) never end the loop either: the
+// worker sends the coordinator an unsolicited FailureNote — once per dead
+// peer — and keeps serving, because only the coordinator can tell a rank
+// crash that needs an epoch rebuild from an orderly teardown where a peer
+// simply exited first. Exiting on the event would race the in-flight
+// ShutdownCmd at every clean shutdown. The loop's only exits are
+// control-plane signals:
+//
+//   - explicit ShutdownCmd: returns nil (orderly exit, never rejoined)
+//   - coordinator hangup: returns ErrCoordinatorHangup (rebuild or crash;
+//     the rejoin loop re-enters rendezvous at the next epoch)
 func ServeRank(ctrl *transport.Ctrl, world *comm.World, w *Weights, kvCapacity int) error {
 	local := world.LocalRanks()
 	if len(local) != 1 {
@@ -107,20 +279,60 @@ func ServeRank(ctrl *transport.Ctrl, world *comm.World, w *Weights, kvCapacity i
 	if err != nil {
 		return err
 	}
+	// A dedicated reader lets the loop select between command frames and
+	// the transport's failure events; stop bounds its life when the loop
+	// exits for a non-control reason.
+	frames := make(chan any, 1)
+	readErr := make(chan error, 1)
+	stop := make(chan struct{})
+	defer close(stop)
+	go func() {
+		for {
+			v, err := ctrl.Recv(0)
+			if err != nil {
+				readErr <- err
+				return
+			}
+			select {
+			case frames <- v:
+			case <-stop:
+				return
+			}
+		}
+	}()
+	noted := make(map[int]bool)
+	failures := world.Failures()
 	for {
-		v, err := ctrl.Recv(0)
-		if err != nil {
+		select {
+		case v := <-frames:
+			reply, shutdown := e.handle(rank, world, v)
+			if err := ctrl.Send(reply); err != nil {
+				return err
+			}
+			if shutdown {
+				return nil
+			}
+		case err := <-readErr:
 			if errors.Is(err, io.EOF) || errors.Is(err, net.ErrClosed) {
-				return nil // coordinator hung up
+				return ErrCoordinatorHangup
 			}
 			return err
-		}
-		reply, shutdown := e.handle(rank, world, v)
-		if err := ctrl.Send(reply); err != nil {
-			return err
-		}
-		if shutdown {
-			return nil
+		case ev, ok := <-failures:
+			if !ok {
+				failures = nil // transport closed; stop selecting on it
+				continue
+			}
+			if noted[ev.Peer] {
+				continue
+			}
+			noted[ev.Peer] = true
+			// Best effort: surface the dead link to the coordinator. The
+			// note is filtered out of the command/result stream there, so it
+			// can never alias a reply.
+			_ = ctrl.Send(&wire.FailureNote{
+				Rank:  rank.ID,
+				Cause: fmt.Sprintf("link to rank %d failed: %v", ev.Peer, ev.Cause),
+			})
 		}
 	}
 }
@@ -171,15 +383,15 @@ func errString(err error) string {
 }
 
 // WorkerMain is the cprank entry point shared with self-executing examples:
-// it runs RunWorker with the standard stdout/stdin address exchange when no
-// explicit address list is given, and maps failure onto a process exit
-// code.
+// it runs the worker (with the rejoin loop when cfg.Rejoin is set) using
+// the standard stdout/stdin address exchange when no explicit address list
+// is given, and maps failure onto a process exit code.
 func WorkerMain(cfg WorkerConfig) {
 	if cfg.Addrs == nil {
 		cfg.AddrOut = os.Stdout
 		cfg.AddrIn = os.Stdin
 	}
-	if err := RunWorker(cfg); err != nil {
+	if err := RunWorkerLoop(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "cprank: rank %d: %v\n", cfg.Rank, err)
 		os.Exit(1)
 	}
