@@ -15,6 +15,19 @@ import (
 	"repro/internal/transformer"
 )
 
+// sectionEnv pins the machine context a section was measured under: the
+// physical core count and the scheduler width. Embedded per section (not
+// just at the top level) so a report stitched together across machines or
+// reruns can never misattribute a throughput number.
+type sectionEnv struct {
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
+}
+
+func captureEnv() sectionEnv {
+	return sectionEnv{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+}
+
 // kernelWorkerPoint is one worker-count measurement of a kernel workload.
 type kernelWorkerPoint struct {
 	Workers       int     `json:"workers"`
@@ -26,6 +39,7 @@ type kernelWorkerPoint struct {
 // the seed scalar kernel versus the tiled interval-mask kernel across
 // worker counts.
 type kernelPrefillReport struct {
+	sectionEnv
 	QTokens      int                 `json:"q_tokens"`
 	CachedTokens int                 `json:"cached_tokens"`
 	NumHeads     int                 `json:"num_heads"`
@@ -41,6 +55,7 @@ type kernelPrefillReport struct {
 // counts (the whole serving stack in the loop: ring pass-Q, assembled-KV
 // mirrors, merge, FFN).
 type kernelDecodeReport struct {
+	sectionEnv
 	Sessions   int                 `json:"sessions"`
 	Ranks      int                 `json:"ranks"`
 	ContextLen int                 `json:"context_len"`
@@ -56,6 +71,7 @@ type kernelBenchReport struct {
 	NumCPU        int                 `json:"num_cpu"`
 	Prefill       kernelPrefillReport `json:"prefill"`
 	Decode        kernelDecodeReport  `json:"decode"`
+	Forward       kernelForwardReport `json:"forward"`
 }
 
 // runKernelBench measures the attention hot path and writes BENCH_kernel.json.
@@ -104,7 +120,8 @@ func runKernelBench(path string) error {
 		return err
 	}
 	report.Prefill = kernelPrefillReport{
-		QTokens: qTokens, CachedTokens: cached,
+		sectionEnv: captureEnv(),
+		QTokens:    qTokens, CachedTokens: cached,
 		NumHeads: nh, NumKV: nkv, HeadDim: dh, Reps: reps,
 		SeedTokSec: seedTok,
 	}
@@ -135,7 +152,8 @@ func runKernelBench(path string) error {
 	if err != nil {
 		return err
 	}
-	report.Decode = kernelDecodeReport{Sessions: sessions, Ranks: ranks, ContextLen: ctxLen, Steps: steps}
+	report.Decode = kernelDecodeReport{sectionEnv: captureEnv(),
+		Sessions: sessions, Ranks: ranks, ContextLen: ctxLen, Steps: steps}
 	for _, w := range workerCounts {
 		old := parallel.SetWorkers(w)
 		stepsSec, err := runDecodeBench(w8, sessions, ranks, ctxLen, steps)
@@ -148,6 +166,16 @@ func runKernelBench(path string) error {
 		})
 	}
 
+	// The forward-pass section: projection/FFN/logits GEMMs and end-to-end
+	// single-rank prefill, each against the scalar/serial baseline.
+	report.Forward, err = runForwardBench(workerCounts)
+	if err != nil {
+		return err
+	}
+	if err := validForward(report.Forward); err != nil {
+		return err
+	}
+
 	buf, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err
@@ -158,6 +186,10 @@ func runKernelBench(path string) error {
 	best := report.Prefill.Kernel[len(report.Prefill.Kernel)-1]
 	fmt.Printf("kernel bench: seed %.0f tok/s; tiled kernel %.0f tok/s at %d workers (%.1fx)\n",
 		seedTok, best.TokPerSec, best.Workers, best.SpeedupVsSeed)
+	e2e := report.Forward.Stages[len(report.Forward.Stages)-1]
+	last := e2e.Throughput[len(e2e.Throughput)-1]
+	fmt.Printf("forward bench (%s): e2e scalar/serial %.0f tok/s; parallel+simd %.0f tok/s (%.1fx)\n",
+		report.Forward.SIMD, e2e.ScalarSerialTok, last.TokPerSec, last.SpeedupVsScalar)
 	fmt.Printf("wrote %s\n", path)
 	return nil
 }

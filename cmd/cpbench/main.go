@@ -30,6 +30,7 @@ func main() {
 	exp := flag.String("exp", "all", "experiment id to run, or 'all'")
 	prefixJSON := flag.String("prefix-json", "", "measure prefix KV-reuse prefill TTFT and write the JSON report to this path")
 	kernelJSON := flag.String("kernel-json", "", "measure serial-vs-parallel GQA kernel throughput and write the JSON report to this path")
+	forwardJSON := flag.String("forward-json", "", "measure only the forward-pass section (projection/FFN/logits GEMMs + end-to-end prefill) and write it to this path")
 	workers := flag.Int("workers", 0, "attention kernel worker-pool width for experiments (0 = GOMAXPROCS)")
 	flag.Parse()
 
@@ -38,6 +39,13 @@ func main() {
 	}
 	if *kernelJSON != "" {
 		if err := runKernelBench(*kernelJSON); err != nil {
+			fmt.Fprintln(os.Stderr, "cpbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *forwardJSON != "" {
+		if err := runForwardJSON(*forwardJSON); err != nil {
 			fmt.Fprintln(os.Stderr, "cpbench:", err)
 			os.Exit(1)
 		}

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/parallel"
 	"repro/internal/perf"
+	"repro/internal/ring"
 	"repro/internal/server"
 	"repro/internal/transformer"
 )
@@ -57,11 +58,13 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", 15*time.Second, "distributed control-plane rendezvous deadline")
 	recover := flag.Bool("recover", false, "rebuild the cluster on a new epoch after a rank failure and replay live sessions bit-identically (instead of faulting them)")
 	maxRecoveries := flag.Int("max-recoveries", 3, "lifetime bound on recovery rebuild attempts (requires -recover)")
+	ringOverlap := flag.Bool("ring-overlap", true, "double-buffer the ring hot path: issue the next step's SendRecv concurrently with attention compute (false = synchronous exchanges, bit-identical output)")
 	flag.Parse()
 
 	if *workers > 0 {
 		parallel.SetWorkers(*workers)
 	}
+	ring.SetOverlap(*ringOverlap)
 
 	var policy server.Policy
 	switch *policyName {

@@ -2,16 +2,16 @@
 
 package attention
 
+import "repro/internal/simd"
+
 // useAVX gates the AVX inner loops. The vector code is lane-for-lane the
 // same arithmetic as the four-way unrolled scalar loops (lane i of the
 // vector accumulator is exactly scalar accumulator s_i, and the horizontal
 // reduction replays ((s0+s2)+(s1+s3))), so switching between the two paths
-// can never change a bit — it is purely a throughput decision.
-var useAVX = cpuidAVX()
-
-// cpuidAVX reports AVX support with OS-enabled YMM state (CPUID.1:ECX
-// OSXSAVE+AVX, then XGETBV XMM+YMM). Implemented in simd_amd64.s.
-func cpuidAVX() bool
+// can never change a bit — it is purely a throughput decision. CPU
+// detection lives in the shared internal/simd package, captured once at
+// init.
+var useAVX = simd.Available()
 
 // axpyAVX computes y[i] += alpha*x[i] (len(y) >= len(x)), elementwise mul
 // then add, identical rounding to the scalar loop. Implemented in

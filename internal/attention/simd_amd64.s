@@ -2,27 +2,6 @@
 
 #include "textflag.h"
 
-// func cpuidAVX() bool
-// CPUID.1:ECX must report OSXSAVE (bit 27) and AVX (bit 28), and XGETBV
-// must confirm the OS saves XMM+YMM state (XCR0 bits 1 and 2).
-TEXT ·cpuidAVX(SB), NOSPLIT, $0-1
-	MOVL $1, AX
-	CPUID
-	MOVL CX, BX
-	ANDL $(1<<27 | 1<<28), BX
-	CMPL BX, $(1<<27 | 1<<28)
-	JNE  noavx
-	XORL CX, CX
-	XGETBV
-	ANDL $6, AX
-	CMPL AX, $6
-	JNE  noavx
-	MOVB $1, ret+0(FP)
-	RET
-noavx:
-	MOVB $0, ret+0(FP)
-	RET
-
 // func axpyAVX(alpha float64, x, y []float64)
 // y[i] += alpha*x[i]: elementwise multiply then add, the same two roundings
 // per element as the portable loop in the same order.

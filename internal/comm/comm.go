@@ -258,8 +258,11 @@ func (w *World) ResetStats() {
 	w.links = make(map[[2]int]*linkAgg)
 }
 
-// Rank is one participant's handle into the world. Methods on Rank are
-// called from that rank's goroutine only.
+// Rank is one participant's handle into the world. At most one operation
+// may be in flight per rank at a time: methods are normally called from
+// that rank's goroutine, but a rank may hand a single call to a helper
+// goroutine (the ring's communication/compute overlap does this) as long
+// as it synchronizes on completion before issuing the next one.
 type Rank struct {
 	w  *World
 	ID int

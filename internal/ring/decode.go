@@ -127,17 +127,20 @@ func PassQDecode(in *DecodeInput) (*attention.Output, error) {
 	rowOut := attention.NewOutput(1, in.Q.Heads, in.Q.Dim)
 	src := in.Rank.ID
 	for j := 0; j < n; j++ {
-		var recvErr error
-		var received any
+		// Decode sweeps double-buffer too: the next visiting query block is
+		// in flight while this block attends to the local KV shard.
+		var xfer *inflight
 		if j < n-1 {
-			received, recvErr = in.Rank.SendRecv(next, prev, cur, qBlockBytes(cur, in.Elem))
+			xfer = startSendRecv(in.Rank, next, prev, cur, qBlockBytes(cur, in.Elem))
 		}
 		partial, err := decodeBlockAttention(in.Cache, blocks, cur, rowOut)
 		if err != nil {
+			xfer.drain()
 			return nil, err
 		}
 		partials[src] = partial
 		if j < n-1 {
+			received, recvErr := xfer.wait()
 			if recvErr != nil {
 				return nil, recvErr
 			}

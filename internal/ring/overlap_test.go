@@ -1,0 +1,100 @@
+package ring
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/attention"
+	"repro/internal/comm"
+	"repro/internal/comm/wire"
+)
+
+// runOverlapScenario drives a multi-turn mixed-variant conversation — both
+// prefill rings plus two batched decode sweeps — over a fresh in-process
+// world and returns every per-rank output in turn order together with the
+// world's per-link and total communication accounting.
+func runOverlapScenario(t *testing.T, n int) ([]*attention.Output, []wire.LinkStat, comm.Stats) {
+	t.Helper()
+	h := newHarness(t, 77, n, 2)
+	h.prefillTurn([]int{8, 6}, PassKVPrefill, "pass-kv")
+	h.prefillTurn([]int{3, 5}, PassQPrefill, "pass-q")
+	h.decodeStep(0)
+	h.decodeStep(1)
+	return h.outs, h.world.LinkStats(), h.world.TotalStats()
+}
+
+func requireSameOutputs(t *testing.T, sync, overlap []*attention.Output) {
+	t.Helper()
+	if len(sync) != len(overlap) {
+		t.Fatalf("overlapped run produced %d outputs, synchronous %d", len(overlap), len(sync))
+	}
+	for i := range sync {
+		a, b := sync[i], overlap[i]
+		if len(a.O.Data) != len(b.O.Data) || len(a.LSE) != len(b.LSE) {
+			t.Fatalf("output %d shape differs: %d/%d data, %d/%d lse",
+				i, len(a.O.Data), len(b.O.Data), len(a.LSE), len(b.LSE))
+		}
+		for j := range a.O.Data {
+			if math.Float32bits(a.O.Data[j]) != math.Float32bits(b.O.Data[j]) {
+				t.Fatalf("output %d element %d: sync %x, overlap %x", i, j, a.O.Data[j], b.O.Data[j])
+			}
+		}
+		for j := range a.LSE {
+			if math.Float64bits(a.LSE[j]) != math.Float64bits(b.LSE[j]) {
+				t.Fatalf("output %d lse %d: sync %x, overlap %x", i, j, a.LSE[j], b.LSE[j])
+			}
+		}
+	}
+}
+
+// The double-buffered hot path must be externally indistinguishable from
+// the synchronous one: bit-identical outputs and LSEs, and exactly equal
+// per-link modeled byte/message accounting (the in-process transport has no
+// wire counters, so full LinkStat equality is required here).
+func TestOverlapMatchesSynchronousExactly(t *testing.T) {
+	prev := SetOverlap(false)
+	defer SetOverlap(prev)
+	for _, n := range []int{2, 3, 4} {
+		SetOverlap(false)
+		syncOuts, syncLinks, syncTotal := runOverlapScenario(t, n)
+		SetOverlap(true)
+		ovOuts, ovLinks, ovTotal := runOverlapScenario(t, n)
+		requireSameOutputs(t, syncOuts, ovOuts)
+		if !reflect.DeepEqual(syncLinks, ovLinks) {
+			t.Fatalf("n=%d link accounting differs:\nsync:    %+v\noverlap: %+v", n, syncLinks, ovLinks)
+		}
+		if !reflect.DeepEqual(syncTotal, ovTotal) {
+			t.Fatalf("n=%d total accounting differs:\nsync:    %+v\noverlap: %+v", n, syncTotal, ovTotal)
+		}
+	}
+}
+
+// The occupancy telemetry must attribute steps to the mode that actually
+// ran them: overlapped runs advance Steps (and only those can be Hidden),
+// synchronous runs advance SyncSteps.
+func TestOverlapCountersTrackMode(t *testing.T) {
+	prev := SetOverlap(true)
+	defer SetOverlap(prev)
+	before := OverlapSnapshot()
+	runOverlapScenario(t, 3)
+	mid := OverlapSnapshot()
+	if mid.Steps <= before.Steps {
+		t.Fatalf("overlapped run advanced Steps %d -> %d", before.Steps, mid.Steps)
+	}
+	if mid.SyncSteps != before.SyncSteps {
+		t.Fatalf("overlapped run advanced SyncSteps %d -> %d", before.SyncSteps, mid.SyncSteps)
+	}
+	if mid.Hidden < before.Hidden || mid.Hidden > mid.Steps {
+		t.Fatalf("hidden count %d outside [%d, %d]", mid.Hidden, before.Hidden, mid.Steps)
+	}
+	SetOverlap(false)
+	runOverlapScenario(t, 3)
+	after := OverlapSnapshot()
+	if after.SyncSteps <= mid.SyncSteps {
+		t.Fatalf("synchronous run advanced SyncSteps %d -> %d", mid.SyncSteps, after.SyncSteps)
+	}
+	if after.Steps != mid.Steps {
+		t.Fatalf("synchronous run advanced overlapped Steps %d -> %d", mid.Steps, after.Steps)
+	}
+}

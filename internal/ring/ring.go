@@ -269,21 +269,23 @@ func PassKVPrefill(in *PrefillInput) (*attention.Output, error) {
 	next := (in.Rank.ID + 1) % n
 	prev := (in.Rank.ID - 1 + n) % n
 	for j := 0; j < n; j++ {
-		// Kick off the transfer of the current block, then compute on it —
-		// the overlap the paper relies on. In this simulated transport the
-		// send is buffered, so issuing it first models the same pipeline.
-		var recvErr error
-		var received any
+		// Issue the transfer of the current block for step j+1, then compute
+		// on it while the exchange is in flight — the communication/compute
+		// overlap the paper relies on. The block we just sent stays valid to
+		// read: circulating payloads are read-only by contract.
+		var xfer *inflight
 		if j < n-1 {
-			received, recvErr = in.Rank.SendRecv(next, prev, cur, kvBlockBytes(cur, in.Elem))
+			xfer = startSendRecv(in.Rank, next, prev, cur, kvBlockBytes(cur, in.Elem))
 		}
 		if err := attention.GQAInto(partial, in.Q, cur.K, cur.V, attention.Mask{
 			QPos: qPos, QSeq: qSeq, KVPos: cur.Pos, KVSeq: cur.Seq,
 		}); err != nil {
+			xfer.drain()
 			return nil, err
 		}
 		attention.AccumulateInto(out, partial)
 		if j < n-1 {
+			received, recvErr := xfer.wait()
 			if recvErr != nil {
 				return nil, recvErr
 			}
@@ -317,19 +319,22 @@ func PassQPrefill(in *PrefillInput) (*attention.Output, error) {
 	partials := make([]*attention.Output, n) // partials[s] = O_s^k for source s
 	src := in.Rank.ID
 	for j := 0; j < n; j++ {
-		var recvErr error
-		var received any
+		// Same double-buffering as pass-KV: the query block for step j+1 is
+		// in flight while this step's partial attention runs.
+		var xfer *inflight
 		if j < n-1 {
-			received, recvErr = in.Rank.SendRecv(next, prev, cur, qBlockBytes(cur, in.Elem))
+			xfer = startSendRecv(in.Rank, next, prev, cur, qBlockBytes(cur, in.Elem))
 		}
 		partial, err := attention.GQA(cur.Q, kv.K, kv.V, attention.Mask{
 			QPos: cur.Pos, QSeq: cur.Seq, KVPos: kv.Pos, KVSeq: kv.Seq,
 		})
 		if err != nil {
+			xfer.drain()
 			return nil, err
 		}
 		partials[src] = partial
 		if j < n-1 {
+			received, recvErr := xfer.wait()
 			if recvErr != nil {
 				return nil, recvErr
 			}

@@ -32,6 +32,9 @@ type harness struct {
 	caches []*kvcache.Cache
 	// Per-sequence full history in position order (the oracle's view).
 	histK, histV []*tensor.Tensor
+	// Every per-rank output in turn order, for bitwise cross-run parity
+	// checks (the overlap tests replay a scenario and diff these).
+	outs []*attention.Output
 }
 
 func newHarness(t *testing.T, seed int64, n, numSeqs int) *harness {
@@ -87,6 +90,7 @@ func (h *harness) prefillTurn(lens []int, variant prefillFn, name string) {
 	if err != nil {
 		h.t.Fatalf("%s: %v", name, err)
 	}
+	h.outs = append(h.outs, outs...)
 	locals := make([]*tensor.Tensor, h.n)
 	for r, o := range outs {
 		locals[r] = o.O
@@ -159,6 +163,7 @@ func (h *harness) decodeStep(step int) {
 	if err != nil {
 		h.t.Fatal(err)
 	}
+	h.outs = append(h.outs, outs...)
 	for s := 0; s < numSeqs; s++ {
 		r := sharding.DecodeOwner(s, step, h.n)
 		idx := -1

@@ -16,6 +16,7 @@ import (
 	"repro/internal/perf"
 	"repro/internal/prefixcache"
 	"repro/internal/ring"
+	"repro/internal/tensor"
 	"repro/internal/transformer"
 )
 
@@ -356,6 +357,15 @@ type commBlock struct {
 	Links         []wire.LinkStat          `json:"links,omitempty"`
 }
 
+// kernelBlock groups the compute-kernel telemetry: the shared worker pool,
+// the forward-pass matmul sweeps (pool utilization of the projection, FFN,
+// and logits GEMMs), and the ring communication/compute overlap occupancy.
+type kernelBlock struct {
+	Pool        parallel.Stats     `json:"pool"`
+	Matmul      tensor.MatmulStats `json:"matmul"`
+	RingOverlap ring.OverlapStats  `json:"ring_overlap"`
+}
+
 type statsResponse struct {
 	Ranks       int                  `json:"ranks"`
 	Policy      string               `json:"policy"`
@@ -381,11 +391,12 @@ type statsResponse struct {
 	PrefillSource prefillSource      `json:"prefill_source"`
 	Reuse         ReuseStats         `json:"reuse"`
 	PrefixCache   *prefixcache.Stats `json:"prefix_cache,omitempty"` // nil when disabled
-	// Kernel parallelism (shared worker pool) and per-sweep KV-assembly
-	// copy counters: Kernel shows how attention work fans out over the
-	// pool; KVAssembly shows that chunked prefill and batched decode extend
-	// cached KV mirrors instead of re-concatenating the context.
-	Kernel     parallel.Stats       `json:"kernel"`
+	// Kernel parallelism and per-sweep KV-assembly copy counters: Kernel
+	// groups the shared worker pool, the forward-pass matmul sweeps, and
+	// the ring communication/compute overlap; KVAssembly shows that chunked
+	// prefill and batched decode extend cached KV mirrors instead of
+	// re-concatenating the context.
+	Kernel     kernelBlock          `json:"kernel"`
 	KVAssembly ring.BlockCacheStats `json:"kv_assembly"`
 	// Comm breaks communication down by collective kind and directed link
 	// (wire-level counters included on the TCP transport).
@@ -477,10 +488,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		},
 		Reuse:       reuse,
 		PrefixCache: treeStats,
-		Kernel:      parallel.Snapshot(),
-		KVAssembly:  tel.Assembly,
-		Comm:        comm,
-		Recovery:    recovery,
+		Kernel: kernelBlock{
+			Pool:        parallel.Snapshot(),
+			Matmul:      tensor.MatmulSnapshot(),
+			RingOverlap: ring.OverlapSnapshot(),
+		},
+		KVAssembly: tel.Assembly,
+		Comm:       comm,
+		Recovery:   recovery,
 	})
 }
 

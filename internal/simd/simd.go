@@ -1,0 +1,69 @@
+// Package simd hosts the SIMD building blocks shared by the compute hot
+// paths: the attention kernels (internal/attention) gate their AVX inner
+// loops on the CPU detection here, and the projection/FFN/logits GEMMs
+// (internal/tensor) call the float32 dot product directly.
+//
+// The package generalizes the AVX scaffolding that previously lived inside
+// internal/attention: one CPUID probe (OSXSAVE+AVX with OS-enabled YMM
+// state) and vector kernels whose lane arithmetic is bit-for-bit the same
+// as their portable scalar fallbacks. The contract every kernel here obeys:
+//
+//   - The scalar fallback is the oracle. It uses four independent
+//     accumulators (breaking the floating-point add latency chain) combined
+//     as ((s0+s2)+(s1+s3)), with the tail folded into s0.
+//   - The vector path maps lane i to scalar accumulator s_i and replays the
+//     same horizontal reduction, so switching between the two paths can
+//     never change a bit — it is purely a throughput decision.
+//
+// Tests verify the equivalence bitwise at every length, including
+// non-multiple-of-four tails.
+package simd
+
+// enabled gates the vector paths. It is initialized from CPUID and can be
+// flipped with SetEnabled by tests and benchmarks that need the scalar
+// oracle; it is never mutated while kernels are running.
+var enabled = hasAVX
+
+// Available reports whether the vector paths are active.
+func Available() bool { return enabled }
+
+// SetEnabled turns the vector paths on or off and returns the previous
+// state. Enabling is a no-op on hardware without AVX. Intended for tests
+// and benchmarks that compare against the scalar oracle; do not call it
+// concurrently with running kernels.
+func SetEnabled(on bool) bool {
+	prev := enabled
+	enabled = on && hasAVX
+	return prev
+}
+
+// DotF32 returns the inner product of two equal-length float32 vectors with
+// the shared four-accumulator reduction order. It is the innermost kernel
+// of the row-blocked projection GEMMs.
+func DotF32(a, b []float32) float32 {
+	if len(a) != len(b) {
+		panic("simd: dot length mismatch")
+	}
+	if enabled && len(a) >= 8 {
+		return dotF32AVX(a, b)
+	}
+	return DotF32Scalar(a, b)
+}
+
+// DotF32Scalar is the portable oracle: four-way unrolled accumulators with
+// the tail folded into s0, reduced as ((s0+s2)+(s1+s3)). The AVX kernel is
+// verified bitwise against it.
+func DotF32Scalar(a, b []float32) float32 {
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+3 < len(a); i += 4 {
+		s0 += a[i] * b[i]
+		s1 += a[i+1] * b[i+1]
+		s2 += a[i+2] * b[i+2]
+		s3 += a[i+3] * b[i+3]
+	}
+	for ; i < len(a); i++ {
+		s0 += a[i] * b[i]
+	}
+	return (s0 + s2) + (s1 + s3)
+}

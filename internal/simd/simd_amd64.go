@@ -1,0 +1,16 @@
+//go:build amd64
+
+package simd
+
+// hasAVX is the one CPUID probe the repo's vector kernels share.
+var hasAVX = cpuidAVX()
+
+// cpuidAVX reports AVX support with OS-enabled YMM state (CPUID.1:ECX
+// OSXSAVE+AVX, then XGETBV XMM+YMM). Implemented in simd_amd64.s.
+func cpuidAVX() bool
+
+// dotF32AVX is the vector form of DotF32Scalar: four float32 lanes in one
+// XMM accumulator (lane i == scalar accumulator s_i), scalar tail into lane
+// 0, horizontal reduction replaying ((s0+s2)+(s1+s3)). Implemented in
+// simd_amd64.s.
+func dotF32AVX(a, b []float32) float32

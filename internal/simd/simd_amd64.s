@@ -1,0 +1,68 @@
+//go:build amd64
+
+#include "textflag.h"
+
+// func cpuidAVX() bool
+// CPUID.1:ECX must report OSXSAVE (bit 27) and AVX (bit 28), and XGETBV
+// must confirm the OS saves XMM+YMM state (XCR0 bits 1 and 2).
+TEXT ·cpuidAVX(SB), NOSPLIT, $0-1
+	MOVL $1, AX
+	CPUID
+	MOVL CX, BX
+	ANDL $(1<<27 | 1<<28), BX
+	CMPL BX, $(1<<27 | 1<<28)
+	JNE  noavx
+	XORL CX, CX
+	XGETBV
+	ANDL $6, AX
+	CMPL AX, $6
+	JNE  noavx
+	MOVB $1, ret+0(FP)
+	RET
+noavx:
+	MOVB $0, ret+0(FP)
+	RET
+
+// func dotF32AVX(a, b []float32) float32
+// Four float32 lanes accumulate in X0 (lane i == scalar accumulator s_i of
+// the four-way unrolled oracle), the scalar tail folds into lane 0, and the
+// horizontal reduction replays ((s0+s2)+(s1+s3)). VEX.128 ops only, so no
+// VZEROUPPER is needed.
+TEXT ·dotF32AVX(SB), NOSPLIT, $0-52
+	MOVQ   a_base+0(FP), SI
+	MOVQ   b_base+24(FP), DI
+	MOVQ   a_len+8(FP), CX
+	VXORPS X0, X0, X0
+	MOVQ   CX, DX
+	SHRQ   $2, DX
+	JZ     dtail_setup
+dloop4:
+	VMOVUPS (SI), X1
+	VMOVUPS (DI), X2
+	VMULPS  X2, X1, X1
+	VADDPS  X1, X0, X0
+	ADDQ    $16, SI
+	ADDQ    $16, DI
+	DECQ    DX
+	JNZ     dloop4
+dtail_setup:
+	ANDQ $3, CX
+	JZ   dreduce
+dtail:
+	VMOVSS (SI), X1
+	VMULSS (DI), X1, X1
+	VADDSS X1, X0, X0
+	ADDQ   $4, SI
+	ADDQ   $4, DI
+	DECQ   CX
+	JNZ    dtail
+dreduce:
+	// X0 = [s0 s1 s2 s3]; form (s0+s2) + (s1+s3) in lane 0.
+	VPSRLDQ $8, X0, X1  // [s2 s3 0 0]
+	VADDSS  X1, X0, X2  // lane0 = s0+s2
+	VPSRLDQ $4, X0, X3  // [s1 s2 s3 0]
+	VPSRLDQ $12, X0, X4 // [s3 0 0 0]
+	VADDSS  X4, X3, X3  // lane0 = s1+s3
+	VADDSS  X3, X2, X2
+	VMOVSS  X2, ret+48(FP)
+	RET

@@ -1,0 +1,9 @@
+//go:build !amd64
+
+package simd
+
+// Non-amd64 builds always take the portable scalar loops; the constant lets
+// the compiler delete the vector branches entirely.
+const hasAVX = false
+
+func dotF32AVX(a, b []float32) float32 { panic("simd: dotF32AVX without AVX") }

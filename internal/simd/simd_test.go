@@ -1,0 +1,71 @@
+package simd
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// The AVX dot must be bit-identical to the scalar four-way-unrolled oracle
+// at every length, including non-multiple-of-four tails — switching between
+// the two paths is a pure throughput decision.
+func TestDotF32AVXMatchesScalarExactly(t *testing.T) {
+	if !hasAVX {
+		t.Skip("no AVX on this machine")
+	}
+	rng := rand.New(rand.NewSource(7))
+	for n := 8; n <= 96; n++ {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for trial := 0; trial < 8; trial++ {
+			for i := range a {
+				a[i] = float32(rng.NormFloat64())
+				b[i] = float32(rng.NormFloat64())
+			}
+			got := dotF32AVX(a, b)
+			want := DotF32Scalar(a, b)
+			if math.Float32bits(got) != math.Float32bits(want) {
+				t.Fatalf("dotF32AVX(n=%d) = %x, scalar %x", n, got, want)
+			}
+		}
+	}
+}
+
+// DotF32 must dispatch to bit-identical results whether the vector path is
+// enabled or not, across the short-vector cutoff.
+func TestDotF32DispatchIsBitStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for n := 0; n <= 40; n++ {
+		a := make([]float32, n)
+		b := make([]float32, n)
+		for i := range a {
+			a[i] = float32(rng.NormFloat64())
+			b[i] = float32(rng.NormFloat64())
+		}
+		prev := SetEnabled(false)
+		scalar := DotF32(a, b)
+		SetEnabled(true)
+		vec := DotF32(a, b)
+		SetEnabled(prev)
+		if math.Float32bits(scalar) != math.Float32bits(vec) {
+			t.Fatalf("DotF32(n=%d) enabled=%x disabled=%x", n, vec, scalar)
+		}
+	}
+}
+
+func TestSetEnabledCannotForceAVXOn(t *testing.T) {
+	prev := SetEnabled(true)
+	defer SetEnabled(prev)
+	if Available() && !hasAVX {
+		t.Fatal("SetEnabled(true) enabled vector paths without hardware support")
+	}
+}
+
+func TestDotF32LengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on length mismatch")
+		}
+	}()
+	DotF32(make([]float32, 3), make([]float32, 4))
+}

@@ -4,6 +4,10 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
+
+	"repro/internal/parallel"
+	"repro/internal/simd"
 )
 
 // Matrix is a dense row-major [Rows x Cols] float32 matrix used by the
@@ -39,46 +43,125 @@ func (m *Matrix) Row(r int) []float32 {
 }
 
 // MulVec computes dst = M · src. len(src) must equal Cols and len(dst) must
-// equal Rows; dst is overwritten.
+// equal Rows; dst is overwritten. Each output element is one shared-SIMD
+// dot product (simd.DotF32): AVX four-lane on amd64, the bit-identical
+// four-way-unrolled scalar loop elsewhere.
 func (m *Matrix) MulVec(dst, src []float32) {
 	if len(src) != m.Cols || len(dst) != m.Rows {
 		panic(fmt.Sprintf("tensor: mulvec shapes dst=%d src=%d for [%d %d]",
 			len(dst), len(src), m.Rows, m.Cols))
 	}
 	for r := 0; r < m.Rows; r++ {
-		dst[r] = Dot(m.Row(r), src)
+		dst[r] = simd.DotF32(m.Row(r), src)
 	}
+}
+
+// minParallelFlops gates pool dispatch for the row-blocked matmuls and
+// forward-pass sweeps: below roughly this many multiply-adds the dispatch
+// costs more than the math (the same trade the attention kernels make).
+const minParallelFlops = 4096
+
+var (
+	statMatmulJobs       atomic.Int64 // ApplyRowsInto/ForRows calls fanned over the pool
+	statMatmulSerialJobs atomic.Int64 // calls run inline below the threshold
+	statMatmulCells      atomic.Int64 // output cells computed in fanned calls
+)
+
+// MatmulStats counts how the forward-pass matmul sweeps use the shared
+// worker pool, exposed through /v1/stats so projection/FFN/logits
+// parallelism is observable alongside the attention kernel's counters.
+type MatmulStats struct {
+	Jobs       int64 `json:"jobs"`        // sweeps fanned over the pool
+	SerialJobs int64 `json:"serial_jobs"` // sweeps run inline (below threshold or width 1)
+	Cells      int64 `json:"cells"`       // output cells computed in fanned sweeps
+}
+
+// MatmulSnapshot returns the current matmul sweep counters.
+func MatmulSnapshot() MatmulStats {
+	return MatmulStats{
+		Jobs:       statMatmulJobs.Load(),
+		SerialJobs: statMatmulSerialJobs.Load(),
+		Cells:      statMatmulCells.Load(),
+	}
+}
+
+// ForRows fans fn over [0, n) row indices when n*flopsPerRow justifies a
+// pool dispatch, and runs it inline otherwise. fn(lo, hi) must write only
+// rows it owns and compute each row identically regardless of partitioning
+// — the same determinism contract as parallel.For — so fanned execution is
+// bit-identical to inline at any worker count. The forward-pass sweeps
+// (QKV projection, FFN, logits, RoPE) and ApplyRowsInto all route through
+// here, which is also where the matmul pool counters are kept.
+func ForRows(n, flopsPerRow int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if n*flopsPerRow < minParallelFlops || parallel.Workers() <= 1 {
+		statMatmulSerialJobs.Add(1)
+		fn(0, n)
+		return
+	}
+	parallel.For(n, fn)
+	statMatmulJobs.Add(1)
+	statMatmulCells.Add(int64(n))
+}
+
+// ApplyRowsInto computes the row-blocked matmul dst = [tokens, Rows] of the
+// matrix applied to every token row of in ([tokens, Cols] flat) without
+// allocating: the caller provides dst (typically pooled scratch). Work is
+// chunked over the shared worker pool at output-cell granularity — cell
+// (t, r) is one simd dot of weight row r against token row t — so a
+// one-token decode step still fans across Rows. Every cell is a pure
+// function of its operands, so parallel output is bit-identical to serial.
+func (m *Matrix) ApplyRowsInto(dst, in []float32, tokens int) {
+	if len(in) != tokens*m.Cols {
+		panic(fmt.Sprintf("tensor: applyrows input %d for %d tokens x %d cols", len(in), tokens, m.Cols))
+	}
+	if len(dst) != tokens*m.Rows {
+		panic(fmt.Sprintf("tensor: applyrows dst %d for %d tokens x %d rows", len(dst), tokens, m.Rows))
+	}
+	rows, cols := m.Rows, m.Cols
+	ForRows(tokens*rows, cols, func(lo, hi int) {
+		for idx := lo; idx < hi; idx++ {
+			t := idx / rows
+			r := idx - t*rows
+			dst[idx] = simd.DotF32(m.Data[r*cols:(r+1)*cols], in[t*cols:(t+1)*cols])
+		}
+	})
 }
 
 // ApplyRows applies the matrix independently to every token row of a
 // flattened activation tensor: in is [tokens, Cols] flat, the result is
-// [tokens, Rows] flat.
+// [tokens, Rows] flat. Allocating form of ApplyRowsInto.
 func (m *Matrix) ApplyRows(in []float32, tokens int) []float32 {
-	if len(in) != tokens*m.Cols {
-		panic(fmt.Sprintf("tensor: applyrows input %d for %d tokens x %d cols", len(in), tokens, m.Cols))
-	}
 	out := make([]float32, tokens*m.Rows)
-	for t := 0; t < tokens; t++ {
-		m.MulVec(out[t*m.Rows:(t+1)*m.Rows], in[t*m.Cols:(t+1)*m.Cols])
-	}
+	m.ApplyRowsInto(out, in, tokens)
 	return out
 }
 
-// RMSNorm normalizes x in place by its root-mean-square and multiplies by
-// the per-channel gain, returning a new slice: out_i = x_i / rms(x) * g_i.
-func RMSNorm(x, gain []float32, eps float64) []float32 {
+// RMSNormInto writes the root-mean-square normalization of x scaled by the
+// per-channel gain into dst: dst_i = x_i / rms(x) * g_i. dst may alias x.
+func RMSNormInto(dst, x, gain []float32, eps float64) {
 	if len(x) != len(gain) {
 		panic(fmt.Sprintf("tensor: rmsnorm gain %d for input %d", len(gain), len(x)))
+	}
+	if len(dst) != len(x) {
+		panic(fmt.Sprintf("tensor: rmsnorm dst %d for input %d", len(dst), len(x)))
 	}
 	var ss float64
 	for _, v := range x {
 		ss += float64(v) * float64(v)
 	}
 	inv := 1 / math.Sqrt(ss/float64(len(x))+eps)
-	out := make([]float32, len(x))
 	for i, v := range x {
-		out[i] = float32(float64(v)*inv) * gain[i]
+		dst[i] = float32(float64(v)*inv) * gain[i]
 	}
+}
+
+// RMSNorm is the allocating form of RMSNormInto.
+func RMSNorm(x, gain []float32, eps float64) []float32 {
+	out := make([]float32, len(x))
+	RMSNormInto(out, x, gain, eps)
 	return out
 }
 

@@ -1,0 +1,134 @@
+package tensor
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/parallel"
+	"repro/internal/simd"
+)
+
+// The row-blocked parallel matmul must be bit-identical to the serial
+// per-row loop at every worker width and for every SIMD setting, across
+// shapes that land on both sides of the dispatch threshold (one-token
+// decode, odd row counts, big blocks).
+func TestApplyRowsIntoBitIdenticalAcrossWorkersAndSIMD(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	shapes := []struct{ rows, cols, tokens int }{
+		{8, 8, 1},     // below threshold: inline path
+		{64, 32, 1},   // one-token decode, fans over rows
+		{96, 64, 7},   // odd token count
+		{64, 100, 33}, // non-multiple-of-four dot length
+	}
+	oldW := parallel.SetWorkers(1)
+	prevSIMD := simd.SetEnabled(false)
+	defer func() {
+		parallel.SetWorkers(oldW)
+		simd.SetEnabled(prevSIMD)
+	}()
+	for _, sh := range shapes {
+		m := RandMatrix(rng, sh.rows, sh.cols)
+		in := make([]float32, sh.tokens*sh.cols)
+		for i := range in {
+			in[i] = float32(rng.NormFloat64())
+		}
+		// Reference: serial scalar per-row MulVec loop.
+		simd.SetEnabled(false)
+		parallel.SetWorkers(1)
+		ref := make([]float32, sh.tokens*sh.rows)
+		for tok := 0; tok < sh.tokens; tok++ {
+			m.MulVec(ref[tok*sh.rows:(tok+1)*sh.rows], in[tok*sh.cols:(tok+1)*sh.cols])
+		}
+		for _, useSIMD := range []bool{false, true} {
+			simd.SetEnabled(useSIMD)
+			for _, workers := range []int{1, 2, 8} {
+				parallel.SetWorkers(workers)
+				got := make([]float32, sh.tokens*sh.rows)
+				m.ApplyRowsInto(got, in, sh.tokens)
+				for i := range got {
+					if math.Float32bits(got[i]) != math.Float32bits(ref[i]) {
+						t.Fatalf("shape %+v simd=%v workers=%d cell %d: %x != %x",
+							sh, useSIMD, workers, i, got[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestApplyRowsIntoShapePanics(t *testing.T) {
+	m := NewMatrix(4, 3)
+	for _, bad := range []struct {
+		dst, in []float32
+		tokens  int
+	}{
+		{make([]float32, 7), make([]float32, 6), 2},  // dst too short
+		{make([]float32, 8), make([]float32, 5), 2},  // in wrong length
+		{make([]float32, 12), make([]float32, 6), 2}, // dst sized for 3 tokens, in for 2
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("no panic for dst=%d in=%d tokens=%d", len(bad.dst), len(bad.in), bad.tokens)
+				}
+			}()
+			m.ApplyRowsInto(bad.dst, bad.in, bad.tokens)
+		}()
+	}
+}
+
+// RMSNormInto must equal the allocating form and support dst aliasing x.
+func TestRMSNormIntoMatchesAndAliases(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	x := make([]float32, 33)
+	gain := make([]float32, 33)
+	for i := range x {
+		x[i] = float32(rng.NormFloat64())
+		gain[i] = float32(rng.NormFloat64())
+	}
+	want := RMSNorm(x, gain, 1e-5)
+	got := make([]float32, len(x))
+	RMSNormInto(got, x, gain, 1e-5)
+	for i := range got {
+		if math.Float32bits(got[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("element %d: %x != %x", i, got[i], want[i])
+		}
+	}
+	aliased := append([]float32(nil), x...)
+	RMSNormInto(aliased, aliased, gain, 1e-5)
+	for i := range aliased {
+		if math.Float32bits(aliased[i]) != math.Float32bits(want[i]) {
+			t.Fatalf("aliased element %d: %x != %x", i, aliased[i], want[i])
+		}
+	}
+}
+
+// ForRows must visit every index exactly once whether it fans out or runs
+// inline, and the matmul counters must attribute the call to the right mode.
+func TestForRowsCoverageAndCounters(t *testing.T) {
+	oldW := parallel.SetWorkers(4)
+	defer parallel.SetWorkers(oldW)
+	const n = 1000
+	hits := make([]int32, n)
+	before := MatmulSnapshot()
+	ForRows(n, 100, func(lo, hi int) { // 100k flops: fans out
+		for i := lo; i < hi; i++ {
+			hits[i]++
+		}
+	})
+	mid := MatmulSnapshot()
+	if mid.Jobs != before.Jobs+1 || mid.Cells != before.Cells+n {
+		t.Fatalf("fanned ForRows counters: %+v -> %+v", before, mid)
+	}
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+	ForRows(4, 2, func(lo, hi int) {}) // 8 flops: inline
+	after := MatmulSnapshot()
+	if after.SerialJobs != mid.SerialJobs+1 || after.Jobs != mid.Jobs {
+		t.Fatalf("inline ForRows counters: %+v -> %+v", mid, after)
+	}
+}

@@ -19,6 +19,7 @@ package transformer
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"repro/internal/model"
 	"repro/internal/tensor"
@@ -120,81 +121,135 @@ func NewWeights(cfg Config) (*Weights, error) {
 	return w, nil
 }
 
+// f32Pool recycles forward-pass scratch (normed rows, FFN activations, the
+// attention output projection) so steady-state prefill and decode allocate
+// nothing per call. The q/k/v projection outputs are deliberately NOT
+// pooled: the in-process ring transport circulates those blocks by pointer,
+// so a peer may still be reading one after this rank has advanced to the
+// next layer.
+var f32Pool = sync.Pool{New: func() any { return new([]float32) }}
+
+func getF32(n int) *[]float32 {
+	p := f32Pool.Get().(*[]float32)
+	if cap(*p) < n {
+		*p = make([]float32, n)
+	}
+	*p = (*p)[:n]
+	return p
+}
+
+func putF32(p *[]float32) { f32Pool.Put(p) }
+
 // projectQKV computes the layer's query/key/value tensors for a block of
 // hidden rows, applying RMSNorm first and RoPE at the given global
 // positions. Rows whose position is negative (padding) are rotated at 0 and
 // masked out downstream.
+//
+// The whole per-token chain — RMSNorm, the three projection matmuls, and
+// the rotary rotation — is one fused sweep fanned over the shared worker
+// pool, so no intermediate makes an extra pass through memory and every
+// worker touches each token exactly once. Each token's outputs depend only
+// on that token's hidden row, so parallel execution is bit-identical to
+// serial at any worker width.
 func (w *Weights) projectQKV(l int, hidden []float32, tokens int, pos []int) (q, k, v *tensor.Tensor) {
 	m := w.Cfg.Model
 	lw := w.layers[l]
-	normed := make([]float32, len(hidden))
-	for t := 0; t < tokens; t++ {
-		copy(normed[t*m.ModelDim:(t+1)*m.ModelDim],
-			tensor.RMSNorm(hidden[t*m.ModelDim:(t+1)*m.ModelDim], lw.attnNorm, w.Cfg.NormEps))
-	}
-	qf := lw.wq.ApplyRows(normed, tokens)
-	kf := lw.wk.ApplyRows(normed, tokens)
-	vf := lw.wv.ApplyRows(normed, tokens)
+	qRows, kvRows := m.NumHeads*m.HeadDim, m.NumKV*m.HeadDim
+	qf := make([]float32, tokens*qRows)
+	kf := make([]float32, tokens*kvRows)
+	vf := make([]float32, tokens*kvRows)
+	normp := getF32(tokens * m.ModelDim)
+	defer putF32(normp)
+	normed := *normp
+	tensor.ForRows(tokens, m.ModelDim*(qRows+2*kvRows), func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			row := normed[t*m.ModelDim : (t+1)*m.ModelDim]
+			tensor.RMSNormInto(row, hidden[t*m.ModelDim:(t+1)*m.ModelDim], lw.attnNorm, w.Cfg.NormEps)
+			lw.wq.MulVec(qf[t*qRows:(t+1)*qRows], row)
+			lw.wk.MulVec(kf[t*kvRows:(t+1)*kvRows], row)
+			lw.wv.MulVec(vf[t*kvRows:(t+1)*kvRows], row)
+			p := 0
+			if pos[t] >= 0 {
+				p = pos[t]
+			}
+			for h := 0; h < m.NumHeads; h++ {
+				tensor.RoPE(qf[t*qRows+h*m.HeadDim:t*qRows+(h+1)*m.HeadDim], p, w.Cfg.RoPEBase)
+			}
+			for h := 0; h < m.NumKV; h++ {
+				tensor.RoPE(kf[t*kvRows+h*m.HeadDim:t*kvRows+(h+1)*m.HeadDim], p, w.Cfg.RoPEBase)
+			}
+		}
+	})
 	q, _ = tensor.FromData(tokens, m.NumHeads, m.HeadDim, qf)
 	k, _ = tensor.FromData(tokens, m.NumKV, m.HeadDim, kf)
 	v, _ = tensor.FromData(tokens, m.NumKV, m.HeadDim, vf)
-	for t := 0; t < tokens; t++ {
-		p := 0
-		if pos[t] >= 0 {
-			p = pos[t]
-		}
-		for h := 0; h < m.NumHeads; h++ {
-			tensor.RoPE(q.Row(t, h), p, w.Cfg.RoPEBase)
-		}
-		for h := 0; h < m.NumKV; h++ {
-			tensor.RoPE(k.Row(t, h), p, w.Cfg.RoPEBase)
-		}
-	}
 	return q, k, v
 }
 
 // attnResidual adds the attention block's output projection into hidden.
+// The projection runs through the row-blocked parallel matmul with pooled
+// scratch; the residual add is a single cheap pass.
 func (w *Weights) attnResidual(l int, hidden []float32, attnOut *tensor.Tensor) {
 	m := w.Cfg.Model
 	lw := w.layers[l]
-	flat := attnOut.Data // [tokens, NH*DH] row-major already
-	proj := lw.wo.ApplyRows(flat, attnOut.Tokens)
+	tokens := attnOut.Tokens
+	projp := getF32(tokens * m.ModelDim)
+	defer putF32(projp)
+	proj := *projp
+	lw.wo.ApplyRowsInto(proj, attnOut.Data, tokens)
 	for i := range proj {
 		hidden[i] += proj[i]
 	}
-	_ = m
 }
 
-// ffnResidual applies the SwiGLU feed-forward block with residual.
+// ffnResidual applies the SwiGLU feed-forward block with residual. The
+// per-token chain — RMSNorm, gate and up matmuls, SiLU gating, down matmul,
+// residual add — is one fused sweep over the worker pool; each worker chunk
+// carries its own pooled scratch so the block allocates nothing in steady
+// state. Token t writes only its own hidden row, so the sweep is
+// bit-identical to the serial loop.
 func (w *Weights) ffnResidual(l int, hidden []float32, tokens int) {
 	m := w.Cfg.Model
 	lw := w.layers[l]
-	for t := 0; t < tokens; t++ {
-		row := hidden[t*m.ModelDim : (t+1)*m.ModelDim]
-		normed := tensor.RMSNorm(row, lw.ffnNorm, w.Cfg.NormEps)
-		gate := make([]float32, m.FFNDim)
-		up := make([]float32, m.FFNDim)
-		lw.wGate.MulVec(gate, normed)
-		lw.wUp.MulVec(up, normed)
-		for i := range gate {
-			gate[i] = tensor.SiLU(gate[i]) * up[i]
+	tensor.ForRows(tokens, 3*m.ModelDim*m.FFNDim, func(lo, hi int) {
+		scratchp := getF32(2*m.FFNDim + 2*m.ModelDim)
+		defer putF32(scratchp)
+		scratch := *scratchp
+		normed := scratch[:m.ModelDim]
+		gate := scratch[m.ModelDim : m.ModelDim+m.FFNDim]
+		up := scratch[m.ModelDim+m.FFNDim : m.ModelDim+2*m.FFNDim]
+		down := scratch[m.ModelDim+2*m.FFNDim:]
+		for t := lo; t < hi; t++ {
+			row := hidden[t*m.ModelDim : (t+1)*m.ModelDim]
+			tensor.RMSNormInto(normed, row, lw.ffnNorm, w.Cfg.NormEps)
+			lw.wGate.MulVec(gate, normed)
+			lw.wUp.MulVec(up, normed)
+			for i := range gate {
+				gate[i] = tensor.SiLU(gate[i]) * up[i]
+			}
+			lw.wDown.MulVec(down, gate)
+			for i := range down {
+				row[i] += down[i]
+			}
 		}
-		down := make([]float32, m.ModelDim)
-		lw.wDown.MulVec(down, gate)
-		for i := range down {
-			row[i] += down[i]
-		}
-	}
+	})
 }
 
-// logits computes the output head for a block of hidden rows.
+// logits computes the output head for a block of hidden rows: a parallel
+// per-token final-norm sweep into pooled scratch, then the row-blocked
+// head matmul. The returned slice is freshly allocated — callers retain it
+// (argmax, streaming) past the next forward step.
 func (w *Weights) logits(hidden []float32, tokens int) []float32 {
 	m := w.Cfg.Model
-	normed := make([]float32, len(hidden))
-	for t := 0; t < tokens; t++ {
-		copy(normed[t*m.ModelDim:(t+1)*m.ModelDim],
-			tensor.RMSNorm(hidden[t*m.ModelDim:(t+1)*m.ModelDim], w.norm, w.Cfg.NormEps))
-	}
+	normp := getF32(tokens * m.ModelDim)
+	defer putF32(normp)
+	normed := *normp
+	tensor.ForRows(tokens, m.ModelDim, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			tensor.RMSNormInto(normed[t*m.ModelDim:(t+1)*m.ModelDim],
+				hidden[t*m.ModelDim:(t+1)*m.ModelDim], w.norm, w.Cfg.NormEps)
+		}
+	})
 	return w.head.ApplyRows(normed, tokens)
 }
 
