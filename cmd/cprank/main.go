@@ -49,6 +49,7 @@ func main() {
 	rejoin := flag.Bool("rejoin", false, "survive cluster rebuilds: when the coordinator hangs up (epoch rebuild after a rank failure), discard state and rejoin the mesh at the next epoch instead of exiting")
 	epoch := flag.Uint64("epoch", 1, "cluster epoch to join first; a respawned replacement rank can leave the default and adopt the mesh's current epoch at handshake")
 	maxRejoins := flag.Int("max-rejoins", 16, "bound on rejoin cycles (requires -rejoin)")
+	traceSpans := flag.Int("trace-spans", 0, "cap on trace spans staged between coordinator drains (0 = default; overflow is dropped and counted)")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -69,6 +70,7 @@ func main() {
 		Epoch:             *epoch,
 		Rejoin:            *rejoin,
 		MaxRejoins:        *maxRejoins,
+		MaxTraceSpans:     *traceSpans,
 	}
 	if *addrs != "" {
 		cfg.Addrs = strings.Split(*addrs, ",")

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registered on DefaultServeMux; exposed only under -pprof
 	"os"
 	"os/signal"
 	"strings"
@@ -59,6 +60,9 @@ func main() {
 	recover := flag.Bool("recover", false, "rebuild the cluster on a new epoch after a rank failure and replay live sessions bit-identically (instead of faulting them)")
 	maxRecoveries := flag.Int("max-recoveries", 3, "lifetime bound on recovery rebuild attempts (requires -recover)")
 	ringOverlap := flag.Bool("ring-overlap", true, "double-buffer the ring hot path: issue the next step's SendRecv concurrently with attention compute (false = synchronous exchanges, bit-identical output)")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default; profiling endpoints should not ship publicly)")
+	traceOut := flag.String("trace-out", "", "write the span trace at shutdown: Chrome-trace JSON if the path ends in .json, deterministic JSONL otherwise")
+	noTrace := flag.Bool("no-trace", false, "disable the observability recorder (no /metrics, /v1/trace, or latency histograms; outputs are bit-identical either way)")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -134,13 +138,28 @@ func main() {
 		DialTimeout:       *dialTimeout,
 		Recover:           *recover,
 		MaxRecoveries:     *maxRecoveries,
+		NoTrace:           *noTrace,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv.Close()
+	if *traceOut != "" && *noTrace {
+		fmt.Fprintln(os.Stderr, "cpserve: -trace-out requires tracing (drop -no-trace)")
+		os.Exit(1)
+	}
 
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	handler := srv.Handler()
+	if *pprofOn {
+		// The API keeps its own mux; pprof's handlers live on the default
+		// mux, grafted in only when asked for.
+		m := http.NewServeMux()
+		m.Handle("/", handler)
+		m.Handle("/debug/pprof/", http.DefaultServeMux)
+		handler = m
+		log.Printf("cpserve: pprof enabled on %s/debug/pprof/", *addr)
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: handler}
 
 	// Graceful drain on SIGINT/SIGTERM: in-flight decodes finish their step
 	// and return truncated successes, the HTTP layer flushes those responses
@@ -152,6 +171,11 @@ func main() {
 	go func() {
 		sig := <-sigCh
 		log.Printf("cpserve: %v: draining and shutting down", sig)
+		// Dump the trace before Close: the distributed workers still hold
+		// their staged spans, and the drain needs the control plane up.
+		if *traceOut != "" {
+			dumpTrace(srv, *traceOut)
+		}
 		srv.Close()
 		// Wait for in-flight handlers to write their (possibly truncated)
 		// responses before the process goes away; bounded so a wedged
@@ -180,4 +204,18 @@ func main() {
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+}
+
+func dumpTrace(srv *server.Server, path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("cpserve: trace out: %v", err)
+		return
+	}
+	defer f.Close()
+	if err := srv.WriteTrace(f, strings.HasSuffix(path, ".json")); err != nil {
+		log.Printf("cpserve: trace out: %v", err)
+		return
+	}
+	log.Printf("cpserve: wrote trace to %s", path)
 }

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"strings"
 
 	"repro/internal/comm"
 	"repro/internal/core"
@@ -56,6 +57,7 @@ func main() {
 	decode := flag.Int("decode", 4, "decode steps per turn")
 	policyName := flag.String("policy", "alg1", "variant policy: pass-kv, pass-q, alg1, alg5")
 	seed := flag.Int64("seed", 1, "workload seed")
+	traceOut := flag.String("trace-out", "", "write the run's span trace: Chrome-trace JSON if the path ends in .json, deterministic JSONL otherwise")
 	flag.Parse()
 
 	policy, err := pickPolicy(*policyName, *ranks)
@@ -163,5 +165,24 @@ func main() {
 		fmt.Printf("rank %d: %d\n", r, n)
 	}
 	fmt.Println("\n-- engine trace --")
-	fmt.Print(engine.Trace())
+	fmt.Print(engine.Trace().String())
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpsim:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if strings.HasSuffix(*traceOut, ".json") {
+			err = engine.Trace().WriteChromeTrace(f)
+		} else {
+			err = engine.Trace().WriteJSONL(f)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cpsim:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote span trace to %s\n", *traceOut)
+	}
 }

@@ -1,0 +1,107 @@
+// Command obscheck validates a live server's observability endpoints with
+// the in-tree parsers — the CI smoke's teeth. It scrapes the Prometheus
+// text exposition (/metrics), the Chrome-trace export (/v1/trace), and the
+// JSONL export (/v1/trace?format=jsonl), and fails if any endpoint is
+// unreachable, malformed, or missing a required metric series.
+//
+// Usage:
+//
+//	obscheck -base http://127.0.0.1:8080 \
+//	  -want cp_ring_phase_seconds,cp_requests_total,cp_cluster_epoch
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/trace"
+)
+
+func fetch(client *http.Client, url string) ([]byte, error) {
+	resp, err := client.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: status %d: %s", url, resp.StatusCode, bytes.TrimSpace(body))
+	}
+	return body, nil
+}
+
+func main() {
+	base := flag.String("base", "http://127.0.0.1:8080", "server base URL")
+	want := flag.String("want", "", "comma-separated metric names that must appear in /metrics")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	flag.Parse()
+
+	client := &http.Client{Timeout: *timeout}
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	// /metrics must parse as Prometheus text exposition, with well-formed
+	// histogram families and every required series present.
+	body, err := fetch(client, *base+"/metrics")
+	if err != nil {
+		fail("%v", err)
+	}
+	samples, err := trace.ParseProm(bytes.NewReader(body))
+	if err != nil {
+		fail("/metrics: %v", err)
+	}
+	have := make(map[string]bool, len(samples))
+	for _, s := range samples {
+		have[s.Name] = true
+		have[strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(s.Name, "_bucket"), "_sum"), "_count")] = true
+	}
+	var missing []string
+	for _, name := range strings.Split(*want, ",") {
+		if name = strings.TrimSpace(name); name != "" && !have[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		fail("/metrics: missing required series %v (have %d samples)", missing, len(samples))
+	}
+
+	// /v1/trace must be valid Chrome trace JSON.
+	body, err = fetch(client, *base+"/v1/trace")
+	if err != nil {
+		fail("%v", err)
+	}
+	if err := trace.ValidateChromeTrace(body); err != nil {
+		fail("/v1/trace: %v", err)
+	}
+
+	// The JSONL export must be one valid JSON object per line.
+	body, err = fetch(client, *base+"/v1/trace?format=jsonl")
+	if err != nil {
+		fail("%v", err)
+	}
+	lines := 0
+	for _, line := range bytes.Split(body, []byte("\n")) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var span map[string]any
+		if err := json.Unmarshal(line, &span); err != nil {
+			fail("/v1/trace?format=jsonl line %d: %v", lines+1, err)
+		}
+		lines++
+	}
+
+	fmt.Printf("obscheck: ok — %d prom samples, chrome trace valid, %d jsonl spans\n", len(samples), lines)
+}

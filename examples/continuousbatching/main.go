@@ -131,6 +131,26 @@ func main() {
 	fmt.Printf("mean iteration       %8.2f ms\n", b.MeanIterMs())
 	fmt.Printf("wall clock           %8.2f ms for %d generated tokens (%.0f tok/s)\n",
 		float64(wall.Microseconds())/1000, totalTokens, float64(totalTokens)/wall.Seconds())
+
+	// The same numbers the /metrics and /v1/stats latency surfaces export:
+	// streaming log-bucket histograms recorded inside the scheduler, so the
+	// quantiles cover every request in the run without storing raw samples.
+	rec := srv.Recorder()
+	fmt.Println("\nlatency quantiles (from the engine's streaming histograms)")
+	fmt.Println("----------------------------------------------------------")
+	for _, h := range []struct {
+		label string
+		name  string
+	}{
+		{"ttft", "cp_request_ttft_seconds"},
+		{"itl", "cp_request_itl_seconds"},
+		{"step", "cp_step_seconds"},
+	} {
+		s := rec.Hist(h.name)
+		fmt.Printf("%-5s n=%-4d p50 %7.2f ms   p90 %7.2f ms   p99 %7.2f ms\n",
+			h.label, s.HistCount(),
+			s.Quantile(0.50)*1000, s.Quantile(0.90)*1000, s.Quantile(0.99)*1000)
+	}
 	if b.MaxDecodeBatch < 2 {
 		log.Fatal("no cross-session batching observed — scheduler regression?")
 	}

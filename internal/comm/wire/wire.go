@@ -36,7 +36,8 @@ const Magic = 0x43505257 // "CPRW"
 // Version is the wire-protocol version. Peers with mismatched versions are
 // rejected at rendezvous, never mid-ring. Version 2 added the Hello epoch
 // (cluster-incarnation number for fault recovery) and the FailureNote frame.
-const Version = 2
+// Version 3 added the trace drain round trip (TraceCmd / TraceResult).
+const Version = 3
 
 // DefaultMaxFrame bounds a single frame's encoded size (length prefix
 // included). Loopback KV tiles at laptop scale are kilobytes; anything near
@@ -70,6 +71,8 @@ const (
 	tCapResult
 	tStatsResult
 	tFailureNote
+	tTraceCmd
+	tTraceResult
 )
 
 // KVBlock is the circulating payload of ring pass-KV: key/value rows plus
@@ -175,6 +178,51 @@ type FailureNote struct {
 
 // StatsCmd asks a rank for its telemetry snapshot.
 type StatsCmd struct{}
+
+// TraceCmd drains a rank's trace recorder: the worker ships every span and
+// series delta accumulated since the previous drain, then resets its staging
+// buffers. The coordinator folds the result into its cumulative store, so
+// Prometheus counters stay monotonic across drains and epochs.
+type TraceCmd struct{}
+
+// TraceSpan is one recorded span on the wire. Args travel as parallel
+// key/value arrays with keys pre-sorted by the sender, keeping the encoding
+// canonical (one byte sequence per span).
+type TraceSpan struct {
+	Name    string
+	Cat     string
+	Rank    int
+	Seq     int
+	Epoch   uint64
+	Index   uint64
+	Start   int64
+	Dur     int64
+	ArgKeys []string
+	ArgVals []int64
+}
+
+// TraceSeries is one metric series' drained delta: counter/gauge value, or
+// histogram count/sum/per-bucket counts. Labels travel as parallel key/value
+// arrays sorted by key.
+type TraceSeries struct {
+	Name      string
+	LabelKeys []string
+	LabelVals []string
+	Kind      uint8
+	Value     float64
+	Count     uint64
+	Sum       float64
+	Counts    []int64
+}
+
+// TraceResult answers a TraceCmd with the rank's drained spans and series
+// deltas.
+type TraceResult struct {
+	Rank   int
+	Spans  []TraceSpan
+	Series []TraceSeries
+	Err    string
+}
 
 // ShutdownCmd ends a worker's serve loop.
 type ShutdownCmd struct{}
@@ -620,6 +668,8 @@ func Append(buf []byte, v any) ([]byte, error) {
 		e.ints(x.Seqs)
 	case *StatsCmd:
 		e.u8(tStatsCmd)
+	case *TraceCmd:
+		e.u8(tTraceCmd)
 	case *ShutdownCmd:
 		e.u8(tShutdownCmd)
 	case *FailureNote:
@@ -662,6 +712,34 @@ func Append(buf []byte, v any) ([]byte, error) {
 			e.f64(l.Bytes)
 			e.u64(uint64(l.WireMsgs))
 			e.u64(uint64(l.WireBytes))
+		}
+		e.str(x.Err)
+	case *TraceResult:
+		e.u8(tTraceResult)
+		e.i64(x.Rank)
+		e.u32(uint32(len(x.Spans)))
+		for _, s := range x.Spans {
+			e.str(s.Name)
+			e.str(s.Cat)
+			e.i64(s.Rank)
+			e.i64(s.Seq)
+			e.u64(s.Epoch)
+			e.u64(s.Index)
+			e.u64(uint64(s.Start))
+			e.u64(uint64(s.Dur))
+			e.strs(s.ArgKeys)
+			e.i64s(s.ArgVals)
+		}
+		e.u32(uint32(len(x.Series)))
+		for _, s := range x.Series {
+			e.str(s.Name)
+			e.strs(s.LabelKeys)
+			e.strs(s.LabelVals)
+			e.u8(s.Kind)
+			e.f64(s.Value)
+			e.u64(s.Count)
+			e.f64(s.Sum)
+			e.i64s(s.Counts)
 		}
 		e.str(x.Err)
 	default:
@@ -712,6 +790,8 @@ func Decode(b []byte) (any, error) {
 		v = &CapQueryCmd{Seqs: d.ints()}
 	case tStatsCmd:
 		v = &StatsCmd{}
+	case tTraceCmd:
+		v = &TraceCmd{}
 	case tShutdownCmd:
 		v = &ShutdownCmd{}
 	case tFailureNote:
@@ -742,6 +822,44 @@ func Decode(b []byte) (any, error) {
 					Src: d.i64(), Dst: d.i64(),
 					Messages: int64(d.u64()), Bytes: d.f64(),
 					WireMsgs: int64(d.u64()), WireBytes: int64(d.u64()),
+				}
+			}
+		}
+		r.Err = d.str()
+		v = r
+	case tTraceResult:
+		r := &TraceResult{Rank: d.i64()}
+		// Minimum encoded span: two string headers, six fixed u64s, two
+		// vector headers = 64 bytes; series likewise bottoms out at 41.
+		n := d.count(64)
+		if d.err == nil && n > 0 {
+			r.Spans = make([]TraceSpan, n)
+			for i := range r.Spans {
+				r.Spans[i] = TraceSpan{
+					Name: d.str(), Cat: d.str(),
+					Rank: d.i64(), Seq: d.i64(),
+					Epoch: d.u64(), Index: d.u64(),
+					Start: int64(d.u64()), Dur: int64(d.u64()),
+					ArgKeys: d.strs(), ArgVals: d.i64s(),
+				}
+				if d.err != nil {
+					return nil, d.err
+				}
+			}
+		}
+		n = d.count(41)
+		if d.err == nil && n > 0 {
+			r.Series = make([]TraceSeries, n)
+			for i := range r.Series {
+				r.Series[i] = TraceSeries{
+					Name:      d.str(),
+					LabelKeys: d.strs(), LabelVals: d.strs(),
+					Kind:  d.u8(),
+					Value: d.f64(), Count: d.u64(), Sum: d.f64(),
+					Counts: d.i64s(),
+				}
+				if d.err != nil {
+					return nil, d.err
 				}
 			}
 		}
@@ -830,6 +948,8 @@ func ErrOf(v any) string {
 	case *CapResult:
 		return x.Err
 	case *StatsResult:
+		return x.Err
+	case *TraceResult:
 		return x.Err
 	}
 	return ""

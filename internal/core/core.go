@@ -222,6 +222,7 @@ func (e *Engine) Prefill(req *PrefillRequest) (*PrefillResult, error) {
 			Rank: r, Plan: plan, P: p, SeqIDs: req.SeqIDs,
 			Q: plan.Shard(req.Q, r.ID), K: plan.Shard(req.K, r.ID), V: plan.Shard(req.V, r.ID),
 			Cache: e.caches[r.ID], Elem: e.cfg.Model.ElemBytes,
+			Trace: e.rec.Sweep(r.ID, 1, "prefill"),
 		}
 		out, err := run(in)
 		if err != nil {
@@ -310,6 +311,7 @@ func (e *Engine) Decode(req *DecodeRequest) (*DecodeResult, error) {
 		return ring.PassQDecode(&ring.DecodeInput{
 			Rank: r, NumSeqs: b, Owned: owned[r.ID], Q: q, K: k, V: v,
 			Cache: e.caches[r.ID], Elem: e.cfg.Model.ElemBytes,
+			Trace: e.rec.Sweep(r.ID, 1, "decode"),
 		})
 	})
 	if err != nil {

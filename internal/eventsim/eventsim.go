@@ -19,25 +19,32 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"repro/internal/trace"
 )
 
-// SpanKind labels a timeline entry.
-type SpanKind string
-
+// Timeline entries are trace.Span records — the same span type the serving
+// engine's recorder buffers and exports — with simulated time mapped onto
+// nanoseconds (Start/Dur) and the iteration index in Args["iter"]. Span
+// names label the activity:
 const (
-	SpanCompute SpanKind = "compute"
-	SpanXfer    SpanKind = "xfer"
-	SpanAll2All SpanKind = "all2all"
+	SpanCompute = "compute"
+	SpanXfer    = "xfer"
+	SpanAll2All = "all2all"
 )
 
-// Span is one scheduled activity in the simulated timeline.
-type Span struct {
-	Rank  int
-	Iter  int
-	Kind  SpanKind
-	Start float64
-	End   float64
+// simSpan builds a timeline entry from simulated seconds.
+func simSpan(rank, iter int, name string, start, end float64) trace.Span {
+	return trace.Span{
+		Name: name, Cat: "eventsim", Rank: rank, Seq: trace.NoSeq, Epoch: 1,
+		Start: int64(math.Round(start * 1e9)),
+		Dur:   int64(math.Round((end - start) * 1e9)),
+		Args:  map[string]int64{"iter": int64(iter)},
+	}
 }
+
+// spanEnd returns a timeline entry's end in simulated seconds.
+func spanEnd(s trace.Span) float64 { return float64(s.Start+s.Dur) / 1e9 }
 
 // RingSpec parameterizes one simulated ring pass (one layer's attention).
 type RingSpec struct {
@@ -119,7 +126,7 @@ func (s *RingSpec) ScaleLinkXfer(rank int, f float64) {
 type Result struct {
 	Makespan   float64
 	RankFinish []float64
-	Timeline   []Span
+	Timeline   []trace.Span
 	// ExposedComm[r]: idle time on rank r attributable to waiting for
 	// blocks, makespan accounting's analogue of the paper's "exposed"
 	// SendRecv time.
@@ -152,7 +159,7 @@ func Simulate(spec RingSpec) (*Result, error) {
 			start := math.Max(prevEnd, avail[r][j])
 			end := start + spec.Compute[r][j]
 			computeEnd[r][j] = end
-			res.Timeline = append(res.Timeline, Span{Rank: r, Iter: j, Kind: SpanCompute, Start: start, End: end})
+			res.Timeline = append(res.Timeline, simSpan(r, j, SpanCompute, start, end))
 			if start > prevEnd {
 				res.ExposedComm[r] += start - prevEnd
 			}
@@ -162,7 +169,7 @@ func Simulate(spec RingSpec) (*Result, error) {
 				sendEnd[r] = sendFinish
 				next := (r + 1) % n
 				avail[next][j+1] = sendFinish
-				res.Timeline = append(res.Timeline, Span{Rank: r, Iter: j, Kind: SpanXfer, Start: sendStart, End: sendFinish})
+				res.Timeline = append(res.Timeline, simSpan(r, j, SpanXfer, sendStart, sendFinish))
 			}
 		}
 	}
@@ -181,8 +188,7 @@ func Simulate(spec RingSpec) (*Result, error) {
 			if spec.A2A[r] > maxA2A {
 				maxA2A = spec.A2A[r]
 			}
-			res.Timeline = append(res.Timeline, Span{Rank: r, Iter: n, Kind: SpanAll2All,
-				Start: allDone, End: allDone + spec.A2A[r]})
+			res.Timeline = append(res.Timeline, simSpan(r, n, SpanAll2All, allDone, allDone+spec.A2A[r]))
 		}
 		for r := 0; r < n; r++ {
 			res.RankFinish[r] = allDone + maxA2A
@@ -208,6 +214,15 @@ func ClosedForm(n int, compute, xfer, a2a float64) float64 {
 	return compute + float64(n-1)*math.Max(compute, xfer) + a2a
 }
 
+// Record replays the simulated timeline into a trace recorder, so a
+// simulated schedule exports through the same Chrome-trace / JSONL surface
+// as a real serving run.
+func (r *Result) Record(rec *trace.Recorder) {
+	for _, s := range r.Timeline {
+		rec.RecordSpan(s)
+	}
+}
+
 // Gantt renders an ASCII timeline with the given horizontal resolution
 // (seconds per character). Compute is '#', transfer '-', All2All '='.
 func (r *Result) Gantt(secPerChar float64) string {
@@ -225,14 +240,14 @@ func (r *Result) Gantt(secPerChar float64) string {
 	for i := range rows {
 		rows[i] = []byte(strings.Repeat(".", width))
 	}
-	glyph := map[SpanKind]byte{SpanCompute: '#', SpanXfer: '-', SpanAll2All: '='}
+	glyph := map[string]byte{SpanCompute: '#', SpanXfer: '-', SpanAll2All: '='}
 	for _, s := range r.Timeline {
-		lo := int(s.Start / secPerChar)
-		hi := int(s.End / secPerChar)
+		lo := int(float64(s.Start) / 1e9 / secPerChar)
+		hi := int(spanEnd(s) / secPerChar)
 		for i := lo; i <= hi && i < width; i++ {
 			// Compute wins over transfer when they overlap on screen.
-			if rows[s.Rank][i] == '.' || s.Kind == SpanCompute {
-				rows[s.Rank][i] = glyph[s.Kind]
+			if rows[s.Rank][i] == '.' || s.Name == SpanCompute {
+				rows[s.Rank][i] = glyph[s.Name]
 			}
 		}
 	}

@@ -148,10 +148,10 @@ func TestTimelineWellFormed(t *testing.T) {
 	}
 	computeCount := 0
 	for _, s := range res.Timeline {
-		if s.End < s.Start {
+		if s.Dur < 0 {
 			t.Fatalf("span ends before start: %+v", s)
 		}
-		if s.Kind == SpanCompute {
+		if s.Name == SpanCompute {
 			computeCount++
 		}
 	}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/comm/wire"
 	"repro/internal/kvcache"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // DecodeToken is one sequence's decode token assigned to a rank for the
@@ -38,6 +39,9 @@ type DecodeInput struct {
 	// whole paged context per visiting query. Nil rebuilds per call.
 	Blocks *BlockCache
 	Elem   float64
+	// Trace, when non-nil, accumulates the sweep's per-phase wall time;
+	// nil costs nothing and cannot perturb the compute path.
+	Trace *trace.SweepTimer
 }
 
 func (in *DecodeInput) validate() error {
@@ -130,17 +134,23 @@ func PassQDecode(in *DecodeInput) (*attention.Output, error) {
 		// Decode sweeps double-buffer too: the next visiting query block is
 		// in flight while this block attends to the local KV shard.
 		var xfer *inflight
+		t0 := in.Trace.Clock()
 		if j < n-1 {
 			xfer = startSendRecv(in.Rank, next, prev, cur, qBlockBytes(cur, in.Elem))
 		}
+		in.Trace.Comm(t0)
+		t0 = in.Trace.Clock()
 		partial, err := decodeBlockAttention(in.Cache, blocks, cur, rowOut)
 		if err != nil {
 			xfer.drain()
 			return nil, err
 		}
 		partials[src] = partial
+		in.Trace.Compute(t0)
 		if j < n-1 {
+			t0 = in.Trace.Clock()
 			received, recvErr := xfer.wait()
+			in.Trace.Comm(t0)
 			if recvErr != nil {
 				return nil, recvErr
 			}
@@ -152,10 +162,11 @@ func PassQDecode(in *DecodeInput) (*attention.Output, error) {
 			src = (src - 1 + n) % n
 		}
 	}
-	merged, err := all2allMerge(in.Rank, partials, in.Elem)
+	merged, err := all2allMerge(in.Rank, partials, in.Elem, in.Trace)
 	if err != nil {
 		return nil, err
 	}
+	in.Trace.Finish(n)
 	// Drop padding rows; owned tokens sit at the front of the block.
 	rows := make([]int, len(in.Owned))
 	for i := range rows {

@@ -30,6 +30,7 @@ import (
 	"repro/internal/kvcache"
 	"repro/internal/sharding"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // metaBytes is the accounted overhead for per-token metadata (position and
@@ -56,6 +57,12 @@ type PrefillInput struct {
 	// key, so an engine can prefill different batch compositions against
 	// long-lived conversations. Nil means the identity mapping.
 	SeqIDs []int
+	// Trace, when non-nil, accumulates this sweep's per-phase wall time
+	// (attention compute vs ring SendRecv vs All2All — the paper's Table
+	// 5/8 axes). Timing only observes the existing control flow: a nil
+	// timer takes no clock readings and the compute path is identical
+	// either way, preserving bit-identical outputs.
+	Trace *trace.SweepTimer
 }
 
 // seqKey returns the cache key of batch-plan sequence i.
@@ -272,11 +279,16 @@ func PassKVPrefill(in *PrefillInput) (*attention.Output, error) {
 		// Issue the transfer of the current block for step j+1, then compute
 		// on it while the exchange is in flight — the communication/compute
 		// overlap the paper relies on. The block we just sent stays valid to
-		// read: circulating payloads are read-only by contract.
+		// read: circulating payloads are read-only by contract. Issue time
+		// and exposed wait time both charge to the comm phase, so the
+		// breakdown is comparable across the overlapped and sync paths.
 		var xfer *inflight
+		t0 := in.Trace.Clock()
 		if j < n-1 {
 			xfer = startSendRecv(in.Rank, next, prev, cur, kvBlockBytes(cur, in.Elem))
 		}
+		in.Trace.Comm(t0)
+		t0 = in.Trace.Clock()
 		if err := attention.GQAInto(partial, in.Q, cur.K, cur.V, attention.Mask{
 			QPos: qPos, QSeq: qSeq, KVPos: cur.Pos, KVSeq: cur.Seq,
 		}); err != nil {
@@ -284,8 +296,11 @@ func PassKVPrefill(in *PrefillInput) (*attention.Output, error) {
 			return nil, err
 		}
 		attention.AccumulateInto(out, partial)
+		in.Trace.Compute(t0)
 		if j < n-1 {
+			t0 = in.Trace.Clock()
 			received, recvErr := xfer.wait()
+			in.Trace.Comm(t0)
 			if recvErr != nil {
 				return nil, recvErr
 			}
@@ -296,6 +311,7 @@ func PassKVPrefill(in *PrefillInput) (*attention.Output, error) {
 			cur = blk
 		}
 	}
+	in.Trace.Finish(n)
 	return out, nil
 }
 
@@ -322,9 +338,12 @@ func PassQPrefill(in *PrefillInput) (*attention.Output, error) {
 		// Same double-buffering as pass-KV: the query block for step j+1 is
 		// in flight while this step's partial attention runs.
 		var xfer *inflight
+		t0 := in.Trace.Clock()
 		if j < n-1 {
 			xfer = startSendRecv(in.Rank, next, prev, cur, qBlockBytes(cur, in.Elem))
 		}
+		in.Trace.Comm(t0)
+		t0 = in.Trace.Clock()
 		partial, err := attention.GQA(cur.Q, kv.K, kv.V, attention.Mask{
 			QPos: cur.Pos, QSeq: cur.Seq, KVPos: kv.Pos, KVSeq: kv.Seq,
 		})
@@ -333,8 +352,11 @@ func PassQPrefill(in *PrefillInput) (*attention.Output, error) {
 			return nil, err
 		}
 		partials[src] = partial
+		in.Trace.Compute(t0)
 		if j < n-1 {
+			t0 = in.Trace.Clock()
 			received, recvErr := xfer.wait()
+			in.Trace.Comm(t0)
 			if recvErr != nil {
 				return nil, recvErr
 			}
@@ -346,13 +368,19 @@ func PassQPrefill(in *PrefillInput) (*attention.Output, error) {
 			src = (src - 1 + n) % n
 		}
 	}
-	return all2allMerge(in.Rank, partials, in.Elem)
+	out, err := all2allMerge(in.Rank, partials, in.Elem, in.Trace)
+	if err != nil {
+		return nil, err
+	}
+	in.Trace.Finish(n)
+	return out, nil
 }
 
 // all2allMerge sends partials[s] back to source rank s, receives this rank's
 // partials from every peer, and merges them (the permute + All2All + merge
-// tail of Algorithms 3 and 4).
-func all2allMerge(rank *comm.Rank, partials []*attention.Output, elem float64) (*attention.Output, error) {
+// tail of Algorithms 3 and 4). tr (nil-safe) charges the exchange to the
+// sweep's all2all phase.
+func all2allMerge(rank *comm.Rank, partials []*attention.Output, elem float64, tr *trace.SweepTimer) (*attention.Output, error) {
 	n := rank.N()
 	msgs := make([]any, n)
 	sizes := make([]float64, n)
@@ -361,7 +389,9 @@ func all2allMerge(rank *comm.Rank, partials []*attention.Output, elem float64) (
 		msgs[s] = blk
 		sizes[s] = oBlockBytes(blk, elem)
 	}
+	t0 := tr.Clock()
 	got, err := rank.All2All(msgs, sizes)
+	tr.A2A(t0)
 	if err != nil {
 		return nil, err
 	}

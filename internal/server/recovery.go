@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 
 	"repro/internal/perf"
 	"repro/internal/prefixcache"
+	"repro/internal/trace"
 	"repro/internal/transformer"
 )
 
@@ -191,6 +193,7 @@ func (s *Scheduler) maybeRecover() {
 // budget; caller holds execMu (never s.mu).
 func (s *Scheduler) recoverClusterLocked(cause error) error {
 	lastErr := cause
+	tRec := time.Now()
 	for {
 		s.mu.Lock()
 		if s.closed {
@@ -235,7 +238,17 @@ func (s *Scheduler) recoverClusterLocked(cause error) error {
 		s.mu.Lock()
 		s.recStats.Rebuilds++
 		s.recStats.Epoch = s.cluster.Epoch()
+		replayedSessions := int64(len(sessions))
 		s.mu.Unlock()
+		s.rec.CounterSeries("cp_recovery_replays_total").Inc(1)
+		if s.rec != nil {
+			s.rec.RecordSpan(trace.Span{
+				Name: "recovery.replay", Cat: "recovery", Rank: trace.CoordinatorRank, Seq: trace.NoSeq,
+				Epoch: s.cluster.Epoch(),
+				Start: tRec.UnixNano(), Dur: time.Since(tRec).Nanoseconds(),
+				Args: map[string]int64{"sessions": replayedSessions, "epoch": int64(s.cluster.Epoch())},
+			})
+		}
 		return nil
 	}
 }

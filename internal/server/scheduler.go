@@ -23,6 +23,7 @@ import (
 
 	"repro/internal/perf"
 	"repro/internal/prefixcache"
+	"repro/internal/trace"
 	"repro/internal/transformer"
 )
 
@@ -326,6 +327,17 @@ type Scheduler struct {
 	lastIter   IterReport
 	reuse      ReuseStats
 
+	// rec is the cluster's trace recorder (nil = tracing off; every handle
+	// below is then a nil no-op). The scheduler records serving-layer latency
+	// histograms and per-request spans into it; the ring layers record the
+	// per-sweep phase breakdowns into the same store.
+	rec    *trace.Recorder
+	hTTFT  *trace.Series // cp_request_ttft_seconds
+	hITL   *trace.Series // cp_request_itl_seconds
+	hStep  *trace.Series // cp_step_seconds
+	hWait  map[Class]*trace.Series
+	cChunk *trace.Series // cp_prefill_chunks_total
+
 	// tree is the prefix-reuse radix tree, nil when disabled. All tree
 	// operations that touch rank KV caches (lookup-adopt, detach-insert,
 	// eviction) run on the step-loop thread under execMu.
@@ -363,6 +375,15 @@ func NewScheduler(cluster *transformer.Cluster, cfg SchedulerConfig) *Scheduler 
 		lastIter: IterReport{PrefillSession: -1},
 		loopDone: make(chan struct{}),
 	}
+	s.rec = cluster.Recorder()
+	s.hTTFT = s.rec.Hist("cp_request_ttft_seconds")
+	s.hITL = s.rec.Hist("cp_request_itl_seconds")
+	s.hStep = s.rec.Hist("cp_step_seconds")
+	s.hWait = map[Class]*trace.Series{
+		ClassPrefill: s.rec.Hist("cp_queue_wait_seconds", trace.L("class", string(ClassPrefill))),
+		ClassDecode:  s.rec.Hist("cp_queue_wait_seconds", trace.L("class", string(ClassDecode))),
+	}
+	s.cChunk = s.rec.CounterSeries("cp_prefill_chunks_total")
 	s.recStats.Enabled = cfg.Recover
 	s.recStats.MaxRecoveries = cfg.MaxRecoveries
 	s.recStats.Epoch = cluster.Epoch()
@@ -513,6 +534,11 @@ func (s *Scheduler) submit(ctx context.Context, r *request) error {
 		}
 		s.decodes = append(s.decodes, r)
 	}
+	cls := ClassDecode
+	if len(r.prompt) > 0 {
+		cls = ClassPrefill
+	}
+	s.rec.CounterSeries("cp_requests_total", trace.L("class", string(cls))).Inc(1)
 	s.cond.Signal()
 	s.mu.Unlock()
 	select {
@@ -757,6 +783,7 @@ func (s *Scheduler) step() (IterReport, bool) {
 		report.PrefillDone = s.runPrefillChunk(pj, &report)
 	}
 	report.DurMs = float64(time.Since(start).Microseconds()) / 1000
+	s.hStep.Observe(time.Since(start).Seconds())
 
 	s.mu.Lock()
 	b := &s.batch
@@ -799,7 +826,16 @@ func (s *Scheduler) runPrefillChunk(pj *request, report *IterReport) bool {
 		lookedUp = true
 		if hit, entry := s.tree.Lookup(pj.prompt); hit > 0 {
 			if pre, ok := entry.(*transformer.PrefixKV); ok {
+				tAdopt := time.Now()
 				if err := s.cluster.AdoptPrefix(pj.session, pre); err == nil {
+					s.rec.CounterSeries("cp_prefix_adopt_total").Inc(1)
+					if s.rec != nil {
+						s.rec.RecordSpan(trace.Span{
+							Name: "prefix.adopt", Cat: "cache", Rank: trace.CoordinatorRank, Seq: pj.session,
+							Start: tAdopt.UnixNano(), Dur: time.Since(tAdopt).Nanoseconds(),
+							Args: map[string]int64{"tokens": int64(hit)},
+						})
+					}
 					pj.adopted = hit
 					pj.consumed = hit
 					// The adopted KV is resident now, so the token log and
@@ -834,6 +870,7 @@ func (s *Scheduler) runPrefillChunk(pj *request, report *IterReport) bool {
 	if variant == perf.Auto {
 		variant = perf.ChooseVariant(s.cluster.W.Cfg.Model, len(chunk), pos)
 	}
+	tChunk := time.Now()
 	logits, err := s.cluster.Prefill(pj.session, chunk, variant)
 	evictReq := len(chunk)
 	for err != nil {
@@ -909,6 +946,14 @@ func (s *Scheduler) runPrefillChunk(pj *request, report *IterReport) bool {
 	}
 	s.reuse.ComputedTokens += int64(len(chunk))
 	s.appendLogLocked(pj.session, false, chunk)
+	s.cChunk.Inc(1)
+	if s.rec != nil {
+		s.rec.RecordSpan(trace.Span{
+			Name: "prefill.chunk", Cat: "prefill", Rank: trace.CoordinatorRank, Seq: pj.session,
+			Start: tChunk.UnixNano(), Dur: now.Sub(tChunk).Nanoseconds(),
+			Args: map[string]int64{"tokens": int64(len(chunk)), "pos": int64(pos)},
+		})
+	}
 	if variant == perf.PassQ {
 		s.reuse.PassQChunks++
 	} else {
@@ -930,6 +975,7 @@ func (s *Scheduler) runPrefillChunk(pj *request, report *IterReport) bool {
 	s.prefills = s.prefills[1:]
 	next := transformer.Argmax(logits[len(logits)-1])
 	pj.ttftMs = float64(now.Sub(pj.start).Microseconds()) / 1000
+	s.hTTFT.Observe(now.Sub(pj.start).Seconds())
 	pj.next = next
 	pj.lastStep = now
 	if pj.collect {
@@ -955,6 +1001,7 @@ func (s *Scheduler) runDecodeBatch(dbatch []*request, report *IterReport) {
 	var out [][]float32
 	var err error
 	evictReq := 0
+	tBatch := time.Now()
 	for len(dbatch) > 0 {
 		ids := make([]int, len(dbatch))
 		toks := make([]int, len(dbatch))
@@ -1047,6 +1094,13 @@ func (s *Scheduler) runDecodeBatch(dbatch []*request, report *IterReport) {
 		s.cond.Broadcast()
 		return
 	}
+	if s.rec != nil {
+		s.rec.RecordSpan(trace.Span{
+			Name: "decode.batch", Cat: "decode", Rank: trace.CoordinatorRank, Seq: trace.NoSeq,
+			Start: tBatch.UnixNano(), Dur: now.Sub(tBatch).Nanoseconds(),
+			Args: map[string]int64{"batch": int64(len(dbatch))},
+		})
+	}
 	for i, r := range dbatch {
 		report.DecodeSessions = append(report.DecodeSessions, r.session)
 		s.appendLogLocked(r.session, true, []int{r.token})
@@ -1055,6 +1109,9 @@ func (s *Scheduler) runDecodeBatch(dbatch []*request, report *IterReport) {
 		if r.collect {
 			r.tokens = append(r.tokens, next)
 			r.ttitMs = append(r.ttitMs, float64(now.Sub(r.lastStep).Microseconds())/1000)
+		}
+		if !r.lastStep.IsZero() {
+			s.hITL.Observe(now.Sub(r.lastStep).Seconds())
 		}
 		r.lastStep = now
 		r.next = next
@@ -1102,6 +1159,13 @@ func (s *Scheduler) recordWaitLocked(c Class, wait time.Duration) {
 	st.TotalWait += wait
 	if wait > st.MaxWait {
 		st.MaxWait = wait
+	}
+	s.hWait[c].Observe(wait.Seconds())
+	if s.rec != nil {
+		s.rec.RecordSpan(trace.Span{
+			Name: "queue.wait", Cat: string(c), Rank: trace.CoordinatorRank, Seq: trace.NoSeq,
+			Start: time.Now().Add(-wait).UnixNano(), Dur: wait.Nanoseconds(),
+		})
 	}
 }
 
@@ -1225,6 +1289,7 @@ func (s *Scheduler) detachAndDrop(d sessionDrop) {
 	delete(s.log, d.session) // evicted sessions are not replayable
 	s.mu.Unlock()
 	if d.detach && !noDetach && s.tree != nil && canon >= s.cfg.TokenBudget {
+		tDetach := time.Now()
 		added, err := s.tree.Insert(hist[:canon], func(depth int) (prefixcache.Entry, error) {
 			return s.cluster.DetachPrefix(d.session, depth)
 		})
@@ -1233,6 +1298,14 @@ func (s *Scheduler) detachAndDrop(d sessionDrop) {
 			s.reuse.Detached++
 			s.reuse.DetachedTokens += int64(added)
 			s.mu.Unlock()
+			s.rec.CounterSeries("cp_prefix_detach_total").Inc(1)
+			if s.rec != nil {
+				s.rec.RecordSpan(trace.Span{
+					Name: "prefix.detach", Cat: "cache", Rank: trace.CoordinatorRank, Seq: d.session,
+					Start: tDetach.UnixNano(), Dur: time.Since(tDetach).Nanoseconds(),
+					Args: map[string]int64{"tokens": int64(added)},
+				})
+			}
 		}
 	}
 	s.cluster.Drop(d.session)

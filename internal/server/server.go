@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/comm/wire"
@@ -17,6 +19,7 @@ import (
 	"repro/internal/prefixcache"
 	"repro/internal/ring"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 	"repro/internal/transformer"
 )
 
@@ -66,6 +69,11 @@ type Config struct {
 	Recover bool
 	// MaxRecoveries bounds lifetime rebuild attempts (0 = 3 when Recover).
 	MaxRecoveries int
+	// NoTrace disables the observability recorder: no spans, no latency
+	// histograms, and /metrics and /v1/trace answer 404. Tracing is pure
+	// observation — on or off, every logit is bit-identical — so the only
+	// reason to disable it is reclaiming the recording overhead itself.
+	NoTrace bool
 }
 
 // Server is an HTTP inference frontend over one context-parallel cluster
@@ -79,7 +87,9 @@ type Config struct {
 type Server struct {
 	cfg       Config
 	sched     *Scheduler
+	rec       *trace.Recorder // nil when Config.NoTrace
 	started   time.Time
+	seq       atomic.Uint64 // /v1/stats snapshot sequence
 	closeOnce sync.Once
 }
 
@@ -95,6 +105,10 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
+	var rec *trace.Recorder
+	if !cfg.NoTrace {
+		rec = trace.New()
+	}
 	var cluster *transformer.Cluster
 	if len(cfg.RankAddrs) > 0 {
 		cfg.RankAddrs, err = NormalizeRankAddrs(cfg.RankAddrs)
@@ -106,9 +120,10 @@ func New(cfg Config) (*Server, error) {
 			KVCapacity:  cfg.KVCapacity,
 			DialTimeout: cfg.DialTimeout,
 			RecvTimeout: cfg.RecvTimeout,
+			Trace:       rec,
 		})
 	} else {
-		var copts []transformer.ClusterOption
+		copts := []transformer.ClusterOption{transformer.WithTrace(rec)}
 		if cfg.RecvTimeout > 0 {
 			copts = append(copts, transformer.WithRecvTimeout(cfg.RecvTimeout))
 		}
@@ -122,6 +137,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	return &Server{
 		cfg: cfg,
+		rec: rec,
 		sched: NewScheduler(cluster, SchedulerConfig{
 			Policy:            cfg.Policy,
 			Variant:           cfg.Variant,
@@ -195,8 +211,111 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/prefill", s.handlePrefill)
 	mux.HandleFunc("/v1/decode", s.handleDecode)
 	mux.HandleFunc("/v1/stats", s.handleStats)
+	mux.HandleFunc("/v1/trace", s.handleTrace)
 	mux.HandleFunc("/v1/session/", s.handleSession)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	return mux
+}
+
+// Recorder exposes the observability store (nil when Config.NoTrace).
+func (s *Server) Recorder() *trace.Recorder { return s.rec }
+
+// syncTrace drains every distributed worker's staged spans and metric
+// deltas into the coordinator recorder and refreshes the level gauges.
+// In-process clusters record into the shared store directly, so only the
+// gauges move.
+func (s *Server) syncTrace() error {
+	if s.rec == nil {
+		return nil
+	}
+	var err error
+	s.sched.WithCluster(func(c *transformer.Cluster) {
+		err = c.SyncTrace()
+		s.rec.Gauge("cp_cluster_epoch").Set(float64(c.Epoch()))
+	})
+	s.rec.Gauge("cp_uptime_seconds").Set(time.Since(s.started).Seconds())
+	s.rec.Gauge("cp_sessions_resident").Set(float64(s.sched.Sessions()))
+	return err
+}
+
+// handleMetrics serves the Prometheus text exposition. Every scrape first
+// drains the distributed workers so the histograms include ring phases
+// recorded since the previous scrape.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.rec == nil {
+		writeErr(w, http.StatusNotFound, "tracing disabled")
+		return
+	}
+	if s.sched.Closed() {
+		writeErr(w, http.StatusServiceUnavailable, "%v", ErrClosed)
+		return
+	}
+	if err := s.syncTrace(); err != nil {
+		if s.sched.Closed() {
+			writeErr(w, http.StatusServiceUnavailable, "%v", ErrClosed)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, "trace sync: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.rec.WriteProm(w)
+}
+
+// handleTrace serves the span export: Chrome-trace JSON by default (open in
+// chrome://tracing or Perfetto), deterministic JSONL with ?format=jsonl.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeErr(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	if s.rec == nil {
+		writeErr(w, http.StatusNotFound, "tracing disabled")
+		return
+	}
+	if s.sched.Closed() {
+		writeErr(w, http.StatusServiceUnavailable, "%v", ErrClosed)
+		return
+	}
+	format := r.URL.Query().Get("format")
+	if format != "" && format != "chrome" && format != "jsonl" {
+		writeErr(w, http.StatusBadRequest, "unknown format %q (want chrome or jsonl)", format)
+		return
+	}
+	if err := s.syncTrace(); err != nil {
+		if s.sched.Closed() {
+			writeErr(w, http.StatusServiceUnavailable, "%v", ErrClosed)
+			return
+		}
+		writeErr(w, http.StatusInternalServerError, "trace sync: %v", err)
+		return
+	}
+	if format == "jsonl" {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		_ = s.rec.WriteJSONL(w)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.rec.WriteChromeTrace(w)
+}
+
+// WriteTrace syncs and writes the span export — Chrome-trace JSON when
+// chrome is true, JSONL otherwise (cpserve -trace-out uses this at
+// shutdown). Sync errors are swallowed: the workers may already be gone,
+// and the coordinator's merged store is still worth dumping.
+func (s *Server) WriteTrace(w io.Writer, chrome bool) error {
+	if s.rec == nil {
+		return fmt.Errorf("server: tracing disabled")
+	}
+	_ = s.syncTrace()
+	if chrome {
+		return s.rec.WriteChromeTrace(w)
+	}
+	return s.rec.WriteJSONL(w)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -366,16 +485,51 @@ type kernelBlock struct {
 	RingOverlap ring.OverlapStats  `json:"ring_overlap"`
 }
 
+// quantileBlock summarizes one latency histogram (seconds; log-scale
+// buckets, so quantiles are upper bucket bounds).
+type quantileBlock struct {
+	Count uint64  `json:"count"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+func quantilesOf(s *trace.Series) quantileBlock {
+	return quantileBlock{
+		Count: s.HistCount(),
+		P50:   s.Quantile(0.50),
+		P90:   s.Quantile(0.90),
+		P99:   s.Quantile(0.99),
+	}
+}
+
+// latencyBlock is the /v1/stats serving-latency summary, distilled from the
+// same histograms /metrics exposes in full.
+type latencyBlock struct {
+	TTFT quantileBlock `json:"ttft_seconds"`
+	ITL  quantileBlock `json:"itl_seconds"`
+	Step quantileBlock `json:"step_seconds"`
+}
+
 type statsResponse struct {
-	Ranks       int                  `json:"ranks"`
-	Policy      string               `json:"policy"`
-	Variant     string               `json:"variant"`
-	Sessions    int                  `json:"sessions"`
-	RankKV      []int                `json:"rank_kv_tokens"`
-	CommBytes   float64              `json:"comm_bytes"`
-	UptimeSec   float64              `json:"uptime_sec"`
+	Ranks     int     `json:"ranks"`
+	Policy    string  `json:"policy"`
+	Variant   string  `json:"variant"`
+	Sessions  int     `json:"sessions"`
+	RankKV    []int   `json:"rank_kv_tokens"`
+	CommBytes float64 `json:"comm_bytes"`
+	UptimeSec float64 `json:"uptime_sec"`
+	// UptimeMs is the same clock in integer milliseconds — monotonic across
+	// scrapes, so pollers can order snapshots without parsing floats.
+	UptimeMs int64 `json:"uptime_ms"`
+	// Sequence increments once per served snapshot; two pollers can tell
+	// which of their responses is fresher even within one millisecond.
+	Sequence    uint64               `json:"sequence"`
 	QueueStats  map[Class]QueueStats `json:"queues"`
 	SessionLens map[string]int       `json:"session_lens"`
+	// Latency summarizes the serving-latency histograms (absent when
+	// tracing is disabled).
+	Latency *latencyBlock `json:"latency,omitempty"`
 	// Continuous-batching telemetry.
 	Batch           BatchStats `json:"batch"`
 	MeanOccupancy   float64    `json:"mean_occupancy"`
@@ -461,6 +615,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	if st, ok := s.sched.PrefixStats(); ok {
 		treeStats = &st
 	}
+	var latency *latencyBlock
+	if s.rec != nil {
+		latency = &latencyBlock{
+			TTFT: quantilesOf(s.rec.Hist("cp_request_ttft_seconds")),
+			ITL:  quantilesOf(s.rec.Hist("cp_request_itl_seconds")),
+			Step: quantilesOf(s.rec.Hist("cp_step_seconds")),
+		}
+	}
+	seq := s.seq.Add(1)
+	s.rec.Gauge("cp_stats_sequence").Set(float64(seq))
+	uptime := time.Since(s.started)
 	writeJSON(w, http.StatusOK, statsResponse{
 		Ranks:           ranks,
 		Policy:          s.cfg.Policy.String(),
@@ -468,9 +633,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		Sessions:        len(ids),
 		RankKV:          tel.RankKV,
 		CommBytes:       tel.Comm.TotalBytes(),
-		UptimeSec:       time.Since(s.started).Seconds(),
+		UptimeSec:       uptime.Seconds(),
+		UptimeMs:        uptime.Milliseconds(),
+		Sequence:        seq,
 		QueueStats:      s.sched.Stats(),
 		SessionLens:     lens,
+		Latency:         latency,
 		Batch:           batch,
 		MeanOccupancy:   batch.MeanOccupancy(),
 		MeanIterMs:      batch.MeanIterMs(),

@@ -1,8 +1,10 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync"
@@ -10,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/perf"
+	"repro/internal/trace"
 	"repro/internal/transformer"
 )
 
@@ -68,6 +71,50 @@ func TestStatsHammerUnderTraffic(t *testing.T) {
 					var body statsResponse
 					_ = json.NewDecoder(resp.Body).Decode(&body)
 					resp.Body.Close()
+				}
+			}()
+		}
+		// Observability hammer: scrape the Prometheus exposition and both
+		// trace exports concurrently with traffic and recovery churn. Every
+		// 200 body must parse/validate — a torn histogram or half-merged
+		// span batch breaks the in-tree parsers, not just the race detector.
+		// Non-200s are fine: a scrape can land mid-recovery on a poisoned
+		// control plane.
+		for h := 0; h < 2; h++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; ; i++ {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					url := ts.URL + "/metrics"
+					if i%3 == 1 {
+						url = ts.URL + "/v1/trace"
+					} else if i%3 == 2 {
+						url = ts.URL + "/v1/trace?format=jsonl"
+					}
+					resp, err := http.Get(url)
+					if err != nil {
+						continue
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						continue
+					}
+					switch i % 3 {
+					case 0:
+						if _, err := trace.ParseProm(bytes.NewReader(body)); err != nil {
+							t.Errorf("/metrics under churn: %v", err)
+						}
+					case 1:
+						if err := trace.ValidateChromeTrace(body); err != nil {
+							t.Errorf("/v1/trace under churn: %v", err)
+						}
+					}
 				}
 			}()
 		}

@@ -1,10 +1,22 @@
-// Package trace collects named timing spans and counters from the inference
-// engine. It backs the per-phase breakdowns the paper reports (SendRecv /
-// ATTN / All2All in Tables 5 and 8) for the functional layer, where wall
-// times come from actually running the simulated cluster.
+// Package trace is the engine's observability layer: distributed spans,
+// streaming latency histograms, and labeled counters/gauges, exported as
+// Chrome-trace JSON, deterministic JSONL, and Prometheus text exposition.
+//
+// It backs the per-phase breakdowns the paper reports (SendRecv / ATTN /
+// All2All in Tables 5 and 8): every ring sweep records its compute, comm,
+// and All2All time per rank, and the serving layer records TTFT / ITL /
+// step-latency histograms plus per-request spans (queue wait, prefill
+// chunks, decode iterations, prefix adopt/detach, recovery replay).
 //
 // Recorders are safe for concurrent use: every CP rank goroutine records
-// into the same recorder during a distributed call.
+// into the same recorder during an in-process distributed call. In
+// multi-process mode each worker records into its own recorder and the
+// coordinator drains deltas over the wire (wire.TraceCmd / TraceResult),
+// merging them into its cumulative store — so counters stay monotonic
+// across epochs and histogram merge is plain bucket addition.
+//
+// Every recording entry point is nil-safe on a nil *Recorder: tracing off
+// is a nil handle, costs no time.Now() calls, and cannot perturb compute.
 package trace
 
 import (
@@ -15,7 +27,31 @@ import (
 	"time"
 )
 
-// Stat aggregates one span name.
+// Span is one timed activity on one rank. Start is Unix nanoseconds; Index
+// is a per-(rank, epoch) monotonic sequence number assigned at record time,
+// so sorting by (Epoch, Rank, Index) reproduces each rank's program order
+// exactly — the deterministic export ordering.
+type Span struct {
+	Name  string           `json:"name"`
+	Cat   string           `json:"cat,omitempty"`
+	Rank  int              `json:"rank"`
+	Seq   int              `json:"seq"`
+	Epoch uint64           `json:"epoch"`
+	Index uint64           `json:"index"`
+	Start int64            `json:"start_ns"`
+	Dur   int64            `json:"dur_ns"`
+	Args  map[string]int64 `json:"args,omitempty"`
+}
+
+// CoordinatorRank tags spans recorded by the coordinator / scheduler rather
+// than a CP rank.
+const CoordinatorRank = -1
+
+// NoSeq tags spans not attributable to one sequence.
+const NoSeq = -1
+
+// Stat aggregates one span name (count / total / max), the summary surface
+// the core engine and cpsim print.
 type Stat struct {
 	Count int
 	Total time.Duration
@@ -30,85 +66,405 @@ func (s Stat) Mean() time.Duration {
 	return s.Total / time.Duration(s.Count)
 }
 
-// Recorder accumulates spans and counters.
+// DefaultMaxSpans bounds the in-memory span buffer; past it, new spans are
+// dropped and counted in cp_trace_spans_dropped_total.
+const DefaultMaxSpans = 1 << 16
+
+type rankKey struct {
+	rank  int
+	epoch uint64
+}
+
+// Recorder accumulates spans, aggregate per-name stats, and labeled metric
+// series. The zero value is not usable; call New. A nil *Recorder is a
+// valid "tracing off" handle for every recording method.
 type Recorder struct {
 	mu       sync.Mutex
-	spans    map[string]Stat
+	maxSpans int
+	spans    []Span
+	nextIdx  map[rankKey]uint64
+	agg      map[string]Stat
 	counters map[string]int64
+	series   map[string]*Series
+	order    []string // series ids in creation order (sorted at export)
 }
 
 // New returns an empty recorder.
 func New() *Recorder {
-	return &Recorder{spans: make(map[string]Stat), counters: make(map[string]int64)}
+	return &Recorder{
+		maxSpans: DefaultMaxSpans,
+		nextIdx:  make(map[rankKey]uint64),
+		agg:      make(map[string]Stat),
+		counters: make(map[string]int64),
+		series:   make(map[string]*Series),
+	}
 }
 
-// Record adds one span observation.
-func (r *Recorder) Record(name string, d time.Duration) {
+// SetMaxSpans bounds the span buffer (<= 0 keeps the current bound).
+func (r *Recorder) SetMaxSpans(n int) {
+	if r == nil || n <= 0 {
+		return
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
-	s := r.spans[name]
+	r.maxSpans = n
+	r.mu.Unlock()
+}
+
+// RecordSpan appends one span, assigning its per-(rank, epoch) Index. The
+// aggregate Stat for s.Name is updated even when the buffer is full.
+func (r *Recorder) RecordSpan(s Span) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	k := rankKey{s.Rank, s.Epoch}
+	r.nextIdx[k]++
+	s.Index = r.nextIdx[k]
+	st := r.agg[s.Name]
+	st.Count++
+	st.Total += time.Duration(s.Dur)
+	if time.Duration(s.Dur) > st.Max {
+		st.Max = time.Duration(s.Dur)
+	}
+	r.agg[s.Name] = st
+	dropped := len(r.spans) >= r.maxSpans
+	if !dropped {
+		r.spans = append(r.spans, s)
+	}
+	var dropCtr *Series
+	if dropped {
+		dropCtr = r.seriesLocked(KindCounter, "cp_trace_spans_dropped_total", L("rank", rankLabel(s.Rank)))
+	}
+	r.mu.Unlock()
+	if dropCtr != nil {
+		dropCtr.Inc(1)
+	}
+}
+
+// Record adds one aggregate span observation without buffering a full span
+// (the seed recorder's surface, kept for cheap unattributed timings).
+func (r *Recorder) Record(name string, d time.Duration) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	s := r.agg[name]
 	s.Count++
 	s.Total += d
 	if d > s.Max {
 		s.Max = d
 	}
-	r.spans[name] = s
+	r.agg[name] = s
+	r.mu.Unlock()
 }
 
-// Time starts a span and returns a stop function; idiomatic use is
-// defer r.Time("attn")().
+// Time starts a coordinator-rank span and returns a stop function that
+// records it; idiomatic use is defer r.Time("engine.prefill")().
 func (r *Recorder) Time(name string) func() {
+	if r == nil {
+		return func() {}
+	}
 	start := time.Now()
-	return func() { r.Record(name, time.Since(start)) }
+	return func() {
+		r.RecordSpan(Span{
+			Name: name, Rank: CoordinatorRank, Seq: NoSeq,
+			Start: start.UnixNano(), Dur: time.Since(start).Nanoseconds(),
+		})
+	}
 }
 
-// Add increments a named counter.
+// Add increments a named (unlabeled, process-local) counter.
 func (r *Recorder) Add(name string, delta int64) {
+	if r == nil {
+		return
+	}
 	r.mu.Lock()
-	defer r.mu.Unlock()
 	r.counters[name] += delta
+	r.mu.Unlock()
 }
 
-// Counter returns a counter's value.
+// Counter returns an unlabeled counter's value.
 func (r *Recorder) Counter(name string) int64 {
+	if r == nil {
+		return 0
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	return r.counters[name]
 }
 
-// Span returns the aggregate for one span name.
-func (r *Recorder) Span(name string) Stat {
+// Stat returns the aggregate for one span name.
+func (r *Recorder) Stat(name string) Stat {
+	if r == nil {
+		return Stat{}
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	return r.spans[name]
+	return r.agg[name]
 }
 
-// Names returns all span names in sorted order.
+// Names returns all aggregate span names in sorted order.
 func (r *Recorder) Names() []string {
+	if r == nil {
+		return nil
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.spans))
-	for n := range r.spans {
+	out := make([]string, 0, len(r.agg))
+	for n := range r.agg {
 		out = append(out, n)
 	}
 	sort.Strings(out)
 	return out
 }
 
-// Reset clears all spans and counters.
-func (r *Recorder) Reset() {
+// SpanCount returns the number of buffered spans.
+func (r *Recorder) SpanCount() int {
+	if r == nil {
+		return 0
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	r.spans = make(map[string]Stat)
-	r.counters = make(map[string]int64)
+	return len(r.spans)
 }
 
-// String renders a one-line-per-span summary, useful in examples and CLIs.
+// Reset clears spans, aggregates, and every series' contents (registry and
+// label sets survive so pre-resolved handles stay valid).
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.spans = nil
+	r.nextIdx = make(map[rankKey]uint64)
+	r.agg = make(map[string]Stat)
+	r.counters = make(map[string]int64)
+	series := make([]*Series, 0, len(r.series))
+	for _, s := range r.series {
+		series = append(series, s)
+	}
+	r.mu.Unlock()
+	for _, s := range series {
+		s.reset()
+	}
+}
+
+// String renders a one-line-per-name summary of the aggregate stats,
+// useful in examples and CLIs.
 func (r *Recorder) String() string {
+	if r == nil {
+		return ""
+	}
 	var b strings.Builder
 	for _, n := range r.Names() {
-		s := r.Span(n)
+		s := r.Stat(n)
 		fmt.Fprintf(&b, "%-24s count=%-6d total=%-12s mean=%s\n", n, s.Count, s.Total, s.Mean())
 	}
 	return b.String()
+}
+
+// rankLabel renders a rank id as a label value ("coord" for the
+// coordinator pseudo-rank).
+func rankLabel(rank int) string {
+	if rank == CoordinatorRank {
+		return "coord"
+	}
+	return fmt.Sprintf("%d", rank)
+}
+
+// RankLabel is the exported form used by callers building label sets.
+func RankLabel(rank int) string { return rankLabel(rank) }
+
+// --- ring sweep timing -----------------------------------------------------
+
+// SweepTimer accumulates one ring sweep's (one layer pass on one rank)
+// per-phase wall time: attention compute, ring SendRecv issue+wait, and the
+// trailing All2All — the paper's Table 5/8 axes. Created per sweep via
+// Recorder.Sweep; all methods are nil-safe so the ring hot path stays
+// branch-light when tracing is off.
+type SweepTimer struct {
+	rec       *Recorder
+	rank      int
+	epoch     uint64
+	op        string
+	seq       int
+	computeNs int64
+	commNs    int64
+	a2aNs     int64
+	steps     int
+	hasA2A    bool
+	start     time.Time
+	hc, hm    *Series
+	ha        *Series
+	sweeps    *Series
+}
+
+// Sweep opens a sweep timer for one rank and op ("prefill" or "decode").
+// Returns nil (a valid no-op timer) on a nil recorder.
+func (r *Recorder) Sweep(rank int, epoch uint64, op string) *SweepTimer {
+	if r == nil {
+		return nil
+	}
+	rl := rankLabel(rank)
+	return &SweepTimer{
+		rec: r, rank: rank, epoch: epoch, op: op, seq: NoSeq,
+		start:  time.Now(),
+		hc:     r.Hist("cp_ring_phase_seconds", L("op", op), L("phase", "compute"), L("rank", rl)),
+		hm:     r.Hist("cp_ring_phase_seconds", L("op", op), L("phase", "comm"), L("rank", rl)),
+		ha:     r.Hist("cp_ring_phase_seconds", L("op", op), L("phase", "all2all"), L("rank", rl)),
+		sweeps: r.CounterSeries("cp_ring_sweeps_total", L("op", op), L("rank", rl)),
+	}
+}
+
+// Clock returns the current time, or the zero time on a nil timer (so
+// callers can write t0 := tr.Clock(); ...; tr.Compute(t0) untraced for
+// free).
+func (t *SweepTimer) Clock() time.Time {
+	if t == nil {
+		return time.Time{}
+	}
+	return time.Now()
+}
+
+// Compute charges the time since t0 to the attention-compute phase.
+func (t *SweepTimer) Compute(t0 time.Time) {
+	if t == nil {
+		return
+	}
+	t.computeNs += time.Since(t0).Nanoseconds()
+}
+
+// Comm charges the time since t0 to the ring SendRecv phase (transfer
+// issue and exposed wait both land here, so the sum is comparable across
+// the overlapped and synchronous ring paths).
+func (t *SweepTimer) Comm(t0 time.Time) {
+	if t == nil {
+		return
+	}
+	t.commNs += time.Since(t0).Nanoseconds()
+}
+
+// A2A charges the time since t0 to the trailing All2All.
+func (t *SweepTimer) A2A(t0 time.Time) {
+	if t == nil {
+		return
+	}
+	t.a2aNs += time.Since(t0).Nanoseconds()
+	t.hasA2A = true
+}
+
+// Finish records the sweep: one observation per phase histogram, the sweep
+// counter, and one ring.sweep span carrying the phase breakdown.
+func (t *SweepTimer) Finish(steps int) {
+	if t == nil {
+		return
+	}
+	t.steps = steps
+	t.hc.Observe(float64(t.computeNs) / 1e9)
+	t.hm.Observe(float64(t.commNs) / 1e9)
+	if t.hasA2A {
+		t.ha.Observe(float64(t.a2aNs) / 1e9)
+	}
+	t.sweeps.Inc(1)
+	args := map[string]int64{
+		"compute_ns": t.computeNs,
+		"comm_ns":    t.commNs,
+		"steps":      int64(steps),
+	}
+	if t.hasA2A {
+		args["all2all_ns"] = t.a2aNs
+	}
+	t.rec.RecordSpan(Span{
+		Name: "ring.sweep", Cat: t.op, Rank: t.rank, Seq: t.seq, Epoch: t.epoch,
+		Start: t.start.UnixNano(), Dur: time.Since(t.start).Nanoseconds(), Args: args,
+	})
+}
+
+// --- drain / merge (the wire-shipping surface) -----------------------------
+
+// SeriesSnap is one series' drained delta (or gauge value): the unit the
+// coordinator merges after shipping it over a wire.TraceResult.
+type SeriesSnap struct {
+	Name   string
+	Labels []Label
+	Kind   Kind
+	Value  float64  // counter delta or gauge value
+	Count  uint64   // histogram observation count delta
+	Sum    float64  // histogram sum delta
+	Counts []uint64 // histogram bucket count deltas (len == len(BucketBounds))
+}
+
+// Drain atomically removes and returns all buffered spans plus every
+// series' delta since the previous drain, resetting counters and histogram
+// contents (gauges keep their value — they are levels, not flows). Worker
+// recorders are staging buffers: the coordinator's merged store is the
+// cumulative source of truth.
+func (r *Recorder) Drain() ([]Span, []SeriesSnap) {
+	if r == nil {
+		return nil, nil
+	}
+	r.mu.Lock()
+	spans := r.spans
+	r.spans = nil
+	ids := append([]string(nil), r.order...)
+	series := make([]*Series, len(ids))
+	for i, id := range ids {
+		series[i] = r.series[id]
+	}
+	r.mu.Unlock()
+	sort.Strings(ids)
+	sort.Slice(series, func(i, j int) bool { return series[i].id < series[j].id })
+	snaps := make([]SeriesSnap, 0, len(series))
+	for _, s := range series {
+		snaps = append(snaps, s.drain())
+	}
+	return spans, snaps
+}
+
+// MergeSpans appends drained spans from another recorder verbatim (their
+// Index values are already per-(rank, epoch) and must be preserved for the
+// deterministic export ordering).
+func (r *Recorder) MergeSpans(spans []Span) {
+	if r == nil || len(spans) == 0 {
+		return
+	}
+	r.mu.Lock()
+	var droppedBy map[int]int64
+	for _, s := range spans {
+		if len(r.spans) >= r.maxSpans {
+			if droppedBy == nil {
+				droppedBy = make(map[int]int64)
+			}
+			droppedBy[s.Rank]++
+			continue
+		}
+		r.spans = append(r.spans, s)
+		k := rankKey{s.Rank, s.Epoch}
+		if s.Index > r.nextIdx[k] {
+			r.nextIdx[k] = s.Index
+		}
+	}
+	drops := make([]*Series, 0, len(droppedBy))
+	counts := make([]int64, 0, len(droppedBy))
+	for rank, n := range droppedBy {
+		drops = append(drops, r.seriesLocked(KindCounter, "cp_trace_spans_dropped_total", L("rank", rankLabel(rank))))
+		counts = append(counts, n)
+	}
+	r.mu.Unlock()
+	for i, s := range drops {
+		s.Inc(float64(counts[i]))
+	}
+}
+
+// MergeSeries folds drained series deltas into this recorder: counters and
+// histograms add, gauges take the incoming value. Series are created on
+// first sight, so a fresh coordinator can absorb any worker's registry.
+func (r *Recorder) MergeSeries(snaps []SeriesSnap) {
+	if r == nil {
+		return
+	}
+	for _, sn := range snaps {
+		s := r.getSeries(sn.Kind, sn.Name, sn.Labels...)
+		s.merge(sn)
+	}
 }

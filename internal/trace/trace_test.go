@@ -11,7 +11,7 @@ func TestRecordAggregates(t *testing.T) {
 	r := New()
 	r.Record("attn", 10*time.Millisecond)
 	r.Record("attn", 30*time.Millisecond)
-	s := r.Span("attn")
+	s := r.Stat("attn")
 	if s.Count != 2 || s.Total != 40*time.Millisecond || s.Max != 30*time.Millisecond {
 		t.Fatalf("stat = %+v", s)
 	}
@@ -32,7 +32,7 @@ func TestTimeHelper(t *testing.T) {
 	stop := r.Time("op")
 	time.Sleep(2 * time.Millisecond)
 	stop()
-	if s := r.Span("op"); s.Count != 1 || s.Total < time.Millisecond {
+	if s := r.Stat("op"); s.Count != 1 || s.Total < time.Millisecond {
 		t.Fatalf("Time recorded %+v", s)
 	}
 }
@@ -92,7 +92,7 @@ func TestConcurrentRecording(t *testing.T) {
 		}()
 	}
 	wg.Wait()
-	if s := r.Span("op"); s.Count != 800 {
+	if s := r.Stat("op"); s.Count != 800 {
 		t.Fatalf("concurrent count = %d, want 800", s.Count)
 	}
 	if r.Counter("n") != 800 {

@@ -12,6 +12,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/sharding"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // Cluster executes the transformer across N context-parallel ranks: tokens
@@ -42,6 +43,11 @@ type Cluster struct {
 	remote  *remotePlane  // distributed mode; nil when in-process
 
 	kvCapacity int
+
+	// rec is the cluster's trace recorder (nil = tracing off). In-process
+	// engines record into it directly; distributed workers stage locally and
+	// SyncTrace drains their deltas into it over the control plane.
+	rec *trace.Recorder
 
 	// Rebuild inputs: the construction options (in-process) or connect
 	// config (distributed) a fault-recovery rebuild replays, and the
@@ -76,6 +82,15 @@ type ClusterOption func(*clusterOpts)
 type clusterOpts struct {
 	commOpts   []comm.Option
 	kvCapacity int
+	rec        *trace.Recorder
+}
+
+// WithTrace attaches a trace recorder: ring sweeps record per-phase timings
+// and spans into it on every rank. Tracing observes wall clocks only — it
+// cannot change a single output float; the engine's exact-equality tests
+// pin that down.
+func WithTrace(rec *trace.Recorder) ClusterOption {
+	return func(o *clusterOpts) { o.rec = rec }
 }
 
 // WithRecvTimeout sets the receive deadline of the cluster's comm.World, for
@@ -111,12 +126,13 @@ func NewCluster(w *Weights, ranks int, opts ...ClusterOption) (*Cluster, error) 
 		opts:        co,
 		epoch:       1,
 		kvCapacity:  co.kvCapacity,
+		rec:         co.rec,
 		seqLens:     make(map[int]int),
 		decodeSteps: make(map[int]int),
 		events:      make(chan transport.FailureEvent, ranks+2),
 	}
 	for r := 0; r < ranks; r++ {
-		e, err := newRankEngine(w, co.kvCapacity)
+		e, err := newRankEngine(w, co.kvCapacity, c.epoch, co.rec)
 		if err != nil {
 			return nil, err
 		}
@@ -153,6 +169,29 @@ func (c *Cluster) FailLink(src, dst int) {
 
 // Distributed reports whether the ranks live in other processes.
 func (c *Cluster) Distributed() bool { return c.remote != nil }
+
+// Recorder returns the cluster's trace recorder (nil when tracing is off).
+func (c *Cluster) Recorder() *trace.Recorder { return c.rec }
+
+// SyncTrace pulls every worker's staged spans and series deltas into the
+// cluster's recorder. In-process it is a no-op — the engines already share
+// the recorder. Distributed it is a control-plane round trip; callers must
+// not race it against an in-flight prefill or decode (the serving layer
+// calls it under its cluster lock before every scrape or trace export).
+func (c *Cluster) SyncTrace() error {
+	if c.rec == nil || c.remote == nil {
+		return nil
+	}
+	results, err := c.remote.traceDrain()
+	if err != nil {
+		return err
+	}
+	for _, res := range results {
+		c.rec.MergeSpans(wireToSpans(res.Spans))
+		c.rec.MergeSeries(wireToSnaps(res.Series))
+	}
+	return nil
+}
 
 // SeqLen returns the cached length of a sequence.
 func (c *Cluster) SeqLen(seq int) int { return c.seqLens[seq] }

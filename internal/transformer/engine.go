@@ -11,6 +11,7 @@ import (
 	"repro/internal/ring"
 	"repro/internal/sharding"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // rankEngine holds one CP rank's execution state: per-layer KV caches and
@@ -24,11 +25,18 @@ type rankEngine struct {
 	caches   []*kvcache.Cache           // per layer
 	blocks   []*ring.BlockCache         // per layer
 	prefixes map[uint64][]*kvcache.Span // detached prefixes, spans per layer
+
+	// rec stages this rank's spans and metric series; epoch stamps them with
+	// the cluster incarnation so merged traces survive recovery rebuilds. A
+	// nil recorder is tracing off: every sweep timer degrades to a nil no-op
+	// and the compute path takes zero clock readings.
+	rec   *trace.Recorder
+	epoch uint64
 }
 
-func newRankEngine(w *Weights, kvCapacity int) (*rankEngine, error) {
+func newRankEngine(w *Weights, kvCapacity int, epoch uint64, rec *trace.Recorder) (*rankEngine, error) {
 	m := w.Cfg.Model
-	e := &rankEngine{w: w, prefixes: make(map[uint64][]*kvcache.Span)}
+	e := &rankEngine{w: w, prefixes: make(map[uint64][]*kvcache.Span), rec: rec, epoch: epoch}
 	for l := 0; l < m.Layers; l++ {
 		kc, err := kvcache.New(kvcache.Config{KVHeads: m.NumKV, HeadDim: m.HeadDim, Capacity: kvCapacity})
 		if err != nil {
@@ -84,6 +92,7 @@ func (e *rankEngine) prefill(r *comm.Rank, cmd *wire.PrefillCmd) (*tensor.Tensor
 			Rank: r, Plan: plan, P: cmd.P, SeqIDs: cmd.Seqs,
 			Q: q, K: k, V: v,
 			Cache: e.caches[l], Blocks: e.blocks[l], Elem: m.ElemBytes,
+			Trace: e.rec.Sweep(r.ID, e.epoch, "prefill"),
 		})
 		if err != nil {
 			return nil, fmt.Errorf("layer %d: %w", l, err)
@@ -148,6 +157,7 @@ func (e *rankEngine) decode(r *comm.Rank, cmd *wire.DecodeCmd) ([]float32, error
 			K:     tensor.New(0, m.NumKV, m.HeadDim),
 			V:     tensor.New(0, m.NumKV, m.HeadDim),
 			Cache: e.caches[l], Blocks: e.blocks[l], Elem: m.ElemBytes,
+			Trace: e.rec.Sweep(r.ID, e.epoch, "decode"),
 		}
 		if len(mine) > 0 {
 			in.Q, in.K, in.V = e.w.projectQKV(l, hidden, len(mine), pos)
@@ -260,6 +270,18 @@ func (e *rankEngine) assembly() ring.BlockCacheStats {
 		total.Add(bc.Stats())
 	}
 	return total
+}
+
+// traceResult drains this rank's staged spans and series deltas into a wire
+// frame. The worker recorder resets on every drain; the coordinator's merged
+// store is the cumulative source of truth.
+func (e *rankEngine) traceResult(rank int) *wire.TraceResult {
+	spans, snaps := e.rec.Drain()
+	return &wire.TraceResult{
+		Rank:   rank,
+		Spans:  spansToWire(spans),
+		Series: snapsToWire(snaps),
+	}
 }
 
 // statsResult snapshots this rank's telemetry into a wire frame: cache

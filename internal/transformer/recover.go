@@ -103,7 +103,7 @@ func (c *Cluster) Rebuild() error {
 		c.world = comm.NewWorld(c.n, c.opts.commOpts...)
 		engines := make([]*rankEngine, 0, c.n)
 		for r := 0; r < c.n; r++ {
-			e, err := newRankEngine(c.W, c.kvCapacity)
+			e, err := newRankEngine(c.W, c.kvCapacity, c.epoch, c.rec)
 			if err != nil {
 				return fmt.Errorf("transformer: rebuild rank %d: %w", r, err)
 			}

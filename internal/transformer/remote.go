@@ -11,6 +11,7 @@ import (
 	"repro/internal/comm/transport"
 	"repro/internal/comm/wire"
 	"repro/internal/tensor"
+	"repro/internal/trace"
 )
 
 // DefaultCtrlTimeout bounds how long the coordinator waits for a worker's
@@ -45,6 +46,11 @@ type ConnectConfig struct {
 	// CtrlTimeout bounds each per-command worker reply. Default: twice
 	// RecvTimeout when set, else DefaultCtrlTimeout.
 	CtrlTimeout time.Duration
+	// Trace, when non-nil, is the coordinator's cumulative trace store;
+	// Cluster.SyncTrace drains every worker's staged spans and series deltas
+	// into it. Nil disables coordinator-side trace collection (workers still
+	// stage, but nothing drains them).
+	Trace *trace.Recorder
 }
 
 // ConfigSum digests everything two processes must agree on before forming a
@@ -175,6 +181,7 @@ func ConnectCluster(w *Weights, cfg ConnectConfig) (*Cluster, error) {
 		connCfg:     cfg,
 		epoch:       epoch,
 		kvCapacity:  cfg.KVCapacity,
+		rec:         cfg.Trace,
 		seqLens:     make(map[int]int),
 		decodeSteps: make(map[int]int),
 		events:      make(chan transport.FailureEvent, len(cfg.Addrs)+2),
@@ -399,6 +406,28 @@ func (p *remotePlane) capInputs(seqIDs []int) (*capSnapshot, error) {
 		snap.overhead[r] = res.Overhead
 	}
 	return snap, nil
+}
+
+// traceDrain collects every worker's staged trace delta. Like any bcast, a
+// failed round trip poisons the plane — trace scrapes share the command
+// stream's lockstep reply matching and cannot be retried out of band.
+func (p *remotePlane) traceDrain() ([]*wire.TraceResult, error) {
+	replies, err := p.bcast(&wire.TraceCmd{})
+	if err != nil {
+		return nil, err
+	}
+	if err := firstErr(replies); err != nil {
+		return nil, err
+	}
+	out := make([]*wire.TraceResult, len(replies))
+	for r, v := range replies {
+		res, ok := v.(*wire.TraceResult)
+		if !ok {
+			return nil, fmt.Errorf("transformer: rank %d answered trace drain with %T", r, v)
+		}
+		out[r] = res
+	}
+	return out, nil
 }
 
 func (p *remotePlane) telemetry() (Telemetry, error) {

@@ -1,0 +1,106 @@
+package transformer
+
+import (
+	"sort"
+
+	"repro/internal/comm/wire"
+	"repro/internal/trace"
+)
+
+// This file converts between the trace package's in-memory span/series forms
+// and their wire frames. Map-shaped fields (span args, series labels) travel
+// as parallel key/value arrays with keys pre-sorted by the sender, so one
+// span has exactly one encoding — the property every deterministic-export
+// test leans on.
+
+func spansToWire(spans []trace.Span) []wire.TraceSpan {
+	out := make([]wire.TraceSpan, len(spans))
+	for i, s := range spans {
+		w := wire.TraceSpan{
+			Name: s.Name, Cat: s.Cat, Rank: s.Rank, Seq: s.Seq,
+			Epoch: s.Epoch, Index: s.Index, Start: s.Start, Dur: s.Dur,
+		}
+		if len(s.Args) > 0 {
+			keys := make([]string, 0, len(s.Args))
+			for k := range s.Args {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			w.ArgKeys = keys
+			w.ArgVals = make([]int64, len(keys))
+			for j, k := range keys {
+				w.ArgVals[j] = s.Args[k]
+			}
+		}
+		out[i] = w
+	}
+	return out
+}
+
+func wireToSpans(ws []wire.TraceSpan) []trace.Span {
+	out := make([]trace.Span, 0, len(ws))
+	for _, w := range ws {
+		s := trace.Span{
+			Name: w.Name, Cat: w.Cat, Rank: w.Rank, Seq: w.Seq,
+			Epoch: w.Epoch, Index: w.Index, Start: w.Start, Dur: w.Dur,
+		}
+		if len(w.ArgKeys) > 0 && len(w.ArgKeys) == len(w.ArgVals) {
+			s.Args = make(map[string]int64, len(w.ArgKeys))
+			for j, k := range w.ArgKeys {
+				s.Args[k] = w.ArgVals[j]
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+func snapsToWire(snaps []trace.SeriesSnap) []wire.TraceSeries {
+	out := make([]wire.TraceSeries, len(snaps))
+	for i, sn := range snaps {
+		w := wire.TraceSeries{
+			Name: sn.Name, Kind: uint8(sn.Kind),
+			Value: sn.Value, Count: sn.Count, Sum: sn.Sum,
+		}
+		if len(sn.Labels) > 0 {
+			w.LabelKeys = make([]string, len(sn.Labels))
+			w.LabelVals = make([]string, len(sn.Labels))
+			for j, l := range sn.Labels {
+				w.LabelKeys[j] = l.Key
+				w.LabelVals[j] = l.Value
+			}
+		}
+		if len(sn.Counts) > 0 {
+			w.Counts = make([]int64, len(sn.Counts))
+			for j, c := range sn.Counts {
+				w.Counts[j] = int64(c)
+			}
+		}
+		out[i] = w
+	}
+	return out
+}
+
+func wireToSnaps(ws []wire.TraceSeries) []trace.SeriesSnap {
+	out := make([]trace.SeriesSnap, 0, len(ws))
+	for _, w := range ws {
+		if len(w.LabelKeys) != len(w.LabelVals) {
+			continue // malformed; drop rather than invent labels
+		}
+		sn := trace.SeriesSnap{
+			Name: w.Name, Kind: trace.Kind(w.Kind),
+			Value: w.Value, Count: w.Count, Sum: w.Sum,
+		}
+		for j := range w.LabelKeys {
+			sn.Labels = append(sn.Labels, trace.L(w.LabelKeys[j], w.LabelVals[j]))
+		}
+		if len(w.Counts) > 0 {
+			sn.Counts = make([]uint64, len(w.Counts))
+			for j, c := range w.Counts {
+				sn.Counts[j] = uint64(c)
+			}
+		}
+		out = append(out, sn)
+	}
+	return out
+}

@@ -14,6 +14,7 @@ import (
 	"repro/internal/comm"
 	"repro/internal/comm/transport"
 	"repro/internal/comm/wire"
+	"repro/internal/trace"
 )
 
 // ErrCoordinatorHangup reports a worker serve loop that ended because the
@@ -45,6 +46,12 @@ type WorkerConfig struct {
 	KVCapacity        int
 	RecvTimeout       time.Duration // ring receive deadline (0 = comm default)
 	RendezvousTimeout time.Duration
+
+	// MaxTraceSpans caps the worker's span staging buffer per incarnation
+	// (0 = trace.DefaultMaxSpans). Overflow is dropped and counted in
+	// cp_trace_spans_dropped_total rather than growing without bound between
+	// coordinator drains.
+	MaxTraceSpans int
 
 	// Epoch is the cluster incarnation to join first (0 = 1). A respawned
 	// replacement for a dead rank can leave it 1: its peers answer from the
@@ -250,7 +257,7 @@ func (b *workerBoot) serveEpoch(cfg WorkerConfig, w *Weights, epoch uint64) erro
 		commOpts = append(commOpts, comm.WithRecvTimeout(cfg.RecvTimeout))
 	}
 	world := comm.NewWorldOver(tp, commOpts...)
-	return ServeRank(ctrl, world, w, cfg.KVCapacity)
+	return ServeRank(ctrl, world, w, cfg.KVCapacity, epoch, cfg.MaxTraceSpans)
 }
 
 // ServeRank runs one rank's command loop: receive a control frame, execute
@@ -269,13 +276,21 @@ func (b *workerBoot) serveEpoch(cfg WorkerConfig, w *Weights, epoch uint64) erro
 //   - explicit ShutdownCmd: returns nil (orderly exit, never rejoined)
 //   - coordinator hangup: returns ErrCoordinatorHangup (rebuild or crash;
 //     the rejoin loop re-enters rendezvous at the next epoch)
-func ServeRank(ctrl *transport.Ctrl, world *comm.World, w *Weights, kvCapacity int) error {
+func ServeRank(ctrl *transport.Ctrl, world *comm.World, w *Weights, kvCapacity int, epoch uint64, maxTraceSpans int) error {
 	local := world.LocalRanks()
 	if len(local) != 1 {
 		return fmt.Errorf("transformer: worker world hosts %d ranks, want exactly 1", len(local))
 	}
+	if epoch == 0 {
+		epoch = 1
+	}
 	rank := world.Rank(local[0])
-	e, err := newRankEngine(w, kvCapacity)
+	// Each incarnation stages its spans in its own recorder; the coordinator
+	// drains them over TraceCmd round trips and merges into its cumulative
+	// store, epoch-stamped so traces survive recovery rebuilds.
+	rec := trace.New()
+	rec.SetMaxSpans(maxTraceSpans)
+	e, err := newRankEngine(w, kvCapacity, epoch, rec)
 	if err != nil {
 		return err
 	}
@@ -368,6 +383,8 @@ func (e *rankEngine) handle(rank *comm.Rank, world *comm.World, v any) (reply an
 		return &wire.CapResult{Capacity: e.capacity(), Avail: avail, Overhead: overhead}, false
 	case *wire.StatsCmd:
 		return e.statsResult(world), false
+	case *wire.TraceCmd:
+		return e.traceResult(rank.ID), false
 	case *wire.ShutdownCmd:
 		return &wire.Ack{}, true
 	default:
