@@ -32,6 +32,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/parallel"
 	"repro/internal/transformer"
 )
@@ -50,6 +51,9 @@ func main() {
 	epoch := flag.Uint64("epoch", 1, "cluster epoch to join first; a respawned replacement rank can leave the default and adopt the mesh's current epoch at handshake")
 	maxRejoins := flag.Int("max-rejoins", 16, "bound on rejoin cycles (requires -rejoin)")
 	traceSpans := flag.Int("trace-spans", 0, "cap on trace spans staged between coordinator drains (0 = default; overflow is dropped and counted)")
+	heartbeatEvery := flag.Duration("heartbeat-interval", 0, "control-plane heartbeat interval to the coordinator (0 = default; negative disables); must match cpserve -heartbeat-interval")
+	heartbeatMisses := flag.Int("heartbeat-misses", 0, "silent peer heartbeat windows before a mesh link is declared dead (0 = default; >= 2; negative disables)")
+	chaosSpec := flag.String("chaos", "", `deterministic fault schedule this rank executes, e.g. "slow@0->1#8:2ms*16;corrupt@1->2#32;partition@0|1,2#64;crash@1#96" (see internal/chaos)`)
 	flag.Parse()
 
 	if *workers > 0 {
@@ -57,6 +61,10 @@ func main() {
 	}
 	if *world <= 0 || *rank < 0 || *rank >= *world {
 		fmt.Fprintf(os.Stderr, "cprank: need -rank in [0, world) and -world > 0 (got rank %d, world %d)\n", *rank, *world)
+		os.Exit(1)
+	}
+	if *heartbeatMisses == 1 {
+		fmt.Fprintln(os.Stderr, "cprank: -heartbeat-misses must be >= 2 (or negative to disable)")
 		os.Exit(1)
 	}
 	cfg := transformer.WorkerConfig{
@@ -71,6 +79,21 @@ func main() {
 		Rejoin:            *rejoin,
 		MaxRejoins:        *maxRejoins,
 		MaxTraceSpans:     *traceSpans,
+		HeartbeatEvery:    *heartbeatEvery,
+		HeartbeatMisses:   *heartbeatMisses,
+	}
+	if *chaosSpec != "" {
+		sched, err := chaos.Parse(*chaosSpec, *world)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cprank: -chaos: %v\n", err)
+			os.Exit(1)
+		}
+		// One injector for the process lifetime: its logical step clocks
+		// persist across -rejoin epochs, so a fault scheduled past a rebuild
+		// still fires at its exact step.
+		inj := chaos.NewInjector(sched)
+		cfg.WrapTransport = inj.Wrap
+		log.Printf("cprank: rank %d chaos schedule armed: %s", *rank, sched)
 	}
 	if *addrs != "" {
 		cfg.Addrs = strings.Split(*addrs, ",")

@@ -59,6 +59,9 @@ func main() {
 	dialTimeout := flag.Duration("dial-timeout", 15*time.Second, "distributed control-plane rendezvous deadline")
 	recover := flag.Bool("recover", false, "rebuild the cluster on a new epoch after a rank failure and replay live sessions bit-identically (instead of faulting them)")
 	maxRecoveries := flag.Int("max-recoveries", 3, "lifetime bound on recovery rebuild attempts (requires -recover)")
+	heartbeatEvery := flag.Duration("heartbeat-interval", 0, "distributed control-plane heartbeat interval (0 = default; negative disables); must match the workers' -heartbeat-interval")
+	heartbeatMisses := flag.Int("heartbeat-misses", 0, "silent heartbeat windows before a worker is declared dead (0 = default; >= 2; negative disables)")
+	brownoutSLO := flag.Duration("brownout-slo", 0, "queue-wait p90 SLO arming brownout overload control: past it, new sessions get 429 + Retry-After (0 = off)")
 	ringOverlap := flag.Bool("ring-overlap", true, "double-buffer the ring hot path: issue the next step's SendRecv concurrently with attention compute (false = synchronous exchanges, bit-identical output)")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default; profiling endpoints should not ship publicly)")
 	traceOut := flag.String("trace-out", "", "write the span trace at shutdown: Chrome-trace JSON if the path ends in .json, deterministic JSONL otherwise")
@@ -95,6 +98,16 @@ func main() {
 	prefixTokens := *prefixCache
 	if prefixTokens <= 0 {
 		prefixTokens = -1 // disabled
+	}
+	if *heartbeatMisses == 1 {
+		// A single missed beat flaps on ordinary scheduling jitter; refuse it
+		// here with the same rule the control plane enforces.
+		fmt.Fprintln(os.Stderr, "cpserve: -heartbeat-misses must be >= 2 (or negative to disable)")
+		os.Exit(1)
+	}
+	if *brownoutSLO < 0 {
+		fmt.Fprintln(os.Stderr, "cpserve: -brownout-slo must be >= 0 (0 disables brownout)")
+		os.Exit(1)
 	}
 	var addrs []string
 	if *distributed {
@@ -138,6 +151,9 @@ func main() {
 		DialTimeout:       *dialTimeout,
 		Recover:           *recover,
 		MaxRecoveries:     *maxRecoveries,
+		HeartbeatEvery:    *heartbeatEvery,
+		HeartbeatMisses:   *heartbeatMisses,
+		BrownoutSLO:       *brownoutSLO,
 		NoTrace:           *noTrace,
 	})
 	if err != nil {

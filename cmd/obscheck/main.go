@@ -8,6 +8,11 @@
 //
 //	obscheck -base http://127.0.0.1:8080 \
 //	  -want cp_ring_phase_seconds,cp_requests_total,cp_cluster_epoch
+//
+// With -prom-file it validates a dumped exposition file instead (e.g. the
+// cpchaos -metrics-out artifact) — same parse and -want checks, no server:
+//
+//	obscheck -prom-file soak.prom -want cp_integrity_rejected_total
 package main
 
 import (
@@ -44,6 +49,7 @@ func main() {
 	base := flag.String("base", "http://127.0.0.1:8080", "server base URL")
 	want := flag.String("want", "", "comma-separated metric names that must appear in /metrics")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
+	promFile := flag.String("prom-file", "", "validate this dumped Prometheus exposition file instead of a live server (skips the trace endpoints)")
 	flag.Parse()
 
 	client := &http.Client{Timeout: *timeout}
@@ -52,15 +58,24 @@ func main() {
 		os.Exit(1)
 	}
 
-	// /metrics must parse as Prometheus text exposition, with well-formed
-	// histogram families and every required series present.
-	body, err := fetch(client, *base+"/metrics")
+	// /metrics (or the dumped file) must parse as Prometheus text
+	// exposition, with well-formed histogram families and every required
+	// series present.
+	var body []byte
+	var err error
+	src := *base + "/metrics"
+	if *promFile != "" {
+		src = *promFile
+		body, err = os.ReadFile(*promFile)
+	} else {
+		body, err = fetch(client, src)
+	}
 	if err != nil {
 		fail("%v", err)
 	}
 	samples, err := trace.ParseProm(bytes.NewReader(body))
 	if err != nil {
-		fail("/metrics: %v", err)
+		fail("%s: %v", src, err)
 	}
 	have := make(map[string]bool, len(samples))
 	for _, s := range samples {
@@ -74,7 +89,11 @@ func main() {
 		}
 	}
 	if len(missing) > 0 {
-		fail("/metrics: missing required series %v (have %d samples)", missing, len(samples))
+		fail("%s: missing required series %v (have %d samples)", src, missing, len(samples))
+	}
+	if *promFile != "" {
+		fmt.Printf("obscheck: ok — %d prom samples from %s\n", len(samples), *promFile)
+		return
 	}
 
 	// /v1/trace must be valid Chrome trace JSON.

@@ -17,7 +17,11 @@ import (
 const (
 	DefaultRendezvousTimeout = 15 * time.Second
 	DefaultHeartbeatEvery    = 500 * time.Millisecond
-	DefaultDialTimeout       = 2 * time.Second
+	// DefaultHeartbeatMisses is how many consecutive heartbeat periods a
+	// link may stay silent before the receiver declares it dead. The miss
+	// window (misses x period) also bounds each heartbeat write.
+	DefaultHeartbeatMisses = 3
+	DefaultDialTimeout     = 2 * time.Second
 )
 
 // TCPConfig parameterizes one rank's entry into a TCP mesh.
@@ -48,7 +52,21 @@ type TCPConfig struct {
 
 	RendezvousTimeout time.Duration // mesh-formation deadline; default 15s
 	HeartbeatEvery    time.Duration // idle-link heartbeat period; default 500ms
-	MaxFrame          int           // per-frame byte cap; default wire.DefaultMaxFrame
+	// HeartbeatMisses is the liveness miss threshold: a link that delivers
+	// no frame for HeartbeatMisses consecutive heartbeat periods is downed
+	// with a named cause (straggler or dead peer). Negative disables
+	// read-side liveness; 0 means DefaultHeartbeatMisses.
+	HeartbeatMisses int
+	MaxFrame        int // per-frame byte cap; default wire.DefaultMaxFrame
+}
+
+// missWindow is the read-idle (and heartbeat-write) deadline: how long a
+// link may stay silent before it is declared dead. Zero disables it.
+func (c *TCPConfig) missWindow() time.Duration {
+	if c.HeartbeatMisses < 0 {
+		return 0
+	}
+	return time.Duration(c.HeartbeatMisses) * c.HeartbeatEvery
 }
 
 func (c *TCPConfig) applyDefaults() error {
@@ -66,6 +84,14 @@ func (c *TCPConfig) applyDefaults() error {
 	}
 	if c.HeartbeatEvery <= 0 {
 		c.HeartbeatEvery = DefaultHeartbeatEvery
+	}
+	if c.HeartbeatMisses == 0 {
+		c.HeartbeatMisses = DefaultHeartbeatMisses
+	}
+	if c.HeartbeatMisses == 1 {
+		// A one-period window races the sender's own ticker: a healthy idle
+		// link would flap. Two periods is the tightest sound threshold.
+		return fmt.Errorf("transport: heartbeat miss threshold must be >= 2 (or < 0 to disable), got 1")
 	}
 	if c.MaxFrame <= 0 {
 		c.MaxFrame = wire.DefaultMaxFrame
@@ -91,6 +117,7 @@ type link struct {
 
 	outMsgs, outBytes int64 // atomics: frames/bytes written
 	inMsgs, inBytes   int64 // atomics: frames/bytes read
+	tapSeq            int64 // atomic: data frames offered to the frame tap
 }
 
 func (l *link) markDown(err error) {
@@ -132,9 +159,31 @@ type TCP struct {
 	inbox  map[int]chan any
 	inject failMap
 	events *eventSink
+	tap    atomic.Pointer[FrameTap]
 
 	closeOnce sync.Once
 	closedCh  chan struct{}
+}
+
+// FrameTap intercepts every encoded data frame this rank sends: it receives
+// the destination rank, the frame's per-link sequence number (data frames
+// only — heartbeats bypass the tap, so the numbering is a deterministic
+// function of the protocol traffic), and the complete on-wire bytes (length
+// prefix, payload, CRC trailer). Whatever byte slices it returns are written
+// in order; returning the input unchanged is a pass-through, mutated or
+// truncated bytes simulate in-flight damage (caught by the receiver's CRC
+// check), a repeated slice simulates duplicate delivery, and an empty result
+// silently drops the frame. The chaos layer is the only intended caller.
+type FrameTap func(dst int, seq int64, frame []byte) [][]byte
+
+// SetFrameTap installs (or, with nil, removes) the transport's frame tap.
+// Install it before traffic starts; heartbeat frames never pass through it.
+func (t *TCP) SetFrameTap(tap FrameTap) {
+	if tap == nil {
+		t.tap.Store(nil)
+		return
+	}
+	t.tap.Store(&tap)
 }
 
 // WorldSize implements Transport.
@@ -151,6 +200,20 @@ func (t *TCP) FailLink(src, dst int) {
 
 // HealLink implements Transport.
 func (t *TCP) HealLink(src, dst int) { t.inject.heal(src, dst) }
+
+// DropLink forcibly downs the established connection to peer with the given
+// cause, as if the wire were cut: the conn closes, so BOTH ends observe the
+// failure (the peer's reader gets a reset/EOF) — unlike FailLink, which is
+// send-side-only injection. The chaos layer's link-drop and partition faults
+// use it to make a cut observable to the whole mesh.
+func (t *TCP) DropLink(peer int, cause error) {
+	if cause == nil {
+		cause = fmt.Errorf("link to rank %d dropped", peer)
+	}
+	if l := t.links[peer]; l != nil {
+		l.markDown(cause)
+	}
+}
 
 // Failures implements Transport: dead peer connections (reader EOF, reset,
 // failed heartbeat write) and injected faults surface here, so a process
@@ -178,7 +241,13 @@ func (t *TCP) Send(src, dst int, payload any, timeout time.Duration) error {
 	if err := l.conn.SetWriteDeadline(time.Now().Add(timeout)); err != nil {
 		return failWith(ErrLinkFailed, err)
 	}
-	n, err := wire.WriteFrame(l.conn, payload)
+	var n int
+	var err error
+	if tp := t.tap.Load(); tp != nil {
+		n, err = t.sendTapped(l, dst, payload, *tp)
+	} else {
+		n, err = wire.WriteFrame(l.conn, payload)
+	}
 	atomic.AddInt64(&l.outMsgs, 1)
 	atomic.AddInt64(&l.outBytes, int64(n))
 	if err != nil {
@@ -192,6 +261,25 @@ func (t *TCP) Send(src, dst int, payload any, timeout time.Duration) error {
 		return failWith(ErrLinkFailed, err)
 	}
 	return nil
+}
+
+// sendTapped routes one encoded frame through the installed frame tap and
+// writes whatever it returns. Called with l.wmu held.
+func (t *TCP) sendTapped(l *link, dst int, payload any, tap FrameTap) (int, error) {
+	body, err := wire.AppendFrame(make([]byte, 0, 256), payload)
+	if err != nil {
+		return 0, err
+	}
+	seq := atomic.AddInt64(&l.tapSeq, 1) - 1
+	total := 0
+	for _, f := range tap(dst, seq, body) {
+		n, err := l.conn.Write(f)
+		total += n
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
 }
 
 // Recv implements Transport: returns the next decoded frame from src.
@@ -500,10 +588,23 @@ func checkEpoch(peer, mine uint64) error {
 	}
 }
 
-// dialHandshake dials addr with retry until deadline, sends hello, and
-// validates the peer's reply.
+// dialHandshake dials addr with retry until deadline (exponential backoff
+// with deterministic jitter, bounded by the retry budget), sends hello, and
+// validates the peer's reply. An ErrIntegrity on the reply — the handshake
+// frame was damaged in flight — is retried like any transient fault, never
+// confused with the fatal ErrBadFrame version-mismatch signature.
 func dialHandshake(addr string, hello *wire.Hello, deadline time.Time, maxFrame int, check func(*wire.Hello) error) (net.Conn, error) {
 	var lastErr error
+	bo := NewBackoff(addr)
+	retry := func(err error) error {
+		lastErr = err
+		d, ok := bo.Next()
+		if !ok {
+			return bo.Exhausted(lastErr)
+		}
+		time.Sleep(d)
+		return nil
+	}
 	for {
 		remain := time.Until(deadline)
 		if remain <= 0 {
@@ -518,8 +619,9 @@ func dialHandshake(addr string, hello *wire.Hello, deadline time.Time, maxFrame 
 		}
 		conn, err := net.DialTimeout("tcp", addr, dialTO)
 		if err != nil {
-			lastErr = err
-			time.Sleep(50 * time.Millisecond)
+			if rerr := retry(err); rerr != nil {
+				return nil, rerr
+			}
 			continue
 		}
 		conn.SetDeadline(deadline)
@@ -537,8 +639,9 @@ func dialHandshake(addr string, hello *wire.Hello, deadline time.Time, maxFrame 
 				return nil, fmt.Errorf("peer handshake undecodable (mismatched wire protocol version? this side speaks %d): %v",
 					wire.Version, err)
 			}
-			lastErr = err
-			time.Sleep(50 * time.Millisecond)
+			if rerr := retry(err); rerr != nil {
+				return nil, rerr
+			}
 			continue
 		}
 		switch reply := v.(type) {
@@ -546,8 +649,9 @@ func dialHandshake(addr string, hello *wire.Hello, deadline time.Time, maxFrame 
 			if err := check(reply); err != nil {
 				conn.Close()
 				if errors.Is(err, errRetryHandshake) {
-					lastErr = err
-					time.Sleep(50 * time.Millisecond)
+					if rerr := retry(err); rerr != nil {
+						return nil, rerr
+					}
 					continue
 				}
 				return nil, err // identity errors are fatal, not retryable
@@ -580,13 +684,26 @@ func (t *TCP) addLink(peer int, conn net.Conn) {
 
 // readLoop decodes frames off one link into its inbox. Heartbeats are
 // dropped here, invisible to receivers. A read error (peer crash, conn
-// reset, transport close) downs the link.
+// reset, transport close, or a CRC32C integrity failure) downs the link.
+// Every frame read re-arms the liveness deadline: a peer that heartbeats is
+// alive, one silent for the full miss window (HeartbeatMisses periods) is
+// declared dead right here rather than at the next ring pass.
 func (t *TCP) readLoop(l *link, ch chan any) {
+	window := t.cfg.missWindow()
 	for {
+		if window > 0 {
+			l.conn.SetReadDeadline(time.Now().Add(window))
+		}
 		v, n, err := wire.ReadFrame(l.conn, t.cfg.MaxFrame)
 		if err != nil {
+			var ne net.Error
 			if errors.Is(err, io.EOF) {
 				err = fmt.Errorf("peer rank %d closed the connection", l.peer)
+			} else if errors.As(err, &ne) && ne.Timeout() {
+				err = fmt.Errorf("peer rank %d missed %d heartbeats (%v silent)",
+					l.peer, t.cfg.HeartbeatMisses, window)
+			} else if errors.Is(err, wire.ErrIntegrity) {
+				err = fmt.Errorf("frame from rank %d failed integrity check: %w", l.peer, err)
 			}
 			l.markDown(err)
 			return
@@ -606,16 +723,20 @@ func (t *TCP) readLoop(l *link, ch chan any) {
 
 // heartbeatLoop keeps the link observably alive: a frame every
 // HeartbeatEvery means a crashed or wedged peer surfaces as a write error
-// (downing the link) within a couple of periods instead of only at the next
+// (downing the link) within the miss window instead of only at the next
 // ring pass.
 func (t *TCP) heartbeatLoop(l *link) {
+	writeWindow := t.cfg.missWindow()
+	if writeWindow <= 0 {
+		writeWindow = 2 * t.cfg.HeartbeatEvery
+	}
 	tick := time.NewTicker(t.cfg.HeartbeatEvery)
 	defer tick.Stop()
 	for {
 		select {
 		case <-tick.C:
 			l.wmu.Lock()
-			l.conn.SetWriteDeadline(time.Now().Add(2 * t.cfg.HeartbeatEvery))
+			l.conn.SetWriteDeadline(time.Now().Add(writeWindow))
 			n, err := wire.WriteFrame(l.conn, &wire.Heartbeat{})
 			l.wmu.Unlock()
 			atomic.AddInt64(&l.outMsgs, 1)

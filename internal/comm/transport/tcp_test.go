@@ -542,3 +542,35 @@ func TestCtrlRoundTrip(t *testing.T) {
 		t.Fatal("worker recv survived coordinator hangup")
 	}
 }
+
+// TestHeartbeatConfigValidation pins the heartbeat knob contract: zero
+// values take the defaults, a one-miss window is rejected (it flaps on
+// ordinary jitter), and negative thresholds mean "disabled" and pass.
+func TestHeartbeatConfigValidation(t *testing.T) {
+	base := func() TCPConfig {
+		return TCPConfig{World: 2, Rank: 0, Addrs: []string{"a:1", "b:2"}}
+	}
+	cfg := base()
+	if err := cfg.applyDefaults(); err != nil {
+		t.Fatalf("defaults rejected: %v", err)
+	}
+	if cfg.HeartbeatEvery != DefaultHeartbeatEvery || cfg.HeartbeatMisses != DefaultHeartbeatMisses {
+		t.Fatalf("defaults not applied: every=%v misses=%d", cfg.HeartbeatEvery, cfg.HeartbeatMisses)
+	}
+	cfg = base()
+	cfg.HeartbeatMisses = 1
+	if err := cfg.applyDefaults(); err == nil || !strings.Contains(err.Error(), "must be >= 2") {
+		t.Fatalf("misses=1 accepted (err=%v)", err)
+	}
+	cfg = base()
+	cfg.HeartbeatMisses = -1
+	if err := cfg.applyDefaults(); err != nil {
+		t.Fatalf("disabled heartbeats rejected: %v", err)
+	}
+	cfg = base()
+	cfg.HeartbeatEvery = 100 * time.Millisecond
+	cfg.HeartbeatMisses = 2
+	if err := cfg.applyDefaults(); err != nil || cfg.HeartbeatEvery != 100*time.Millisecond {
+		t.Fatalf("explicit cadence mangled: every=%v err=%v", cfg.HeartbeatEvery, err)
+	}
+}

@@ -11,19 +11,26 @@
 // float-for-float the same merges as the in-process mailboxes, which pass
 // pointers and never serialize at all.
 //
-// Frames are length-prefixed: a uint32 frame length, one type-id byte, then
-// the payload. Decoding validates every count against the remaining bytes
+// Frames are length-prefixed: a uint32 frame length, one type-id byte, the
+// payload, then a CRC32C (Castagnoli) trailer over the type-id byte and
+// payload. Decoding validates every count against the remaining bytes
 // before allocating, so truncated or corrupt frames fail with an error
 // instead of a panic or an absurd allocation (the package fuzz test leans on
-// this).
+// this). The checksum catches what length validation cannot: a bit flip
+// inside the payload of an otherwise well-framed message, which would
+// otherwise decode into silently wrong floats. A checksum mismatch surfaces
+// as ErrIntegrity — a named error the transport treats as a link failure —
+// never as decoded garbage.
 package wire
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
+	"sync/atomic"
 
 	"repro/internal/attention"
 	"repro/internal/tensor"
@@ -37,7 +44,9 @@ const Magic = 0x43505257 // "CPRW"
 // rejected at rendezvous, never mid-ring. Version 2 added the Hello epoch
 // (cluster-incarnation number for fault recovery) and the FailureNote frame.
 // Version 3 added the trace drain round trip (TraceCmd / TraceResult).
-const Version = 3
+// Version 4 added the per-frame CRC32C trailer and the StatsResult
+// integrity/chaos counters.
+const Version = 4
 
 // DefaultMaxFrame bounds a single frame's encoded size (length prefix
 // included). Loopback KV tiles at laptop scale are kilobytes; anything near
@@ -279,6 +288,12 @@ type StatsResult struct {
 	Msgs        []int64
 	Bytes       []float64
 	Links       []LinkStat
+	// Frame-integrity counters of this rank's process (IntegrityStats).
+	IntegrityChecked  int64
+	IntegrityRejected int64
+	// Chaos faults this rank's process injected, by kind (chaos.Totals).
+	ChaosKinds  []string
+	ChaosCounts []int64
 	Err         string
 }
 
@@ -713,6 +728,10 @@ func Append(buf []byte, v any) ([]byte, error) {
 			e.u64(uint64(l.WireMsgs))
 			e.u64(uint64(l.WireBytes))
 		}
+		e.u64(uint64(x.IntegrityChecked))
+		e.u64(uint64(x.IntegrityRejected))
+		e.strs(x.ChaosKinds)
+		e.i64s(x.ChaosCounts)
 		e.str(x.Err)
 	case *TraceResult:
 		e.u8(tTraceResult)
@@ -825,6 +844,10 @@ func Decode(b []byte) (any, error) {
 				}
 			}
 		}
+		r.IntegrityChecked = int64(d.u64())
+		r.IntegrityRejected = int64(d.u64())
+		r.ChaosKinds = d.strs()
+		r.ChaosCounts = d.i64s()
 		r.Err = d.str()
 		v = r
 	case tTraceResult:
@@ -877,21 +900,55 @@ func Decode(b []byte) (any, error) {
 	return v, nil
 }
 
-// WriteFrame encodes v as one length-prefixed frame onto w and returns the
-// total bytes written (prefix included). Frames over DefaultMaxFrame are
-// rejected with a named error before anything hits the stream: a peer
-// reading with the default cap would otherwise kill the link with a
-// misleading length error after the send already "succeeded" (and a frame
-// past 4 GiB would silently wrap the length prefix).
+// castagnoli is the CRC32C polynomial table shared by every frame checksum.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Process-wide frame-integrity counters: frames whose CRC32C trailer was
+// verified, and the subset that failed verification. They feed the serving
+// layer's integrity stats block; workers ship theirs in StatsResult.
+var (
+	integrityChecked  atomic.Int64
+	integrityRejected atomic.Int64
+)
+
+// IntegrityStats reports this process's cumulative frame-integrity
+// counters: frames whose CRC32C trailer was verified (rejections included)
+// and frames rejected for a checksum mismatch.
+func IntegrityStats() (checked, rejected int64) {
+	return integrityChecked.Load(), integrityRejected.Load()
+}
+
+// AppendFrame appends one complete encoded frame of v to buf: the uint32
+// length prefix, the payload, and its CRC32C trailer. It is WriteFrame
+// without the write — transports that need the raw frame bytes (to tap,
+// batch, or mangle them in tests) build frames here and write them
+// themselves.
+func AppendFrame(buf []byte, v any) ([]byte, error) {
+	start := len(buf)
+	body, err := Append(append(buf, 0, 0, 0, 0), v)
+	if err != nil {
+		return buf, err
+	}
+	body = binary.LittleEndian.AppendUint32(body, crc32.Checksum(body[start+4:], castagnoli))
+	n := len(body) - start - 4 // payload + trailer, the on-wire frame length
+	if n > DefaultMaxFrame {
+		return buf, fmt.Errorf("wire: frame of %d bytes exceeds the %d-byte limit", n, DefaultMaxFrame)
+	}
+	binary.LittleEndian.PutUint32(body[start:start+4], uint32(n))
+	return body, nil
+}
+
+// WriteFrame encodes v as one length-prefixed, CRC32C-trailed frame onto w
+// and returns the total bytes written (prefix included). Frames over
+// DefaultMaxFrame are rejected with a named error before anything hits the
+// stream: a peer reading with the default cap would otherwise kill the link
+// with a misleading length error after the send already "succeeded" (and a
+// frame past 4 GiB would silently wrap the length prefix).
 func WriteFrame(w io.Writer, v any) (int, error) {
-	body, err := Append(make([]byte, 4, 256), v)
+	body, err := AppendFrame(make([]byte, 0, 256), v)
 	if err != nil {
 		return 0, err
 	}
-	if len(body)-4 > DefaultMaxFrame {
-		return 0, fmt.Errorf("wire: frame of %d bytes exceeds the %d-byte limit", len(body)-4, DefaultMaxFrame)
-	}
-	binary.LittleEndian.PutUint32(body[:4], uint32(len(body)-4))
 	n, err := w.Write(body)
 	if err != nil {
 		return n, err
@@ -907,9 +964,18 @@ func WriteFrame(w io.Writer, v any) (int, error) {
 // into a rendezvous timeout.
 var ErrBadFrame = errors.New("wire: undecodable frame")
 
+// ErrIntegrity marks a frame whose CRC32C trailer did not match its
+// contents: the bytes were damaged in flight (or deliberately, by the chaos
+// layer). It is deliberately distinct from ErrBadFrame — an integrity
+// failure is link damage, not a protocol mismatch, so handshake paths retry
+// it instead of rejecting the peer, and the transport treats it as a link
+// failure that routes into epoch recovery instead of decoding garbage.
+var ErrIntegrity = errors.New("wire: frame integrity check failed")
+
 // ReadFrame reads one length-prefixed frame from r (maxFrame <= 0 uses
-// DefaultMaxFrame) and returns the decoded payload plus total bytes read.
-// Decode failures of a fully received frame wrap ErrBadFrame.
+// DefaultMaxFrame), verifies its CRC32C trailer, and returns the decoded
+// payload plus total bytes read. A checksum mismatch wraps ErrIntegrity;
+// decode failures of an intact frame wrap ErrBadFrame.
 func ReadFrame(r io.Reader, maxFrame int) (any, int, error) {
 	if maxFrame <= 0 {
 		maxFrame = DefaultMaxFrame
@@ -919,14 +985,21 @@ func ReadFrame(r io.Reader, maxFrame int) (any, int, error) {
 		return nil, 0, err
 	}
 	n := int(binary.LittleEndian.Uint32(hdr[:]))
-	if n < 1 || n > maxFrame {
-		return nil, 4, fmt.Errorf("%w: frame length %d outside (0,%d]", ErrBadFrame, n, maxFrame)
+	// Minimum frame: one type-id byte plus the 4-byte CRC trailer.
+	if n < 5 || n > maxFrame {
+		return nil, 4, fmt.Errorf("%w: frame length %d outside [5,%d]", ErrBadFrame, n, maxFrame)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(r, body); err != nil {
 		return nil, 4, fmt.Errorf("wire: short frame body: %w", err)
 	}
-	v, err := Decode(body)
+	integrityChecked.Add(1)
+	want := binary.LittleEndian.Uint32(body[n-4:])
+	if got := crc32.Checksum(body[:n-4], castagnoli); got != want {
+		integrityRejected.Add(1)
+		return nil, 4 + n, fmt.Errorf("%w: crc32c %08x, frame claims %08x over %d bytes", ErrIntegrity, got, want, n-4)
+	}
+	v, err := Decode(body[:n-4])
 	if err != nil {
 		return nil, 4 + n, fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}

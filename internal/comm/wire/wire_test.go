@@ -2,6 +2,9 @@ package wire
 
 import (
 	"bytes"
+	"encoding/binary"
+	"errors"
+	"hash/crc32"
 	"math"
 	"math/rand"
 	"reflect"
@@ -173,8 +176,10 @@ func TestControlFrameRoundTrip(t *testing.T) {
 		&StatsResult{
 			CacheTokens: 77, Assembly: []int64{1, 2, 3, 4, 5},
 			Kinds: []string{"allgather", "sendrecv"}, Msgs: []int64{3, 9}, Bytes: []float64{12.5, 900},
-			Links: []LinkStat{{Src: 0, Dst: 1, Messages: 4, Bytes: 100.25, WireMsgs: 6, WireBytes: 512}},
-			Err:   "",
+			Links:            []LinkStat{{Src: 0, Dst: 1, Messages: 4, Bytes: 100.25, WireMsgs: 6, WireBytes: 512}},
+			IntegrityChecked: 1234, IntegrityRejected: 2,
+			ChaosKinds: []string{"corrupt", "crash"}, ChaosCounts: []int64{3, 1},
+			Err: "",
 		},
 	}
 	for _, f := range frames {
@@ -253,6 +258,87 @@ func TestFrameIO(t *testing.T) {
 	}
 }
 
+// TestFrameIntegrity pins down the CRC32C trailer contract: every
+// single-bit corruption of a frame's payload or trailer is rejected with
+// ErrIntegrity (link damage, retryable), truncated frames fail without ever
+// reaching the decoder, and a frame whose CRC is valid but whose payload is
+// semantically bad fails with ErrBadFrame (protocol mismatch, fatal) — the
+// two failure classes must never blur, because the transport routes them
+// differently.
+func TestFrameIntegrity(t *testing.T) {
+	frame, err := AppendFrame(nil, &DecodeCmd{Seqs: []int{1, 2}, Tokens: []int{5, 6}, Pos: []int{3, 4}, Owners: []int{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pristine frame reads back and bumps only the checked counter.
+	c0, r0 := IntegrityStats()
+	if _, _, err := ReadFrame(bytes.NewReader(frame), 0); err != nil {
+		t.Fatalf("pristine frame rejected: %v", err)
+	}
+	c1, r1 := IntegrityStats()
+	if c1 != c0+1 || r1 != r0 {
+		t.Fatalf("counters after clean read: checked %d->%d rejected %d->%d", c0, c1, r0, r1)
+	}
+
+	// Every single-bit flip past the length prefix — payload bytes and CRC
+	// trailer alike — must surface as ErrIntegrity, and each must bump the
+	// rejected counter.
+	for i := 4; i < len(frame); i++ {
+		for bit := 0; bit < 8; bit++ {
+			mangled := append([]byte(nil), frame...)
+			mangled[i] ^= 1 << bit
+			_, _, err := ReadFrame(bytes.NewReader(mangled), 0)
+			if !errors.Is(err, ErrIntegrity) {
+				t.Fatalf("flip byte %d bit %d: got %v, want ErrIntegrity", i, bit, err)
+			}
+		}
+	}
+	c2, r2 := IntegrityStats()
+	wantFlips := int64((len(frame) - 4) * 8)
+	if r2-r1 != wantFlips || c2-c1 != wantFlips {
+		t.Fatalf("counters after %d flips: checked +%d rejected +%d", wantFlips, c2-c1, r2-r1)
+	}
+
+	// Truncation at every boundary: an incomplete frame errors out (short
+	// header, short body) and never reaches the decoder as garbage.
+	for cut := 0; cut < len(frame); cut++ {
+		if _, _, err := ReadFrame(bytes.NewReader(frame[:cut]), 0); err == nil {
+			t.Fatalf("frame truncated to %d/%d bytes accepted", cut, len(frame))
+		}
+	}
+
+	// CRC-valid but semantically bad: a correctly framed unknown type id
+	// passes the integrity check and must fail as ErrBadFrame, NOT
+	// ErrIntegrity — the bytes arrived exactly as sent.
+	bogus := []byte{0xf7, 0x01, 0x02}
+	bad := binary.LittleEndian.AppendUint32(nil, uint32(len(bogus)+4))
+	bad = append(bad, bogus...)
+	bad = binary.LittleEndian.AppendUint32(bad, crc32.Checksum(bogus, castagnoli))
+	_, _, err = ReadFrame(bytes.NewReader(bad), 0)
+	if !errors.Is(err, ErrBadFrame) {
+		t.Fatalf("CRC-valid undecodable frame: got %v, want ErrBadFrame", err)
+	}
+	if errors.Is(err, ErrIntegrity) {
+		t.Fatal("intact-but-undecodable frame misclassified as integrity failure")
+	}
+
+	// Duplicate delivery: the same frame twice on one stream reads as two
+	// identical payloads — framing resynchronizes at every length prefix, so
+	// a chaos-duplicated frame cannot shear the ones after it.
+	dup := append(append([]byte(nil), frame...), frame...)
+	rd := bytes.NewReader(dup)
+	for i := 0; i < 2; i++ {
+		v, _, err := ReadFrame(rd, 0)
+		if err != nil {
+			t.Fatalf("duplicate read %d: %v", i, err)
+		}
+		if _, ok := v.(*DecodeCmd); !ok {
+			t.Fatalf("duplicate read %d: got %T", i, v)
+		}
+	}
+}
+
 // TestHelloVersionGate documents the rendezvous rule the transport enforces:
 // a Hello with the wrong magic or version must be detectable from the frame
 // alone.
@@ -304,6 +390,63 @@ func FuzzDecode(f *testing.F) {
 		}
 		if !bytes.Equal(data, b2) {
 			t.Fatalf("non-canonical encoding: %x decoded to %T re-encoding %x", data, v, b2)
+		}
+	})
+}
+
+// FuzzReadFrame feeds arbitrary byte streams to the framed reader. The
+// invariant: a frame either reads back cleanly or fails with a classified
+// error — short/IO, ErrBadFrame, or ErrIntegrity — never a panic; and any
+// frame whose CRC trailer does not match its payload must fail with
+// exactly ErrIntegrity. Corpus entries cover the clean frame, a corrupted
+// payload byte, a corrupted trailer, and a CRC-valid undecodable payload.
+func FuzzReadFrame(f *testing.F) {
+	clean, err := AppendFrame(nil, &DecodeCmd{Seqs: []int{1}, Tokens: []int{2}, Pos: []int{3}, Owners: []int{0}})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(append([]byte(nil), clean...))
+	corruptBody := append([]byte(nil), clean...)
+	corruptBody[5] ^= 0x40
+	f.Add(corruptBody)
+	corruptTrailer := append([]byte(nil), clean...)
+	corruptTrailer[len(corruptTrailer)-1] ^= 0x01
+	f.Add(corruptTrailer)
+	bogus := []byte{0xf7, 0xaa}
+	goodCRCBadPayload := binary.LittleEndian.AppendUint32(nil, uint32(len(bogus)+4))
+	goodCRCBadPayload = append(goodCRCBadPayload, bogus...)
+	goodCRCBadPayload = binary.LittleEndian.AppendUint32(goodCRCBadPayload, crc32.Checksum(bogus, castagnoli))
+	f.Add(goodCRCBadPayload)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, n, err := ReadFrame(bytes.NewReader(data), 0)
+		if err == nil {
+			// Whatever decoded must hold the framing invariant: the bytes
+			// consumed form a self-consistent frame (length, CRC) for v.
+			if v == nil || n < 9 || n > len(data) {
+				t.Fatalf("clean read of %d/%d bytes returned %T", n, len(data), v)
+			}
+			return
+		}
+		// Independent CRC verdict for complete frames: mismatch must have
+		// been classified as ErrIntegrity, and a match must not be.
+		if len(data) >= 4 {
+			fn := int(binary.LittleEndian.Uint32(data[:4]))
+			if fn >= 5 && fn <= len(data)-4 {
+				body := data[4 : 4+fn]
+				match := crc32.Checksum(body[:fn-4], castagnoli) == binary.LittleEndian.Uint32(body[fn-4:])
+				if !match && !errors.Is(err, ErrIntegrity) && !errors.Is(err, ErrBadFrame) {
+					t.Fatalf("complete damaged frame failed unclassified: %v", err)
+				}
+				if !match && errors.Is(err, ErrBadFrame) && !errors.Is(err, ErrIntegrity) {
+					// Length-sanity rejections (fn > maxFrame handled above by
+					// bounds) aside, a CRC mismatch on a plausible frame must
+					// be integrity, not protocol.
+					t.Fatalf("CRC mismatch classified as ErrBadFrame: %v", err)
+				}
+				if match && errors.Is(err, ErrIntegrity) {
+					t.Fatalf("CRC-valid frame classified as integrity failure: %v", err)
+				}
+			}
 		}
 	})
 }

@@ -209,6 +209,11 @@ func (s *Scheduler) recoverClusterLocked(cause error) error {
 			return fmt.Errorf("server: recovery budget of %d attempts spent: %w", s.cfg.MaxRecoveries, lastErr)
 		}
 		s.recStats.Attempts++
+		// Clients that hung up while the failure was in flight must not be
+		// re-driven: reap their requests and retire the sessions that held
+		// only such work before the replay set is snapshotted, or recovery
+		// replays — at full prefill cost — streams nobody is reading.
+		s.reapCanceledLocked()
 		sessions := s.replaySetLocked()
 		s.mu.Unlock()
 
@@ -253,12 +258,55 @@ func (s *Scheduler) recoverClusterLocked(cause error) error {
 	}
 }
 
+// reapCanceledLocked completes every queued request whose client context
+// already fired (the canceled mark set while an iteration held the claim)
+// and schedules the eviction of sessions whose contribution is now garbage.
+// Recovery is the one point where this sweep is both safe — the failed
+// iteration has returned, so no chunk is mid-flight — and worthwhile:
+// without it, the replay rebuilds KV for vanished clients. Caller holds
+// s.mu. Victims are collected first and aborted after the queues are
+// reassigned, because abortCanceledLocked can re-enter admitLocked, which
+// appends to s.prefills.
+func (s *Scheduler) reapCanceledLocked() {
+	type victim struct {
+		r     *request
+		evict bool
+	}
+	var victims []victim
+	filter := func(q []*request, evict func(*request) bool) []*request {
+		kept := q[:0]
+		for _, r := range q {
+			if r.canceled {
+				victims = append(victims, victim{r, evict(r)})
+				continue
+			}
+			kept = append(kept, r)
+		}
+		return kept
+	}
+	s.admit = filter(s.admit, func(*request) bool { return false })
+	s.prefills = filter(s.prefills, func(r *request) bool { return r.consumed > 0 })
+	s.decodes = filter(s.decodes, func(r *request) bool { return r.collect })
+	for _, v := range victims {
+		s.abortCanceledLocked(v.r, v.evict)
+	}
+}
+
 // replaySetLocked snapshots every replayable session, id-sorted so sibling
 // sessions sharing a prompt replay in a deterministic order (the first
 // donates its canonical prefix, the rest hit it); caller holds s.mu.
+// Sessions already scheduled for eviction (a Release or reap racing the
+// rebuild) are skipped — their KV is condemned, not recoverable state.
 func (s *Scheduler) replaySetLocked() []replaySnapshot {
+	dropping := make(map[int]bool, len(s.pendingDrops))
+	for _, d := range s.pendingDrops {
+		dropping[d.session] = true
+	}
 	out := make([]replaySnapshot, 0, len(s.log))
 	for id, segs := range s.log {
+		if dropping[id] {
+			continue
+		}
 		out = append(out, replaySnapshot{
 			id:      id,
 			segs:    segs,

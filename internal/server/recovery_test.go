@@ -332,3 +332,124 @@ func TestRecoveryBudgetExhausted(t *testing.T) {
 		t.Fatal("lost session still active")
 	}
 }
+
+// TestRecoveryReapsCanceledSessions pins the reap-before-replay contract: a
+// request whose client hung up while an iteration held the claim (the
+// canceled mark set, the boundary abort not yet run) must be completed and
+// its session excluded from the replay set when a recovery fires — the
+// rebuild must not spend prefill work resurrecting a stream nobody reads.
+func TestRecoveryReapsCanceledSessions(t *testing.T) {
+	victim, ref := recoverySchedulers(t, 53, true)
+	defer victim.Close()
+	defer ref.Close()
+	vocab := victim.cluster.W.Cfg.Model.VocabSize
+	promptA, promptB := sharedPrompts(vocab)
+	const maxTokens = 24
+
+	// Reference stream for session 1 only — session 2 will be abandoned.
+	refDone := make(chan struct{})
+	var refA *GenerateResult
+	go func() {
+		defer close(refDone)
+		var err error
+		if refA, err = ref.Generate(context.Background(), 1, promptA, maxTokens); err != nil {
+			t.Errorf("ref generate: %v", err)
+		}
+	}()
+	driveUntil(t, ref, "reference stream", func() bool {
+		select {
+		case <-refDone:
+			return true
+		default:
+			return false
+		}
+	})
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	resA := make(chan error, 1)
+	resB := make(chan error, 1)
+	var gotA *GenerateResult
+	go func() {
+		var err error
+		gotA, err = victim.Generate(context.Background(), 1, promptA, maxTokens)
+		resA <- err
+	}()
+	go func() {
+		_, err := victim.Generate(context.Background(), 2, promptB, maxTokens)
+		resB <- err
+	}()
+	driveUntil(t, victim, "both streams into decode", func() bool {
+		return victim.BatchStats().DecodeTokens >= 6
+	})
+
+	// Simulate the claimed-cancel window: the disconnect fired while an
+	// iteration held session 2's request, so cancelQueued could only set the
+	// mark — then a failure schedules recovery before any boundary abort runs.
+	victim.mu.Lock()
+	marked := false
+	for _, r := range victim.decodes {
+		if r.session == 2 {
+			r.canceled = true
+			r.cancelCause = context.Canceled
+			marked = true
+		}
+	}
+	if marked {
+		victim.scheduleRecoveryLocked(errors.New("test: injected failure"))
+	}
+	victim.mu.Unlock()
+	if !marked {
+		t.Fatal("session 2 had no queued decode request to mark")
+	}
+
+	// Session 2's goroutine gets its cancellation back (via the reap), and
+	// session 1 completes bit-identically through the rebuild.
+	var errA, errB error
+	haveA, haveB := false, false
+	driveUntil(t, victim, "reap and replay complete", func() bool {
+		if !haveA {
+			select {
+			case errA = <-resA:
+				haveA = true
+			default:
+			}
+		}
+		if !haveB {
+			select {
+			case errB = <-resB:
+				haveB = true
+			default:
+			}
+		}
+		return haveA && haveB
+	})
+	if !errors.Is(errB, context.Canceled) {
+		t.Fatalf("reaped request error = %v, want Canceled cause", errB)
+	}
+	if errA != nil {
+		t.Fatalf("surviving stream faulted: %v", errA)
+	}
+	if len(gotA.Tokens) != len(refA.Tokens) {
+		t.Fatalf("stream lengths %d vs %d", len(gotA.Tokens), len(refA.Tokens))
+	}
+	for i := range refA.Tokens {
+		if gotA.Tokens[i] != refA.Tokens[i] {
+			t.Fatalf("stream diverges at %d: %v vs %v", i, gotA.Tokens, refA.Tokens)
+		}
+	}
+
+	rec := victim.RecoveryStats()
+	if rec.Rebuilds != 1 {
+		t.Fatalf("rebuilds = %d, want 1", rec.Rebuilds)
+	}
+	// Exactly one session replayed: the reaped one must not be resurrected —
+	// and it is gone from admission, not quarantine-limbo.
+	if rec.RecoveredSessions != 1 || rec.LostSessions != 0 {
+		t.Fatalf("recovered/lost = %d/%d, want 1/0", rec.RecoveredSessions, rec.LostSessions)
+	}
+	driveUntil(t, victim, "reaped session evicted", func() bool {
+		return !victim.Known(2)
+	})
+}

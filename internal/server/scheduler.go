@@ -182,6 +182,12 @@ type SchedulerConfig struct {
 	// with Step. Tests use this to pin down exactly what one iteration
 	// batches.
 	Manual bool
+	// BrownoutSLO arms brownout overload control: while the p90 queue wait
+	// over the most recent observation window exceeds this bound, new-session
+	// admissions are rejected — and waiting admissions already past the bound
+	// are shed — with an OverloadError (HTTP 429 + Retry-After). Resident
+	// sessions keep decoding. 0 disables brownout.
+	BrownoutSLO time.Duration
 }
 
 func (c *SchedulerConfig) applyDefaults() {
@@ -338,6 +344,17 @@ type Scheduler struct {
 	hWait  map[Class]*trace.Series
 	cChunk *trace.Series // cp_prefill_chunks_total
 
+	// Overload-control state (overload.go): cached brownout verdict, the
+	// previous queue-wait snapshot it was computed against, and the
+	// deadline/shed/Retry-After counters surfaced in /v1/stats and /metrics.
+	overload     OverloadStats
+	brownoutPrev trace.SeriesSnap
+	brownoutAt   time.Time
+	brownoutOn   bool
+	cDeadline    *trace.Series // cp_overload_deadline_expired_total
+	cShed        *trace.Series // cp_overload_shed_total
+	cRetryAfter  *trace.Series // cp_overload_retry_after_total
+
 	// tree is the prefix-reuse radix tree, nil when disabled. All tree
 	// operations that touch rank KV caches (lookup-adopt, detach-insert,
 	// eviction) run on the step-loop thread under execMu.
@@ -384,6 +401,9 @@ func NewScheduler(cluster *transformer.Cluster, cfg SchedulerConfig) *Scheduler 
 		ClassDecode:  s.rec.Hist("cp_queue_wait_seconds", trace.L("class", string(ClassDecode))),
 	}
 	s.cChunk = s.rec.CounterSeries("cp_prefill_chunks_total")
+	s.cDeadline = s.rec.CounterSeries("cp_overload_deadline_expired_total")
+	s.cShed = s.rec.CounterSeries("cp_overload_shed_total")
+	s.cRetryAfter = s.rec.CounterSeries("cp_overload_retry_after_total")
 	s.recStats.Enabled = cfg.Recover
 	s.recStats.MaxRecoveries = cfg.MaxRecoveries
 	s.recStats.Epoch = cluster.Epoch()
@@ -524,6 +544,17 @@ func (s *Scheduler) submit(ctx context.Context, r *request) error {
 			// Follow-up turn of a resident session: no new admission slot.
 			s.prefills = append(s.prefills, r)
 		} else {
+			if s.brownoutLocked(now) {
+				// Brownout: new sessions are the lowest-priority work — shed
+				// this one (and any queued admission already past the SLO)
+				// rather than deepen a backlog we cannot drain in time.
+				s.shedAdmitQueueLocked(now)
+				s.overload.BrownoutShed++
+				s.cShed.Inc(1)
+				ra := s.retryAfterLocked()
+				s.mu.Unlock()
+				return &OverloadError{RetryAfter: ra}
+			}
 			s.admit = append(s.admit, r)
 			s.admitLocked()
 		}
@@ -612,6 +643,7 @@ func (s *Scheduler) cancelQueued(r *request, cause error) bool {
 func (s *Scheduler) abortCanceledLocked(r *request, evict bool) {
 	r.err = fmt.Errorf("server: request canceled: %w", r.cancelCause)
 	close(r.done)
+	s.noteDeadlineLocked(r.cancelCause)
 	if evict {
 		s.quarantineLocked(r.session)
 	}

@@ -1,10 +1,12 @@
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"math"
 	"net"
 	"net/http"
 	"strconv"
@@ -13,6 +15,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/comm/wire"
 	"repro/internal/parallel"
 	"repro/internal/perf"
@@ -69,6 +72,19 @@ type Config struct {
 	Recover bool
 	// MaxRecoveries bounds lifetime rebuild attempts (0 = 3 when Recover).
 	MaxRecoveries int
+	// HeartbeatEvery sets the distributed control-plane heartbeat interval
+	// (worker → coordinator liveness). 0 = the transport default; negative
+	// disables heartbeats. In-process clusters ignore it.
+	HeartbeatEvery time.Duration
+	// HeartbeatMisses is how many silent heartbeat windows declare a worker
+	// dead. 0 = default; must be >= 2 (a single missed beat flaps on
+	// scheduling jitter); negative disables the idle deadline.
+	HeartbeatMisses int
+	// BrownoutSLO arms brownout overload control: while the recent p90 queue
+	// wait exceeds this bound, new-session admissions are answered 429 with
+	// Retry-After instead of queued. 0 disables. See
+	// SchedulerConfig.BrownoutSLO.
+	BrownoutSLO time.Duration
 	// NoTrace disables the observability recorder: no spans, no latency
 	// histograms, and /metrics and /v1/trace answer 404. Tracing is pure
 	// observation — on or off, every logit is bit-identical — so the only
@@ -91,6 +107,14 @@ type Server struct {
 	started   time.Time
 	seq       atomic.Uint64 // /v1/stats snapshot sequence
 	closeOnce sync.Once
+
+	// Robustness counter sync state: the cluster reports cumulative
+	// process-local integrity/chaos totals; the recorder's counters advance
+	// by clamped deltas so a respawned worker (whose totals restart at zero)
+	// never drives a counter backwards.
+	robustMu      sync.Mutex
+	prevIntegrity [2]int64 // checked, rejected
+	prevChaos     map[string]int64
 }
 
 // New builds the server, its cluster, and the scheduler step loop.
@@ -116,11 +140,13 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 		cluster, err = transformer.ConnectCluster(w, transformer.ConnectConfig{
-			Addrs:       cfg.RankAddrs,
-			KVCapacity:  cfg.KVCapacity,
-			DialTimeout: cfg.DialTimeout,
-			RecvTimeout: cfg.RecvTimeout,
-			Trace:       rec,
+			Addrs:           cfg.RankAddrs,
+			KVCapacity:      cfg.KVCapacity,
+			DialTimeout:     cfg.DialTimeout,
+			RecvTimeout:     cfg.RecvTimeout,
+			HeartbeatEvery:  cfg.HeartbeatEvery,
+			HeartbeatMisses: cfg.HeartbeatMisses,
+			Trace:           rec,
 		})
 	} else {
 		copts := []transformer.ClusterOption{transformer.WithTrace(rec)}
@@ -135,7 +161,7 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Server{
+	srv := &Server{
 		cfg: cfg,
 		rec: rec,
 		sched: NewScheduler(cluster, SchedulerConfig{
@@ -148,9 +174,19 @@ func New(cfg Config) (*Server, error) {
 			PrefixCacheTokens: cfg.PrefixCacheTokens,
 			Recover:           cfg.Recover,
 			MaxRecoveries:     cfg.MaxRecoveries,
+			BrownoutSLO:       cfg.BrownoutSLO,
 		}),
-		started: time.Now(),
-	}, nil
+		started:   time.Now(),
+		prevChaos: make(map[string]int64),
+	}
+	// Register the robustness counters up front so scrapes expose them at
+	// zero — a dashboard must distinguish "no corruption" from "no series".
+	srv.rec.CounterSeries("cp_integrity_checked_total")
+	srv.rec.CounterSeries("cp_integrity_rejected_total")
+	for _, k := range chaos.Kinds {
+		srv.rec.CounterSeries("cp_chaos_faults_total", trace.L("kind", string(k)))
+	}
+	return srv, nil
 }
 
 // Scheduler exposes the continuous-batching engine, e.g. for load drivers
@@ -232,10 +268,41 @@ func (s *Server) syncTrace() error {
 	s.sched.WithCluster(func(c *transformer.Cluster) {
 		err = c.SyncTrace()
 		s.rec.Gauge("cp_cluster_epoch").Set(float64(c.Epoch()))
+		// Integrity and chaos totals live in per-process atomics, not the
+		// per-rank recorders the span drain covers; fold the cluster sum in
+		// so /metrics carries them too.
+		if tel, terr := c.Telemetry(); terr == nil {
+			s.syncRobustness(tel)
+		}
 	})
 	s.rec.Gauge("cp_uptime_seconds").Set(time.Since(s.started).Seconds())
 	s.rec.Gauge("cp_sessions_resident").Set(float64(s.sched.Sessions()))
 	return err
+}
+
+// syncRobustness advances the integrity/chaos counters by the delta since
+// the previous sync. Deltas are clamped at zero: a respawned worker restarts
+// its process-local totals, and a Prometheus counter must never regress —
+// the absorbed dip undercounts by at most one process lifetime's tail.
+func (s *Server) syncRobustness(tel transformer.Telemetry) {
+	if s.rec == nil {
+		return
+	}
+	s.robustMu.Lock()
+	defer s.robustMu.Unlock()
+	deltaInc := func(series *trace.Series, cur int64, prev *int64) {
+		if cur > *prev {
+			series.Inc(float64(cur - *prev))
+		}
+		*prev = cur
+	}
+	deltaInc(s.rec.CounterSeries("cp_integrity_checked_total"), tel.IntegrityChecked, &s.prevIntegrity[0])
+	deltaInc(s.rec.CounterSeries("cp_integrity_rejected_total"), tel.IntegrityRejected, &s.prevIntegrity[1])
+	for i, kind := range tel.ChaosKinds {
+		prev := s.prevChaos[kind]
+		deltaInc(s.rec.CounterSeries("cp_chaos_faults_total", trace.L("kind", kind)), tel.ChaosCounts[i], &prev)
+		s.prevChaos[kind] = prev
+	}
 }
 
 // handleMetrics serves the Prometheus text exposition. Every scrape first
@@ -335,6 +402,34 @@ type generateRequest struct {
 	// NoCache opts this request out of prefix reuse: the prompt is never
 	// served from cached KV and the session never donates KV on release.
 	NoCache bool `json:"no_cache,omitempty"`
+	// TimeoutMs is this request's deadline: past it the request is aborted
+	// at the next scheduling boundary and answered 504. 0 = no deadline.
+	TimeoutMs int `json:"timeout_ms,omitempty"`
+}
+
+// requestContext applies a request's timeout_ms deadline to its HTTP
+// context. The returned cancel must run even on the no-deadline path.
+func requestContext(r *http.Request, timeoutMs int) (context.Context, context.CancelFunc) {
+	if timeoutMs > 0 {
+		return context.WithTimeout(r.Context(), time.Duration(timeoutMs)*time.Millisecond)
+	}
+	return r.Context(), func() {}
+}
+
+// writeSchedErr maps a scheduler error onto the HTTP response, attaching
+// Retry-After (whole seconds, rounded up) when the scheduler shed the
+// request in brownout.
+func (s *Server) writeSchedErr(w http.ResponseWriter, err error) {
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		secs := int(math.Ceil(oe.RetryAfter.Seconds()))
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		s.sched.noteRetryAfter()
+	}
+	writeErr(w, statusFor(err), "%v", err)
 }
 
 type generateResponse struct {
@@ -357,19 +452,22 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "prompt and max_tokens required")
 		return
 	}
-	res, err := s.sched.GenerateWith(r.Context(), req.Session, req.Prompt, req.MaxTokens,
+	ctx, cancel := requestContext(r, req.TimeoutMs)
+	defer cancel()
+	res, err := s.sched.GenerateWith(ctx, req.Session, req.Prompt, req.MaxTokens,
 		RequestOptions{NoPrefixCache: req.NoCache})
 	if err != nil {
-		writeErr(w, statusFor(err), "%v", err)
+		s.writeSchedErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, generateResponse{Tokens: res.Tokens, TTFTMs: res.TTFTMs, TTITMs: res.TTITMs})
 }
 
 type prefillRequest struct {
-	Session int   `json:"session"`
-	Tokens  []int `json:"tokens"`
-	NoCache bool  `json:"no_cache,omitempty"`
+	Session   int   `json:"session"`
+	Tokens    []int `json:"tokens"`
+	NoCache   bool  `json:"no_cache,omitempty"`
+	TimeoutMs int   `json:"timeout_ms,omitempty"`
 }
 
 type prefillResponse struct {
@@ -391,18 +489,21 @@ func (s *Server) handlePrefill(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "tokens required")
 		return
 	}
-	next, err := s.sched.PrefillWith(r.Context(), req.Session, req.Tokens,
+	ctx, cancel := requestContext(r, req.TimeoutMs)
+	defer cancel()
+	next, err := s.sched.PrefillWith(ctx, req.Session, req.Tokens,
 		RequestOptions{NoPrefixCache: req.NoCache})
 	if err != nil {
-		writeErr(w, statusFor(err), "%v", err)
+		s.writeSchedErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, prefillResponse{NextToken: next, SessionLen: s.sessionLen(req.Session)})
 }
 
 type decodeRequest struct {
-	Session int `json:"session"`
-	Token   int `json:"token"`
+	Session   int `json:"session"`
+	Token     int `json:"token"`
+	TimeoutMs int `json:"timeout_ms,omitempty"`
 }
 
 func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
@@ -415,9 +516,11 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "bad json: %v", err)
 		return
 	}
-	next, err := s.sched.Decode(r.Context(), req.Session, req.Token)
+	ctx, cancel := requestContext(r, req.TimeoutMs)
+	defer cancel()
+	next, err := s.sched.Decode(ctx, req.Session, req.Token)
 	if err != nil {
-		writeErr(w, statusFor(err), "%v", err)
+		s.writeSchedErr(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, prefillResponse{NextToken: next, SessionLen: s.sessionLen(req.Session)})
@@ -425,10 +528,12 @@ func (s *Server) handleDecode(w http.ResponseWriter, r *http.Request) {
 
 // statusFor maps scheduler errors to HTTP statuses: a closed scheduler
 // means the service is going away (503), KV-capacity shedding is deliberate
-// overload that clients should back off and retry (503, not a fault), a
-// session released mid-request is a conflict with a concurrent DELETE
-// (409), an ExecError is an internal cluster failure (500), everything else
-// is a request-level failure (400).
+// overload that clients should back off and retry (503, not a fault),
+// brownout shedding is deliberate overload with an explicit backoff hint
+// (429 + Retry-After), a request that outlived its own timeout_ms deadline
+// timed out (504), a session released mid-request is a conflict with a
+// concurrent DELETE (409), an ExecError is an internal cluster failure
+// (500), everything else is a request-level failure (400).
 func statusFor(err error) int {
 	if errors.Is(err, ErrClosed) {
 		return http.StatusServiceUnavailable
@@ -436,6 +541,13 @@ func statusFor(err error) int {
 	var capErr *transformer.CapacityError
 	if errors.As(err, &capErr) {
 		return http.StatusServiceUnavailable
+	}
+	var oe *OverloadError
+	if errors.As(err, &oe) {
+		return http.StatusTooManyRequests
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return http.StatusGatewayTimeout
 	}
 	if errors.Is(err, ErrReleased) {
 		return http.StatusConflict
@@ -559,6 +671,27 @@ type statsResponse struct {
 	// replay counters, recovered vs. lost sessions. Present even when
 	// recovery is disabled (enabled=false) so dashboards need no probing.
 	Recovery RecoveryStats `json:"recovery"`
+	// Integrity is the wire CRC accounting summed across ranks; a non-zero
+	// frames_rejected proves corruption was detected and contained.
+	Integrity integrityBlock `json:"integrity"`
+	// Chaos counts deliberately injected faults by kind, summed across
+	// ranks (all-zero outside chaos runs).
+	Chaos chaosBlock `json:"chaos"`
+	// Overload is the deadline/brownout shedding telemetry.
+	Overload OverloadStats `json:"overload"`
+}
+
+// integrityBlock is the /v1/stats "integrity" block: per-frame CRC32C
+// verification totals on the data plane.
+type integrityBlock struct {
+	FramesChecked  int64 `json:"frames_checked"`
+	FramesRejected int64 `json:"frames_rejected"`
+}
+
+// chaosBlock is the /v1/stats "chaos" block.
+type chaosBlock struct {
+	InjectedTotal int64            `json:"injected_total"`
+	ByKind        map[string]int64 `json:"by_kind,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -597,6 +730,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		}
 		writeErr(w, http.StatusInternalServerError, "cluster telemetry: %v", telErr)
 		return
+	}
+	s.syncRobustness(tel) // keep /metrics counters fresh off the same fetch
+	chaosStats := chaosBlock{ByKind: make(map[string]int64, len(tel.ChaosKinds))}
+	for i, kind := range tel.ChaosKinds {
+		chaosStats.ByKind[kind] = tel.ChaosCounts[i]
+		chaosStats.InjectedTotal += tel.ChaosCounts[i]
 	}
 	comm := commBlock{
 		Transport:     tel.Transport,
@@ -664,6 +803,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		KVAssembly: tel.Assembly,
 		Comm:       comm,
 		Recovery:   recovery,
+		Integrity: integrityBlock{
+			FramesChecked:  tel.IntegrityChecked,
+			FramesRejected: tel.IntegrityRejected,
+		},
+		Chaos:    chaosStats,
+		Overload: s.sched.OverloadStats(),
 	})
 }
 

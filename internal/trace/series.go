@@ -242,6 +242,44 @@ func (s *Series) Quantile(q float64) float64 {
 	return BucketBounds[len(BucketBounds)-1]
 }
 
+// Snap returns the series' current contents without resetting — the public
+// snapshot used by windowed consumers (e.g. the scheduler's brownout
+// detector diffing queue-wait histograms between admission checks).
+func (s *Series) Snap() SeriesSnap {
+	if s == nil {
+		return SeriesSnap{}
+	}
+	return s.snapshot()
+}
+
+// DeltaQuantile estimates the q-quantile of the observations a histogram
+// gained between two snapshots (prev taken before cur), with the same
+// bucket-upper-bound estimate as Series.Quantile. A cumulative histogram's
+// quantile is dominated by its history; the delta form answers "how slow is
+// it right now". Returns (0, false) when the window holds no observations
+// or the snapshots are not histograms.
+func DeltaQuantile(cur, prev SeriesSnap, q float64) (float64, bool) {
+	if cur.Kind != KindHistogram || cur.Count <= prev.Count || len(cur.Counts) == 0 {
+		return 0, false
+	}
+	total := cur.Count - prev.Count
+	target := q * float64(total)
+	cum := uint64(0)
+	for i, c := range cur.Counts {
+		if i < len(prev.Counts) {
+			c -= prev.Counts[i]
+		}
+		cum += c
+		if float64(cum) >= target {
+			if i >= len(BucketBounds) {
+				return BucketBounds[len(BucketBounds)-1], true
+			}
+			return BucketBounds[i], true
+		}
+	}
+	return BucketBounds[len(BucketBounds)-1], true
+}
+
 // snapshot returns the series' current contents without resetting.
 func (s *Series) snapshot() SeriesSnap {
 	s.mu.Lock()

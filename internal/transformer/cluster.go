@@ -5,6 +5,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/chaos"
 	"repro/internal/comm"
 	"repro/internal/comm/transport"
 	"repro/internal/comm/wire"
@@ -217,6 +218,14 @@ type Telemetry struct {
 	Assembly  ring.BlockCacheStats
 	Comm      comm.Stats
 	Links     []wire.LinkStat
+	// IntegrityChecked/Rejected count wire frames through the CRC32C check,
+	// summed across every process in the cluster (workers + coordinator).
+	IntegrityChecked  int64
+	IntegrityRejected int64
+	// ChaosKinds/ChaosCounts report injected chaos faults by kind (sorted),
+	// summed across processes; empty outside chaos runs.
+	ChaosKinds  []string
+	ChaosCounts []int64
 }
 
 // Telemetry snapshots the cluster. Callers must not race it against an
@@ -236,6 +245,10 @@ func (c *Cluster) Telemetry() (Telemetry, error) {
 		tel.RankKV[r] = e.cacheTokens()
 		tel.Assembly.Add(e.assembly())
 	}
+	// One process hosts everything here, so the process-global counters are
+	// the whole cluster's.
+	tel.IntegrityChecked, tel.IntegrityRejected = wire.IntegrityStats()
+	tel.ChaosKinds, tel.ChaosCounts = chaos.Totals()
 	return tel, nil
 }
 

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/chaos"
 	"repro/internal/comm"
 	"repro/internal/comm/wire"
 	"repro/internal/kvcache"
@@ -294,6 +295,11 @@ func (e *rankEngine) statsResult(world *comm.World) *wire.StatsResult {
 		Assembly:    []int64{a.Rebuilds, a.RebuildRows, a.Appends, a.AppendedRows, a.Reuses},
 		Links:       world.LinkStats(),
 	}
+	// Process-local robustness counters: frames through the CRC check and
+	// chaos faults this worker injected. The coordinator sums them across
+	// ranks.
+	res.IntegrityChecked, res.IntegrityRejected = wire.IntegrityStats()
+	res.ChaosKinds, res.ChaosCounts = chaos.Totals()
 	st := world.TotalStats()
 	kinds := make([]string, 0, len(st.Messages))
 	for k := range st.Messages {

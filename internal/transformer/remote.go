@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -46,6 +48,14 @@ type ConnectConfig struct {
 	// CtrlTimeout bounds each per-command worker reply. Default: twice
 	// RecvTimeout when set, else DefaultCtrlTimeout.
 	CtrlTimeout time.Duration
+	// HeartbeatEvery / HeartbeatMisses mirror the workers' liveness settings
+	// on the control plane: workers heartbeat their control connection every
+	// HeartbeatEvery, and the coordinator's readers declare a worker dead
+	// after HeartbeatMisses silent periods. Zero values take the transport
+	// defaults (500ms x 3); HeartbeatMisses < 0 disables the idle deadline
+	// (a dead worker then surfaces only when its connection drops).
+	HeartbeatEvery  time.Duration
+	HeartbeatMisses int
 	// Trace, when non-nil, is the coordinator's cumulative trace store;
 	// Cluster.SyncTrace drains every worker's staged spans and series deltas
 	// into it. Nil disables coordinator-side trace collection (workers still
@@ -95,6 +105,7 @@ type remotePlane struct {
 	hangupOnce sync.Once
 
 	timeout time.Duration
+	idle    time.Duration // reader idle deadline (heartbeat miss window)
 	dead    error
 }
 
@@ -108,8 +119,26 @@ func connectPlane(w *Weights, cfg ConnectConfig, epoch uint64) (*remotePlane, er
 		ConfigSum: ConfigSum(w.Cfg, n, cfg.KVCapacity),
 		Epoch:     epoch,
 	}
+	every := cfg.HeartbeatEvery
+	if every <= 0 {
+		every = transport.DefaultHeartbeatEvery
+	}
+	misses := cfg.HeartbeatMisses
+	if misses == 0 {
+		misses = transport.DefaultHeartbeatMisses
+	}
+	if misses == 1 {
+		// A one-period window races the sender's ticker and flaps on healthy
+		// links — same rule TCPConfig enforces.
+		return nil, errors.New("transformer: heartbeat miss threshold must be >= 2 (or < 0 to disable)")
+	}
+	var idle time.Duration
+	if misses > 0 {
+		idle = time.Duration(misses) * every
+	}
 	plane := &remotePlane{
 		timeout: cfg.CtrlTimeout,
+		idle:    idle,
 		closed:  make(chan struct{}),
 		events:  make(chan transport.FailureEvent, n+2),
 	}
@@ -196,12 +225,22 @@ func ConnectCluster(w *Weights, cfg ConnectConfig) (*Cluster, error) {
 func (p *remotePlane) readLoop(r int) {
 	defer p.readers.Done()
 	for {
-		v, err := p.ctrls[r].Recv(0)
+		// The idle deadline is the heartbeat miss window: workers heartbeat
+		// their control connection, so a silent one is wedged or dead, not
+		// merely quiet between commands.
+		v, err := p.ctrls[r].Recv(p.idle)
 		if err != nil {
+			var ne net.Error
+			if p.idle > 0 && errors.As(err, &ne) && ne.Timeout() {
+				err = fmt.Errorf("worker rank %d silent past the heartbeat window (%v): %w", r, p.idle, err)
+			}
 			p.downErr[r] = err
 			close(p.down[r])
 			p.pushEvent(transport.FailureEvent{Peer: r, Cause: err})
 			return
+		}
+		if _, ok := v.(*wire.Heartbeat); ok {
+			continue // liveness only; resets the read deadline above
 		}
 		if note, ok := v.(*wire.FailureNote); ok {
 			p.pushEvent(transport.FailureEvent{Peer: note.Rank,
@@ -446,6 +485,7 @@ func (p *remotePlane) telemetry() (Telemetry, error) {
 	// Each worker reports its own rank's send-side accounting and both
 	// directions of its wire links; keep each link's stats from its sender's
 	// snapshot so directions are never double-counted.
+	chaos := map[string]int64{}
 	for r, v := range replies {
 		res, ok := v.(*wire.StatsResult)
 		if !ok {
@@ -468,13 +508,42 @@ func (p *remotePlane) telemetry() (Telemetry, error) {
 				tel.Links = append(tel.Links, l)
 			}
 		}
+		tel.IntegrityChecked += res.IntegrityChecked
+		tel.IntegrityRejected += res.IntegrityRejected
+		for i, k := range res.ChaosKinds {
+			chaos[k] += res.ChaosCounts[i]
+		}
 	}
+	// The coordinator decodes frames too (every worker reply crosses its
+	// CRC check); fold its process-local counters in.
+	checked, rejected := wire.IntegrityStats()
+	tel.IntegrityChecked += checked
+	tel.IntegrityRejected += rejected
+	tel.ChaosKinds, tel.ChaosCounts = flattenChaos(chaos)
 	// The control plane's own traffic, as coordinator->worker links.
 	for r, c := range p.ctrls {
 		msgs, bytes := c.WireTotals()
 		tel.Links = append(tel.Links, wire.LinkStat{Src: -1, Dst: r, WireMsgs: msgs, WireBytes: bytes})
 	}
 	return tel, nil
+}
+
+// flattenChaos converts a merged kind->count map to the Telemetry's sorted
+// parallel-slice form.
+func flattenChaos(m map[string]int64) ([]string, []int64) {
+	if len(m) == 0 {
+		return nil, nil
+	}
+	kinds := make([]string, 0, len(m))
+	for k := range m {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	counts := make([]int64, len(kinds))
+	for i, k := range kinds {
+		counts[i] = m[k]
+	}
+	return kinds, counts
 }
 
 // close shuts the workers down (best effort) and hangs up the control

@@ -47,6 +47,20 @@ type WorkerConfig struct {
 	RecvTimeout       time.Duration // ring receive deadline (0 = comm default)
 	RendezvousTimeout time.Duration
 
+	// HeartbeatEvery / HeartbeatMisses tune mesh liveness detection: a
+	// heartbeat frame every HeartbeatEvery, a link declared dead after
+	// HeartbeatMisses silent periods. Zero values take the transport
+	// defaults (500ms x 3); HeartbeatMisses < 0 disables read-side
+	// liveness. The worker also heartbeats its control connection at the
+	// same period so a coordinator can spot a wedged worker process.
+	HeartbeatEvery  time.Duration
+	HeartbeatMisses int
+
+	// WrapTransport, when set, intercepts the joined mesh transport before
+	// the world is built around it — the chaos-injection hook. Errors abort
+	// the incarnation.
+	WrapTransport func(transport.Transport) (transport.Transport, error)
+
 	// MaxTraceSpans caps the worker's span staging buffer per incarnation
 	// (0 = trace.DefaultMaxSpans). Overflow is dropped and counted in
 	// cp_trace_spans_dropped_total rather than growing without bound between
@@ -192,16 +206,22 @@ func (b *workerBoot) listener() (net.Listener, error) {
 		b.ln = nil
 		return ln, nil
 	}
+	bo := transport.NewBackoff("listen:" + b.listenAddr)
+	bo.Cap = 200 * time.Millisecond // keep the whole retry span rejoin-sized
+	bo.Budget = 16
 	var lastErr error
-	for i := 0; i < 40; i++ {
+	for {
 		ln, err := net.Listen("tcp", b.listenAddr)
 		if err == nil {
 			return ln, nil
 		}
 		lastErr = err
-		time.Sleep(50 * time.Millisecond)
+		d, ok := bo.Next()
+		if !ok {
+			return nil, fmt.Errorf("transformer: re-listen on %s: %w", b.listenAddr, bo.Exhausted(lastErr))
+		}
+		time.Sleep(d)
 	}
-	return nil, fmt.Errorf("transformer: re-listen on %s: %w", b.listenAddr, lastErr)
 }
 
 // park re-binds the worker's address as a placeholder the moment Join
@@ -245,6 +265,8 @@ func (b *workerBoot) serveEpoch(cfg WorkerConfig, w *Weights, epoch uint64) erro
 		Epoch:             epoch,
 		ExpectCtrl:        true,
 		RendezvousTimeout: cfg.RendezvousTimeout,
+		HeartbeatEvery:    cfg.HeartbeatEvery,
+		HeartbeatMisses:   cfg.HeartbeatMisses,
 	})
 	if err != nil {
 		return err
@@ -252,12 +274,22 @@ func (b *workerBoot) serveEpoch(cfg WorkerConfig, w *Weights, epoch uint64) erro
 	b.park() // hold the port through the serve phase for the next rejoin
 	defer tp.Close()
 	defer ctrl.Close()
+	var mesh transport.Transport = tp
+	if cfg.WrapTransport != nil {
+		if mesh, err = cfg.WrapTransport(tp); err != nil {
+			return fmt.Errorf("transformer: rank %d transport wrapper: %w", cfg.Rank, err)
+		}
+	}
 	var commOpts []comm.Option
 	if cfg.RecvTimeout > 0 {
 		commOpts = append(commOpts, comm.WithRecvTimeout(cfg.RecvTimeout))
 	}
-	world := comm.NewWorldOver(tp, commOpts...)
-	return ServeRank(ctrl, world, w, cfg.KVCapacity, epoch, cfg.MaxTraceSpans)
+	world := comm.NewWorldOver(mesh, commOpts...)
+	hb := cfg.HeartbeatEvery
+	if hb <= 0 {
+		hb = transport.DefaultHeartbeatEvery
+	}
+	return ServeRank(ctrl, world, w, cfg.KVCapacity, epoch, cfg.MaxTraceSpans, hb)
 }
 
 // ServeRank runs one rank's command loop: receive a control frame, execute
@@ -276,7 +308,11 @@ func (b *workerBoot) serveEpoch(cfg WorkerConfig, w *Weights, epoch uint64) erro
 //   - explicit ShutdownCmd: returns nil (orderly exit, never rejoined)
 //   - coordinator hangup: returns ErrCoordinatorHangup (rebuild or crash;
 //     the rejoin loop re-enters rendezvous at the next epoch)
-func ServeRank(ctrl *transport.Ctrl, world *comm.World, w *Weights, kvCapacity int, epoch uint64, maxTraceSpans int) error {
+//
+// heartbeatEvery > 0 also heartbeats the control connection at that period,
+// mirroring the data-plane links: a coordinator reading with an idle
+// deadline can then tell a wedged worker process from a merely quiet one.
+func ServeRank(ctrl *transport.Ctrl, world *comm.World, w *Weights, kvCapacity int, epoch uint64, maxTraceSpans int, heartbeatEvery time.Duration) error {
 	local := world.LocalRanks()
 	if len(local) != 1 {
 		return fmt.Errorf("transformer: worker world hosts %d ranks, want exactly 1", len(local))
@@ -315,11 +351,30 @@ func ServeRank(ctrl *transport.Ctrl, world *comm.World, w *Weights, kvCapacity i
 			}
 		}
 	}()
+	if heartbeatEvery > 0 {
+		go func() {
+			tick := time.NewTicker(heartbeatEvery)
+			defer tick.Stop()
+			for {
+				select {
+				case <-tick.C:
+					// A failed write means the ctrl conn is dead; the reader
+					// goroutine surfaces that as the loop's exit signal.
+					_ = ctrl.Send(&wire.Heartbeat{})
+				case <-stop:
+					return
+				}
+			}
+		}()
+	}
 	noted := make(map[int]bool)
 	failures := world.Failures()
 	for {
 		select {
 		case v := <-frames:
+			if _, ok := v.(*wire.Heartbeat); ok {
+				continue // liveness only, never a command
+			}
 			reply, shutdown := e.handle(rank, world, v)
 			if err := ctrl.Send(reply); err != nil {
 				return err
