@@ -5,27 +5,27 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
-	"runtime"
 	"time"
 
 	"repro/internal/attention"
 	"repro/internal/parallel"
 	"repro/internal/perf"
+	"repro/internal/runinfo"
 	"repro/internal/tensor"
 	"repro/internal/transformer"
 )
 
-// sectionEnv pins the machine context a section was measured under: the
-// physical core count and the scheduler width. Embedded per section (not
-// just at the top level) so a report stitched together across machines or
-// reruns can never misattribute a throughput number.
+// sectionEnv pins the machine context a section was measured under — core
+// count, scheduler width, kernel worker-pool width, toolchain. Embedded per
+// section (not just at the top level) so a report stitched together across
+// machines or reruns can never misattribute a throughput number. Sourced
+// from runinfo so every BENCH emitter reports the same runner block.
 type sectionEnv struct {
-	NumCPU     int `json:"num_cpu"`
-	GOMAXPROCS int `json:"gomaxprocs"`
+	runinfo.Info
 }
 
 func captureEnv() sectionEnv {
-	return sectionEnv{NumCPU: runtime.NumCPU(), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	return sectionEnv{Info: runinfo.Capture()}
 }
 
 // kernelWorkerPoint is one worker-count measurement of a kernel workload.
@@ -67,8 +67,7 @@ type kernelDecodeReport struct {
 // as BENCH_kernel.json.
 type kernelBenchReport struct {
 	GeneratedUnix int64               `json:"generated_unix"`
-	GOMAXPROCS    int                 `json:"gomaxprocs"`
-	NumCPU        int                 `json:"num_cpu"`
+	Runner        runinfo.Info        `json:"runner"`
 	Prefill       kernelPrefillReport `json:"prefill"`
 	Decode        kernelDecodeReport  `json:"decode"`
 	Forward       kernelForwardReport `json:"forward"`
@@ -78,8 +77,7 @@ type kernelBenchReport struct {
 func runKernelBench(path string) error {
 	report := kernelBenchReport{
 		GeneratedUnix: time.Now().Unix(),
-		GOMAXPROCS:    runtime.GOMAXPROCS(0),
-		NumCPU:        runtime.NumCPU(),
+		Runner:        runinfo.Capture(),
 	}
 	workerCounts := []int{1, 2, 4, 8}
 

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/perf"
+	"repro/internal/runinfo"
 	"repro/internal/transformer"
 )
 
@@ -23,6 +24,7 @@ type prefixBenchPoint struct {
 // BENCH_prefix.json, so the prefix-reuse win is trackable across PRs.
 type prefixBenchReport struct {
 	GeneratedUnix int64              `json:"generated_unix"`
+	Runner        runinfo.Info       `json:"runner"`
 	Ranks         int                `json:"ranks"`
 	PromptTokens  int                `json:"prompt_tokens"`
 	BlockTokens   int                `json:"block_tokens"`
@@ -94,6 +96,7 @@ func runPrefixBench(path string) error {
 
 	report := prefixBenchReport{
 		GeneratedUnix: time.Now().Unix(),
+		Runner:        runinfo.Capture(),
 		Ranks:         ranks,
 		PromptTokens:  promptLen,
 		BlockTokens:   block,

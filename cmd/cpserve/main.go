@@ -66,6 +66,7 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/ (off by default; profiling endpoints should not ship publicly)")
 	traceOut := flag.String("trace-out", "", "write the span trace at shutdown: Chrome-trace JSON if the path ends in .json, deterministic JSONL otherwise")
 	noTrace := flag.Bool("no-trace", false, "disable the observability recorder (no /metrics, /v1/trace, or latency histograms; outputs are bit-identical either way)")
+	cohortsFlag := flag.String("cohorts", "", "comma-separated workload cohort labels to pre-register for per-cohort latency series (requests tag themselves via the \"cohort\" JSON field)")
 	flag.Parse()
 
 	if *workers > 0 {
@@ -155,6 +156,7 @@ func main() {
 		HeartbeatMisses:   *heartbeatMisses,
 		BrownoutSLO:       *brownoutSLO,
 		NoTrace:           *noTrace,
+		Cohorts:           splitCohorts(*cohortsFlag),
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -220,6 +222,16 @@ func main() {
 	if err := httpSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}
+}
+
+func splitCohorts(s string) []string {
+	var out []string
+	for _, c := range strings.Split(s, ",") {
+		if c = strings.TrimSpace(c); c != "" {
+			out = append(out, c)
+		}
+	}
+	return out
 }
 
 func dumpTrace(srv *server.Server, path string) {

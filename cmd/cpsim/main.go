@@ -7,6 +7,12 @@
 // Usage:
 //
 //	cpsim -ranks 4 -seqs 2 -turns 3 -decode 4 -policy alg1
+//
+// With -tracev2 it instead replays a cploadgen trace through the
+// discrete-event serving simulator (virtual time, no cluster) and emits the
+// same cp-serving-bench/v1 report the live replay produces:
+//
+//	cpsim -tracev2 trace.jsonl -sim-out BENCH_serving_sim.json
 package main
 
 import (
@@ -15,9 +21,11 @@ import (
 	"math/rand"
 	"os"
 	"strings"
+	"time"
 
 	"repro/internal/comm"
 	"repro/internal/core"
+	"repro/internal/eventsim"
 	"repro/internal/heuristic"
 	"repro/internal/hw"
 	"repro/internal/model"
@@ -25,6 +33,43 @@ import (
 	"repro/internal/tensor"
 	"repro/internal/workload"
 )
+
+// simReplay runs the tracev2 serving simulation and prints (and optionally
+// writes) its cp-serving-bench/v1 report.
+func simReplay(tracePath, simOut string, budget, batch int) error {
+	tr, err := workload.ReadTraceFile(tracePath)
+	if err != nil {
+		return err
+	}
+	m := eventsim.DefaultServeModel()
+	if budget > 0 {
+		m.TokenBudget = budget
+	}
+	if batch > 0 {
+		m.MaxBatch = batch
+	}
+	res, err := eventsim.SimulateServe(tr, m)
+	if err != nil {
+		return err
+	}
+	rep := workload.BuildServingReport(tr, res.Results, res.DurationMs, time.Now().Unix())
+	if err := workload.ValidateServingReport(rep); err != nil {
+		return fmt.Errorf("simulated report invalid: %w", err)
+	}
+	fmt.Printf("cpsim: simulated %d requests (%d sessions) in %.1f virtual ms over %d steps\n",
+		rep.Totals.Requests, rep.Trace.Sessions, rep.DurationMs, res.Steps)
+	for _, c := range rep.Cohorts {
+		fmt.Printf("  %-14s %4d req  ttft p50/p99 %.2f/%.2f ms  itl p50 %.3f ms  slo met=%v\n",
+			c.Cohort, c.Requests, c.TTFT.P50Ms, c.TTFT.P99Ms, c.ITL.P50Ms, c.SLO.Met)
+	}
+	if simOut != "" {
+		if err := workload.WriteServingReport(simOut, rep); err != nil {
+			return err
+		}
+		fmt.Printf("wrote simulated serving report to %s\n", simOut)
+	}
+	return nil
+}
 
 func pickPolicy(name string, ranks int) (core.Policy, error) {
 	switch name {
@@ -58,7 +103,23 @@ func main() {
 	policyName := flag.String("policy", "alg1", "variant policy: pass-kv, pass-q, alg1, alg5")
 	seed := flag.Int64("seed", 1, "workload seed")
 	traceOut := flag.String("trace-out", "", "write the run's span trace: Chrome-trace JSON if the path ends in .json, deterministic JSONL otherwise")
+	tracev2 := flag.String("tracev2", "", "replay this cploadgen tracev2 file through the discrete-event serving simulator instead of the functional run")
+	simOut := flag.String("sim-out", "", "write the simulated cp-serving-bench/v1 report here (requires -tracev2)")
+	simBudget := flag.Int("sim-token-budget", 0, "simulator prefill token budget per step (0 = model default)")
+	simBatch := flag.Int("sim-max-batch", 0, "simulator decode batch cap (0 = model default)")
 	flag.Parse()
+
+	if *simOut != "" && *tracev2 == "" {
+		fmt.Fprintln(os.Stderr, "cpsim: -sim-out requires -tracev2")
+		os.Exit(1)
+	}
+	if *tracev2 != "" {
+		if err := simReplay(*tracev2, *simOut, *simBudget, *simBatch); err != nil {
+			fmt.Fprintln(os.Stderr, "cpsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	policy, err := pickPolicy(*policyName, *ranks)
 	if err != nil {

@@ -13,6 +13,15 @@
 // cpchaos -metrics-out artifact) — same parse and -want checks, no server:
 //
 //	obscheck -prom-file soak.prom -want cp_integrity_rejected_total
+//
+// With -serving-json it validates a cploadgen BENCH_serving.json against the
+// cp-serving-bench/v1 schema (outcome accounting, sorted cohorts, quantile
+// ordering, attainment bounds). Standalone it checks only the file; combined
+// with -base/-prom-file the exposition checks run too, and -want-cohorts
+// requires per-cohort cp_cohort_* series for each named label value:
+//
+//	obscheck -serving-json BENCH_serving.json
+//	obscheck -base http://127.0.0.1:8080 -want-cohorts chat,rag -serving-json BENCH_serving.json
 package main
 
 import (
@@ -27,6 +36,7 @@ import (
 	"time"
 
 	"repro/internal/trace"
+	"repro/internal/workload"
 )
 
 func fetch(client *http.Client, url string) ([]byte, error) {
@@ -50,12 +60,33 @@ func main() {
 	want := flag.String("want", "", "comma-separated metric names that must appear in /metrics")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request timeout")
 	promFile := flag.String("prom-file", "", "validate this dumped Prometheus exposition file instead of a live server (skips the trace endpoints)")
+	servingJSON := flag.String("serving-json", "", "validate this BENCH_serving.json against the cp-serving-bench/v1 schema")
+	wantCohorts := flag.String("want-cohorts", "", "comma-separated cohort labels that must each have cp_cohort_ttft/itl/e2e series in /metrics")
 	flag.Parse()
 
 	client := &http.Client{Timeout: *timeout}
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
 		os.Exit(1)
+	}
+
+	if *servingJSON != "" {
+		rep, err := workload.ReadServingReport(*servingJSON)
+		if err != nil {
+			fail("%v", err)
+		}
+		if err := workload.ValidateServingReport(rep); err != nil {
+			fail("%s: %v", *servingJSON, err)
+		}
+		fmt.Printf("obscheck: ok — %s valid (%d requests, %d cohorts)\n",
+			*servingJSON, rep.Totals.Requests, len(rep.Cohorts))
+		// Standalone file check: stop before the live checks unless the
+		// caller also pointed at an exposition source.
+		baseSet := false
+		flag.Visit(func(f *flag.Flag) { baseSet = baseSet || f.Name == "base" })
+		if !baseSet && *promFile == "" && *want == "" && *wantCohorts == "" {
+			return
+		}
 	}
 
 	// /metrics (or the dumped file) must parse as Prometheus text
@@ -90,6 +121,31 @@ func main() {
 	}
 	if len(missing) > 0 {
 		fail("%s: missing required series %v (have %d samples)", src, missing, len(samples))
+	}
+	if *wantCohorts != "" {
+		// Each named cohort must have every per-cohort latency family — the
+		// labeled analogue of -want.
+		haveCohort := map[string]bool{}
+		for _, s := range samples {
+			if c := s.Labels["cohort"]; c != "" && strings.HasPrefix(s.Name, "cp_cohort_") {
+				base := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(s.Name, "_bucket"), "_sum"), "_count")
+				haveCohort[base+"/"+c] = true
+			}
+		}
+		var missingCohort []string
+		for _, c := range strings.Split(*wantCohorts, ",") {
+			if c = strings.TrimSpace(c); c == "" {
+				continue
+			}
+			for _, fam := range []string{"cp_cohort_ttft_seconds", "cp_cohort_itl_seconds", "cp_cohort_e2e_seconds", "cp_cohort_requests_total"} {
+				if !haveCohort[fam+"/"+c] {
+					missingCohort = append(missingCohort, fam+`{cohort="`+c+`"}`)
+				}
+			}
+		}
+		if len(missingCohort) > 0 {
+			fail("%s: missing per-cohort series %v", src, missingCohort)
+		}
 	}
 	if *promFile != "" {
 		fmt.Printf("obscheck: ok — %d prom samples from %s\n", len(samples), *promFile)

@@ -3,9 +3,12 @@
 // stack at once; the scheduler fuses one token-budget prefill chunk plus
 // every active session's decode step into each iteration, so the CP ring
 // serves the whole population per sweep instead of idling between requests
-// (§3.6 batched decode, §4.3 deployment guidance). The driver then verifies
-// every stream against its single-session serial reference and prints the
-// batching telemetry that proves sessions actually shared ring passes.
+// (§3.6 batched decode, §4.3 deployment guidance). Clients split into two
+// workload cohorts — interactive "chat" (short prompts) and batchy
+// "summarization" (long prompts) — and tag their requests, so the engine's
+// per-cohort latency series separate the two populations. The driver then
+// verifies every stream against its single-session serial reference and
+// prints the batching telemetry plus per-cohort quantiles.
 package main
 
 import (
@@ -20,6 +23,7 @@ import (
 
 	"repro/internal/perf"
 	"repro/internal/server"
+	"repro/internal/trace"
 	"repro/internal/transformer"
 )
 
@@ -28,14 +32,27 @@ const (
 	seed      = 77
 	clients   = 8
 	maxTokens = 16
-	promptLen = 24
 	budget    = 8 // small budget → prompts admit in slices, decodes never starve
+
+	// Two cohorts with distinct prompt shapes: even clients are interactive
+	// chat turns, odd clients are long-document summarizations.
+	chatPromptLen = 16
+	summPromptLen = 40
 )
 
+// cohortOf assigns a client its workload cohort.
+func cohortOf(id int) string {
+	if id%2 == 0 {
+		return "chat"
+	}
+	return "summarization"
+}
+
 type genReq struct {
-	Session   int   `json:"session"`
-	Prompt    []int `json:"prompt"`
-	MaxTokens int   `json:"max_tokens"`
+	Session   int    `json:"session"`
+	Prompt    []int  `json:"prompt"`
+	MaxTokens int    `json:"max_tokens"`
+	Cohort    string `json:"cohort"`
 }
 
 type genResp struct {
@@ -51,6 +68,7 @@ func main() {
 		Policy:      server.PrefillFirst,
 		Variant:     perf.PassKV,
 		TokenBudget: budget,
+		Cohorts:     []string{"chat", "summarization"},
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -61,15 +79,19 @@ func main() {
 
 	prompts := make([][]int, clients)
 	for i := range prompts {
-		p := make([]int, promptLen)
+		n := chatPromptLen
+		if cohortOf(i) == "summarization" {
+			n = summPromptLen
+		}
+		p := make([]int, n)
 		for j := range p {
 			p[j] = (i*13 + j*7 + 5) % 64
 		}
 		prompts[i] = p
 	}
 
-	fmt.Printf("continuous batching: %d clients x %d-token prompts, %d tokens each, %d CP ranks, budget %d tok/iter\n\n",
-		clients, promptLen, maxTokens, ranks, budget)
+	fmt.Printf("continuous batching: %d clients (chat %d-tok / summarization %d-tok prompts), %d tokens each, %d CP ranks, budget %d tok/iter\n\n",
+		clients, chatPromptLen, summPromptLen, maxTokens, ranks, budget)
 
 	var wg sync.WaitGroup
 	results := make([]genResp, clients)
@@ -78,7 +100,7 @@ func main() {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			body, _ := json.Marshal(genReq{Session: id, Prompt: prompts[id], MaxTokens: maxTokens})
+			body, _ := json.Marshal(genReq{Session: id, Prompt: prompts[id], MaxTokens: maxTokens, Cohort: cohortOf(id)})
 			resp, err := http.Post(ts.URL+"/v1/generate", "application/json", bytes.NewReader(body))
 			if err != nil {
 				log.Fatal(err)
@@ -150,6 +172,22 @@ func main() {
 		fmt.Printf("%-5s n=%-4d p50 %7.2f ms   p90 %7.2f ms   p99 %7.2f ms\n",
 			h.label, s.HistCount(),
 			s.Quantile(0.50)*1000, s.Quantile(0.90)*1000, s.Quantile(0.99)*1000)
+	}
+
+	// The cohort tag splits the same histograms per workload class — the
+	// series /metrics exports as cp_cohort_*{cohort="..."}.
+	fmt.Println("\nper-cohort quantiles (cp_cohort_* series)")
+	fmt.Println("-----------------------------------------")
+	for _, cohort := range srv.Scheduler().Cohorts() {
+		ttft := rec.Hist("cp_cohort_ttft_seconds", trace.L("cohort", cohort))
+		if ttft.HistCount() == 0 {
+			continue
+		}
+		itl := rec.Hist("cp_cohort_itl_seconds", trace.L("cohort", cohort))
+		e2e := rec.Hist("cp_cohort_e2e_seconds", trace.L("cohort", cohort))
+		fmt.Printf("%-14s n=%-3d ttft p50 %7.2f ms   itl p50 %6.2f ms   e2e p99 %7.2f ms\n",
+			cohort, ttft.HistCount(),
+			ttft.Quantile(0.50)*1000, itl.Quantile(0.50)*1000, e2e.Quantile(0.99)*1000)
 	}
 	if b.MaxDecodeBatch < 2 {
 		log.Fatal("no cross-session batching observed — scheduler regression?")

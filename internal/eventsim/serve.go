@@ -1,0 +1,203 @@
+package eventsim
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/workload"
+)
+
+// ServeModel parameterizes the discrete-event serving simulation: a
+// continuous-batching scheduler loop in virtual time, costed per step. Where
+// cploadgen replays a tracev2 against the real engine (wall-clock truth),
+// SimulateServe replays the same trace through this model — deterministic,
+// instant, and independent of the host — so capacity questions ("does this
+// arrival pattern meet the chat SLO at half the budget?") can be answered
+// without a serving run, then cross-checked against the real replay.
+type ServeModel struct {
+	// TokenBudget is the prompt tokens prefilled per scheduler step
+	// (chunked prefill, FIFO across waiting requests).
+	TokenBudget int
+	// MaxBatch caps the sessions decoded per step (one token each).
+	MaxBatch int
+	// StepOverheadUs is the fixed per-step cost.
+	StepOverheadUs float64
+	// PrefillUsPerTok and DecodeUsPerTok are the marginal costs of one
+	// prefilled prompt token and one decoded session-step.
+	PrefillUsPerTok float64
+	DecodeUsPerTok  float64
+}
+
+// DefaultServeModel returns costs in the ballpark of the tiny in-process
+// engine — close enough for the simulated and replayed reports to be
+// comparable order-of-magnitude, which is all the cross-check needs.
+func DefaultServeModel() ServeModel {
+	return ServeModel{
+		TokenBudget:     32,
+		MaxBatch:        64,
+		StepOverheadUs:  200,
+		PrefillUsPerTok: 50,
+		DecodeUsPerTok:  100,
+	}
+}
+
+// Validate checks the model.
+func (m ServeModel) Validate() error {
+	if m.TokenBudget <= 0 || m.MaxBatch <= 0 {
+		return fmt.Errorf("eventsim: serve model needs positive token budget and batch cap")
+	}
+	if m.StepOverheadUs < 0 || m.PrefillUsPerTok < 0 || m.DecodeUsPerTok < 0 {
+		return fmt.Errorf("eventsim: negative serve model cost")
+	}
+	if m.StepOverheadUs == 0 && m.PrefillUsPerTok == 0 && m.DecodeUsPerTok == 0 {
+		return fmt.Errorf("eventsim: serve model with all-zero costs has no timeline")
+	}
+	return nil
+}
+
+// ServeResult is the simulated run: one result per trace event (indexed by
+// event id) plus the virtual makespan.
+type ServeResult struct {
+	Results    []workload.RequestResult
+	DurationMs float64
+	Steps      int
+}
+
+// simReq is one in-flight simulated request.
+type simReq struct {
+	ev        workload.TraceEvent
+	arriveUs  float64
+	remaining int // prompt tokens not yet prefilled
+	pending   int // decode tokens still to emit after the first
+	lastTokUs float64
+	res       workload.RequestResult
+}
+
+// SimulateServe replays a tracev2 through the serving model. Determinism
+// contract: the schedule is a pure function of (trace, model) — virtual time
+// only, FIFO order everywhere, ties broken by event id — so two runs produce
+// identical results element for element.
+func SimulateServe(tr *workload.Trace, m ServeModel) (*ServeResult, error) {
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	if err := workload.ValidateTrace(tr); err != nil {
+		return nil, err
+	}
+
+	// Per-session turn chains: turn 0 arrives on the trace clock, turn n+1
+	// arrives GapUs after turn n completes (closed-loop per session).
+	bySession := map[int][]workload.TraceEvent{}
+	for _, ev := range tr.Events {
+		bySession[ev.Session] = append(bySession[ev.Session], ev)
+	}
+
+	// arrivals is kept sorted by (time, event id); insertion is O(n) but the
+	// queue only holds not-yet-admitted turn-0 events plus one follow-up per
+	// live session.
+	type arrival struct {
+		atUs float64
+		req  *simReq
+	}
+	var arrivals []arrival
+	push := func(atUs float64, ev workload.TraceEvent) {
+		r := &simReq{
+			ev: ev, arriveUs: atUs,
+			remaining: len(ev.Prompt), pending: ev.MaxTokens - 1,
+			res: workload.RequestResult{ID: ev.ID, Cohort: ev.Cohort},
+		}
+		i := sort.Search(len(arrivals), func(i int) bool {
+			if arrivals[i].atUs != atUs {
+				return arrivals[i].atUs > atUs
+			}
+			return arrivals[i].req.ev.ID > ev.ID
+		})
+		arrivals = append(arrivals, arrival{})
+		copy(arrivals[i+1:], arrivals[i:])
+		arrivals[i] = arrival{atUs: atUs, req: r}
+	}
+	for _, ev := range tr.Events {
+		if ev.Turn == 0 {
+			push(float64(ev.AtUs), ev)
+		}
+	}
+
+	out := &ServeResult{Results: make([]workload.RequestResult, len(tr.Events))}
+	now := 0.0
+	var waitPrefill, decoding []*simReq
+
+	complete := func(r *simReq) {
+		r.res.Status = 200
+		r.res.E2EMs = (now - r.arriveUs) / 1e3
+		r.res.OutputTokens = r.ev.MaxTokens
+		out.Results[r.ev.ID] = r.res
+		if evs := bySession[r.ev.Session]; r.ev.Turn+1 < len(evs) {
+			ev := evs[r.ev.Turn+1]
+			push(now+float64(ev.GapUs), ev)
+		}
+	}
+
+	for len(arrivals) > 0 || len(waitPrefill) > 0 || len(decoding) > 0 {
+		if len(waitPrefill) == 0 && len(decoding) == 0 && now < arrivals[0].atUs {
+			now = arrivals[0].atUs // idle: jump to the next arrival
+		}
+		for len(arrivals) > 0 && arrivals[0].atUs <= now {
+			waitPrefill = append(waitPrefill, arrivals[0].req)
+			arrivals = arrivals[1:]
+		}
+
+		// One scheduler step: a chunk of prefill-first prompt work plus one
+		// decode token for each session in the fused batch.
+		budget := m.TokenBudget
+		prefTok := 0
+		var finished []*simReq
+		for budget > 0 && len(waitPrefill) > 0 {
+			r := waitPrefill[0]
+			take := r.remaining
+			if take > budget {
+				take = budget
+			}
+			r.remaining -= take
+			budget -= take
+			prefTok += take
+			if r.remaining > 0 {
+				break // chunk boundary: this prompt continues next step
+			}
+			waitPrefill = waitPrefill[1:]
+			finished = append(finished, r)
+		}
+		nDec := len(decoding)
+		if nDec > m.MaxBatch {
+			nDec = m.MaxBatch
+		}
+		now += m.StepOverheadUs + float64(prefTok)*m.PrefillUsPerTok + float64(nDec)*m.DecodeUsPerTok
+		out.Steps++
+
+		keep := decoding[:0]
+		for i, r := range decoding {
+			if i < nDec {
+				r.res.ITLMs = append(r.res.ITLMs, (now-r.lastTokUs)/1e3)
+				r.lastTokUs = now
+				r.pending--
+				if r.pending == 0 {
+					complete(r)
+					continue
+				}
+			}
+			keep = append(keep, r)
+		}
+		decoding = keep
+		for _, r := range finished {
+			// Prefill completion emits the first token.
+			r.res.TTFTMs = (now - r.arriveUs) / 1e3
+			r.lastTokUs = now
+			if r.pending == 0 {
+				complete(r)
+			} else {
+				decoding = append(decoding, r)
+			}
+		}
+	}
+	out.DurationMs = now / 1e3
+	return out, nil
+}

@@ -1,0 +1,102 @@
+package eventsim
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func simTrace(t *testing.T, seed int64) *workload.Trace {
+	t.Helper()
+	spec := workload.DefaultTraceSpec(seed, 64, 300, 400_000)
+	spec.MaxSessions = 50
+	tr, err := workload.GenerateTrace(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+// TestSimulateServeDeterministic is the simulator's replay contract: the
+// same trace through the same model yields element-for-element identical
+// results — no wall clock, no randomness.
+func TestSimulateServeDeterministic(t *testing.T) {
+	tr := simTrace(t, 3)
+	a, err := SimulateServe(tr, DefaultServeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := SimulateServe(tr, DefaultServeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two simulations of the same trace differ")
+	}
+	if a.Steps == 0 || a.DurationMs <= 0 {
+		t.Fatalf("degenerate simulation: %d steps, %.3f ms", a.Steps, a.DurationMs)
+	}
+}
+
+// TestSimulateServeInvariants checks the schedule makes physical sense for
+// every request: all complete, TTFT covers queueing, one ITL per decoded
+// token past the first, e2e at least TTFT, multi-turn ordering respected.
+func TestSimulateServeInvariants(t *testing.T) {
+	tr := simTrace(t, 9)
+	res, err := SimulateServe(tr, DefaultServeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Results) != len(tr.Events) {
+		t.Fatalf("%d results for %d events", len(res.Results), len(tr.Events))
+	}
+	for i, r := range res.Results {
+		ev := tr.Events[i]
+		if r.ID != ev.ID || r.Cohort != ev.Cohort {
+			t.Fatalf("result %d identity mismatch: %+v vs event %+v", i, r, ev)
+		}
+		if r.Status != 200 {
+			t.Fatalf("request %d status %d", i, r.Status)
+		}
+		if r.TTFTMs <= 0 || r.E2EMs < r.TTFTMs {
+			t.Fatalf("request %d ttft %.4f e2e %.4f", i, r.TTFTMs, r.E2EMs)
+		}
+		if len(r.ITLMs) != ev.MaxTokens-1 {
+			t.Fatalf("request %d: %d itl samples for %d max_tokens", i, len(r.ITLMs), ev.MaxTokens)
+		}
+		if r.OutputTokens != ev.MaxTokens {
+			t.Fatalf("request %d output %d want %d", i, r.OutputTokens, ev.MaxTokens)
+		}
+	}
+	// The simulated results must build a valid serving report — the same
+	// schema the live replay emits.
+	rep := workload.BuildServingReport(tr, res.Results, res.DurationMs, 1)
+	if err := workload.ValidateServingReport(rep); err != nil {
+		t.Fatalf("simulated report invalid: %v", err)
+	}
+	if rep.Totals.Completed != len(tr.Events) {
+		t.Fatalf("completed %d want %d", rep.Totals.Completed, len(tr.Events))
+	}
+}
+
+// TestSimulateServeCapacity sanity-checks that the model responds to
+// resources the way a real scheduler does: halving the token budget cannot
+// speed the run up.
+func TestSimulateServeCapacity(t *testing.T) {
+	tr := simTrace(t, 5)
+	fast, err := SimulateServe(tr, DefaultServeModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := DefaultServeModel()
+	slow.TokenBudget = 4
+	constrained, err := SimulateServe(tr, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if constrained.DurationMs < fast.DurationMs {
+		t.Fatalf("budget 4 finished in %.3f ms, budget 32 in %.3f ms",
+			constrained.DurationMs, fast.DurationMs)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -188,6 +189,12 @@ type SchedulerConfig struct {
 	// are shed — with an OverloadError (HTTP 429 + Retry-After). Resident
 	// sessions keep decoding. 0 disables brownout.
 	BrownoutSLO time.Duration
+	// Cohorts pre-registers workload cohort labels: each named cohort gets
+	// its cp_cohort_{ttft,itl,e2e}_seconds histograms and request counter up
+	// front (exposed at zero before traffic), and the label pool admits a
+	// few more seen at runtime before folding the rest into "other" —
+	// bounded cardinality no matter what clients send.
+	Cohorts []string
 }
 
 func (c *SchedulerConfig) applyDefaults() {
@@ -267,6 +274,12 @@ type request struct {
 	// prompt, and its session never donates KV on release.
 	noCache bool
 
+	// cohort is the request's canonical workload-cohort label ("" when the
+	// client sent none): per-cohort latency histograms and span args key off
+	// it. Canonicalized through the label pool at submit, so an unknown
+	// cohort lands on "other" instead of minting a series.
+	cohort string
+
 	next int // next-token result for prefill-/decode-only requests
 	err  error
 	done chan struct{}
@@ -344,6 +357,11 @@ type Scheduler struct {
 	hWait  map[Class]*trace.Series
 	cChunk *trace.Series // cp_prefill_chunks_total
 
+	// cohorts bounds cohort-label cardinality; cohortSeries caches the
+	// per-cohort handle set (guarded by s.mu).
+	cohorts      *trace.LabelPool
+	cohortSeries map[string]*cohortHandles
+
 	// Overload-control state (overload.go): cached brownout verdict, the
 	// previous queue-wait snapshot it was computed against, and the
 	// deadline/shed/Retry-After counters surfaced in /v1/stats and /metrics.
@@ -401,6 +419,20 @@ func NewScheduler(cluster *transformer.Cluster, cfg SchedulerConfig) *Scheduler 
 		ClassDecode:  s.rec.Hist("cp_queue_wait_seconds", trace.L("class", string(ClassDecode))),
 	}
 	s.cChunk = s.rec.CounterSeries("cp_prefill_chunks_total")
+	s.cohorts = trace.NewLabelPool(0, cfg.Cohorts...)
+	s.cohortSeries = make(map[string]*cohortHandles)
+	if len(cfg.Cohorts) > 0 {
+		// Pre-register configured cohorts (plus the overflow label unknown
+		// names fold into) so /metrics exposes their series at zero before
+		// any traffic — a dashboard must distinguish "no chat requests yet"
+		// from "no chat series".
+		s.mu.Lock()
+		s.cohortHandlesLocked(trace.OverflowLabel)
+		for _, name := range cfg.Cohorts {
+			s.cohortHandlesLocked(s.cohorts.Canon(name))
+		}
+		s.mu.Unlock()
+	}
 	s.cDeadline = s.rec.CounterSeries("cp_overload_deadline_expired_total")
 	s.cShed = s.rec.CounterSeries("cp_overload_shed_total")
 	s.cRetryAfter = s.rec.CounterSeries("cp_overload_retry_after_total")
@@ -442,6 +474,60 @@ type RequestOptions struct {
 	// release — the per-request opt-out for prompts that must not be
 	// shared across sessions.
 	NoPrefixCache bool
+	// Cohort tags the request with its workload class for per-cohort
+	// latency attribution. "" leaves the request untagged; an unregistered
+	// name past the label-pool cap is recorded as "other".
+	Cohort string
+}
+
+// cohortHandles is one cohort's resolved metric set.
+type cohortHandles struct {
+	ttft *trace.Series // cp_cohort_ttft_seconds{cohort=}
+	itl  *trace.Series // cp_cohort_itl_seconds{cohort=}
+	e2e  *trace.Series // cp_cohort_e2e_seconds{cohort=}
+	req  *trace.Series // cp_cohort_requests_total{cohort=}
+}
+
+// cohortHandlesLocked resolves (creating if absent) a canonical cohort's
+// metric handles; caller holds s.mu and must pass a pool-canonical name.
+func (s *Scheduler) cohortHandlesLocked(name string) *cohortHandles {
+	if h, ok := s.cohortSeries[name]; ok {
+		return h
+	}
+	l := trace.L("cohort", name)
+	h := &cohortHandles{
+		ttft: s.rec.Hist("cp_cohort_ttft_seconds", l),
+		itl:  s.rec.Hist("cp_cohort_itl_seconds", l),
+		e2e:  s.rec.Hist("cp_cohort_e2e_seconds", l),
+		req:  s.rec.CounterSeries("cp_cohort_requests_total", l),
+	}
+	s.cohortSeries[name] = h
+	return h
+}
+
+// cohortObserve records one sample into a cohort histogram picked by sel;
+// no-op for untagged requests.
+func (s *Scheduler) cohortObserve(cohort string, sel func(*cohortHandles) *trace.Series, v float64) {
+	if cohort == "" {
+		return
+	}
+	s.mu.Lock()
+	h := s.cohortHandlesLocked(cohort)
+	s.mu.Unlock()
+	sel(h).Observe(v)
+}
+
+// Cohorts snapshots the registered cohort names (sorted), for the
+// /v1/stats by-cohort latency block.
+func (s *Scheduler) Cohorts() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.cohortSeries))
+	for name := range s.cohortSeries {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Generate admits a prompt, prefills it chunk by chunk, then keeps the
@@ -470,6 +556,9 @@ func (s *Scheduler) GenerateWith(ctx context.Context, session int, prompt []int,
 		noCache: opts.NoPrefixCache,
 		done:    make(chan struct{}),
 	}
+	if opts.Cohort != "" {
+		r.cohort = s.cohorts.Canon(opts.Cohort)
+	}
 	if err := s.submit(ctx, r); err != nil {
 		return nil, err
 	}
@@ -491,6 +580,9 @@ func (s *Scheduler) PrefillWith(ctx context.Context, session int, tokens []int, 
 		return 0, fmt.Errorf("server: prefill needs tokens")
 	}
 	r := &request{session: session, prompt: tokens, noCache: opts.NoPrefixCache, done: make(chan struct{})}
+	if opts.Cohort != "" {
+		r.cohort = s.cohorts.Canon(opts.Cohort)
+	}
 	if err := s.submit(ctx, r); err != nil {
 		return 0, err
 	}
@@ -570,6 +662,9 @@ func (s *Scheduler) submit(ctx context.Context, r *request) error {
 		cls = ClassPrefill
 	}
 	s.rec.CounterSeries("cp_requests_total", trace.L("class", string(cls))).Inc(1)
+	if r.cohort != "" {
+		s.cohortHandlesLocked(r.cohort).req.Inc(1)
+	}
 	s.cond.Signal()
 	s.mu.Unlock()
 	select {
@@ -793,10 +888,10 @@ func (s *Scheduler) step() (IterReport, bool) {
 	}
 	now := time.Now()
 	if pj != nil {
-		s.recordWaitLocked(ClassPrefill, now.Sub(pj.queuedAt))
+		s.recordWaitLocked(ClassPrefill, now.Sub(pj.queuedAt), pj.cohort)
 	}
 	for _, r := range dbatch {
-		s.recordWaitLocked(ClassDecode, now.Sub(r.queuedAt))
+		s.recordWaitLocked(ClassDecode, now.Sub(r.queuedAt), r.cohort)
 	}
 	prefillLeads := s.cfg.Policy == PrefillFirst ||
 		(pj != nil && (len(dbatch) == 0 || pj.id < dbatch[0].id))
@@ -980,10 +1075,14 @@ func (s *Scheduler) runPrefillChunk(pj *request, report *IterReport) bool {
 	s.appendLogLocked(pj.session, false, chunk)
 	s.cChunk.Inc(1)
 	if s.rec != nil {
+		args := map[string]int64{"tokens": int64(len(chunk)), "pos": int64(pos)}
+		if pj.cohort != "" {
+			args["cohort"] = s.cohorts.ID(pj.cohort)
+		}
 		s.rec.RecordSpan(trace.Span{
 			Name: "prefill.chunk", Cat: "prefill", Rank: trace.CoordinatorRank, Seq: pj.session,
 			Start: tChunk.UnixNano(), Dur: now.Sub(tChunk).Nanoseconds(),
-			Args: map[string]int64{"tokens": int64(len(chunk)), "pos": int64(pos)},
+			Args: args,
 		})
 	}
 	if variant == perf.PassQ {
@@ -1008,6 +1107,9 @@ func (s *Scheduler) runPrefillChunk(pj *request, report *IterReport) bool {
 	next := transformer.Argmax(logits[len(logits)-1])
 	pj.ttftMs = float64(now.Sub(pj.start).Microseconds()) / 1000
 	s.hTTFT.Observe(now.Sub(pj.start).Seconds())
+	if pj.cohort != "" {
+		s.cohortHandlesLocked(pj.cohort).ttft.Observe(now.Sub(pj.start).Seconds())
+	}
 	pj.next = next
 	pj.lastStep = now
 	if pj.collect {
@@ -1019,6 +1121,9 @@ func (s *Scheduler) runPrefillChunk(pj *request, report *IterReport) bool {
 		s.decodes = append(s.decodes, pj)
 		s.cond.Signal()
 		return true
+	}
+	if pj.cohort != "" {
+		s.cohortHandlesLocked(pj.cohort).e2e.Observe(now.Sub(pj.start).Seconds())
 	}
 	close(pj.done)
 	return true
@@ -1127,10 +1232,18 @@ func (s *Scheduler) runDecodeBatch(dbatch []*request, report *IterReport) {
 		return
 	}
 	if s.rec != nil {
+		// A fused batch mixes cohorts, so the span carries one per-cohort
+		// member count ("cohort.chat": 3) instead of a single id.
+		args := map[string]int64{"batch": int64(len(dbatch))}
+		for _, r := range dbatch {
+			if r.cohort != "" {
+				args["cohort."+r.cohort]++
+			}
+		}
 		s.rec.RecordSpan(trace.Span{
 			Name: "decode.batch", Cat: "decode", Rank: trace.CoordinatorRank, Seq: trace.NoSeq,
 			Start: tBatch.UnixNano(), Dur: now.Sub(tBatch).Nanoseconds(),
-			Args: map[string]int64{"batch": int64(len(dbatch))},
+			Args: args,
 		})
 	}
 	for i, r := range dbatch {
@@ -1144,6 +1257,9 @@ func (s *Scheduler) runDecodeBatch(dbatch []*request, report *IterReport) {
 		}
 		if !r.lastStep.IsZero() {
 			s.hITL.Observe(now.Sub(r.lastStep).Seconds())
+			if r.cohort != "" {
+				s.cohortHandlesLocked(r.cohort).itl.Observe(now.Sub(r.lastStep).Seconds())
+			}
 		}
 		r.lastStep = now
 		r.next = next
@@ -1170,6 +1286,9 @@ func (s *Scheduler) runDecodeBatch(dbatch []*request, report *IterReport) {
 			r.queuedAt = now
 			s.decodes = append(s.decodes, r)
 		default:
+			if r.cohort != "" {
+				s.cohortHandlesLocked(r.cohort).e2e.Observe(now.Sub(r.start).Seconds())
+			}
 			close(r.done)
 			if r.canceled && r.collect {
 				// The stream finished, but its client vanished and will
@@ -1185,7 +1304,7 @@ func (s *Scheduler) runDecodeBatch(dbatch []*request, report *IterReport) {
 	}
 }
 
-func (s *Scheduler) recordWaitLocked(c Class, wait time.Duration) {
+func (s *Scheduler) recordWaitLocked(c Class, wait time.Duration, cohort string) {
 	st := s.queueStats[c]
 	st.Executed++
 	st.TotalWait += wait
@@ -1194,9 +1313,16 @@ func (s *Scheduler) recordWaitLocked(c Class, wait time.Duration) {
 	}
 	s.hWait[c].Observe(wait.Seconds())
 	if s.rec != nil {
+		// Span args are int64-valued, so the cohort rides as its pool id;
+		// the id→name registry is exposed in /v1/stats cohort block order.
+		var args map[string]int64
+		if cohort != "" {
+			args = map[string]int64{"cohort": s.cohorts.ID(cohort)}
+		}
 		s.rec.RecordSpan(trace.Span{
 			Name: "queue.wait", Cat: string(c), Rank: trace.CoordinatorRank, Seq: trace.NoSeq,
 			Start: time.Now().Add(-wait).UnixNano(), Dur: wait.Nanoseconds(),
+			Args: args,
 		})
 	}
 }

@@ -90,6 +90,10 @@ type Config struct {
 	// observation — on or off, every logit is bit-identical — so the only
 	// reason to disable it is reclaiming the recording overhead itself.
 	NoTrace bool
+	// Cohorts pre-registers workload cohort labels for per-cohort latency
+	// series (cp_cohort_*); requests tag themselves via the "cohort" JSON
+	// field. Unregistered names past the label-pool cap fold into "other".
+	Cohorts []string
 }
 
 // Server is an HTTP inference frontend over one context-parallel cluster
@@ -175,6 +179,7 @@ func New(cfg Config) (*Server, error) {
 			Recover:           cfg.Recover,
 			MaxRecoveries:     cfg.MaxRecoveries,
 			BrownoutSLO:       cfg.BrownoutSLO,
+			Cohorts:           cfg.Cohorts,
 		}),
 		started:   time.Now(),
 		prevChaos: make(map[string]int64),
@@ -405,6 +410,9 @@ type generateRequest struct {
 	// TimeoutMs is this request's deadline: past it the request is aborted
 	// at the next scheduling boundary and answered 504. 0 = no deadline.
 	TimeoutMs int `json:"timeout_ms,omitempty"`
+	// Cohort tags the request with its workload class ("chat", "rag", ...)
+	// for per-cohort latency attribution in /metrics and /v1/stats.
+	Cohort string `json:"cohort,omitempty"`
 }
 
 // requestContext applies a request's timeout_ms deadline to its HTTP
@@ -455,7 +463,7 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := requestContext(r, req.TimeoutMs)
 	defer cancel()
 	res, err := s.sched.GenerateWith(ctx, req.Session, req.Prompt, req.MaxTokens,
-		RequestOptions{NoPrefixCache: req.NoCache})
+		RequestOptions{NoPrefixCache: req.NoCache, Cohort: req.Cohort})
 	if err != nil {
 		s.writeSchedErr(w, err)
 		return
@@ -464,10 +472,11 @@ func (s *Server) handleGenerate(w http.ResponseWriter, r *http.Request) {
 }
 
 type prefillRequest struct {
-	Session   int   `json:"session"`
-	Tokens    []int `json:"tokens"`
-	NoCache   bool  `json:"no_cache,omitempty"`
-	TimeoutMs int   `json:"timeout_ms,omitempty"`
+	Session   int    `json:"session"`
+	Tokens    []int  `json:"tokens"`
+	NoCache   bool   `json:"no_cache,omitempty"`
+	TimeoutMs int    `json:"timeout_ms,omitempty"`
+	Cohort    string `json:"cohort,omitempty"`
 }
 
 type prefillResponse struct {
@@ -492,7 +501,7 @@ func (s *Server) handlePrefill(w http.ResponseWriter, r *http.Request) {
 	ctx, cancel := requestContext(r, req.TimeoutMs)
 	defer cancel()
 	next, err := s.sched.PrefillWith(ctx, req.Session, req.Tokens,
-		RequestOptions{NoPrefixCache: req.NoCache})
+		RequestOptions{NoPrefixCache: req.NoCache, Cohort: req.Cohort})
 	if err != nil {
 		s.writeSchedErr(w, err)
 		return
@@ -615,12 +624,22 @@ func quantilesOf(s *trace.Series) quantileBlock {
 	}
 }
 
+// cohortLatency is one cohort's latency summary in /v1/stats.
+type cohortLatency struct {
+	TTFT quantileBlock `json:"ttft_seconds"`
+	ITL  quantileBlock `json:"itl_seconds"`
+	E2E  quantileBlock `json:"e2e_seconds"`
+}
+
 // latencyBlock is the /v1/stats serving-latency summary, distilled from the
 // same histograms /metrics exposes in full.
 type latencyBlock struct {
 	TTFT quantileBlock `json:"ttft_seconds"`
 	ITL  quantileBlock `json:"itl_seconds"`
 	Step quantileBlock `json:"step_seconds"`
+	// ByCohort breaks the same latencies down per workload cohort (present
+	// once any cohort series is registered).
+	ByCohort map[string]cohortLatency `json:"by_cohort,omitempty"`
 }
 
 type statsResponse struct {
@@ -760,6 +779,17 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			TTFT: quantilesOf(s.rec.Hist("cp_request_ttft_seconds")),
 			ITL:  quantilesOf(s.rec.Hist("cp_request_itl_seconds")),
 			Step: quantilesOf(s.rec.Hist("cp_step_seconds")),
+		}
+		if names := s.sched.Cohorts(); len(names) > 0 {
+			latency.ByCohort = make(map[string]cohortLatency, len(names))
+			for _, name := range names {
+				l := trace.L("cohort", name)
+				latency.ByCohort[name] = cohortLatency{
+					TTFT: quantilesOf(s.rec.Hist("cp_cohort_ttft_seconds", l)),
+					ITL:  quantilesOf(s.rec.Hist("cp_cohort_itl_seconds", l)),
+					E2E:  quantilesOf(s.rec.Hist("cp_cohort_e2e_seconds", l)),
+				}
+			}
 		}
 	}
 	seq := s.seq.Add(1)

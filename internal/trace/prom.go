@@ -18,6 +18,10 @@ var metricHelp = map[string]string{
 	"cp_ring_phase_seconds":        "Per-rank ring sweep phase time (compute, comm, all2all) per layer pass.",
 	"cp_ring_sweeps_total":         "Ring sweeps (layer passes) executed per rank and op.",
 	"cp_requests_total":            "Generate requests admitted, by class.",
+	"cp_cohort_ttft_seconds":       "Time to first token per generate request, by workload cohort.",
+	"cp_cohort_itl_seconds":        "Inter-token latency per decoded token, by workload cohort.",
+	"cp_cohort_e2e_seconds":        "End-to-end request latency, by workload cohort.",
+	"cp_cohort_requests_total":     "Requests admitted, by workload cohort.",
 	"cp_prefill_chunks_total":      "Prefill chunks executed.",
 	"cp_prefix_adopt_total":        "Prefix-cache adoptions (warm prefill starts).",
 	"cp_prefix_detach_total":       "Session prefixes detached into the reuse tree.",

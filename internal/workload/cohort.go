@@ -1,0 +1,413 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// This file is the servegen-style cohort layer: named workload classes with
+// distinct prompt/output-length and turn-count distributions, plus
+// multi-period arrival patterns. The inference-scaling bottlenecks paper
+// argues serving behavior is only understandable per workload class; a
+// cohort is that class, and every request a generator emits carries its
+// cohort name so latency can be attributed end to end.
+
+// DistKind names a sampling distribution.
+type DistKind string
+
+const (
+	// DistConst always returns Min.
+	DistConst DistKind = "const"
+	// DistUniform draws uniformly from [Min, Max].
+	DistUniform DistKind = "uniform"
+	// DistLogUniform draws log-uniformly from [Min, Max] — long-tailed
+	// lengths (documents, code files) without unbounded extremes.
+	DistLogUniform DistKind = "loguniform"
+)
+
+// Dist is a deterministic discrete distribution over positive ints. All
+// sampling goes through an explicit *rand.Rand — never the global source —
+// so a seed fully determines every draw.
+type Dist struct {
+	Kind DistKind `json:"kind"`
+	Min  int      `json:"min"`
+	Max  int      `json:"max,omitempty"`
+}
+
+// Const builds a constant distribution.
+func Const(v int) Dist { return Dist{Kind: DistConst, Min: v} }
+
+// Uniform builds a uniform distribution over [min, max].
+func UniformDist(min, max int) Dist { return Dist{Kind: DistUniform, Min: min, Max: max} }
+
+// LogUniform builds a log-uniform distribution over [min, max].
+func LogUniform(min, max int) Dist { return Dist{Kind: DistLogUniform, Min: min, Max: max} }
+
+// Validate checks the distribution's shape.
+func (d Dist) Validate() error {
+	switch d.Kind {
+	case DistConst:
+		if d.Min < 0 {
+			return fmt.Errorf("workload: const dist with negative value %d", d.Min)
+		}
+	case DistUniform, DistLogUniform:
+		if d.Min < 0 || d.Max < d.Min {
+			return fmt.Errorf("workload: %s dist with bad range [%d,%d]", d.Kind, d.Min, d.Max)
+		}
+		if d.Kind == DistLogUniform && d.Min < 1 {
+			return fmt.Errorf("workload: loguniform dist needs min >= 1, got %d", d.Min)
+		}
+	default:
+		return fmt.Errorf("workload: unknown dist kind %q", d.Kind)
+	}
+	return nil
+}
+
+// Sample draws one value. The draw count per call is fixed per kind, so a
+// spec change in one cohort cannot shift another cohort's stream.
+func (d Dist) Sample(rng *rand.Rand) int {
+	switch d.Kind {
+	case DistUniform:
+		if d.Max <= d.Min {
+			return d.Min
+		}
+		return d.Min + rng.Intn(d.Max-d.Min+1)
+	case DistLogUniform:
+		if d.Max <= d.Min {
+			return d.Min
+		}
+		lo, hi := math.Log(float64(d.Min)), math.Log(float64(d.Max))
+		v := int(math.Exp(lo + rng.Float64()*(hi-lo)))
+		if v < d.Min {
+			v = d.Min
+		}
+		if v > d.Max {
+			v = d.Max
+		}
+		return v
+	default:
+		return d.Min
+	}
+}
+
+// SLOSpec declares a cohort's latency targets: the bench reports attainment
+// (fraction of requests meeting the bound) against them. Zero disables a
+// target.
+type SLOSpec struct {
+	// TTFTMs bounds time to first token per request.
+	TTFTMs float64 `json:"ttft_ms,omitempty"`
+	// ITLMs bounds each inter-token latency sample.
+	ITLMs float64 `json:"itl_ms,omitempty"`
+	// Attain is the required fraction of samples inside the bound for the
+	// SLO to count as met (default 0.9).
+	Attain float64 `json:"attain,omitempty"`
+}
+
+// CohortSpec is one named workload class.
+type CohortSpec struct {
+	Name string `json:"name"`
+	// Weight is the cohort's share of session arrivals (relative to the
+	// other cohorts' weights).
+	Weight float64 `json:"weight"`
+	// PromptTokens is the per-turn prompt-suffix length (the first turn of a
+	// RAG session additionally carries SharedPrefixTokens corpus tokens).
+	PromptTokens Dist `json:"prompt_tokens"`
+	// OutputTokens is the per-turn decode budget (max_tokens).
+	OutputTokens Dist `json:"output_tokens"`
+	// Turns is the session's conversation length.
+	Turns Dist `json:"turns"`
+	// ThinkUs is the client-side pause before each follow-up turn, in
+	// microseconds — reading time for chat, tool-call round trips for
+	// agentic sessions. Applied after the previous turn completes (the
+	// per-session loop is closed; arrivals across sessions are open).
+	ThinkUs Dist `json:"think_us"`
+	// SharedPrefixTokens > 0 prepends that many tokens of the run's shared
+	// corpus to every session's first prompt — the RAG pattern that
+	// exercises prefix-cache reuse across sessions.
+	SharedPrefixTokens int `json:"shared_prefix_tokens,omitempty"`
+	// SLO declares the cohort's latency targets.
+	SLO SLOSpec `json:"slo"`
+}
+
+// Validate checks the cohort spec.
+func (c CohortSpec) Validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("workload: cohort with empty name")
+	}
+	if c.Weight <= 0 {
+		return fmt.Errorf("workload: cohort %s has non-positive weight %g", c.Name, c.Weight)
+	}
+	for _, d := range []struct {
+		label string
+		d     Dist
+	}{
+		{"prompt_tokens", c.PromptTokens},
+		{"output_tokens", c.OutputTokens},
+		{"turns", c.Turns},
+		{"think_us", c.ThinkUs},
+	} {
+		if err := d.d.Validate(); err != nil {
+			return fmt.Errorf("cohort %s %s: %w", c.Name, d.label, err)
+		}
+	}
+	if c.PromptTokens.Min < 1 {
+		return fmt.Errorf("workload: cohort %s needs prompt_tokens >= 1", c.Name)
+	}
+	if c.OutputTokens.Min < 1 {
+		return fmt.Errorf("workload: cohort %s needs output_tokens >= 1", c.Name)
+	}
+	if c.Turns.Min < 1 {
+		return fmt.Errorf("workload: cohort %s needs turns >= 1", c.Name)
+	}
+	if c.SharedPrefixTokens < 0 {
+		return fmt.Errorf("workload: cohort %s has negative shared prefix", c.Name)
+	}
+	return nil
+}
+
+// BuiltinCohort returns the named built-in cohort spec. The shapes follow
+// the serving-workload taxonomy: chat (short prompts, conversational
+// turns), code (long-tailed prompts, longer completions), summarization
+// (very long prompt, short output, single turn), agentic (many turns with
+// tool-call pauses), rag (shared long-prefix corpus plus a short query).
+// Token counts are scaled to the in-tree tiny model; the distribution
+// *shapes* are what the scenarios exercise.
+func BuiltinCohort(name string) (CohortSpec, error) {
+	switch name {
+	case "chat":
+		return CohortSpec{
+			Name: "chat", Weight: 4,
+			PromptTokens: UniformDist(8, 24),
+			OutputTokens: UniformDist(4, 12),
+			Turns:        UniformDist(1, 3),
+			ThinkUs:      UniformDist(1_000, 20_000),
+			SLO:          SLOSpec{TTFTMs: 250, ITLMs: 100},
+		}, nil
+	case "code":
+		return CohortSpec{
+			Name: "code", Weight: 2,
+			PromptTokens: LogUniform(16, 96),
+			OutputTokens: UniformDist(8, 24),
+			Turns:        UniformDist(1, 2),
+			ThinkUs:      UniformDist(1_000, 10_000),
+			SLO:          SLOSpec{TTFTMs: 500, ITLMs: 100},
+		}, nil
+	case "summarization":
+		return CohortSpec{
+			Name: "summarization", Weight: 1,
+			PromptTokens: UniformDist(96, 160),
+			OutputTokens: UniformDist(4, 8),
+			Turns:        Const(1),
+			ThinkUs:      Const(0),
+			SLO:          SLOSpec{TTFTMs: 1500, ITLMs: 150},
+		}, nil
+	case "agentic":
+		return CohortSpec{
+			Name: "agentic", Weight: 1,
+			PromptTokens: UniformDist(6, 16),
+			OutputTokens: UniformDist(4, 10),
+			Turns:        UniformDist(3, 6),
+			ThinkUs:      UniformDist(20_000, 120_000), // tool-call round trips
+			SLO:          SLOSpec{TTFTMs: 400, ITLMs: 100},
+		}, nil
+	case "rag":
+		return CohortSpec{
+			Name: "rag", Weight: 2,
+			PromptTokens: UniformDist(6, 14),
+			OutputTokens: UniformDist(4, 12),
+			Turns:        UniformDist(1, 2),
+			ThinkUs:      UniformDist(1_000, 20_000),
+			// Every rag session shares the corpus head, so the prefix tree
+			// serves the bulk of each first prefill warm.
+			SharedPrefixTokens: 64,
+			SLO:                SLOSpec{TTFTMs: 400, ITLMs: 100},
+		}, nil
+	}
+	return CohortSpec{}, fmt.Errorf("workload: unknown builtin cohort %q", name)
+}
+
+// BuiltinCohortNames lists the built-in cohort names.
+func BuiltinCohortNames() []string {
+	return []string{"chat", "code", "summarization", "agentic", "rag"}
+}
+
+// PhaseKind names an arrival-pattern phase shape.
+type PhaseKind string
+
+const (
+	// PhaseSteady holds StartRPS for the whole phase.
+	PhaseSteady PhaseKind = "steady"
+	// PhaseRamp interpolates the rate linearly from StartRPS to EndRPS —
+	// one leg of a diurnal curve.
+	PhaseRamp PhaseKind = "ramp"
+	// PhaseBurst alternates StartRPS with EndRPS spikes of BurstUs every
+	// PeriodUs.
+	PhaseBurst PhaseKind = "burst"
+)
+
+// Phase is one period of the arrival pattern.
+type Phase struct {
+	Kind PhaseKind `json:"kind"`
+	// DurUs is the phase length in microseconds.
+	DurUs int64 `json:"dur_us"`
+	// StartRPS is the base session-arrival rate (sessions per second).
+	StartRPS float64 `json:"start_rps"`
+	// EndRPS is the ramp target, or the burst peak.
+	EndRPS float64 `json:"end_rps,omitempty"`
+	// PeriodUs / BurstUs shape burst phases: every PeriodUs, the rate holds
+	// EndRPS for BurstUs, then falls back to StartRPS.
+	PeriodUs int64 `json:"period_us,omitempty"`
+	BurstUs  int64 `json:"burst_us,omitempty"`
+}
+
+// Validate checks the phase.
+func (p Phase) Validate() error {
+	if p.DurUs <= 0 {
+		return fmt.Errorf("workload: phase with non-positive duration %d", p.DurUs)
+	}
+	if p.StartRPS <= 0 {
+		return fmt.Errorf("workload: phase with non-positive rate %g", p.StartRPS)
+	}
+	switch p.Kind {
+	case PhaseSteady:
+	case PhaseRamp:
+		if p.EndRPS <= 0 {
+			return fmt.Errorf("workload: ramp phase needs end_rps > 0")
+		}
+	case PhaseBurst:
+		if p.EndRPS <= 0 || p.PeriodUs <= 0 || p.BurstUs <= 0 || p.BurstUs > p.PeriodUs {
+			return fmt.Errorf("workload: burst phase needs end_rps > 0 and 0 < burst_us <= period_us")
+		}
+	default:
+		return fmt.Errorf("workload: unknown phase kind %q", p.Kind)
+	}
+	return nil
+}
+
+// rateAt returns the phase's instantaneous rate at offset t (µs from the
+// phase start).
+func (p Phase) rateAt(t int64) float64 {
+	switch p.Kind {
+	case PhaseRamp:
+		f := float64(t) / float64(p.DurUs)
+		return p.StartRPS + f*(p.EndRPS-p.StartRPS)
+	case PhaseBurst:
+		if t%p.PeriodUs < p.BurstUs {
+			return p.EndRPS
+		}
+		return p.StartRPS
+	default:
+		return p.StartRPS
+	}
+}
+
+// ArrivalSpec is the multi-period arrival pattern: phases played in order.
+type ArrivalSpec struct {
+	Phases []Phase `json:"phases"`
+}
+
+// Validate checks every phase.
+func (a ArrivalSpec) Validate() error {
+	if len(a.Phases) == 0 {
+		return fmt.Errorf("workload: arrival spec with no phases")
+	}
+	for i, p := range a.Phases {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("phase %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// DurUs returns the pattern's total duration.
+func (a ArrivalSpec) DurUs() int64 {
+	var d int64
+	for _, p := range a.Phases {
+		d += p.DurUs
+	}
+	return d
+}
+
+// Steady returns a single steady phase.
+func Steady(rps float64, durUs int64) ArrivalSpec {
+	return ArrivalSpec{Phases: []Phase{{Kind: PhaseSteady, DurUs: durUs, StartRPS: rps}}}
+}
+
+// Diurnal returns a three-phase day-shaped pattern: ramp up to peak, hold,
+// ramp back down. Each phase takes a third of durUs.
+func Diurnal(baseRPS, peakRPS float64, durUs int64) ArrivalSpec {
+	third := durUs / 3
+	return ArrivalSpec{Phases: []Phase{
+		{Kind: PhaseRamp, DurUs: third, StartRPS: baseRPS, EndRPS: peakRPS},
+		{Kind: PhaseSteady, DurUs: third, StartRPS: peakRPS},
+		{Kind: PhaseRamp, DurUs: durUs - 2*third, StartRPS: peakRPS, EndRPS: baseRPS},
+	}}
+}
+
+// Bursty returns a steady base rate with periodic spikes.
+func Bursty(baseRPS, peakRPS float64, durUs, periodUs, burstUs int64) ArrivalSpec {
+	return ArrivalSpec{Phases: []Phase{{
+		Kind: PhaseBurst, DurUs: durUs,
+		StartRPS: baseRPS, EndRPS: peakRPS,
+		PeriodUs: periodUs, BurstUs: burstUs,
+	}}}
+}
+
+// arrivals generates the session start offsets (µs) across the pattern via
+// Lewis-Shedler thinning against the pattern's peak rate: exponential gaps
+// at the peak, each candidate kept with probability rate(t)/peak. Every
+// candidate consumes exactly two draws, so the stream is a pure function of
+// the rng state regardless of which candidates survive.
+func (a ArrivalSpec) arrivals(rng *rand.Rand) []int64 {
+	peak := 0.0
+	for _, p := range a.Phases {
+		for _, r := range []float64{p.StartRPS, p.EndRPS} {
+			if r > peak {
+				peak = r
+			}
+		}
+	}
+	if peak <= 0 {
+		return nil
+	}
+	var out []int64
+	var t int64
+	var phaseStart int64
+	phase := 0
+	total := a.DurUs()
+	for {
+		gap := int64(rng.ExpFloat64() / peak * 1e6)
+		if gap < 1 {
+			gap = 1
+		}
+		u := rng.Float64()
+		t += gap
+		if t >= total {
+			return out
+		}
+		for phase < len(a.Phases)-1 && t >= phaseStart+a.Phases[phase].DurUs {
+			phaseStart += a.Phases[phase].DurUs
+			phase++
+		}
+		if u*peak <= a.Phases[phase].rateAt(t-phaseStart) {
+			out = append(out, t)
+		}
+	}
+}
+
+// pickCohort selects a cohort index by weight with one draw.
+func pickCohort(cohorts []CohortSpec, rng *rand.Rand) int {
+	total := 0.0
+	for _, c := range cohorts {
+		total += c.Weight
+	}
+	x := rng.Float64() * total
+	for i, c := range cohorts {
+		x -= c.Weight
+		if x < 0 {
+			return i
+		}
+	}
+	return len(cohorts) - 1
+}

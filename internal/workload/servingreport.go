@@ -1,0 +1,333 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"repro/internal/runinfo"
+)
+
+// BENCH_serving.json schema, shared by the cploadgen emitter and the
+// obscheck validator so the two cannot drift. The request-set half of the
+// report (trace block, per-cohort request counts) is a pure function of the
+// trace — same trace, same request set — while the latency half varies run
+// to run.
+
+// ServingSchema is the version tag in BENCH_serving.json.
+const ServingSchema = "cp-serving-bench/v1"
+
+// RequestResult is one replayed request's measured outcome, fed to
+// BuildServingReport by the load driver (or the simulator).
+type RequestResult struct {
+	ID     int
+	Cohort string
+	// Status is the HTTP status (200 ok, 429 shed, 504 deadline; anything
+	// else counts as an error).
+	Status int
+	// TTFTMs is time to first token; E2EMs is full request latency.
+	TTFTMs float64
+	E2EMs  float64
+	// ITLMs holds every inter-token gap of the request.
+	ITLMs []float64
+	// OutputTokens is the decoded token count.
+	OutputTokens int
+}
+
+// Quantiles is an exact latency summary computed client-side from the raw
+// sorted samples (not histogram-bucketed — the load driver holds every
+// sample, so it reports true order statistics).
+type Quantiles struct {
+	Count  int     `json:"count"`
+	MeanMs float64 `json:"mean_ms"`
+	P50Ms  float64 `json:"p50_ms"`
+	P90Ms  float64 `json:"p90_ms"`
+	P99Ms  float64 `json:"p99_ms"`
+	MaxMs  float64 `json:"max_ms"`
+}
+
+// SLOResult reports attainment against a cohort's declared targets:
+// the fraction of samples inside each bound, and whether that fraction
+// clears the required attainment level.
+type SLOResult struct {
+	TTFTTargetMs float64 `json:"ttft_target_ms,omitempty"`
+	TTFTAttain   float64 `json:"ttft_attain"`
+	ITLTargetMs  float64 `json:"itl_target_ms,omitempty"`
+	ITLAttain    float64 `json:"itl_attain"`
+	// Required is the attainment level the targets demand (default 0.9).
+	Required float64 `json:"required"`
+	Met      bool    `json:"met"`
+}
+
+// CohortReport is one cohort's end-to-end view.
+type CohortReport struct {
+	Cohort    string    `json:"cohort"`
+	Requests  int       `json:"requests"`
+	Completed int       `json:"completed"`
+	Shed      int       `json:"shed"`
+	Timeouts  int       `json:"timeouts"`
+	Errors    int       `json:"errors"`
+	OutputTok int       `json:"output_tokens"`
+	TTFT      Quantiles `json:"ttft"`
+	ITL       Quantiles `json:"itl"`
+	E2E       Quantiles `json:"e2e"`
+	SLO       SLOResult `json:"slo"`
+}
+
+// TraceInfo is the deterministic request-set block: a pure function of the
+// replayed trace, so two replays of the same trace must produce identical
+// TraceInfo (asserted by test and CI).
+type TraceInfo struct {
+	Version      string         `json:"version"`
+	Seed         int64          `json:"seed"`
+	Requests     int            `json:"requests"`
+	Sessions     int            `json:"sessions"`
+	CohortCounts map[string]int `json:"cohort_counts"`
+}
+
+// Totals aggregates outcomes across cohorts.
+type Totals struct {
+	Requests  int `json:"requests"`
+	Completed int `json:"completed"`
+	Shed      int `json:"shed"`
+	Timeouts  int `json:"timeouts"`
+	Errors    int `json:"errors"`
+	OutputTok int `json:"output_tokens"`
+}
+
+// Throughput is the run's sustained rates.
+type Throughput struct {
+	RequestsPerSec  float64 `json:"requests_per_sec"`
+	OutputTokPerSec float64 `json:"output_tokens_per_sec"`
+}
+
+// ServingReport is the BENCH_serving.json document.
+type ServingReport struct {
+	Schema string `json:"schema"`
+	// GeneratedUnix stamps the run (not part of the deterministic set).
+	GeneratedUnix int64          `json:"generated_unix"`
+	Runner        runinfo.Info   `json:"runner"`
+	Trace         TraceInfo      `json:"trace"`
+	DurationMs    float64        `json:"duration_ms"`
+	Throughput    Throughput     `json:"throughput"`
+	Totals        Totals         `json:"totals"`
+	Cohorts       []CohortReport `json:"cohorts"`
+}
+
+// quantilesOf computes exact order statistics from raw samples.
+func quantilesOf(samples []float64) Quantiles {
+	if len(samples) == 0 {
+		return Quantiles{}
+	}
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	at := func(p float64) float64 {
+		i := int(math.Ceil(p*float64(len(s)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return s[i]
+	}
+	sum := 0.0
+	for _, v := range s {
+		sum += v
+	}
+	return Quantiles{
+		Count:  len(s),
+		MeanMs: sum / float64(len(s)),
+		P50Ms:  at(0.50),
+		P90Ms:  at(0.90),
+		P99Ms:  at(0.99),
+		MaxMs:  s[len(s)-1],
+	}
+}
+
+// attainment returns the fraction of samples at or under the bound.
+func attainment(samples []float64, boundMs float64) float64 {
+	if boundMs <= 0 || len(samples) == 0 {
+		return 1
+	}
+	ok := 0
+	for _, v := range samples {
+		if v <= boundMs {
+			ok++
+		}
+	}
+	return float64(ok) / float64(len(samples))
+}
+
+// BuildServingReport assembles the report from a replayed trace and its
+// measured results. durationMs is the replay wall time; generatedUnix
+// stamps the run.
+func BuildServingReport(tr *Trace, results []RequestResult, durationMs float64, generatedUnix int64) *ServingReport {
+	rep := &ServingReport{
+		Schema:        ServingSchema,
+		GeneratedUnix: generatedUnix,
+		Runner:        runinfo.Capture(),
+		DurationMs:    durationMs,
+		Trace: TraceInfo{
+			Version:      tr.Spec.Version,
+			Seed:         tr.Spec.Seed,
+			Requests:     tr.Requests(),
+			Sessions:     tr.Sessions(),
+			CohortCounts: tr.CohortCounts(),
+		},
+	}
+	slos := map[string]SLOSpec{}
+	for _, c := range tr.Spec.Cohorts {
+		slos[c.Name] = c.SLO
+	}
+	byCohort := map[string][]RequestResult{}
+	for _, r := range results {
+		byCohort[r.Cohort] = append(byCohort[r.Cohort], r)
+	}
+	names := make([]string, 0, len(byCohort))
+	for name := range byCohort {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		rs := byCohort[name]
+		cr := CohortReport{Cohort: name, Requests: len(rs)}
+		var ttft, itl, e2e []float64
+		for _, r := range rs {
+			switch r.Status {
+			case 200:
+				cr.Completed++
+				cr.OutputTok += r.OutputTokens
+				ttft = append(ttft, r.TTFTMs)
+				e2e = append(e2e, r.E2EMs)
+				itl = append(itl, r.ITLMs...)
+			case 429:
+				cr.Shed++
+			case 504:
+				cr.Timeouts++
+			default:
+				cr.Errors++
+			}
+		}
+		cr.TTFT = quantilesOf(ttft)
+		cr.ITL = quantilesOf(itl)
+		cr.E2E = quantilesOf(e2e)
+		slo := slos[name]
+		required := slo.Attain
+		if required == 0 {
+			required = 0.9
+		}
+		cr.SLO = SLOResult{
+			TTFTTargetMs: slo.TTFTMs,
+			TTFTAttain:   attainment(ttft, slo.TTFTMs),
+			ITLTargetMs:  slo.ITLMs,
+			ITLAttain:    attainment(itl, slo.ITLMs),
+			Required:     required,
+		}
+		cr.SLO.Met = cr.SLO.TTFTAttain >= required && cr.SLO.ITLAttain >= required
+		rep.Cohorts = append(rep.Cohorts, cr)
+
+		rep.Totals.Requests += cr.Requests
+		rep.Totals.Completed += cr.Completed
+		rep.Totals.Shed += cr.Shed
+		rep.Totals.Timeouts += cr.Timeouts
+		rep.Totals.Errors += cr.Errors
+		rep.Totals.OutputTok += cr.OutputTok
+	}
+	if durationMs > 0 {
+		rep.Throughput.RequestsPerSec = float64(rep.Totals.Completed) / (durationMs / 1000)
+		rep.Throughput.OutputTokPerSec = float64(rep.Totals.OutputTok) / (durationMs / 1000)
+	}
+	return rep
+}
+
+// WriteServingReport writes the report as indented JSON with a trailing
+// newline (the repo's BENCH file convention).
+func WriteServingReport(path string, rep *ServingReport) error {
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// ReadServingReport parses a BENCH_serving.json file.
+func ReadServingReport(path string) (*ServingReport, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &ServingReport{}
+	if err := json.Unmarshal(b, rep); err != nil {
+		return nil, err
+	}
+	return rep, nil
+}
+
+// ValidateServingReport checks the report's internal consistency — the
+// checks obscheck -serving-json runs in CI.
+func ValidateServingReport(rep *ServingReport) error {
+	if rep.Schema != ServingSchema {
+		return fmt.Errorf("serving report schema %q, want %q", rep.Schema, ServingSchema)
+	}
+	if rep.Runner.NumCPU < 1 || rep.Runner.GOMAXPROCS < 1 || rep.Runner.Workers < 1 {
+		return fmt.Errorf("serving report runner block incomplete: %+v", rep.Runner)
+	}
+	if rep.Trace.Version != TraceVersion {
+		return fmt.Errorf("serving report trace version %q, want %q", rep.Trace.Version, TraceVersion)
+	}
+	if rep.Trace.Requests < 1 {
+		return fmt.Errorf("serving report replayed no requests")
+	}
+	if rep.DurationMs <= 0 {
+		return fmt.Errorf("serving report has non-positive duration %g", rep.DurationMs)
+	}
+	if len(rep.Cohorts) == 0 {
+		return fmt.Errorf("serving report has no cohort blocks")
+	}
+	var tot Totals
+	prev := ""
+	for _, c := range rep.Cohorts {
+		if c.Cohort <= prev {
+			return fmt.Errorf("cohort blocks not sorted/unique at %q", c.Cohort)
+		}
+		prev = c.Cohort
+		if c.Completed+c.Shed+c.Timeouts+c.Errors != c.Requests {
+			return fmt.Errorf("cohort %s outcomes %d+%d+%d+%d != requests %d",
+				c.Cohort, c.Completed, c.Shed, c.Timeouts, c.Errors, c.Requests)
+		}
+		if want, got := rep.Trace.CohortCounts[c.Cohort], c.Requests; want != got {
+			return fmt.Errorf("cohort %s replayed %d requests, trace has %d", c.Cohort, got, want)
+		}
+		for _, q := range []struct {
+			label string
+			q     Quantiles
+		}{{"ttft", c.TTFT}, {"itl", c.ITL}, {"e2e", c.E2E}} {
+			if q.q.Count > 0 {
+				if q.q.P50Ms < 0 || q.q.P50Ms > q.q.P90Ms || q.q.P90Ms > q.q.P99Ms || q.q.P99Ms > q.q.MaxMs {
+					return fmt.Errorf("cohort %s %s quantiles out of order: %+v", c.Cohort, q.label, q.q)
+				}
+				if math.IsNaN(q.q.MeanMs) || math.IsInf(q.q.MeanMs, 0) {
+					return fmt.Errorf("cohort %s %s mean is %g", c.Cohort, q.label, q.q.MeanMs)
+				}
+			}
+		}
+		for _, a := range []float64{c.SLO.TTFTAttain, c.SLO.ITLAttain} {
+			if a < 0 || a > 1 {
+				return fmt.Errorf("cohort %s attainment %g outside [0,1]", c.Cohort, a)
+			}
+		}
+		tot.Requests += c.Requests
+		tot.Completed += c.Completed
+		tot.Shed += c.Shed
+		tot.Timeouts += c.Timeouts
+		tot.Errors += c.Errors
+		tot.OutputTok += c.OutputTok
+	}
+	if tot != rep.Totals {
+		return fmt.Errorf("totals %+v do not match cohort sums %+v", rep.Totals, tot)
+	}
+	if tot.Requests != rep.Trace.Requests {
+		return fmt.Errorf("replayed %d requests, trace has %d", tot.Requests, rep.Trace.Requests)
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// fakeResults builds one 200 result per trace event with latencies derived
+// deterministically from the id (so report tests don't need a live server).
+func fakeResults(tr *Trace) []RequestResult {
+	out := make([]RequestResult, 0, len(tr.Events))
+	for _, ev := range tr.Events {
+		out = append(out, RequestResult{
+			ID: ev.ID, Cohort: ev.Cohort, Status: 200,
+			TTFTMs:       float64(1 + ev.ID%7),
+			E2EMs:        float64(10 + ev.ID%13),
+			ITLMs:        []float64{1, float64(ev.ID % 5)},
+			OutputTokens: ev.MaxTokens,
+		})
+	}
+	return out
+}
+
+func TestServingReportBuildAndValidate(t *testing.T) {
+	tr, err := GenerateTrace(testSpec(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep := BuildServingReport(tr, fakeResults(tr), 1234.5, 1700000000)
+	if err := ValidateServingReport(rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Totals.Requests != tr.Requests() || rep.Totals.Completed != tr.Requests() {
+		t.Fatalf("totals %+v for %d requests", rep.Totals, tr.Requests())
+	}
+	if rep.Throughput.RequestsPerSec <= 0 || rep.Throughput.OutputTokPerSec <= 0 {
+		t.Fatalf("throughput not computed: %+v", rep.Throughput)
+	}
+	// Runner block is the satellite-1 contract.
+	if rep.Runner.NumCPU < 1 || rep.Runner.GOMAXPROCS < 1 || rep.Runner.Workers < 1 || rep.Runner.GoVersion == "" {
+		t.Fatalf("runner block incomplete: %+v", rep.Runner)
+	}
+	// Round trip through disk.
+	path := filepath.Join(t.TempDir(), "BENCH_serving.json")
+	if err := WriteServingReport(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadServingReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateServingReport(got); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rep, got) {
+		t.Fatal("report round trip mismatch")
+	}
+}
+
+// The request-set half of the report is a pure function of the trace: two
+// replays of the same trace — regardless of measured latencies — must agree
+// on TraceInfo and per-cohort request counts (the ISSUE's "identical
+// request set" acceptance bar).
+func TestServingReportRequestSetDeterministic(t *testing.T) {
+	tr1, _ := GenerateTrace(testSpec(33))
+	tr2, _ := GenerateTrace(testSpec(33))
+	r1 := fakeResults(tr1)
+	r2 := fakeResults(tr2)
+	// Perturb run 2's latencies: the request set must not care.
+	for i := range r2 {
+		r2[i].TTFTMs *= 3
+		r2[i].E2EMs += 100
+	}
+	a := BuildServingReport(tr1, r1, 1000, 1)
+	b := BuildServingReport(tr2, r2, 2000, 2)
+	if !reflect.DeepEqual(a.Trace, b.Trace) {
+		t.Fatalf("trace blocks differ:\n%+v\n%+v", a.Trace, b.Trace)
+	}
+	for i := range a.Cohorts {
+		if a.Cohorts[i].Cohort != b.Cohorts[i].Cohort || a.Cohorts[i].Requests != b.Cohorts[i].Requests {
+			t.Fatalf("request set differs in cohort %d: %+v vs %+v", i, a.Cohorts[i], b.Cohorts[i])
+		}
+	}
+}
+
+func TestServingReportQuantilesVsOracle(t *testing.T) {
+	samples := make([]float64, 1000)
+	for i := range samples {
+		samples[i] = float64((i*37)%1000) / 10 // shuffled 0..99.9
+	}
+	q := quantilesOf(samples)
+	if q.Count != 1000 {
+		t.Fatalf("count %d", q.Count)
+	}
+	// Exact order statistics over 0,0.1,...,99.9.
+	if q.P50Ms != 49.9 || q.P90Ms != 89.9 || q.P99Ms != 98.9 || q.MaxMs != 99.9 {
+		t.Fatalf("quantiles %+v", q)
+	}
+}
+
+func TestServingReportSLOAttainment(t *testing.T) {
+	spec := testSpec(44)
+	tr, _ := GenerateTrace(spec)
+	results := fakeResults(tr)
+	rep := BuildServingReport(tr, results, 1000, 0)
+	for _, c := range rep.Cohorts {
+		// fakeResults latencies are single-digit ms; every built-in target
+		// is >= 100ms, so attainment must be 1 and the SLO met.
+		if c.SLO.TTFTAttain != 1 || c.SLO.ITLAttain != 1 || !c.SLO.Met {
+			t.Fatalf("cohort %s SLO %+v", c.Cohort, c.SLO)
+		}
+	}
+	// Blow the TTFT budget for one cohort and watch attainment drop.
+	for i := range results {
+		if results[i].Cohort == "chat" {
+			results[i].TTFTMs = 10_000
+		}
+	}
+	rep = BuildServingReport(tr, results, 1000, 0)
+	for _, c := range rep.Cohorts {
+		if c.Cohort == "chat" && (c.SLO.TTFTAttain != 0 || c.SLO.Met) {
+			t.Fatalf("chat SLO should fail: %+v", c.SLO)
+		}
+	}
+}
+
+func TestValidateServingReportRejects(t *testing.T) {
+	tr, _ := GenerateTrace(testSpec(55))
+	base := func() *ServingReport { return BuildServingReport(tr, fakeResults(tr), 1000, 0) }
+	cases := []struct {
+		name  string
+		mut   func(*ServingReport)
+		match string
+	}{
+		{"bad schema", func(r *ServingReport) { r.Schema = "nope" }, "schema"},
+		{"missing runner", func(r *ServingReport) { r.Runner.NumCPU = 0 }, "runner"},
+		{"outcome mismatch", func(r *ServingReport) { r.Cohorts[0].Shed++; r.Totals.Shed++ }, "outcomes"},
+		{"totals drift", func(r *ServingReport) { r.Totals.Completed++ }, "totals"},
+		{"quantile disorder", func(r *ServingReport) { r.Cohorts[0].TTFT.P50Ms = 1e9 }, "quantiles"},
+		{"count drift", func(r *ServingReport) {
+			r.Trace.CohortCounts[r.Cohorts[0].Cohort]++
+			r.Trace.Requests++
+		}, "trace has"},
+	}
+	for _, c := range cases {
+		r := base()
+		c.mut(r)
+		err := ValidateServingReport(r)
+		if err == nil {
+			t.Errorf("%s: validation passed", c.name)
+		} else if !strings.Contains(err.Error(), c.match) {
+			t.Errorf("%s: error %q does not mention %q", c.name, err, c.match)
+		}
+	}
+}

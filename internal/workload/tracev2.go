@@ -1,0 +1,340 @@
+package workload
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+)
+
+// tracev2 is the versioned deterministic trace format: a header line naming
+// the version, seed, vocab, arrival pattern, and full cohort specs, then one
+// JSON line per request turn. The same (seed, spec) always produces a
+// byte-identical file — every sample comes from one explicit rng in a fixed
+// draw order, timestamps are integer microseconds, and encoding/json emits
+// struct fields in declaration order — so any run is replayable exactly.
+
+// TraceVersion is the format tag in the header line.
+const TraceVersion = "cp-trace/v2"
+
+// TraceSpec is everything needed to regenerate a trace: it is both the
+// generator input and the trace header.
+type TraceSpec struct {
+	Version string `json:"version"`
+	Seed    int64  `json:"seed"`
+	// VocabSize bounds every generated token id.
+	VocabSize int          `json:"vocab_size"`
+	Cohorts   []CohortSpec `json:"cohorts"`
+	Arrivals  ArrivalSpec  `json:"arrivals"`
+	// MaxSessions truncates generation after this many sessions (0 = no cap)
+	// — keeps CI traces small without changing the arrival pattern.
+	MaxSessions int `json:"max_sessions,omitempty"`
+}
+
+// Validate checks the spec.
+func (s TraceSpec) Validate() error {
+	if s.Version != TraceVersion {
+		return fmt.Errorf("workload: trace version %q, want %q", s.Version, TraceVersion)
+	}
+	if s.VocabSize < 2 {
+		return fmt.Errorf("workload: vocab size %d too small", s.VocabSize)
+	}
+	if len(s.Cohorts) == 0 {
+		return fmt.Errorf("workload: trace spec with no cohorts")
+	}
+	seen := map[string]bool{}
+	for _, c := range s.Cohorts {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("workload: duplicate cohort %q", c.Name)
+		}
+		seen[c.Name] = true
+	}
+	if err := s.Arrivals.Validate(); err != nil {
+		return err
+	}
+	if s.MaxSessions < 0 {
+		return fmt.Errorf("workload: negative max_sessions")
+	}
+	return nil
+}
+
+// CohortNames returns the spec's cohort names in spec order.
+func (s TraceSpec) CohortNames() []string {
+	out := make([]string, len(s.Cohorts))
+	for i, c := range s.Cohorts {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// TraceEvent is one request turn. Turn-0 events carry the session's absolute
+// arrival offset (AtUs); later turns instead carry the think-time gap
+// (GapUs) after the previous turn's completion — per-session the loop is
+// closed (a follow-up cannot be issued before its predecessor finishes),
+// across sessions arrivals are open-loop.
+type TraceEvent struct {
+	// ID is the trace-wide request id (dense, in file order).
+	ID int `json:"id"`
+	// Session groups the turns of one conversation.
+	Session int `json:"session"`
+	// Turn is the 0-based turn index within the session.
+	Turn int `json:"turn"`
+	// Cohort names the session's cohort.
+	Cohort string `json:"cohort"`
+	// AtUs is the absolute arrival offset for turn 0.
+	AtUs int64 `json:"at_us,omitempty"`
+	// GapUs is the think pause before this turn, for turn > 0.
+	GapUs int64 `json:"gap_us,omitempty"`
+	// Prompt is the new prompt tokens for this turn (turn 0 of a
+	// shared-prefix cohort starts with the corpus head).
+	Prompt []int `json:"prompt"`
+	// MaxTokens is the decode budget.
+	MaxTokens int `json:"max_tokens"`
+}
+
+// Trace is a parsed tracev2 file.
+type Trace struct {
+	Spec   TraceSpec
+	Events []TraceEvent
+}
+
+// DefaultTraceSpec returns a spec over the built-in cohorts with a steady
+// arrival pattern — the baseline serving-bench input.
+func DefaultTraceSpec(seed int64, vocab int, rps float64, durUs int64) TraceSpec {
+	spec := TraceSpec{Version: TraceVersion, Seed: seed, VocabSize: vocab, Arrivals: Steady(rps, durUs)}
+	for _, name := range BuiltinCohortNames() {
+		c, _ := BuiltinCohort(name)
+		spec.Cohorts = append(spec.Cohorts, c)
+	}
+	return spec
+}
+
+// GenerateTrace expands a spec into its events. Determinism contract: one
+// master rng seeded from the spec drives arrivals, cohort picks, and
+// per-turn samples in a fixed order; the shared corpus comes from a derived
+// rng so corpus length changes don't shift the session stream.
+func GenerateTrace(spec TraceSpec) (*Trace, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(spec.Seed))
+	corpusRng := rand.New(rand.NewSource(spec.Seed ^ 0x5eed_c0de))
+	maxShared := 0
+	for _, c := range spec.Cohorts {
+		if c.SharedPrefixTokens > maxShared {
+			maxShared = c.SharedPrefixTokens
+		}
+	}
+	corpus := make([]int, maxShared)
+	for i := range corpus {
+		corpus[i] = corpusRng.Intn(spec.VocabSize)
+	}
+
+	starts := spec.Arrivals.arrivals(rng)
+	if spec.MaxSessions > 0 && len(starts) > spec.MaxSessions {
+		starts = starts[:spec.MaxSessions]
+	}
+	tr := &Trace{Spec: spec}
+	id := 0
+	for si, at := range starts {
+		ci := pickCohort(spec.Cohorts, rng)
+		c := spec.Cohorts[ci]
+		turns := c.Turns.Sample(rng)
+		for t := 0; t < turns; t++ {
+			ev := TraceEvent{ID: id, Session: si + 1, Turn: t, Cohort: c.Name, MaxTokens: c.OutputTokens.Sample(rng)}
+			n := c.PromptTokens.Sample(rng)
+			if t == 0 {
+				ev.AtUs = at
+				if c.SharedPrefixTokens > 0 {
+					ev.Prompt = append(ev.Prompt, corpus[:c.SharedPrefixTokens]...)
+				}
+			} else {
+				ev.GapUs = int64(c.ThinkUs.Sample(rng))
+			}
+			for i := 0; i < n; i++ {
+				ev.Prompt = append(ev.Prompt, rng.Intn(spec.VocabSize))
+			}
+			tr.Events = append(tr.Events, ev)
+			id++
+		}
+	}
+	// Interleave sessions by arrival while keeping each session's turns in
+	// order: sort by (turn-0 arrival, session, turn). Stable key set, so the
+	// file order is a pure function of the events.
+	arrival := make(map[int]int64, len(starts))
+	for _, ev := range tr.Events {
+		if ev.Turn == 0 {
+			arrival[ev.Session] = ev.AtUs
+		}
+	}
+	sort.SliceStable(tr.Events, func(i, j int) bool {
+		a, b := tr.Events[i], tr.Events[j]
+		if arrival[a.Session] != arrival[b.Session] {
+			return arrival[a.Session] < arrival[b.Session]
+		}
+		if a.Session != b.Session {
+			return a.Session < b.Session
+		}
+		return a.Turn < b.Turn
+	})
+	for i := range tr.Events {
+		tr.Events[i].ID = i
+	}
+	return tr, nil
+}
+
+// Requests returns the number of events.
+func (t *Trace) Requests() int { return len(t.Events) }
+
+// Sessions returns the number of distinct sessions.
+func (t *Trace) Sessions() int {
+	seen := map[int]bool{}
+	for _, ev := range t.Events {
+		seen[ev.Session] = true
+	}
+	return len(seen)
+}
+
+// CohortCounts returns per-cohort request counts.
+func (t *Trace) CohortCounts() map[string]int {
+	out := map[string]int{}
+	for _, ev := range t.Events {
+		out[ev.Cohort]++
+	}
+	return out
+}
+
+// WriteTrace writes the trace as JSONL: header line, then one event per
+// line. Byte-deterministic for a given trace.
+func WriteTrace(w io.Writer, t *Trace) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(t.Spec); err != nil {
+		return err
+	}
+	for _, ev := range t.Events {
+		if err := enc.Encode(ev); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// MarshalTrace returns the trace's canonical byte encoding.
+func MarshalTrace(t *Trace) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := WriteTrace(&buf, t); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// WriteTraceFile writes the trace to path.
+func WriteTraceFile(path string, t *Trace) error {
+	b, err := MarshalTrace(t)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, b, 0o644)
+}
+
+// ReadTrace parses and validates a tracev2 stream.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<24)
+	if !sc.Scan() {
+		if err := sc.Err(); err != nil {
+			return nil, err
+		}
+		return nil, fmt.Errorf("workload: empty trace")
+	}
+	tr := &Trace{}
+	if err := json.Unmarshal(sc.Bytes(), &tr.Spec); err != nil {
+		return nil, fmt.Errorf("workload: trace header: %w", err)
+	}
+	if err := tr.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	line := 1
+	for sc.Scan() {
+		line++
+		if len(bytes.TrimSpace(sc.Bytes())) == 0 {
+			continue
+		}
+		var ev TraceEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("workload: trace line %d: %w", line, err)
+		}
+		tr.Events = append(tr.Events, ev)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if err := ValidateTrace(tr); err != nil {
+		return nil, err
+	}
+	return tr, nil
+}
+
+// ReadTraceFile parses and validates a tracev2 file.
+func ReadTraceFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadTrace(f)
+}
+
+// ValidateTrace checks trace invariants: dense ids, known cohorts, in-vocab
+// tokens, ordered turns per session, monotone turn-0 arrivals in file order.
+func ValidateTrace(t *Trace) error {
+	if err := t.Spec.Validate(); err != nil {
+		return err
+	}
+	known := map[string]bool{}
+	for _, c := range t.Spec.Cohorts {
+		known[c.Name] = true
+	}
+	nextTurn := map[int]int{}
+	lastArrival := int64(-1)
+	for i, ev := range t.Events {
+		if ev.ID != i {
+			return fmt.Errorf("workload: event %d has id %d", i, ev.ID)
+		}
+		if !known[ev.Cohort] {
+			return fmt.Errorf("workload: event %d references unknown cohort %q", i, ev.Cohort)
+		}
+		if ev.Turn != nextTurn[ev.Session] {
+			return fmt.Errorf("workload: session %d turn %d out of order at event %d", ev.Session, ev.Turn, i)
+		}
+		nextTurn[ev.Session]++
+		if ev.Turn == 0 {
+			if ev.AtUs < lastArrival {
+				return fmt.Errorf("workload: event %d arrival %dus before predecessor %dus", i, ev.AtUs, lastArrival)
+			}
+			lastArrival = ev.AtUs
+		} else if ev.GapUs < 0 {
+			return fmt.Errorf("workload: event %d has negative gap", i)
+		}
+		if len(ev.Prompt) == 0 {
+			return fmt.Errorf("workload: event %d has empty prompt", i)
+		}
+		for _, tok := range ev.Prompt {
+			if tok < 0 || tok >= t.Spec.VocabSize {
+				return fmt.Errorf("workload: event %d token %d outside vocab %d", i, tok, t.Spec.VocabSize)
+			}
+		}
+		if ev.MaxTokens < 1 {
+			return fmt.Errorf("workload: event %d has max_tokens %d", i, ev.MaxTokens)
+		}
+	}
+	return nil
+}
