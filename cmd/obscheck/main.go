@@ -22,6 +22,10 @@
 //
 //	obscheck -serving-json BENCH_serving.json
 //	obscheck -base http://127.0.0.1:8080 -want-cohorts chat,rag -serving-json BENCH_serving.json
+//
+// With -json the result is emitted as one JSON report on stdout in the
+// internal/report shape shared with cplint — an empty findings array on
+// success, one finding (rule + message) on failure.
 package main
 
 import (
@@ -35,6 +39,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/report"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -62,30 +67,51 @@ func main() {
 	promFile := flag.String("prom-file", "", "validate this dumped Prometheus exposition file instead of a live server (skips the trace endpoints)")
 	servingJSON := flag.String("serving-json", "", "validate this BENCH_serving.json against the cp-serving-bench/v1 schema")
 	wantCohorts := flag.String("want-cohorts", "", "comma-separated cohort labels that must each have cp_cohort_ttft/itl/e2e series in /metrics")
+	jsonOut := flag.Bool("json", false, "emit the result as one JSON report (internal/report shape) on stdout")
 	flag.Parse()
 
 	client := &http.Client{Timeout: *timeout}
-	fail := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
+	// Checks here are sequential and fatal — each later endpoint check
+	// depends on the earlier ones — so a failure report carries exactly one
+	// finding, in the same shape cplint -json emits.
+	fail := func(rule, format string, args ...any) {
+		if *jsonOut {
+			rep := report.New("obscheck")
+			rep.Addf(rule, format, args...)
+			rep.WriteJSON(os.Stdout)
+		} else {
+			fmt.Fprintf(os.Stderr, "obscheck: "+format+"\n", args...)
+		}
 		os.Exit(1)
+	}
+	okf := func(format string, args ...any) {
+		if *jsonOut {
+			report.New("obscheck").WriteJSON(os.Stdout)
+			return
+		}
+		fmt.Printf("obscheck: ok — "+format+"\n", args...)
 	}
 
 	if *servingJSON != "" {
 		rep, err := workload.ReadServingReport(*servingJSON)
 		if err != nil {
-			fail("%v", err)
+			fail("serving-json", "%v", err)
 		}
 		if err := workload.ValidateServingReport(rep); err != nil {
-			fail("%s: %v", *servingJSON, err)
+			fail("serving-json", "%s: %v", *servingJSON, err)
 		}
-		fmt.Printf("obscheck: ok — %s valid (%d requests, %d cohorts)\n",
-			*servingJSON, rep.Totals.Requests, len(rep.Cohorts))
 		// Standalone file check: stop before the live checks unless the
 		// caller also pointed at an exposition source.
 		baseSet := false
 		flag.Visit(func(f *flag.Flag) { baseSet = baseSet || f.Name == "base" })
 		if !baseSet && *promFile == "" && *want == "" && *wantCohorts == "" {
+			okf("%s valid (%d requests, %d cohorts)",
+				*servingJSON, rep.Totals.Requests, len(rep.Cohorts))
 			return
+		}
+		if !*jsonOut {
+			fmt.Printf("obscheck: ok — %s valid (%d requests, %d cohorts)\n",
+				*servingJSON, rep.Totals.Requests, len(rep.Cohorts))
 		}
 	}
 
@@ -102,11 +128,11 @@ func main() {
 		body, err = fetch(client, src)
 	}
 	if err != nil {
-		fail("%v", err)
+		fail("fetch", "%v", err)
 	}
 	samples, err := trace.ParseProm(bytes.NewReader(body))
 	if err != nil {
-		fail("%s: %v", src, err)
+		fail("prom-parse", "%s: %v", src, err)
 	}
 	have := make(map[string]bool, len(samples))
 	for _, s := range samples {
@@ -120,7 +146,7 @@ func main() {
 		}
 	}
 	if len(missing) > 0 {
-		fail("%s: missing required series %v (have %d samples)", src, missing, len(samples))
+		fail("missing-series", "%s: missing required series %v (have %d samples)", src, missing, len(samples))
 	}
 	if *wantCohorts != "" {
 		// Each named cohort must have every per-cohort latency family — the
@@ -144,27 +170,27 @@ func main() {
 			}
 		}
 		if len(missingCohort) > 0 {
-			fail("%s: missing per-cohort series %v", src, missingCohort)
+			fail("missing-series", "%s: missing per-cohort series %v", src, missingCohort)
 		}
 	}
 	if *promFile != "" {
-		fmt.Printf("obscheck: ok — %d prom samples from %s\n", len(samples), *promFile)
+		okf("%d prom samples from %s", len(samples), *promFile)
 		return
 	}
 
 	// /v1/trace must be valid Chrome trace JSON.
 	body, err = fetch(client, *base+"/v1/trace")
 	if err != nil {
-		fail("%v", err)
+		fail("fetch", "%v", err)
 	}
 	if err := trace.ValidateChromeTrace(body); err != nil {
-		fail("/v1/trace: %v", err)
+		fail("trace-chrome", "/v1/trace: %v", err)
 	}
 
 	// The JSONL export must be one valid JSON object per line.
 	body, err = fetch(client, *base+"/v1/trace?format=jsonl")
 	if err != nil {
-		fail("%v", err)
+		fail("fetch", "%v", err)
 	}
 	lines := 0
 	for _, line := range bytes.Split(body, []byte("\n")) {
@@ -173,10 +199,10 @@ func main() {
 		}
 		var span map[string]any
 		if err := json.Unmarshal(line, &span); err != nil {
-			fail("/v1/trace?format=jsonl line %d: %v", lines+1, err)
+			fail("trace-jsonl", "/v1/trace?format=jsonl line %d: %v", lines+1, err)
 		}
 		lines++
 	}
 
-	fmt.Printf("obscheck: ok — %d prom samples, chrome trace valid, %d jsonl spans\n", len(samples), lines)
+	okf("%d prom samples, chrome trace valid, %d jsonl spans", len(samples), lines)
 }

@@ -643,7 +643,7 @@ func (c *chaosTransport) Send(src, dst int, payload any, timeout time.Duration) 
 		return errCrashed
 	}
 	if delay > 0 {
-		time.Sleep(delay)
+		time.Sleep(delay) //cplint:allow determinism slow-fault injects real latency; which step gets it is seeded-deterministic
 	}
 	return c.inner.Send(src, dst, payload, timeout)
 }

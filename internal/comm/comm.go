@@ -70,11 +70,17 @@ func newStats() *Stats {
 	return &Stats{Messages: make(map[Kind]int64), Bytes: make(map[Kind]float64)}
 }
 
-// TotalBytes sums bytes across all collective kinds.
+// TotalBytes sums bytes across all collective kinds in sorted-kind order,
+// so the float accumulation is bit-identical across runs.
 func (s Stats) TotalBytes() float64 {
+	kinds := make([]string, 0, len(s.Bytes))
+	for k := range s.Bytes {
+		kinds = append(kinds, string(k))
+	}
+	sort.Strings(kinds)
 	var t float64
-	for _, b := range s.Bytes {
-		t += b
+	for _, k := range kinds {
+		t += s.Bytes[Kind(k)]
 	}
 	return t
 }

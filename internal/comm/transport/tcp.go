@@ -246,7 +246,7 @@ func (t *TCP) Send(src, dst int, payload any, timeout time.Duration) error {
 	if tp := t.tap.Load(); tp != nil {
 		n, err = t.sendTapped(l, dst, payload, *tp)
 	} else {
-		n, err = wire.WriteFrame(l.conn, payload)
+		n, err = wire.WriteFrame(l.conn, payload) //cplint:allow lock-send wmu exists to serialize frame writes; a stalled write kills the link via deadline
 	}
 	atomic.AddInt64(&l.outMsgs, 1)
 	atomic.AddInt64(&l.outBytes, int64(n))
@@ -737,7 +737,7 @@ func (t *TCP) heartbeatLoop(l *link) {
 		case <-tick.C:
 			l.wmu.Lock()
 			l.conn.SetWriteDeadline(time.Now().Add(writeWindow))
-			n, err := wire.WriteFrame(l.conn, &wire.Heartbeat{})
+			n, err := wire.WriteFrame(l.conn, &wire.Heartbeat{}) //cplint:allow lock-send heartbeat shares the write-serialization mutex; bounded by the write deadline above
 			l.wmu.Unlock()
 			atomic.AddInt64(&l.outMsgs, 1)
 			atomic.AddInt64(&l.outBytes, int64(n))
@@ -813,7 +813,7 @@ func DialCtrl(addr string, hello *wire.Hello, expectRank int, timeout time.Durat
 func (c *Ctrl) Send(v any) error {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	n, err := wire.WriteFrame(c.conn, v)
+	n, err := wire.WriteFrame(c.conn, v) //cplint:allow lock-send wmu exists to serialize control-channel frame writes
 	atomic.AddInt64(&c.outMsgs, 1)
 	atomic.AddInt64(&c.outBytes, int64(n))
 	return err

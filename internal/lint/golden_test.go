@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"flag"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata want.txt goldens")
+
+// allRulesPolicy applies every rule to every package — the fixture policy.
+func allRulesPolicy() Policy {
+	pol := Policy{}
+	for _, r := range RuleNames() {
+		pol[r] = []string{""}
+	}
+	return pol
+}
+
+// TestFixtures runs the full suite over every testdata fixture package and
+// compares the findings against the fixture's want.txt golden. Fixtures
+// with a non-empty golden are the "must fail" cases: the golden pins the
+// exact file:line, rule, and message of each expected finding.
+func TestFixtures(t *testing.T) {
+	entries, err := os.ReadDir("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		dir := filepath.Join("testdata", e.Name())
+		t.Run(e.Name(), func(t *testing.T) {
+			m, _, err := LoadDir(dir)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var sb strings.Builder
+			for _, f := range m.Run(allRulesPolicy()) {
+				sb.WriteString(f.String())
+				sb.WriteByte('\n')
+			}
+			got := sb.String()
+			wantPath := filepath.Join(dir, "want.txt")
+			if *update {
+				if err := os.WriteFile(wantPath, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(wantPath)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("findings mismatch for %s\n--- got ---\n%s--- want ---\n%s", dir, got, want)
+			}
+		})
+	}
+}
+
+// TestEachRuleHasFailingFixture asserts every analyzer (and the allow
+// pseudo-rule) is exercised by at least one fixture finding — so a rule
+// that silently stops firing breaks the suite's own tests.
+func TestEachRuleHasFailingFixture(t *testing.T) {
+	goldens, err := filepath.Glob(filepath.Join("testdata", "*", "want.txt"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var all strings.Builder
+	for _, g := range goldens {
+		b, err := os.ReadFile(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		all.Write(b)
+	}
+	for _, rule := range append(RuleNames(), "allow") {
+		if !strings.Contains(all.String(), "["+rule+"]") {
+			t.Errorf("no fixture golden contains a [%s] finding", rule)
+		}
+	}
+}
+
+// TestWireMirrorMatchesRealKinds pins the wiremirror fixture to the real
+// codec: the constant names in testdata/wiremirror must equal the frame-kind
+// enum in internal/comm/wire, in order. Adding a kind to wire.go therefore
+// forces the mirror (and its exhaustive switch) to grow with it.
+func TestWireMirrorMatchesRealKinds(t *testing.T) {
+	real := iotaConstNames(t, filepath.Join("..", "comm", "wire", "wire.go"), "tNil")
+	mirror := iotaConstNames(t, filepath.Join("testdata", "wiremirror", "fixture.go"), "tNil")
+	if len(real) == 0 {
+		t.Fatal("no tNil iota const block found in wire.go")
+	}
+	if strings.Join(real, ",") != strings.Join(mirror, ",") {
+		t.Errorf("wiremirror fixture out of sync with wire.go frame kinds\nwire.go: %v\nmirror:  %v", real, mirror)
+	}
+}
+
+// iotaConstNames returns the names of the const block whose first constant
+// is firstName, in declaration order.
+func iotaConstNames(t *testing.T, path, firstName string) []string {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, path, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.CONST {
+			continue
+		}
+		var names []string
+		for _, spec := range gd.Specs {
+			vs, ok := spec.(*ast.ValueSpec)
+			if !ok {
+				continue
+			}
+			for _, n := range vs.Names {
+				if n.Name != "_" {
+					names = append(names, n.Name)
+				}
+			}
+		}
+		if len(names) > 0 && names[0] == firstName {
+			return names
+		}
+	}
+	return nil
+}

@@ -1,0 +1,177 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// lockSendAnalyzer flags blocking communication — a channel send or a
+// net.Conn write — performed while a sync.Mutex/RWMutex is held in the
+// same function. A send under a lock is the classic distributed-engine
+// deadlock: the peer needed to drain the channel or socket may be blocked
+// on the same lock. The per-function scan is linear and heuristic (lock
+// state is tracked in source order, not across calls), which is exactly
+// the granularity at which the transport's deliberate write-serialization
+// mutexes get an in-place //cplint:allow.
+func lockSendAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "lock-send",
+		Doc:  "no mutex held across a channel send or net.Conn write",
+		Run: func(p *Package, m *Module) []posFinding {
+			var out []posFinding
+			for _, f := range p.Files {
+				for _, body := range enclosingFuncBodies(f) {
+					out = append(out, lockSendInFunc(p, body)...)
+				}
+			}
+			return out
+		},
+	}
+}
+
+// nonBlockingSends collects send statements that cannot block: a send
+// clause of a select statement that also has a default clause. Those are
+// safe under a lock — the goroutine never waits on a peer.
+func nonBlockingSends(fn *ast.BlockStmt) map[*ast.SendStmt]bool {
+	out := map[*ast.SendStmt]bool{}
+	ast.Inspect(fn, func(n ast.Node) bool {
+		sel, ok := n.(*ast.SelectStmt)
+		if !ok {
+			return true
+		}
+		hasDefault := false
+		for _, cl := range sel.Body.List {
+			if cl.(*ast.CommClause).Comm == nil {
+				hasDefault = true
+			}
+		}
+		if !hasDefault {
+			return true
+		}
+		for _, cl := range sel.Body.List {
+			if send, ok := cl.(*ast.CommClause).Comm.(*ast.SendStmt); ok {
+				out[send] = true
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// mutexMethod classifies a call as Lock/RLock (+1), Unlock/RUnlock (-1) on
+// a sync mutex receiver, returning the receiver's object for matching.
+func mutexMethod(p *Package, call *ast.CallExpr) (recv types.Object, delta int, ok bool) {
+	sel, isSel := call.Fun.(*ast.SelectorExpr)
+	if !isSel {
+		return nil, 0, false
+	}
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		delta = 1
+	case "Unlock", "RUnlock":
+		delta = -1
+	default:
+		return nil, 0, false
+	}
+	t := p.Info.TypeOf(sel.X)
+	if t == nil || !isSyncLocker(t) {
+		return nil, 0, false
+	}
+	return rootIdentObj(p.Info, sel.X), delta, true
+}
+
+// isSyncLocker reports whether t is sync.Mutex/sync.RWMutex (possibly via
+// pointer).
+func isSyncLocker(t types.Type) bool {
+	if pt, ok := t.Underlying().(*types.Pointer); ok {
+		t = pt.Elem()
+	}
+	nt, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := nt.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isNetConn reports whether t is the net.Conn interface or a type from
+// package net implementing it.
+func isNetConn(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	nt, ok := t.(*types.Named)
+	if !ok {
+		if pt, isPtr := t.(*types.Pointer); isPtr {
+			nt, ok = pt.Elem().(*types.Named)
+		}
+		if !ok {
+			return false
+		}
+	}
+	obj := nt.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "net" &&
+		(obj.Name() == "Conn" || obj.Name() == "TCPConn" || obj.Name() == "UnixConn")
+}
+
+func lockSendInFunc(p *Package, fn *ast.BlockStmt) []posFinding {
+	var out []posFinding
+	held := 0 // active lock count in source order
+	nonBlocking := nonBlockingSends(fn)
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch nn := n.(type) {
+		case *ast.FuncLit:
+			if nn.Body != fn {
+				return false // separate scope, analyzed on its own
+			}
+		case *ast.DeferStmt:
+			// defer mu.Unlock() keeps the lock held for the remainder of
+			// the function — do not decrement.
+			if _, delta, ok := mutexMethod(p, nn.Call); ok && delta < 0 {
+				return false
+			}
+		case *ast.SendStmt:
+			if held > 0 && !nonBlocking[nn] {
+				out = append(out, posFinding{
+					Pos:     nn.Pos(),
+					Message: "channel send while a mutex is held; the receiver may need the same lock to drain it",
+				})
+			}
+		case *ast.CallExpr:
+			if _, delta, ok := mutexMethod(p, nn); ok {
+				held += delta
+				if held < 0 {
+					held = 0
+				}
+				return true
+			}
+			if held == 0 {
+				return true
+			}
+			// Direct conn method write: c.Write(...) on a net.Conn.
+			if sel, ok := nn.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Write" && isNetConn(p.Info.TypeOf(sel.X)) {
+				out = append(out, posFinding{
+					Pos:     nn.Pos(),
+					Message: "net.Conn write while a mutex is held; a stalled peer blocks everyone waiting on the lock",
+				})
+				return true
+			}
+			// Indirect write: a call receiving a net.Conn argument (e.g.
+			// wire.WriteFrame(conn, v)).
+			for _, a := range nn.Args {
+				if isNetConn(p.Info.TypeOf(a)) {
+					out = append(out, posFinding{
+						Pos:     nn.Pos(),
+						Message: "call passing a net.Conn while a mutex is held; a stalled peer blocks everyone waiting on the lock",
+					})
+					break
+				}
+			}
+		}
+		return true
+	})
+	return out
+}

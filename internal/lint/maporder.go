@@ -1,0 +1,199 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// orderSensitiveWrites are method names whose call inside a map-range body
+// serializes data in iteration order: byte/string sinks (strings.Builder,
+// bytes.Buffer, bufio.Writer, net conns), hashes, and streaming encoders.
+// No after-the-loop sort can repair these, so they are flagged
+// unconditionally.
+var orderSensitiveWrites = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true, "EncodeToken": true, "Sum": true,
+}
+
+// fprintFuncs are fmt's writer-directed print functions — same class of
+// sink when called in a map-range body.
+var fprintFuncs = map[string]bool{"Fprint": true, "Fprintf": true, "Fprintln": true}
+
+// mapOrderAnalyzer flags range statements over maps whose bodies are
+// order-sensitive: appending to a slice that is never sorted afterwards,
+// writing to an encoder or hash, or accumulating floats — the
+// bit-identity killer, because Go randomizes map iteration order per run.
+//
+// The canonical collect-keys-then-sort idiom stays legal: an append inside
+// the loop is fine when the same slice is passed to a sort.*/slices.* call
+// (or a .Sort method) later in the enclosing function. Per-key updates
+// (dst[k] += v, out[k] = v) are order-insensitive and never flagged.
+func mapOrderAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "map-order",
+		Doc:  "flag order-sensitive work inside range-over-map bodies",
+		Run: func(p *Package, m *Module) []posFinding {
+			var out []posFinding
+			for _, f := range p.Files {
+				for _, body := range enclosingFuncBodies(f) {
+					out = append(out, mapOrderInFunc(p, body)...)
+				}
+			}
+			return out
+		},
+	}
+}
+
+func mapOrderInFunc(p *Package, fn *ast.BlockStmt) []posFinding {
+	var out []posFinding
+	ast.Inspect(fn, func(n ast.Node) bool {
+		// Nested function literals are their own scopes (they appear in
+		// enclosingFuncBodies independently) — don't double-visit.
+		if fl, ok := n.(*ast.FuncLit); ok && fl.Body != fn {
+			return false
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		out = append(out, checkMapRange(p, fn, rs)...)
+		return true
+	})
+	return out
+}
+
+func checkMapRange(p *Package, fn *ast.BlockStmt, rs *ast.RangeStmt) []posFinding {
+	var out []posFinding
+	keyObj := rangeVarObj(p.Info, rs.Key)
+	valObj := rangeVarObj(p.Info, rs.Value)
+	inBody := func(pos token.Pos) bool { return pos >= rs.Body.Pos() && pos <= rs.Body.End() }
+
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		if fl, ok := n.(*ast.FuncLit); ok && fl != nil {
+			return false // a deferred/launched closure runs outside iteration order
+		}
+		switch nn := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := nn.Fun.(*ast.Ident); ok && id.Name == "append" && len(nn.Args) > 0 {
+				if _, isBuiltin := p.Info.Uses[id].(*types.Builtin); isBuiltin {
+					target := rootIdentObj(p.Info, nn.Args[0])
+					// A slice created inside the body is per-iteration
+					// scratch; only accumulation across iterations leaks
+					// map order.
+					if target != nil && !inBody(target.Pos()) && !sortedAfter(p, fn, rs, target) {
+						out = append(out, posFinding{
+							Pos:     nn.Pos(),
+							Message: "append to " + target.Name() + " inside range over map without a sort afterwards; map iteration order leaks into the slice",
+						})
+					}
+				}
+				return true
+			}
+			if sel, ok := nn.Fun.(*ast.SelectorExpr); ok {
+				name := sel.Sel.Name
+				if pkg := importedPkgPath(p.Info, sel.X); pkg == "fmt" && fprintFuncs[name] {
+					out = append(out, posFinding{
+						Pos:     nn.Pos(),
+						Message: "fmt." + name + " inside range over map writes in iteration order; collect and sort first",
+					})
+					return true
+				}
+				if orderSensitiveWrites[name] && p.Info.Selections[sel] != nil {
+					out = append(out, posFinding{
+						Pos:     nn.Pos(),
+						Message: "." + name + " call inside range over map feeds an encoder/hash in iteration order; collect and sort first",
+					})
+				}
+			}
+		case *ast.AssignStmt:
+			switch nn.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			default:
+				return true
+			}
+			lhs := nn.Lhs[0]
+			if !isFloat(p.Info.TypeOf(lhs)) {
+				return true
+			}
+			// dst[k] op= v with the range key as index hits a distinct slot
+			// per iteration — order-insensitive.
+			if ix, ok := lhs.(*ast.IndexExpr); ok && keyObj != nil {
+				if idxObj := rootIdentObj(p.Info, ix.Index); idxObj == keyObj {
+					return true
+				}
+			}
+			target := rootIdentObj(p.Info, lhs)
+			if target != nil && inBody(target.Pos()) {
+				return true // per-iteration local
+			}
+			if target == valObj || target == keyObj {
+				return true
+			}
+			out = append(out, posFinding{
+				Pos:     nn.Pos(),
+				Message: "float accumulation inside range over map is order-sensitive; iterate sorted keys instead",
+			})
+		}
+		return true
+	})
+	return out
+}
+
+// rangeVarObj resolves a range clause variable (key or value) to its
+// object, or nil.
+func rangeVarObj(info *types.Info, expr ast.Expr) types.Object {
+	id, ok := expr.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	if obj := info.Defs[id]; obj != nil {
+		return obj
+	}
+	return info.Uses[id]
+}
+
+// sortedAfter reports whether target is passed to a sort call after the
+// range statement, anywhere later in the enclosing function body: a
+// sort.*/slices.* package call or a method named Sort with target among
+// the arguments (or as the method receiver).
+func sortedAfter(p *Package, fn *ast.BlockStmt, rs *ast.RangeStmt, target types.Object) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg := importedPkgPath(p.Info, sel.X)
+		isSortCall := pkg == "sort" || pkg == "slices" || sel.Sel.Name == "Sort"
+		if !isSortCall {
+			return true
+		}
+		args := call.Args
+		if pkg == "" {
+			args = append(args[:len(args):len(args)], sel.X) // method form: receiver counts
+		}
+		for _, a := range args {
+			if rootIdentObj(p.Info, a) == target {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"strconv"
+	"strings"
+)
+
+// seriesCtors are the trace.Recorder entry points that create or resolve a
+// metric series from a family name.
+var seriesCtors = map[string]bool{
+	"Hist": true, "CounterSeries": true, "Gauge": true,
+	"seriesLocked": true, "getSeries": true,
+}
+
+// metricRegAnalyzer enforces the /metrics zero-state contract: every cp_*
+// series family the engines record must appear in the trace package's
+// registration set (the metricHelp map), so a fresh server exposes every
+// family — documented, typed, and at zero — before the first request ever
+// lands, and CI -want checks can't race a quiet series.
+func metricRegAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "metric-reg",
+		Doc:  "every cp_* series used must be in the trace registration set (metricHelp)",
+		Run: func(p *Package, m *Module) []posFinding {
+			reg := m.metricRegistry()
+			var out []posFinding
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok || len(call.Args) == 0 {
+						return true
+					}
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok || !seriesCtors[sel.Sel.Name] {
+						return true
+					}
+					lit, ok := call.Args[0].(*ast.BasicLit)
+					if !ok {
+						return true
+					}
+					name, err := strconv.Unquote(lit.Value)
+					if err != nil || !strings.HasPrefix(name, "cp_") {
+						return true
+					}
+					if reg == nil {
+						out = append(out, posFinding{
+							Pos:     lit.Pos(),
+							Message: "series " + name + " used but no metricHelp registration set was found in the module",
+						})
+						return true
+					}
+					if !reg[name] {
+						out = append(out, posFinding{
+							Pos:     lit.Pos(),
+							Message: "series " + name + " is not in the trace registration set (metricHelp); /metrics would expose it without HELP and zero-state checks would miss it",
+						})
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+// metricRegistry extracts the set of registered family names: the string
+// keys of a package-level `metricHelp` map literal, wherever one is
+// declared in the module (internal/trace in the real repo; fixtures
+// declare their own).
+func (m *Module) metricRegistry() map[string]bool {
+	m.regOnce.Do(func() { m.reg = scanMetricRegistry(m) })
+	return m.reg
+}
+
+func scanMetricRegistry(m *Module) map[string]bool {
+	var reg map[string]bool
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if name.Name != "metricHelp" || i >= len(vs.Values) {
+							continue
+						}
+						cl, ok := vs.Values[i].(*ast.CompositeLit)
+						if !ok {
+							continue
+						}
+						if reg == nil {
+							reg = map[string]bool{}
+						}
+						for _, elt := range cl.Elts {
+							kv, ok := elt.(*ast.KeyValueExpr)
+							if !ok {
+								continue
+							}
+							lit, ok := kv.Key.(*ast.BasicLit)
+							if !ok {
+								continue
+							}
+							if key, err := strconv.Unquote(lit.Value); err == nil {
+								reg[key] = true
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return reg
+}

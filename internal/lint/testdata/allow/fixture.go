@@ -1,0 +1,21 @@
+// Package fixture exercises the //cplint:allow grammar: an unknown rule
+// name or a missing reason is itself a finding, and a malformed allow
+// suppresses nothing — the underlying finding still fires.
+package fixture
+
+import "time"
+
+// Bad twice: the rule name is a typo, so the determinism finding survives.
+func unknown() time.Time {
+	return time.Now() //cplint:allow determinsm typo in the rule name
+}
+
+// Bad twice: no reason given, so the determinism finding survives.
+func bare() time.Time {
+	return time.Now() //cplint:allow determinism
+}
+
+// OK: rule plus mandatory reason.
+func justified() time.Time {
+	return time.Now() //cplint:allow determinism fixture demonstrates a justified read
+}

@@ -1,0 +1,72 @@
+// Package fixture exercises the lock-send analyzer: a blocking channel
+// send or net.Conn write with a mutex held is a finding; releasing first,
+// non-blocking selects, and annotated write-serialization mutexes are not.
+package fixture
+
+import (
+	"net"
+	"sync"
+)
+
+type q struct {
+	mu sync.Mutex
+	ch chan int
+	ev chan int
+}
+
+// Bad: blocking send with the lock held.
+func (s *q) bad(v int) {
+	s.mu.Lock()
+	s.ch <- v
+	s.mu.Unlock()
+}
+
+// OK: the lock is released before the send.
+func (s *q) ok(v int) {
+	s.mu.Lock()
+	s.mu.Unlock()
+	s.ch <- v
+}
+
+// OK: a non-blocking send cannot stall the lock holder.
+func (s *q) publish(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ev <- v:
+	default:
+	}
+}
+
+type link struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// Bad: direct conn write under the lock.
+func (l *link) write(b []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := l.conn.Write(b)
+	return err
+}
+
+// Bad: the conn escapes into a helper while locked.
+func (l *link) frame(b []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return writeFrame(l.conn, b)
+}
+
+// OK: an annotated, deliberate write-serialization mutex.
+func (l *link) serialized(b []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, err := l.conn.Write(b) //cplint:allow lock-send fixture demonstrates a deliberate write-serialization mutex
+	return err
+}
+
+func writeFrame(c net.Conn, b []byte) error {
+	_, err := c.Write(b)
+	return err
+}

@@ -1,0 +1,61 @@
+// Package fixture exercises the map-order analyzer: order-sensitive work
+// inside range-over-map bodies is a finding; the collect-then-sort idiom
+// and per-key slot updates are not.
+package fixture
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Bad: map iteration order leaks into the slice.
+func unsortedKeys(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// OK: the canonical collect-keys-then-sort idiom.
+func sortedKeys(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Bad: float accumulation across iterations is order-sensitive.
+func sum(m map[string]float64) float64 {
+	var t float64
+	for _, v := range m {
+		t += v
+	}
+	return t
+}
+
+// OK: per-key slot updates hit a distinct slot per iteration.
+func fold(dst, src map[string]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// Bad: the builder serializes samples in iteration order.
+func render(m map[string]int) string {
+	var b strings.Builder
+	for k, v := range m {
+		fmt.Fprintf(&b, "%s=%d\n", k, v)
+	}
+	return b.String()
+}
+
+// Bad: direct writer method call in the loop body.
+func write(b *strings.Builder, m map[string]int) {
+	for k := range m {
+		b.WriteString(k)
+	}
+}

@@ -1,0 +1,29 @@
+// Package fixture exercises the metric-reg analyzer against its own
+// registration set: a cp_* family missing from metricHelp is a finding;
+// registered families and non-cp_ names are not.
+package fixture
+
+// metricHelp is the fixture's registration set.
+var metricHelp = map[string]string{
+	"cp_fixture_good_total": "Registered fixture counter.",
+}
+
+type recorder struct{}
+
+func (recorder) CounterSeries(name string, labels ...string) int { return len(name) + len(labels) }
+func (recorder) Hist(name string) int                            { return len(name) }
+
+// OK: registered family.
+func good(r recorder) int {
+	return r.CounterSeries("cp_fixture_good_total")
+}
+
+// Bad: this family is never registered.
+func bad(r recorder) int {
+	return r.Hist("cp_fixture_missing_seconds")
+}
+
+// OK: not a cp_ series.
+func other(r recorder) int {
+	return r.Hist("fixture_other")
+}

@@ -1,0 +1,55 @@
+// Package fixture exercises the wire-exhaustive analyzer on a tiny iota
+// kind enum: a switch missing a constant with no default is a finding, an
+// empty default is a finding, full coverage or a loud default is not.
+package fixture
+
+import "errors"
+
+const (
+	kindA byte = iota
+	kindB
+	kindC
+)
+
+var errUnknown = errors.New("unknown kind")
+
+// Bad: kindC is missing and there is no default.
+func missing(k byte) error {
+	switch k {
+	case kindA:
+		return nil
+	case kindB:
+		return nil
+	}
+	return errUnknown
+}
+
+// Bad: the empty default silently drops unhandled kinds.
+func silent(k byte) {
+	switch k {
+	case kindA:
+	case kindB:
+	default:
+	}
+}
+
+// OK: every kind covered.
+func full(k byte) error {
+	switch k {
+	case kindA, kindB:
+		return nil
+	case kindC:
+		return nil
+	}
+	return nil
+}
+
+// OK: the default errors loudly.
+func loud(k byte) error {
+	switch k {
+	case kindA:
+		return nil
+	default:
+		return errUnknown
+	}
+}

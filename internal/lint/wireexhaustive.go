@@ -1,0 +1,163 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// constGroup is one iota-style enum: every constant declared in a single
+// `const (...)` block that uses iota. The wire frame-kind ids are the
+// motivating instance.
+type constGroup struct {
+	pkgPath string
+	names   []string // declaration order
+	objs    map[types.Object]bool
+}
+
+// constGroups indexes every iota const-block across the module, keyed by
+// member object. Built once per Module.
+func (m *Module) constGroups() map[types.Object]*constGroup {
+	m.groupsOnce.Do(func() {
+		m.groups = map[types.Object]*constGroup{}
+		for _, p := range m.Pkgs {
+			for _, f := range p.Files {
+				for _, decl := range f.Decls {
+					gd, ok := decl.(*ast.GenDecl)
+					if !ok || gd.Tok != token.CONST {
+						continue
+					}
+					g := &constGroup{pkgPath: p.ImportPath, objs: map[types.Object]bool{}}
+					usesIota := false
+					for _, spec := range gd.Specs {
+						vs, ok := spec.(*ast.ValueSpec)
+						if !ok {
+							continue
+						}
+						for _, v := range vs.Values {
+							ast.Inspect(v, func(n ast.Node) bool {
+								if id, ok := n.(*ast.Ident); ok && id.Name == "iota" {
+									usesIota = true
+								}
+								return true
+							})
+						}
+						for _, name := range vs.Names {
+							if name.Name == "_" {
+								continue
+							}
+							if obj := p.Info.Defs[name]; obj != nil {
+								g.names = append(g.names, name.Name)
+								g.objs[obj] = true
+							}
+						}
+					}
+					if !usesIota || len(g.names) < 2 {
+						continue
+					}
+					for obj := range g.objs {
+						m.groups[obj] = g
+					}
+				}
+			}
+		}
+	})
+	return m.groups
+}
+
+// wireExhaustiveAnalyzer enforces that every switch whose cases name
+// constants from an iota enum block (the wire frame-kind ids, transport
+// reply kinds, chaos fault kinds) either covers every constant in the
+// block or carries a non-empty default — so adding a frame kind without
+// handling it everywhere fails analysis instead of silently dropping
+// frames at run time.
+func wireExhaustiveAnalyzer() *Analyzer {
+	return &Analyzer{
+		Name: "wire-exhaustive",
+		Doc:  "switches over iota kind enums must cover every constant or default loudly",
+		Run: func(p *Package, m *Module) []posFinding {
+			groups := m.constGroups()
+			var out []posFinding
+			for _, f := range p.Files {
+				ast.Inspect(f, func(n ast.Node) bool {
+					sw, ok := n.(*ast.SwitchStmt)
+					if !ok || sw.Tag == nil {
+						return true
+					}
+					var g *constGroup
+					covered := map[types.Object]bool{}
+					mixed := false
+					var defaultClause *ast.CaseClause
+					for _, stmt := range sw.Body.List {
+						cc := stmt.(*ast.CaseClause)
+						if cc.List == nil {
+							defaultClause = cc
+							continue
+						}
+						for _, expr := range cc.List {
+							obj := constObjOf(p.Info, expr)
+							if obj == nil {
+								continue
+							}
+							cg := groups[obj]
+							if cg == nil {
+								continue
+							}
+							if g == nil {
+								g = cg
+							} else if g != cg {
+								mixed = true
+							}
+							covered[obj] = true
+						}
+					}
+					if g == nil || mixed {
+						return true
+					}
+					if defaultClause != nil {
+						if len(defaultClause.Body) == 0 {
+							out = append(out, posFinding{
+								Pos:     defaultClause.Pos(),
+								Message: "empty default in a switch over the " + groupLabel(g) + " enum silently drops unhandled kinds; return an error or panic",
+							})
+						}
+						return true
+					}
+					var missing []string
+					for _, name := range g.names {
+						found := false
+						for obj := range covered {
+							if obj.Name() == name {
+								found = true
+								break
+							}
+						}
+						if !found {
+							missing = append(missing, name)
+						}
+					}
+					if len(missing) > 0 {
+						out = append(out, posFinding{
+							Pos: sw.Pos(),
+							Message: "switch over the " + groupLabel(g) + " enum misses " +
+								strings.Join(missing, ", ") + " and has no default; new kinds would be silently dropped",
+						})
+					}
+					return true
+				})
+			}
+			return out
+		},
+	}
+}
+
+// groupLabel names a const group for messages: its first member and
+// package.
+func groupLabel(g *constGroup) string {
+	short := g.pkgPath
+	if i := strings.LastIndexByte(short, '/'); i >= 0 {
+		short = short[i+1:]
+	}
+	return short + "." + g.names[0]
+}

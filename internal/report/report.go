@@ -1,0 +1,102 @@
+// Package report is the common findings-output shape shared by the repo's
+// checker binaries (cplint, obscheck): a flat list of findings, each with a
+// file position, a rule id, and a message, renderable as file:line text for
+// humans or as one JSON document for CI tooling. Keeping the encoding in
+// one place means a CI step can consume either tool's -json output with the
+// same jq expression.
+package report
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Finding is one diagnostic: a rule violation at a position. File and Line
+// may be empty/zero for findings not tied to source (e.g. an unreachable
+// endpoint), in which case the text rendering drops the position prefix.
+type Finding struct {
+	File    string `json:"file,omitempty"`
+	Line    int    `json:"line,omitempty"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
+// String renders the canonical single-line form: "file:line: [rule] message".
+func (f Finding) String() string {
+	switch {
+	case f.File != "" && f.Line > 0:
+		return fmt.Sprintf("%s:%d: [%s] %s", f.File, f.Line, f.Rule, f.Message)
+	case f.File != "":
+		return fmt.Sprintf("%s: [%s] %s", f.File, f.Rule, f.Message)
+	default:
+		return fmt.Sprintf("[%s] %s", f.Rule, f.Message)
+	}
+}
+
+// Report is a tool run's full findings list.
+type Report struct {
+	Tool     string    `json:"tool"`
+	Findings []Finding `json:"findings"`
+}
+
+// New returns an empty report for the named tool.
+func New(tool string) *Report {
+	return &Report{Tool: tool, Findings: []Finding{}}
+}
+
+// Add appends one finding.
+func (r *Report) Add(f Finding) {
+	r.Findings = append(r.Findings, f)
+}
+
+// Addf appends a position-free finding with a formatted message.
+func (r *Report) Addf(rule, format string, args ...any) {
+	r.Add(Finding{Rule: rule, Message: fmt.Sprintf(format, args...)})
+}
+
+// Empty reports whether the run produced no findings.
+func (r *Report) Empty() bool { return len(r.Findings) == 0 }
+
+// Sort orders findings by (file, line, rule, message) — the deterministic
+// output order both text and JSON renderings use.
+func (r *Report) Sort() {
+	sort.Slice(r.Findings, func(i, j int) bool {
+		a, b := r.Findings[i], r.Findings[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Rule != b.Rule {
+			return a.Rule < b.Rule
+		}
+		return a.Message < b.Message
+	})
+}
+
+// WriteText writes one canonical line per finding.
+func (r *Report) WriteText(w io.Writer) error {
+	r.Sort()
+	for _, f := range r.Findings {
+		if _, err := fmt.Fprintln(w, f.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteJSON writes the whole report as one indented JSON document. The
+// findings array is always present ([] when clean), so consumers can index
+// it unconditionally.
+func (r *Report) WriteJSON(w io.Writer) error {
+	r.Sort()
+	if r.Findings == nil {
+		r.Findings = []Finding{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,83 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestFindingString(t *testing.T) {
+	cases := []struct {
+		f    Finding
+		want string
+	}{
+		{Finding{File: "a.go", Line: 3, Rule: "determinism", Message: "m"}, "a.go:3: [determinism] m"},
+		{Finding{File: "soak.prom", Rule: "prom-parse", Message: "m"}, "soak.prom: [prom-parse] m"},
+		{Finding{Rule: "fetch", Message: "connection refused"}, "[fetch] connection refused"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestSortOrder(t *testing.T) {
+	r := New("t")
+	r.Add(Finding{File: "b.go", Line: 1, Rule: "r", Message: "m"})
+	r.Add(Finding{File: "a.go", Line: 9, Rule: "r", Message: "m"})
+	r.Add(Finding{File: "a.go", Line: 2, Rule: "z", Message: "m"})
+	r.Add(Finding{File: "a.go", Line: 2, Rule: "a", Message: "m"})
+	r.Sort()
+	var got []string
+	for _, f := range r.Findings {
+		got = append(got, f.String())
+	}
+	want := []string{
+		"a.go:2: [a] m",
+		"a.go:2: [z] m",
+		"a.go:9: [r] m",
+		"b.go:1: [r] m",
+	}
+	if strings.Join(got, "|") != strings.Join(want, "|") {
+		t.Errorf("sorted order = %v, want %v", got, want)
+	}
+}
+
+// The JSON rendering must always carry a findings array — [] when clean —
+// so CI consumers can index .findings unconditionally.
+func TestWriteJSONEmptyFindings(t *testing.T) {
+	var sb strings.Builder
+	r := Report{Tool: "cplint"}
+	if err := r.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"findings": []`) {
+		t.Errorf("empty report JSON lacks a [] findings array:\n%s", sb.String())
+	}
+	var back Report
+	if err := json.Unmarshal([]byte(sb.String()), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Tool != "cplint" || back.Findings == nil || len(back.Findings) != 0 {
+		t.Errorf("round-trip mismatch: %+v", back)
+	}
+}
+
+func TestWriteTextAndEmpty(t *testing.T) {
+	r := New("t")
+	if !r.Empty() {
+		t.Error("new report not empty")
+	}
+	r.Addf("fetch", "status %d", 503)
+	if r.Empty() {
+		t.Error("report with a finding reports empty")
+	}
+	var sb strings.Builder
+	if err := r.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != "[fetch] status 503\n" {
+		t.Errorf("text rendering = %q", sb.String())
+	}
+}

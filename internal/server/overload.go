@@ -90,7 +90,11 @@ func (s *Scheduler) brownoutLocked(now time.Time) bool {
 // classes) into one combined snapshot for the windowed quantile.
 func (s *Scheduler) queueWaitSnapLocked() trace.SeriesSnap {
 	cur := trace.SeriesSnap{Kind: trace.KindHistogram, Counts: make([]uint64, len(trace.BucketBounds)+1)}
-	for _, h := range s.hWait {
+	for _, cls := range []Class{ClassPrefill, ClassDecode} {
+		h, ok := s.hWait[cls]
+		if !ok {
+			continue
+		}
 		sn := h.Snap()
 		cur.Count += sn.Count
 		cur.Sum += sn.Sum

@@ -1358,6 +1358,7 @@ func (s *Scheduler) SessionIDs() []int {
 	for id := range s.sessions {
 		out = append(out, id)
 	}
+	sort.Ints(out)
 	return out
 }
 

@@ -11,26 +11,32 @@ import (
 
 // metricHelp documents the engine's metric families for the # HELP line.
 var metricHelp = map[string]string{
-	"cp_request_ttft_seconds":      "Time to first token per generate request.",
-	"cp_request_itl_seconds":       "Inter-token latency per decoded token.",
-	"cp_step_seconds":              "Scheduler step-loop iteration latency.",
-	"cp_queue_wait_seconds":        "Admission-queue wait per scheduled job, by class.",
-	"cp_ring_phase_seconds":        "Per-rank ring sweep phase time (compute, comm, all2all) per layer pass.",
-	"cp_ring_sweeps_total":         "Ring sweeps (layer passes) executed per rank and op.",
-	"cp_requests_total":            "Generate requests admitted, by class.",
-	"cp_cohort_ttft_seconds":       "Time to first token per generate request, by workload cohort.",
-	"cp_cohort_itl_seconds":        "Inter-token latency per decoded token, by workload cohort.",
-	"cp_cohort_e2e_seconds":        "End-to-end request latency, by workload cohort.",
-	"cp_cohort_requests_total":     "Requests admitted, by workload cohort.",
-	"cp_prefill_chunks_total":      "Prefill chunks executed.",
-	"cp_prefix_adopt_total":        "Prefix-cache adoptions (warm prefill starts).",
-	"cp_prefix_detach_total":       "Session prefixes detached into the reuse tree.",
-	"cp_recovery_replays_total":    "Sessions replayed after a cluster rebuild.",
-	"cp_trace_spans_dropped_total": "Spans dropped at the buffer cap, by rank.",
-	"cp_uptime_seconds":            "Seconds since the server started.",
-	"cp_stats_sequence":            "Monotonic stats snapshot sequence number.",
-	"cp_sessions_resident":         "Sessions currently resident in the scheduler.",
-	"cp_cluster_epoch":             "Current cluster incarnation epoch.",
+	"cp_request_ttft_seconds":            "Time to first token per generate request.",
+	"cp_request_itl_seconds":             "Inter-token latency per decoded token.",
+	"cp_step_seconds":                    "Scheduler step-loop iteration latency.",
+	"cp_queue_wait_seconds":              "Admission-queue wait per scheduled job, by class.",
+	"cp_ring_phase_seconds":              "Per-rank ring sweep phase time (compute, comm, all2all) per layer pass.",
+	"cp_ring_sweeps_total":               "Ring sweeps (layer passes) executed per rank and op.",
+	"cp_requests_total":                  "Generate requests admitted, by class.",
+	"cp_cohort_ttft_seconds":             "Time to first token per generate request, by workload cohort.",
+	"cp_cohort_itl_seconds":              "Inter-token latency per decoded token, by workload cohort.",
+	"cp_cohort_e2e_seconds":              "End-to-end request latency, by workload cohort.",
+	"cp_cohort_requests_total":           "Requests admitted, by workload cohort.",
+	"cp_prefill_chunks_total":            "Prefill chunks executed.",
+	"cp_prefix_adopt_total":              "Prefix-cache adoptions (warm prefill starts).",
+	"cp_prefix_detach_total":             "Session prefixes detached into the reuse tree.",
+	"cp_recovery_replays_total":          "Sessions replayed after a cluster rebuild.",
+	"cp_trace_spans_dropped_total":       "Spans dropped at the buffer cap, by rank.",
+	"cp_uptime_seconds":                  "Seconds since the server started.",
+	"cp_stats_sequence":                  "Monotonic stats snapshot sequence number.",
+	"cp_sessions_resident":               "Sessions currently resident in the scheduler.",
+	"cp_cluster_epoch":                   "Current cluster incarnation epoch.",
+	"cp_overload_shed_total":             "Admissions refused by the overload controller, by class.",
+	"cp_overload_retry_after_total":      "Overload refusals that carried a retry-after hint, by class.",
+	"cp_overload_deadline_expired_total": "Queued jobs dropped because their deadline expired before scheduling, by class.",
+	"cp_integrity_checked_total":         "Wire frames whose CRC trailer was verified, by direction.",
+	"cp_integrity_rejected_total":        "Wire frames rejected for CRC mismatch, by direction.",
+	"cp_chaos_faults_total":              "Chaos faults injected, by kind.",
 }
 
 // WriteProm renders every series in Prometheus text exposition format

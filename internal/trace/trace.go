@@ -164,11 +164,11 @@ func (r *Recorder) Time(name string) func() {
 	if r == nil {
 		return func() {}
 	}
-	start := time.Now()
+	start := time.Now() //cplint:allow determinism span timing is this layer's purpose; never feeds the decode path
 	return func() {
 		r.RecordSpan(Span{
 			Name: name, Rank: CoordinatorRank, Seq: NoSeq,
-			Start: start.UnixNano(), Dur: time.Since(start).Nanoseconds(),
+			Start: start.UnixNano(), Dur: time.Since(start).Nanoseconds(), //cplint:allow determinism span duration, observability only
 		})
 	}
 }
@@ -239,9 +239,9 @@ func (r *Recorder) Reset() {
 	r.nextIdx = make(map[rankKey]uint64)
 	r.agg = make(map[string]Stat)
 	r.counters = make(map[string]int64)
-	series := make([]*Series, 0, len(r.series))
-	for _, s := range r.series {
-		series = append(series, s)
+	series := make([]*Series, 0, len(r.order))
+	for _, id := range r.order {
+		series = append(series, r.series[id])
 	}
 	r.mu.Unlock()
 	for _, s := range series {
@@ -308,7 +308,7 @@ func (r *Recorder) Sweep(rank int, epoch uint64, op string) *SweepTimer {
 	rl := rankLabel(rank)
 	return &SweepTimer{
 		rec: r, rank: rank, epoch: epoch, op: op, seq: NoSeq,
-		start:  time.Now(),
+		start:  time.Now(), //cplint:allow determinism sweep wall-clock start, observability only
 		hc:     r.Hist("cp_ring_phase_seconds", L("op", op), L("phase", "compute"), L("rank", rl)),
 		hm:     r.Hist("cp_ring_phase_seconds", L("op", op), L("phase", "comm"), L("rank", rl)),
 		ha:     r.Hist("cp_ring_phase_seconds", L("op", op), L("phase", "all2all"), L("rank", rl)),
@@ -323,7 +323,7 @@ func (t *SweepTimer) Clock() time.Time {
 	if t == nil {
 		return time.Time{}
 	}
-	return time.Now()
+	return time.Now() //cplint:allow determinism phase-timer clock read, observability only
 }
 
 // Compute charges the time since t0 to the attention-compute phase.
@@ -331,7 +331,7 @@ func (t *SweepTimer) Compute(t0 time.Time) {
 	if t == nil {
 		return
 	}
-	t.computeNs += time.Since(t0).Nanoseconds()
+	t.computeNs += time.Since(t0).Nanoseconds() //cplint:allow determinism phase duration, observability only
 }
 
 // Comm charges the time since t0 to the ring SendRecv phase (transfer
@@ -341,7 +341,7 @@ func (t *SweepTimer) Comm(t0 time.Time) {
 	if t == nil {
 		return
 	}
-	t.commNs += time.Since(t0).Nanoseconds()
+	t.commNs += time.Since(t0).Nanoseconds() //cplint:allow determinism phase duration, observability only
 }
 
 // A2A charges the time since t0 to the trailing All2All.
@@ -349,7 +349,7 @@ func (t *SweepTimer) A2A(t0 time.Time) {
 	if t == nil {
 		return
 	}
-	t.a2aNs += time.Since(t0).Nanoseconds()
+	t.a2aNs += time.Since(t0).Nanoseconds() //cplint:allow determinism phase duration, observability only
 	t.hasA2A = true
 }
 
@@ -376,7 +376,7 @@ func (t *SweepTimer) Finish(steps int) {
 	}
 	t.rec.RecordSpan(Span{
 		Name: "ring.sweep", Cat: t.op, Rank: t.rank, Seq: t.seq, Epoch: t.epoch,
-		Start: t.start.UnixNano(), Dur: time.Since(t.start).Nanoseconds(), Args: args,
+		Start: t.start.UnixNano(), Dur: time.Since(t.start).Nanoseconds(), Args: args, //cplint:allow determinism sweep span duration, observability only
 	})
 }
 
@@ -444,11 +444,16 @@ func (r *Recorder) MergeSpans(spans []Span) {
 			r.nextIdx[k] = s.Index
 		}
 	}
-	drops := make([]*Series, 0, len(droppedBy))
-	counts := make([]int64, 0, len(droppedBy))
-	for rank, n := range droppedBy {
+	ranks := make([]int, 0, len(droppedBy))
+	for rank := range droppedBy {
+		ranks = append(ranks, rank)
+	}
+	sort.Ints(ranks) // fixed series-creation order regardless of map iteration
+	drops := make([]*Series, 0, len(ranks))
+	counts := make([]int64, 0, len(ranks))
+	for _, rank := range ranks {
 		drops = append(drops, r.seriesLocked(KindCounter, "cp_trace_spans_dropped_total", L("rank", rankLabel(rank))))
-		counts = append(counts, n)
+		counts = append(counts, droppedBy[rank])
 	}
 	r.mu.Unlock()
 	for i, s := range drops {

@@ -2,14 +2,11 @@ package workload
 
 import (
 	"bytes"
-	"go/ast"
-	"go/parser"
-	"go/token"
-	"os"
 	"path/filepath"
 	"reflect"
-	"strings"
 	"testing"
+
+	"repro/internal/lint"
 )
 
 func testSpec(seed int64) TraceSpec {
@@ -252,48 +249,17 @@ func TestGeneratorsDeterministic(t *testing.T) {
 	}
 }
 
-// Seed audit, part 2: the package never uses the global math/rand source —
-// every rand call goes through an explicit *rand.Rand receiver. The audit
-// parses each non-test source file and flags selector calls on the rand
-// package itself (rand.Intn, rand.Float64, ...) other than the two
-// constructors.
+// Seed audit, part 2: the package never consults the clock or the global
+// math/rand source — every rand call goes through an explicit *rand.Rand.
+// The hand-rolled AST walk this test used to carry now lives in
+// internal/lint as the determinism analyzer (run repo-wide by cplint);
+// here it is pointed at just this package.
 func TestNoGlobalRand(t *testing.T) {
-	allowed := map[string]bool{"New": true, "NewSource": true}
-	files, err := filepath.Glob("*.go")
+	m, _, err := lint.LoadPackage("../..", "internal/workload")
 	if err != nil {
 		t.Fatal(err)
 	}
-	for _, path := range files {
-		if strings.HasSuffix(path, "_test.go") {
-			continue
-		}
-		src, err := os.ReadFile(path)
-		if err != nil {
-			t.Fatal(err)
-		}
-		fset := token.NewFileSet()
-		f, err := parser.ParseFile(fset, path, src, 0)
-		if err != nil {
-			t.Fatal(err)
-		}
-		ast.Inspect(f, func(n ast.Node) bool {
-			call, ok := n.(*ast.CallExpr)
-			if !ok {
-				return true
-			}
-			sel, ok := call.Fun.(*ast.SelectorExpr)
-			if !ok {
-				return true
-			}
-			id, ok := sel.X.(*ast.Ident)
-			if !ok || id.Name != "rand" || id.Obj != nil {
-				return true
-			}
-			if !allowed[sel.Sel.Name] {
-				t.Errorf("%s: global math/rand call rand.%s at %s",
-					path, sel.Sel.Name, fset.Position(sel.Pos()))
-			}
-			return true
-		})
+	for _, f := range m.Run(lint.Policy{"determinism": {"internal/workload"}}) {
+		t.Errorf("%s", f.String())
 	}
 }
